@@ -1,0 +1,46 @@
+// §7 "Cost of ML models" — can a *calibrated* heuristic substitute for
+// labeled ML training? Fits y ≈ a·h + b on 20% of windows (interleaved) and
+// compares raw heuristic vs calibrated heuristic vs the full IP/UDP ML
+// model on the rest.
+#include "bench/bench_common.hpp"
+#include "core/calibration.hpp"
+
+using namespace vcaqoe;
+
+int main() {
+  std::printf("%s", common::banner("Calibrated heuristic ablation (§7): "
+                                   "IP/UDP Heuristic, in-lab").c_str());
+
+  for (const auto metric :
+       {rxstats::Metric::kFrameRate, rxstats::Metric::kBitrate,
+        rxstats::Metric::kFrameJitter}) {
+    std::printf("--- %s ---\n", rxstats::toString(metric).c_str());
+    common::TextTable table({"VCA", "raw heur MAE", "calibrated MAE",
+                             "IP/UDP ML MAE (5-fold CV)", "slope", "offset"});
+    for (const auto& vca : bench::vcaNames()) {
+      const auto records = bench::recordsFor(bench::labSessions(), vca);
+      const auto report = core::evaluateCalibration(
+          records, core::Method::kIpUdpHeuristic, metric, 0.2);
+      const auto ml = core::evaluateMlCv(records, features::FeatureSet::kIpUdp,
+                                         metric, {}, 5, 71,
+                                         bench::benchForest());
+      table.addRow({bench::pretty(vca),
+                    common::TextTable::num(report.rawMae, 2),
+                    common::TextTable::num(report.calibratedMae, 2),
+                    common::TextTable::num(
+                        common::meanAbsoluteError(ml.series.predicted,
+                                                  ml.series.truth),
+                        2),
+                    common::TextTable::num(report.slope, 3),
+                    common::TextTable::num(report.offset, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf(
+      "reading: calibration removes the heuristic's systematic biases (the\n"
+      "bitrate overhead slope < 1; the jitter-buffer fps offset) with ~20%%\n"
+      "of the labels a forest needs, but cannot fix variance-driven errors\n"
+      "(splits/coalesces), so the ML model stays ahead — quantifying the\n"
+      "§7 trade-off between labeling cost and accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Design-choice ablations called out in DESIGN.md:
+//   1. V_min media-classification threshold (§3.1 picks it from lab traces)
+//   2. θ_IAT microburst threshold for the semantic feature (§3.2.2)
+//   3. forest size (accuracy/cost trade-off for deployments, §7)
+#include "bench/bench_common.hpp"
+#include "core/media_classifier.hpp"
+
+using namespace vcaqoe;
+
+namespace {
+
+void vminSweep() {
+  std::printf("%s", common::banner("Ablation 1: media-classification "
+                                   "threshold V_min (Teams, in-lab)").c_str());
+  common::TextTable table({"Vmin [B]", "video recall", "non-video recall",
+                           "IP/UDP heur FPS MAE"});
+  const auto sessions = datasets::sessionsForVca(bench::labSessions(), "teams");
+  for (const std::uint32_t vmin : {200u, 320u, 400u, 450u, 500u, 560u, 700u,
+                                   900u}) {
+    std::uint64_t videoTotal = 0;
+    std::uint64_t videoHit = 0;
+    std::uint64_t nonVideoTotal = 0;
+    std::uint64_t nonVideoHit = 0;
+    std::vector<double> predicted;
+    std::vector<double> truth;
+
+    core::MediaClassifierOptions classifierOptions;
+    classifierOptions.vminBytes = vmin;
+    const core::MediaClassifier classifier(classifierOptions);
+    for (const auto& session : sessions) {
+      for (const auto& pkt : session.packets) {
+        const auto label = core::groundTruthLabel(
+            pkt, session.profile.audioPt, session.profile.videoPt,
+            session.profile.rtxPt, session.profile.rtxKeepaliveBytes);
+        const bool predictedVideo = classifier.isVideo(pkt);
+        if (label.video) {
+          ++videoTotal;
+          videoHit += predictedVideo ? 1 : 0;
+        } else {
+          ++nonVideoTotal;
+          nonVideoHit += predictedVideo ? 0 : 1;
+        }
+      }
+      core::RecordBuilderOptions recordOptions;
+      recordOptions.classifier = classifierOptions;
+      const auto records = core::buildWindowRecords(session, recordOptions);
+      const auto series = core::heuristicSeries(
+          records, core::Method::kIpUdpHeuristic, rxstats::Metric::kFrameRate);
+      predicted.insert(predicted.end(), series.predicted.begin(),
+                       series.predicted.end());
+      truth.insert(truth.end(), series.truth.begin(), series.truth.end());
+    }
+    table.addRow(
+        {std::to_string(vmin),
+         common::TextTable::pct(static_cast<double>(videoHit) /
+                                    static_cast<double>(videoTotal), 2),
+         common::TextTable::pct(static_cast<double>(nonVideoHit) /
+                                    static_cast<double>(nonVideoTotal), 2),
+         common::TextTable::num(common::meanAbsoluteError(predicted, truth),
+                                2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "expected: a wide plateau between the audio band (<=385 B) and the\n"
+      "video band (>564 B) where both recalls stay ~100%% — the threshold\n"
+      "is not fragile, which is why inspecting a few traces suffices.\n\n");
+}
+
+void thetaIatSweep() {
+  std::printf("%s", common::banner("Ablation 2: microburst threshold θ_IAT "
+                                   "(IP/UDP ML frame rate, Teams)").c_str());
+  common::TextTable table({"theta [ms]", "CV MAE [FPS]"});
+  const auto sessions = datasets::sessionsForVca(bench::labSessions(), "teams");
+  for (const double thetaMs : {0.5, 1.0, 3.0, 6.0, 12.0, 25.0}) {
+    core::RecordBuilderOptions options;
+    options.extraction.microburstIatNs = common::millisToNs(thetaMs);
+    const auto records = datasets::recordsForSessions(sessions, options);
+    const auto eval = core::evaluateMlCv(
+        records, features::FeatureSet::kIpUdp, rxstats::Metric::kFrameRate,
+        {}, 5, 41, bench::benchForest());
+    table.addRow({common::TextTable::num(thetaMs, 1),
+                  common::TextTable::num(
+                      common::meanAbsoluteError(eval.series.predicted,
+                                                eval.series.truth),
+                      3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "expected: flat-ish — the forest leans on '# unique sizes' and flow\n"
+      "stats, so the microburst threshold is a second-order choice (the\n"
+      "paper found '# microbursts' outside the top-5 features, §5.1.2).\n\n");
+}
+
+void forestSizeSweep() {
+  std::printf("%s", common::banner("Ablation 3: forest size vs accuracy "
+                                   "(IP/UDP ML frame rate, Teams)").c_str());
+  common::TextTable table({"trees", "CV MAE [FPS]"});
+  const auto records = bench::recordsFor(bench::labSessions(), "teams");
+  for (const int trees : {1, 5, 10, 20, 40, 80}) {
+    ml::ForestOptions options;
+    options.numTrees = trees;
+    const auto eval = core::evaluateMlCv(
+        records, features::FeatureSet::kIpUdp, rxstats::Metric::kFrameRate,
+        {}, 5, 43, options);
+    table.addRow({std::to_string(trees),
+                  common::TextTable::num(
+                      common::meanAbsoluteError(eval.series.predicted,
+                                                eval.series.truth),
+                      3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "expected: diminishing returns past ~20-40 trees — relevant for the\n"
+      "per-prediction budget of an in-network deployment (§7).\n");
+}
+
+}  // namespace
+
+int main() {
+  vminSweep();
+  thetaIatSweep();
+  forestSizeSweep();
+  return 0;
+}

@@ -1,0 +1,136 @@
+#pragma once
+
+// Shared plumbing for the experiment reproduction binaries (one per paper
+// table/figure). Each binary generates the datasets it needs, runs the
+// relevant methods, and prints our measured numbers next to the paper's
+// reference values so shape can be compared at a glance.
+//
+// Scale knobs (environment):
+//   VCAQOE_BENCH_CALLS  — in-lab calls per VCA (default 24)
+//   VCAQOE_BENCH_RW     — real-world call-count scale (default 0.12)
+//   VCAQOE_BENCH_TREES  — random-forest size (default 40)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/evaluation.hpp"
+#include "core/session.hpp"
+#include "datasets/generators.hpp"
+#include "datasets/vca_profiles.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+namespace vcaqoe::bench {
+
+inline int envInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atoi(value) : fallback;
+}
+
+inline double envDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atof(value) : fallback;
+}
+
+inline const std::vector<std::string>& vcaNames() {
+  static const std::vector<std::string> kNames = {"meet", "teams", "webex"};
+  return kNames;
+}
+
+inline std::string pretty(const std::string& vca) {
+  if (vca == "meet") return "Meet";
+  if (vca == "teams") return "Teams";
+  if (vca == "webex") return "Webex";
+  return vca;
+}
+
+/// The in-lab dataset at bench scale (cached per process).
+inline const std::vector<core::LabeledSession>& labSessions() {
+  static const auto sessions = [] {
+    datasets::LabDatasetOptions options;
+    options.callsPerVca = envInt("VCAQOE_BENCH_CALLS", 24);
+    options.seed = 20231024;
+    std::fprintf(stderr, "[bench] generating in-lab dataset (%d calls/VCA)\n",
+                 options.callsPerVca);
+    return datasets::generateLabDataset(options);
+  }();
+  return sessions;
+}
+
+/// The real-world dataset at bench scale (cached per process).
+inline const std::vector<core::LabeledSession>& realWorldSessions() {
+  static const auto sessions = [] {
+    datasets::RealWorldDatasetOptions options;
+    options.callCountScale = envDouble("VCAQOE_BENCH_RW", 0.12);
+    options.seed = 19991231;
+    std::fprintf(stderr,
+                 "[bench] generating real-world dataset (scale %.2f)\n",
+                 options.callCountScale);
+    return datasets::generateRealWorldDataset(options);
+  }();
+  return sessions;
+}
+
+inline ml::ForestOptions benchForest() {
+  ml::ForestOptions options;
+  options.numTrees = envInt("VCAQOE_BENCH_TREES", 40);
+  return options;
+}
+
+/// Per-VCA window records for a dataset (1-second windows).
+inline std::vector<core::WindowRecord> recordsFor(
+    const std::vector<core::LabeledSession>& sessions,
+    const std::string& vca) {
+  return datasets::recordsForSessions(datasets::sessionsForVca(sessions, vca));
+}
+
+/// Seconds of ground truth in a session list (for dataset banners).
+inline double truthSeconds(const std::vector<core::LabeledSession>& sessions) {
+  double seconds = 0.0;
+  for (const auto& session : sessions) {
+    seconds += static_cast<double>(session.truth.size());
+  }
+  return seconds;
+}
+
+struct MethodResult {
+  core::ErrorSummary summary;
+  core::Series series;
+};
+
+/// Runs one method on one VCA's records for one metric. ML methods use
+/// 5-fold CV exactly like §4.3.
+inline MethodResult runMethod(const std::vector<core::WindowRecord>& records,
+                              core::Method method, rxstats::Metric metric,
+                              const core::ResolutionCodec& codec = {},
+                              std::uint64_t seed = 1) {
+  MethodResult result;
+  if (method == core::Method::kIpUdpHeuristic ||
+      method == core::Method::kRtpHeuristic) {
+    result.series = core::heuristicSeries(records, method, metric);
+  } else {
+    const auto set = method == core::Method::kIpUdpMl
+                         ? features::FeatureSet::kIpUdp
+                         : features::FeatureSet::kRtp;
+    const auto eval =
+        core::evaluateMlCv(records, set, metric, codec, 5, seed, benchForest());
+    result.series = eval.series;
+  }
+  result.summary = core::summarizeErrors(
+      result.series.predicted, result.series.truth,
+      metric == rxstats::Metric::kBitrate);
+  return result;
+}
+
+inline const std::vector<core::Method>& allMethods() {
+  static const std::vector<core::Method> kMethods = {
+      core::Method::kRtpMl, core::Method::kIpUdpMl,
+      core::Method::kRtpHeuristic, core::Method::kIpUdpHeuristic};
+  return kMethods;
+}
+
+}  // namespace vcaqoe::bench

@@ -1,0 +1,44 @@
+// Figure 3 — frame-rate error distributions for all four methods on the
+// three VCAs (in-lab). Paper MAE anchors (FPS): the general ordering
+// RTP ML <= IP/UDP ML < heuristics, everything within ~2 FPS except the
+// IP/UDP Heuristic on Teams (2.4), and IP/UDP ML within ~0.2 FPS of RTP ML.
+#include "bench/bench_common.hpp"
+
+using namespace vcaqoe;
+
+int main() {
+  std::printf("%s", common::banner(
+                        "Fig 3: frame-rate errors, in-lab (4 methods x 3 "
+                        "VCAs; MAE with 10th/90th pct whiskers)")
+                        .c_str());
+  std::printf("dataset: %.0f truth-seconds\n\n",
+              bench::truthSeconds(bench::labSessions()));
+
+  common::TextTable table(
+      {"VCA", "method", "MAE [FPS]", "p10", "median", "p90", "windows"});
+  for (const auto& vca : bench::vcaNames()) {
+    const auto records = bench::recordsFor(bench::labSessions(), vca);
+    for (const auto method : bench::allMethods()) {
+      const auto result =
+          bench::runMethod(records, method, rxstats::Metric::kFrameRate);
+      table.addRow({bench::pretty(vca), core::toString(method),
+                    common::TextTable::num(result.summary.mae, 2),
+                    common::TextTable::num(result.summary.p10, 2),
+                    common::TextTable::num(result.summary.medianError, 2),
+                    common::TextTable::num(result.summary.p90, 2),
+                    std::to_string(result.summary.n)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "paper Fig 3 MAE reference (FPS):\n"
+      "  Meet : RTP ML 1.5, IP/UDP ML 1.3, RTP Heur 1.6, IP/UDP Heur 1.2\n"
+      "  Teams: RTP ML 1.2, IP/UDP ML 1.3 (approx), RTP Heur 1.6, IP/UDP "
+      "Heur 2.4\n"
+      "  Webex: RTP ML 1.3, IP/UDP ML 1.1-1.2, RTP Heur 1.2, IP/UDP Heur "
+      "1.7-1.8\n"
+      "shape checks: all MAE within ~2 FPS except IP/UDP Heuristic on "
+      "Teams;\nIP/UDP ML within ~0.2 FPS of RTP ML; ML <= heuristics.\n");
+  return 0;
+}

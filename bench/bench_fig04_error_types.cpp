@@ -1,0 +1,41 @@
+// Figure 4 — anatomy of IP/UDP Heuristic failures per prediction window:
+// splits (intra-frame size spread beyond Δmax), interleaves (reordered
+// frames), and coalesces (similar-size consecutive frames glued together).
+// Paper anchors: Meet dominated by splits (~0.72/window); Webex shows the
+// most coalesces; Teams low on all three.
+#include "bench/bench_common.hpp"
+#include "core/error_anatomy.hpp"
+
+using namespace vcaqoe;
+
+int main() {
+  std::printf("%s",
+              common::banner("Fig 4: IP/UDP Heuristic error anatomy "
+                             "(avg frames affected per 1 s window, in-lab)")
+                  .c_str());
+
+  common::TextTable table(
+      {"VCA", "splits", "interleaves", "coalesces", "windows"});
+  for (const auto& vca : bench::vcaNames()) {
+    std::vector<core::AnatomyCounts> parts;
+    for (const auto& session :
+         datasets::sessionsForVca(bench::labSessions(), vca)) {
+      const auto numWindows = static_cast<std::int64_t>(session.durationSec);
+      parts.push_back(core::analyzeErrorAnatomy(
+          session.packets, session.profile.videoPt, {},
+          core::defaultHeuristicParams(vca), common::kNanosPerSecond,
+          numWindows));
+    }
+    const auto total = core::combineAnatomy(parts);
+    table.addRow({bench::pretty(vca),
+                  common::TextTable::num(total.splitsPerWindow, 2),
+                  common::TextTable::num(total.interleavesPerWindow, 2),
+                  common::TextTable::num(total.coalescesPerWindow, 2),
+                  std::to_string(total.windows)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper Fig 4 shape: Meet splits ~0.72/window (largest bar overall);\n"
+      "Webex coalesces largest among the three VCAs; Teams low everywhere.\n");
+  return 0;
+}

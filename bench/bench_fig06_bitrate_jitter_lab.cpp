@@ -1,0 +1,64 @@
+// Figure 6a/6b — in-lab bitrate relative-error (MRAE) and frame-jitter
+// error (MAE) for all four methods on the three VCAs.
+// Paper anchors: bitrate MRAE similar for IP/UDP ML and RTP ML (2-9%),
+// heuristics biased high (median relative error > 0, up to 26%); IP/UDP ML
+// within 25% of truth for 87-95% of windows; frame-jitter MAE unusually
+// large for every method (23-38 ms) because webrtc-internals reports jitter
+// over decoded frames (post jitter buffer).
+#include "bench/bench_common.hpp"
+
+using namespace vcaqoe;
+
+int main() {
+  std::printf("%s", common::banner("Fig 6a: bitrate relative error, in-lab")
+                        .c_str());
+
+  common::TextTable bitrate({"VCA", "method", "MRAE", "median rel err",
+                             "p10", "p90", "within 25%"});
+  for (const auto& vca : bench::vcaNames()) {
+    const auto records = bench::recordsFor(bench::labSessions(), vca);
+    for (const auto method : bench::allMethods()) {
+      const auto result =
+          bench::runMethod(records, method, rxstats::Metric::kBitrate);
+      bitrate.addRow(
+          {bench::pretty(vca), core::toString(method),
+           common::TextTable::pct(result.summary.mrae, 1),
+           common::TextTable::pct(result.summary.medianError, 1),
+           common::TextTable::pct(result.summary.p10, 1),
+           common::TextTable::pct(result.summary.p90, 1),
+           common::TextTable::pct(
+               common::fractionWithinRelative(result.series.predicted,
+                                              result.series.truth, 0.25),
+               1)});
+    }
+  }
+  std::printf("%s\n", bitrate.render().c_str());
+  std::printf(
+      "paper Fig 6a MRAE reference: Meet 26/2/9/2 %%, Teams 9/15/9/19 %%,\n"
+      "Webex 3/1/3/0 %% (RTP ML / IP-UDP ML / RTP Heur / IP-UDP Heur order\n"
+      "as printed in the figure); within-25%% for IP/UDP ML: Meet 87%%,\n"
+      "Teams 89%%, Webex 95%%. Heuristic medians sit above zero.\n\n");
+
+  std::printf("%s", common::banner("Fig 6b: frame jitter error, in-lab")
+                        .c_str());
+  common::TextTable jitter(
+      {"VCA", "method", "MAE [ms]", "median err", "p10", "p90"});
+  for (const auto& vca : bench::vcaNames()) {
+    const auto records = bench::recordsFor(bench::labSessions(), vca);
+    for (const auto method : bench::allMethods()) {
+      const auto result =
+          bench::runMethod(records, method, rxstats::Metric::kFrameJitter);
+      jitter.addRow({bench::pretty(vca), core::toString(method),
+                     common::TextTable::num(result.summary.mae, 1),
+                     common::TextTable::num(result.summary.medianError, 1),
+                     common::TextTable::num(result.summary.p10, 1),
+                     common::TextTable::num(result.summary.p90, 1)});
+    }
+  }
+  std::printf("%s\n", jitter.render().c_str());
+  std::printf(
+      "paper Fig 6b MAE reference (ms): Meet 35/24/28/23, Teams 37/31/28/28,\n"
+      "Webex 28/38/23/35 — all methods overestimate because the ground truth\n"
+      "is measured after the jitter buffer; heuristic medians above zero.\n");
+  return 0;
+}

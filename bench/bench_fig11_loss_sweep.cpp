@@ -1,0 +1,82 @@
+// Figure 11 — IP/UDP ML frame-rate MAE vs packet loss (Table A.6 loss
+// profile: 1500 kbps, 50 ms, loss in {1,2,5,10,15,20}%; four calls per
+// point; models trained on a 50% sample across all conditions, tested on
+// the rest, as in §5.4).
+// Paper shape: errors rise with loss (retransmissions reorder packets and
+// only RTP headers could restore order).
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "netem/conditions.hpp"
+
+using namespace vcaqoe;
+
+int main() {
+  std::printf("%s", common::banner("Fig 11: IP/UDP ML frame-rate MAE vs "
+                                   "packet loss").c_str());
+
+  const std::vector<double> lossPcts = {1, 2, 5, 10, 15, 20};
+  const int callsPerPoint = 4;
+  const double callSec = 30.0;
+
+  common::TextTable table({"loss %", "Meet MAE", "Teams MAE", "Webex MAE"});
+  std::map<double, std::vector<std::string>> rows;
+  for (const double loss : lossPcts) {
+    rows[loss] = {common::TextTable::num(loss, 0)};
+  }
+
+  for (const auto& vca : bench::vcaNames()) {
+    const auto profile =
+        datasets::profileByName(vca, datasets::Deployment::kLab);
+    // One record set per loss point.
+    std::map<double, std::vector<core::WindowRecord>> recordsByLoss;
+    std::uint64_t seed = 0xF16'11;
+    for (const double loss : lossPcts) {
+      std::vector<core::LabeledSession> sessions;
+      for (int call = 0; call < callsPerPoint; ++call) {
+        const auto schedule = netem::packetLossProfile(
+            loss, static_cast<std::size_t>(callSec) + 1);
+        sessions.push_back(datasets::simulateSession(
+            profile, schedule, callSec, ++seed, seed));
+      }
+      recordsByLoss[loss] = datasets::recordsForSessions(sessions);
+    }
+
+    // 50/50 train/test split sampled uniformly from each condition.
+    common::Rng rng(97);
+    std::vector<core::WindowRecord> train;
+    std::map<double, std::vector<core::WindowRecord>> testByLoss;
+    for (auto& [loss, records] : recordsByLoss) {
+      for (auto& rec : records) {
+        if (!rec.truthValid) continue;
+        if (rng.bernoulli(0.5)) {
+          train.push_back(rec);
+        } else {
+          testByLoss[loss].push_back(rec);
+        }
+      }
+    }
+    const auto trainData = core::buildMlDataset(
+        train, features::FeatureSet::kIpUdp, rxstats::Metric::kFrameRate);
+    ml::RandomForest forest;
+    forest.fit(trainData, ml::TreeTask::kRegression, bench::benchForest(),
+               0xF16'12);
+
+    for (const double loss : lossPcts) {
+      const auto testData =
+          core::buildMlDataset(testByLoss[loss], features::FeatureSet::kIpUdp,
+                               rxstats::Metric::kFrameRate);
+      const auto predicted = forest.predictAll(testData);
+      rows[loss].push_back(common::TextTable::num(
+          common::meanAbsoluteError(predicted, testData.y), 2));
+    }
+  }
+
+  for (const double loss : lossPcts) table.addRow(rows[loss]);
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper Fig 11 shape: MAE increases with loss for all three VCAs\n"
+      "(roughly 1-3 FPS at 1%% rising towards 3-9 FPS at 20%%), driven by\n"
+      "RTX-induced reordering that IP/UDP headers cannot undo.\n");
+  return 0;
+}

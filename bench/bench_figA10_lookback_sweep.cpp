@@ -1,0 +1,43 @@
+// Figure A.10 — IP/UDP Heuristic frame-rate MAE vs the packet lookback
+// parameter Nmax (1..10), per VCA, on in-lab traces.
+// Paper shape: Webex monotonically worsens with lookback (optimum 1);
+// Meet and Teams have shallow minima at small lookbacks (3 and 2 in §4.3);
+// large lookbacks over-merge frames and underestimate FPS everywhere.
+#include "bench/bench_common.hpp"
+
+using namespace vcaqoe;
+
+int main() {
+  std::printf("%s", common::banner("Fig A.10: IP/UDP Heuristic frame-rate "
+                                   "MAE vs packet lookback Nmax").c_str());
+
+  common::TextTable table({"Nmax", "Meet MAE", "Teams MAE", "Webex MAE"});
+  std::vector<std::vector<std::string>> rows(10);
+  for (int lookback = 1; lookback <= 10; ++lookback) {
+    rows[static_cast<std::size_t>(lookback - 1)] = {std::to_string(lookback)};
+  }
+
+  for (const auto& vca : bench::vcaNames()) {
+    const auto sessions = datasets::sessionsForVca(bench::labSessions(), vca);
+    for (int lookback = 1; lookback <= 10; ++lookback) {
+      core::RecordBuilderOptions options;
+      options.heuristicFromProfile = false;
+      options.heuristic.deltaMaxBytes = 2;
+      options.heuristic.lookback = lookback;
+      const auto records = datasets::recordsForSessions(sessions, options);
+      const auto series = core::heuristicSeries(
+          records, core::Method::kIpUdpHeuristic, rxstats::Metric::kFrameRate);
+      const auto summary =
+          core::summarizeErrors(series.predicted, series.truth);
+      rows[static_cast<std::size_t>(lookback - 1)].push_back(
+          common::TextTable::num(summary.mae, 2));
+    }
+  }
+  for (const auto& row : rows) table.addRow(row);
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper Fig A.10 shape: Webex best at Nmax=1 and strictly worse "
+      "after;\nMeet/Teams shallow minima at small Nmax; all VCAs degrade "
+      "towards\nNmax=10 as similarly-sized frames get merged.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figures A.1 / A.2 — CDFs of the ground-truth QoE metrics for the in-lab
+// and real-world datasets.
+// Paper anchors: in-lab Webex median bitrate ≈ 500 kbps vs Teams ≈ 1700
+// kbps; real-world metrics generally higher than in-lab (faster access
+// networks), with a small tail of degraded calls.
+#include <algorithm>
+
+#include "bench/bench_common.hpp"
+
+using namespace vcaqoe;
+
+namespace {
+
+void reportDataset(const char* title,
+                   const std::vector<core::LabeledSession>& sessions) {
+  std::printf("%s", common::banner(title).c_str());
+  for (const auto metric :
+       {rxstats::Metric::kFrameRate, rxstats::Metric::kBitrate,
+        rxstats::Metric::kFrameJitter}) {
+    common::TextTable table(
+        {rxstats::toString(metric), "p10", "p25", "median", "p75", "p90"});
+    for (const auto& vca : bench::vcaNames()) {
+      std::vector<double> values;
+      for (const auto& session : datasets::sessionsForVca(sessions, vca)) {
+        for (const auto& row : session.truth) {
+          if (!row.valid) continue;
+          values.push_back(metric == rxstats::Metric::kBitrate
+                               ? row.bitrateKbps
+                               : metric == rxstats::Metric::kFrameRate
+                                     ? row.fps
+                                     : row.frameJitterMs);
+        }
+      }
+      table.addRow({bench::pretty(vca),
+                    common::TextTable::num(common::percentile(values, 10), 1),
+                    common::TextTable::num(common::percentile(values, 25), 1),
+                    common::TextTable::num(common::percentile(values, 50), 1),
+                    common::TextTable::num(common::percentile(values, 75), 1),
+                    common::TextTable::num(common::percentile(values, 90), 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  reportDataset("Fig A.1: ground-truth QoE distribution, in-lab",
+                bench::labSessions());
+  std::printf(
+      "paper anchors (in-lab): Webex median bitrate ~500 kbps, Teams ~1700 "
+      "kbps;\nframe rates concentrated near 30 FPS with a low-FPS tail.\n\n");
+
+  reportDataset("Fig A.2: ground-truth QoE distribution, real-world",
+                bench::realWorldSessions());
+  std::printf(
+      "paper anchors (real-world): metrics higher than in-lab across VCAs\n"
+      "(faster access links), small tail of degraded calls remains.\n");
+  return 0;
+}

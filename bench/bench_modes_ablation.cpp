@@ -1,0 +1,100 @@
+// §7 application-mode ablation — the paper leaves quantifying the impact of
+// screen sharing and multi-party conferencing to future work; this bench
+// runs that experiment on the simulation substrate:
+//   * camera 2-party call (the paper's setting) — baseline
+//   * screen share — low-fps, bursty frames
+//   * multi-party (4 senders on one flow) — the "session = one frame
+//     sequence" abstraction breaks
+// For each mode: IP/UDP Heuristic and IP/UDP ML frame-rate MAE (ML trained
+// in-mode via 5-fold CV).
+#include "bench/bench_common.hpp"
+#include "netem/conditions.hpp"
+#include "rxstats/ground_truth.hpp"
+#include "simcall/modes.hpp"
+
+using namespace vcaqoe;
+
+namespace {
+
+std::vector<core::WindowRecord> recordsForMode(const std::string& mode,
+                                               int calls, std::uint64_t seed) {
+  const auto base = datasets::teamsProfile(datasets::Deployment::kLab);
+  std::vector<core::WindowRecord> all;
+  for (int call = 0; call < calls; ++call) {
+    netem::NdtTraceSynthesizer synth(seed + static_cast<std::uint64_t>(call));
+    const auto schedule = synth.synthesize(41);
+    const double durationSec = 40.0;
+
+    core::LabeledSession session;
+    session.id = static_cast<std::uint64_t>(call);
+    session.durationSec = durationSec;
+
+    if (mode == "camera") {
+      session = datasets::simulateSession(base, schedule, durationSec,
+                                          seed * 7 + call, session.id);
+    } else if (mode == "screenshare") {
+      session = datasets::simulateSession(simcall::screenShareVariant(base),
+                                          schedule, durationSec,
+                                          seed * 7 + call, session.id);
+      session.profile.name = "teams";  // reuse Teams heuristic parameters
+    } else {  // multiparty
+      const auto result = simcall::simulateMultiPartyCall(
+          base, schedule, durationSec, seed * 7 + call, {4, true});
+      simcall::CallResult speaker;
+      speaker.packets = result.packets;
+      speaker.sentFrames = result.perParticipant[0].sentFrames;
+      speaker.profile = base;
+      session.packets = speaker.packets;
+      session.profile = base;
+      session.truth = rxstats::buildGroundTruth(speaker, durationSec, {},
+                                                seed * 13 + call);
+    }
+    const auto records = core::buildWindowRecords(session);
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", common::banner("Application-mode ablation (§7 future "
+                                   "work): Teams frame rate").c_str());
+
+  common::TextTable table({"mode", "truth mean FPS", "IP/UDP heur MAE",
+                           "IP/UDP ML MAE (in-mode CV)", "windows"});
+  for (const std::string mode : {"camera", "screenshare", "multiparty"}) {
+    const auto records = recordsForMode(mode, 10, 7777);
+    double fpsSum = 0.0;
+    std::size_t n = 0;
+    for (const auto& rec : records) {
+      if (!rec.truthValid) continue;
+      fpsSum += rec.truthFps;
+      ++n;
+    }
+    const auto heuristic = core::heuristicSeries(
+        records, core::Method::kIpUdpHeuristic, rxstats::Metric::kFrameRate);
+    const auto heurSummary =
+        core::summarizeErrors(heuristic.predicted, heuristic.truth);
+    const auto mlEval = core::evaluateMlCv(
+        records, features::FeatureSet::kIpUdp, rxstats::Metric::kFrameRate,
+        {}, 5, 47, bench::benchForest());
+    table.addRow({mode,
+                  common::TextTable::num(fpsSum / static_cast<double>(n), 1),
+                  common::TextTable::num(heurSummary.mae, 2),
+                  common::TextTable::num(
+                      common::meanAbsoluteError(mlEval.series.predicted,
+                                                mlEval.series.truth),
+                      2),
+                  std::to_string(n)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: the heuristic collapses in multi-party mode (it counts all\n"
+      "participants' frames), while an in-mode-trained ML model adapts —\n"
+      "supporting the paper's §7 conjecture that 'a machine learning-based\n"
+      "QoE inference approach ... when trained with appropriate data, could\n"
+      "accurately estimate QoE metrics even across different application\n"
+      "modes'. Screen share mainly shifts the truth distribution (low fps).\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// §7 "System considerations" — google-benchmark microbenchmarks for the
+// per-packet / per-window costs a network-wide deployment would pay:
+// media classification, Algorithm 1 frame assembly, feature extraction,
+// RTP parsing, and random-forest inference.
+#include <benchmark/benchmark.h>
+
+#include "core/evaluation.hpp"
+#include "core/frame_heuristic.hpp"
+#include "core/media_classifier.hpp"
+#include "core/session.hpp"
+#include "datasets/generators.hpp"
+#include "datasets/vca_profiles.hpp"
+#include "features/extractors.hpp"
+#include "features/windows.hpp"
+#include "ml/random_forest.hpp"
+#include "netem/conditions.hpp"
+#include "rtp/rtp.hpp"
+
+namespace {
+
+using namespace vcaqoe;
+
+const core::LabeledSession& sampleSession() {
+  static const auto session = [] {
+    const auto profile = datasets::teamsProfile(datasets::Deployment::kLab);
+    netem::NdtTraceSynthesizer synth(5);
+    return datasets::simulateSession(profile, synth.synthesize(60), 60.0, 11,
+                                     0);
+  }();
+  return session;
+}
+
+void BM_MediaClassification(benchmark::State& state) {
+  const auto& trace = sampleSession().packets;
+  const core::MediaClassifier classifier;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.filterVideo(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_MediaClassification);
+
+void BM_Algorithm1FrameAssembly(benchmark::State& state) {
+  const core::MediaClassifier classifier;
+  const auto video = classifier.filterVideo(sampleSession().packets);
+  const auto params = core::defaultHeuristicParams("teams");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::assembleFramesIpUdp(video, params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(video.size()));
+}
+BENCHMARK(BM_Algorithm1FrameAssembly);
+
+void BM_RtpHeaderParse(benchmark::State& state) {
+  const auto& trace = sampleSession().packets;
+  for (auto _ : state) {
+    std::size_t parsed = 0;
+    for (const auto& pkt : trace) {
+      if (rtp::decode(pkt.headBytes())) ++parsed;
+    }
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_RtpHeaderParse);
+
+void BM_IpUdpFeatureExtraction(benchmark::State& state) {
+  const auto& session = sampleSession();
+  const auto windows =
+      features::sliceWindows(session.packets, common::kNanosPerSecond);
+  const core::MediaClassifier classifier;
+  features::ExtractionParams params;
+  for (auto _ : state) {
+    for (const auto& window : windows) {
+      const auto video = classifier.filterVideo(window.packets);
+      benchmark::DoNotOptimize(features::extractFeatures(
+          window, video, features::FeatureSet::kIpUdp, params));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(windows.size()));
+}
+BENCHMARK(BM_IpUdpFeatureExtraction);
+
+void BM_WindowRecordPipeline(benchmark::State& state) {
+  const auto& session = sampleSession();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::buildWindowRecords(session));
+  }
+}
+BENCHMARK(BM_WindowRecordPipeline);
+
+void BM_ForestInference(benchmark::State& state) {
+  static const auto setup = [] {
+    const auto records = core::buildWindowRecords(sampleSession());
+    const auto data = core::buildMlDataset(
+        records, features::FeatureSet::kIpUdp, rxstats::Metric::kFrameRate);
+    ml::RandomForest forest;
+    ml::ForestOptions options;
+    options.numTrees = 40;
+    forest.fit(data, ml::TreeTask::kRegression, options, 3);
+    return std::make_pair(forest, data);
+  }();
+  const auto& [forest, data] = setup;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(data.x[i % data.rows()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ForestInference);
+
+void BM_ForestTraining(benchmark::State& state) {
+  const auto records = core::buildWindowRecords(sampleSession());
+  const auto data = core::buildMlDataset(
+      records, features::FeatureSet::kIpUdp, rxstats::Metric::kFrameRate);
+  ml::ForestOptions options;
+  options.numTrees = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    forest.fit(data, ml::TreeTask::kRegression, options, 7);
+    benchmark::DoNotOptimize(forest);
+  }
+}
+BENCHMARK(BM_ForestTraining)->Arg(10)->Arg(40);
+
+void BM_LinkEmulator(benchmark::State& state) {
+  netem::SecondCondition c;
+  c.throughputKbps = 5'000.0;
+  c.delayMs = 20.0;
+  c.jitterMs = 2.0;
+  c.lossRate = 0.01;
+  for (auto _ : state) {
+    netem::LinkEmulator link(netem::ConditionSchedule::constant(c, 60), 3);
+    for (int i = 0; i < 10'000; ++i) {
+      benchmark::DoNotOptimize(link.send(i * common::microsToNs(100.0), 1100));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'000);
+}
+BENCHMARK(BM_LinkEmulator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Condition explorer: how does each network impairment shape VCA QoE, and
+// how well does the IP/UDP heuristic keep up?
+//
+// Sweeps the paper's Table A.6 impairment profiles (mean throughput,
+// throughput jitter, latency, latency jitter, loss) over a Teams call and
+// prints ground-truth QoE against the heuristic's estimate at each point —
+// a compact view of §5.4's sensitivity study.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/evaluation.hpp"
+#include "core/session.hpp"
+#include "datasets/generators.hpp"
+#include "datasets/vca_profiles.hpp"
+#include "netem/conditions.hpp"
+
+using namespace vcaqoe;
+
+int main() {
+  const auto profile = datasets::teamsProfile(datasets::Deployment::kLab);
+  const double callSec = 30.0;
+  std::uint64_t seed = 1000;
+
+  for (const auto& sweep : netem::impairmentSweeps()) {
+    std::printf("%s", common::banner("sweep: " + sweep.name).c_str());
+    common::TextTable table({sweep.parameterName, "truth FPS", "truth kbps",
+                             "truth jitter [ms]", "heur FPS MAE"});
+    for (const double value : sweep.values) {
+      const auto schedule =
+          sweep.make(value, static_cast<std::size_t>(callSec) + 1);
+      const auto session =
+          datasets::simulateSession(profile, schedule, callSec, ++seed, seed);
+      const auto records = core::buildWindowRecords(session);
+
+      common::RunningStats fps;
+      common::RunningStats kbps;
+      common::RunningStats jitter;
+      for (const auto& rec : records) {
+        if (!rec.truthValid) continue;
+        fps.add(rec.truthFps);
+        kbps.add(rec.truthBitrateKbps);
+        jitter.add(rec.truthJitterMs);
+      }
+      const auto series = core::heuristicSeries(
+          records, core::Method::kIpUdpHeuristic, rxstats::Metric::kFrameRate);
+      const auto summary =
+          core::summarizeErrors(series.predicted, series.truth);
+
+      table.addRow({common::TextTable::num(value, 0),
+                    common::TextTable::num(fps.mean(), 1),
+                    common::TextTable::num(kbps.mean(), 0),
+                    common::TextTable::num(jitter.mean(), 1),
+                    common::TextTable::num(summary.mae, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf(
+      "Reading: throughput caps bitrate (and below ~250 kbps, frame rate);\n"
+      "loss and latency jitter inflate the heuristic's frame-rate error\n"
+      "(reordering breaks the packet-size-similarity assumption, §5.4).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Model transfer: the §5.3 question — does a model trained on controlled
+// lab conditions survive contact with real access networks?
+//
+// Trains IP/UDP ML and RTP ML frame-rate models on the in-lab dataset and
+// applies them to real-world calls, per VCA, reporting MAE side by side
+// with models trained (cross-validated) on the real-world data itself.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/evaluation.hpp"
+#include "datasets/generators.hpp"
+
+using namespace vcaqoe;
+
+int main() {
+  datasets::LabDatasetOptions labOptions;
+  labOptions.callsPerVca = 10;
+  std::printf("generating datasets...\n");
+  const auto lab = datasets::generateLabDataset(labOptions);
+  datasets::RealWorldDatasetOptions rwOptions;
+  rwOptions.callCountScale = 0.08;
+  const auto realWorld = datasets::generateRealWorldDataset(rwOptions);
+
+  ml::ForestOptions forest;
+  forest.numTrees = 30;
+
+  common::TextTable table({"VCA", "feature set", "lab-trained MAE",
+                           "rw-trained MAE (5-fold CV)", "penalty"});
+  for (const auto& vca : {"meet", "teams", "webex"}) {
+    const auto train =
+        datasets::recordsForSessions(datasets::sessionsForVca(lab, vca));
+    const auto test =
+        datasets::recordsForSessions(datasets::sessionsForVca(realWorld, vca));
+    for (const auto set :
+         {features::FeatureSet::kIpUdp, features::FeatureSet::kRtp}) {
+      const auto transfer = core::evaluateMlTransfer(
+          train, test, set, rxstats::Metric::kFrameRate, {}, 3, forest);
+      const auto native = core::evaluateMlCv(
+          test, set, rxstats::Metric::kFrameRate, {}, 5, 3, forest);
+      const double transferMae = common::meanAbsoluteError(
+          transfer.series.predicted, transfer.series.truth);
+      const double nativeMae = common::meanAbsoluteError(
+          native.series.predicted, native.series.truth);
+      table.addRow(
+          {vca, set == features::FeatureSet::kIpUdp ? "IP/UDP" : "RTP",
+           common::TextTable::num(transferMae, 2),
+           common::TextTable::num(nativeMae, 2),
+           common::TextTable::num(transferMae - nativeMae, 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: a small penalty means the lab-trained model transfers; the\n"
+      "paper (and this reproduction) find Meet pays a large penalty because\n"
+      "real-world Meet runs in a regime (high bitrate, 540/720p, software\n"
+      "VP9 decode) the lab never produced.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+/// Deterministic random-number facade.
+///
+/// Every stochastic component takes an explicit `Rng` (or a seed) so that
+/// datasets, network conditions, and model training are reproducible run to
+/// run. Never use global random state.
+namespace vcaqoe::common {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double normal(double mean, double stdev) {
+    if (stdev <= 0.0) return mean;
+    std::normal_distribution<double> d(mean, stdev);
+    return d(engine_);
+  }
+
+  /// Gaussian clamped to [lo, hi].
+  double truncatedNormal(double mean, double stdev, double lo, double hi) {
+    return std::clamp(normal(mean, stdev), lo, hi);
+  }
+
+  /// True with probability p (p outside [0,1] is clamped).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+  }
+
+  /// Pareto-like heavy-tailed positive sample with given scale and shape.
+  double pareto(double scale, double shape) {
+    double u = uniform(1e-12, 1.0);
+    return scale / std::pow(u, 1.0 / shape);
+  }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t weightedIndex(const std::vector<double>& weights) {
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Derives an independent child generator; use to give each sub-component
+  /// its own stream so adding draws in one place does not perturb another.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vcaqoe::common

@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace vcaqoe::common {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << (c == 0 ? "| " : " ");
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(width[c])) << cell;
+      } else {
+        os << std::right << std::setw(static_cast<int>(width[c])) << cell;
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  emitRow(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|" : "") << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emitRow(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+std::string banner(const std::string& title) {
+  std::string line(title.size() + 8, '=');
+  return line + "\n==  " + title + "  ==\n" + line + "\n";
+}
+
+}  // namespace vcaqoe::common

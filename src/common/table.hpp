@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// Minimal fixed-width text-table renderer used by the bench binaries to
+/// print paper-style tables (confusion matrices, MAE grids, ...).
+namespace vcaqoe::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; rows shorter than the header are padded with "".
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats a fraction as "12.34%".
+  static std::string pct(double fraction, int precision = 2);
+
+  /// Renders with aligned columns; first column left-aligned, rest right.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+/// Prints a section banner used to delimit experiments in bench output.
+std::string banner(const std::string& title);
+
+}  // namespace vcaqoe::common

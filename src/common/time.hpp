@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+/// Time utilities shared by every subsystem.
+///
+/// All simulation and trace timestamps are integer nanoseconds since an
+/// arbitrary epoch (usually call start). Integer time keeps packet ordering
+/// and window bucketing exact and makes every experiment bit-reproducible.
+namespace vcaqoe::common {
+
+/// Absolute time in nanoseconds since the trace epoch.
+using TimeNs = std::int64_t;
+
+/// A span of time in nanoseconds.
+using DurationNs = std::int64_t;
+
+inline constexpr DurationNs kNanosPerMicro = 1'000;
+inline constexpr DurationNs kNanosPerMilli = 1'000'000;
+inline constexpr DurationNs kNanosPerSecond = 1'000'000'000;
+
+/// Converts whole (or fractional) seconds to nanoseconds.
+constexpr DurationNs secondsToNs(double seconds) {
+  return static_cast<DurationNs>(seconds * static_cast<double>(kNanosPerSecond));
+}
+
+/// Converts milliseconds to nanoseconds.
+constexpr DurationNs millisToNs(double millis) {
+  return static_cast<DurationNs>(millis * static_cast<double>(kNanosPerMilli));
+}
+
+/// Converts microseconds to nanoseconds.
+constexpr DurationNs microsToNs(double micros) {
+  return static_cast<DurationNs>(micros * static_cast<double>(kNanosPerMicro));
+}
+
+/// Converts nanoseconds to fractional seconds.
+constexpr double nsToSeconds(DurationNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNanosPerSecond);
+}
+
+/// Converts nanoseconds to fractional milliseconds.
+constexpr double nsToMillis(DurationNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNanosPerMilli);
+}
+
+/// Index of the one-second bucket containing `t` (floor semantics; negative
+/// times land in negative buckets).
+constexpr std::int64_t secondIndex(TimeNs t) {
+  std::int64_t q = t / kNanosPerSecond;
+  if (t < 0 && t % kNanosPerSecond != 0) --q;
+  return q;
+}
+
+/// Index of the `windowNs`-sized bucket containing `t`.
+constexpr std::int64_t windowIndex(TimeNs t, DurationNs windowNs) {
+  std::int64_t q = t / windowNs;
+  if (t < 0 && t % windowNs != 0) --q;
+  return q;
+}
+
+}  // namespace vcaqoe::common

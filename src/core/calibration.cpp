@@ -1,0 +1,98 @@
+#include "core/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "core/evaluation.hpp"
+
+namespace vcaqoe::core {
+
+void HeuristicCalibrator::fit(std::span<const double> heuristic,
+                              std::span<const double> truth) {
+  if (heuristic.empty() || heuristic.size() != truth.size()) {
+    throw std::invalid_argument("HeuristicCalibrator::fit: bad input");
+  }
+  const double meanH = common::mean(heuristic);
+  const double meanY = common::mean(truth);
+  double covHY = 0.0;
+  double varH = 0.0;
+  for (std::size_t i = 0; i < heuristic.size(); ++i) {
+    covHY += (heuristic[i] - meanH) * (truth[i] - meanY);
+    varH += (heuristic[i] - meanH) * (heuristic[i] - meanH);
+  }
+  if (varH < 1e-12) {
+    // Constant heuristic output: only an offset is identifiable.
+    slope_ = 1.0;
+    offset_ = meanY - meanH;
+  } else {
+    slope_ = covHY / varH;
+    offset_ = meanY - slope_ * meanH;
+  }
+  fitted_ = true;
+}
+
+void HeuristicCalibrator::fitFromRecords(
+    std::span<const WindowRecord> records, Method method,
+    rxstats::Metric metric) {
+  const auto series = heuristicSeries(records, method, metric);
+  fit(series.predicted, series.truth);
+}
+
+double HeuristicCalibrator::apply(double heuristicValue) const {
+  if (!fitted_) {
+    throw std::logic_error("HeuristicCalibrator::apply before fit");
+  }
+  return slope_ * heuristicValue + offset_;
+}
+
+std::vector<double> HeuristicCalibrator::applyAll(
+    std::span<const double> heuristic) const {
+  std::vector<double> out;
+  out.reserve(heuristic.size());
+  for (const double h : heuristic) out.push_back(apply(h));
+  return out;
+}
+
+CalibrationReport evaluateCalibration(std::span<const WindowRecord> records,
+                                      Method method, rxstats::Metric metric,
+                                      double calibrationFraction) {
+  const auto series = heuristicSeries(records, method, metric);
+  const std::size_t n = series.predicted.size();
+  if (calibrationFraction <= 0.0 || calibrationFraction >= 1.0 || n < 10) {
+    throw std::invalid_argument("evaluateCalibration: bad split");
+  }
+  // Interleaved split: every k-th window calibrates, the rest test. A
+  // contiguous prefix would be dominated by call ramp-up and not represent
+  // steady state.
+  const auto stride = static_cast<std::size_t>(
+      std::max(2.0, std::round(1.0 / calibrationFraction)));
+  std::vector<double> calH;
+  std::vector<double> calY;
+  std::vector<double> testH;
+  std::vector<double> testY;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % stride == 0) {
+      calH.push_back(series.predicted[i]);
+      calY.push_back(series.truth[i]);
+    } else {
+      testH.push_back(series.predicted[i]);
+      testY.push_back(series.truth[i]);
+    }
+  }
+
+  HeuristicCalibrator calibrator;
+  calibrator.fit(calH, calY);
+  const auto calibrated = calibrator.applyAll(testH);
+
+  CalibrationReport report;
+  report.rawMae = common::meanAbsoluteError(testH, testY);
+  report.calibratedMae = common::meanAbsoluteError(calibrated, testY);
+  report.slope = calibrator.slope();
+  report.offset = calibrator.offset();
+  report.calibrationWindows = calH.size();
+  report.testWindows = testH.size();
+  return report;
+}
+
+}  // namespace vcaqoe::core

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/methods.hpp"
+#include "core/session.hpp"
+#include "rxstats/qoe_metrics.hpp"
+
+/// Calibrated heuristics.
+///
+/// §7 ("Cost of ML models") proposes exploring "whether direct or calibrated
+/// estimations from non-machine learning methods like IP/UDP Heuristic ...
+/// can be used as alternatives to labeled data". This module implements that
+/// idea: a one-dimensional affine correction y ≈ a·h + b fitted between a
+/// heuristic's output h and ground truth on a small calibration set, then
+/// applied everywhere. It removes the heuristic's systematic biases (the
+/// +7% bitrate overhead, the jitter-buffer fps offset) at a tiny fraction of
+/// the labeled data a forest needs.
+namespace vcaqoe::core {
+
+/// Affine corrector fitted by least squares.
+class HeuristicCalibrator {
+ public:
+  /// Fits y ≈ a·h + b on (heuristic, truth) pairs. Throws
+  /// std::invalid_argument on empty/mismatched input; a degenerate
+  /// (constant-h) fit falls back to a pure offset (a = 1).
+  void fit(std::span<const double> heuristic, std::span<const double> truth);
+
+  /// Convenience: fits from window records for one heuristic method/metric.
+  void fitFromRecords(std::span<const WindowRecord> records, Method method,
+                      rxstats::Metric metric);
+
+  double apply(double heuristicValue) const;
+  std::vector<double> applyAll(std::span<const double> heuristic) const;
+
+  double slope() const { return slope_; }
+  double offset() const { return offset_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  double slope_ = 1.0;
+  double offset_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Evaluation helper: MAE of the raw heuristic vs the calibrated heuristic
+/// on held-out records, using the first `calibrationFraction` of records
+/// (by position) for fitting.
+struct CalibrationReport {
+  double rawMae = 0.0;
+  double calibratedMae = 0.0;
+  double slope = 1.0;
+  double offset = 0.0;
+  std::size_t calibrationWindows = 0;
+  std::size_t testWindows = 0;
+};
+CalibrationReport evaluateCalibration(std::span<const WindowRecord> records,
+                                      Method method, rxstats::Metric metric,
+                                      double calibrationFraction = 0.2);
+
+}  // namespace vcaqoe::core

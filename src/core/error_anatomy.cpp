@@ -1,0 +1,132 @@
+#include "core/error_anatomy.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "rtp/rtp.hpp"
+
+namespace vcaqoe::core {
+
+AnatomyCounts analyzeErrorAnatomy(const netflow::PacketTrace& trace,
+                                  std::uint8_t videoPt,
+                                  const MediaClassifierOptions& classifier,
+                                  const HeuristicParams& params,
+                                  common::DurationNs windowNs,
+                                  std::int64_t numWindows) {
+  AnatomyCounts counts;
+  if (numWindows <= 0) return counts;
+  counts.windows = static_cast<std::size_t>(numWindows);
+
+  const MediaClassifier mediaClassifier(classifier);
+  const auto video = mediaClassifier.filterVideo(trace);
+  const auto assembly = assembleFramesIpUdp(video, params);
+
+  // True frame id (RTP timestamp) per classified packet; packets without an
+  // RTP video header (DTLS, RTX) have no true frame.
+  std::vector<std::optional<std::uint32_t>> trueTs(video.size());
+  for (std::size_t i = 0; i < video.size(); ++i) {
+    const auto header = rtp::decode(video[i].headBytes());
+    if (header && header->payloadType == videoPt) {
+      trueTs[i] = header->timestamp;
+    }
+  }
+
+  // Per true frame: the heuristic frames its packets landed in, its packet
+  // positions (for contiguity), and its last arrival (for windowing).
+  // Positions are counted over timestamp-bearing packets only, so an RTX or
+  // control packet landing inside a frame does not spuriously flag the
+  // frame as interleaved — only genuine frame-vs-frame mixing does.
+  struct TrueFrameView {
+    std::set<std::uint32_t> heuristicFrames;
+    std::size_t firstPos = 0;
+    std::size_t lastPos = 0;
+    std::uint32_t packetCount = 0;
+    common::TimeNs lastArrival = 0;
+  };
+  std::map<std::uint32_t, TrueFrameView> byTs;
+  std::size_t tsPosition = 0;
+  for (std::size_t i = 0; i < video.size(); ++i) {
+    if (!trueTs[i]) continue;
+    auto& view = byTs[*trueTs[i]];
+    if (view.packetCount == 0) view.firstPos = tsPosition;
+    view.lastPos = tsPosition;
+    ++view.packetCount;
+    view.heuristicFrames.insert(assembly.frameOfPacket[i]);
+    view.lastArrival = std::max(view.lastArrival, video[i].arrivalNs);
+    ++tsPosition;
+  }
+
+  // Per heuristic frame: the set of true frames it contains and its end.
+  std::vector<std::set<std::uint32_t>> tsOfHeuristicFrame(
+      assembly.frames.size());
+  for (std::size_t i = 0; i < video.size(); ++i) {
+    if (!trueTs[i]) continue;
+    tsOfHeuristicFrame[assembly.frameOfPacket[i]].insert(*trueTs[i]);
+  }
+
+  std::vector<double> splits(static_cast<std::size_t>(numWindows), 0.0);
+  std::vector<double> interleaves(static_cast<std::size_t>(numWindows), 0.0);
+  std::vector<double> coalesces(static_cast<std::size_t>(numWindows), 0.0);
+
+  for (const auto& [ts, view] : byTs) {
+    const auto w = common::windowIndex(view.lastArrival, windowNs);
+    if (w < 0 || w >= numWindows) continue;
+    // Interleave: the frame's packets did not arrive contiguously.
+    const bool contiguous =
+        view.lastPos - view.firstPos + 1 == view.packetCount;
+    if (!contiguous) {
+      interleaves[static_cast<std::size_t>(w)] += 1.0;
+    } else if (view.heuristicFrames.size() > 1) {
+      // Split: a contiguous true frame broken by intra-frame size spread.
+      splits[static_cast<std::size_t>(w)] += 1.0;
+    }
+  }
+  for (std::size_t f = 0; f < assembly.frames.size(); ++f) {
+    if (tsOfHeuristicFrame[f].size() <= 1) continue;
+    const auto w = common::windowIndex(assembly.frames[f].endNs, windowNs);
+    if (w < 0 || w >= numWindows) continue;
+    // Coalesce: extra true frames swallowed by this heuristic frame.
+    coalesces[static_cast<std::size_t>(w)] +=
+        static_cast<double>(tsOfHeuristicFrame[f].size() - 1);
+  }
+
+  double splitSum = 0.0;
+  double interleaveSum = 0.0;
+  double coalesceSum = 0.0;
+  for (std::int64_t w = 0; w < numWindows; ++w) {
+    splitSum += splits[static_cast<std::size_t>(w)];
+    interleaveSum += interleaves[static_cast<std::size_t>(w)];
+    coalesceSum += coalesces[static_cast<std::size_t>(w)];
+  }
+  counts.splitsPerWindow = splitSum / static_cast<double>(numWindows);
+  counts.interleavesPerWindow =
+      interleaveSum / static_cast<double>(numWindows);
+  counts.coalescesPerWindow = coalesceSum / static_cast<double>(numWindows);
+  return counts;
+}
+
+AnatomyCounts combineAnatomy(std::span<const AnatomyCounts> parts) {
+  AnatomyCounts total;
+  double weightedSplits = 0.0;
+  double weightedInterleaves = 0.0;
+  double weightedCoalesces = 0.0;
+  for (const auto& part : parts) {
+    total.windows += part.windows;
+    weightedSplits += part.splitsPerWindow * static_cast<double>(part.windows);
+    weightedInterleaves +=
+        part.interleavesPerWindow * static_cast<double>(part.windows);
+    weightedCoalesces +=
+        part.coalescesPerWindow * static_cast<double>(part.windows);
+  }
+  if (total.windows > 0) {
+    const auto n = static_cast<double>(total.windows);
+    total.splitsPerWindow = weightedSplits / n;
+    total.interleavesPerWindow = weightedInterleaves / n;
+    total.coalescesPerWindow = weightedCoalesces / n;
+  }
+  return total;
+}
+
+}  // namespace vcaqoe::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/frame_heuristic.hpp"
+#include "core/media_classifier.hpp"
+#include "netflow/packet.hpp"
+
+/// Error anatomy of the IP/UDP Heuristic (paper §5.1.2, Fig 4): how often
+/// the packet-size-similarity assumption fails, per prediction window, by
+/// failure mode:
+///  * split      — one true frame broken into several heuristic frames
+///                 (intra-frame size difference above Δmax; Meet's unequal
+///                 fragmentation),
+///  * interleave — a true frame whose packets arrived non-contiguously
+///                 (reordering mixed it with neighbours),
+///  * coalesce   — one heuristic frame containing several true frames
+///                 (consecutive frames of similar size glued together).
+namespace vcaqoe::core {
+
+struct AnatomyCounts {
+  double splitsPerWindow = 0.0;
+  double interleavesPerWindow = 0.0;
+  double coalescesPerWindow = 0.0;
+  std::size_t windows = 0;
+};
+
+/// Analyzes one session. `trace` is the receiver trace; true frames come
+/// from the RTP timestamps (as in the paper's ground-truth analysis);
+/// heuristic frames from Algorithm 1 over threshold-classified packets.
+AnatomyCounts analyzeErrorAnatomy(const netflow::PacketTrace& trace,
+                                  std::uint8_t videoPt,
+                                  const MediaClassifierOptions& classifier,
+                                  const HeuristicParams& params,
+                                  common::DurationNs windowNs,
+                                  std::int64_t numWindows);
+
+/// Merges per-session counts weighted by window count.
+AnatomyCounts combineAnatomy(std::span<const AnatomyCounts> parts);
+
+}  // namespace vcaqoe::core

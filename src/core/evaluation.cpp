@@ -1,0 +1,151 @@
+#include "core/evaluation.hpp"
+
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace vcaqoe::core {
+
+ErrorSummary summarizeErrors(std::span<const double> predicted,
+                             std::span<const double> truth, bool relative) {
+  ErrorSummary s;
+  s.n = predicted.size();
+  if (predicted.empty()) return s;
+  std::vector<double> errors;
+  errors.reserve(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    double e = predicted[i] - truth[i];
+    if (relative) {
+      if (truth[i] == 0.0) continue;
+      e /= truth[i];
+    }
+    errors.push_back(e);
+  }
+  s.mae = common::meanAbsoluteError(predicted, truth);
+  s.mrae = common::meanRelativeAbsoluteError(predicted, truth);
+  s.medianError = common::median(errors);
+  s.p10 = common::percentile(errors, 10.0);
+  s.p90 = common::percentile(errors, 90.0);
+  return s;
+}
+
+namespace {
+
+double truthValue(const WindowRecord& rec, rxstats::Metric metric) {
+  switch (metric) {
+    case rxstats::Metric::kBitrate:
+      return rec.truthBitrateKbps;
+    case rxstats::Metric::kFrameRate:
+      return rec.truthFps;
+    case rxstats::Metric::kFrameJitter:
+      return rec.truthJitterMs;
+    case rxstats::Metric::kResolution:
+      return static_cast<double>(rec.truthFrameHeight);
+  }
+  return 0.0;
+}
+
+double heuristicValue(const EstimatedQoe& est, rxstats::Metric metric) {
+  switch (metric) {
+    case rxstats::Metric::kBitrate:
+      return est.bitrateKbps;
+    case rxstats::Metric::kFrameRate:
+      return est.fps;
+    case rxstats::Metric::kFrameJitter:
+      return est.frameJitterMs;
+    case rxstats::Metric::kResolution:
+      throw std::invalid_argument(
+          "heuristics do not estimate resolution (§3.2.1)");
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Series heuristicSeries(std::span<const WindowRecord> records, Method method,
+                       rxstats::Metric metric) {
+  if (method != Method::kRtpHeuristic && method != Method::kIpUdpHeuristic) {
+    throw std::invalid_argument("heuristicSeries: not a heuristic method");
+  }
+  Series out;
+  for (const auto& rec : records) {
+    if (!rec.truthValid) continue;
+    const auto& est = method == Method::kIpUdpHeuristic ? rec.ipudpHeuristic
+                                                        : rec.rtpHeuristic;
+    out.predicted.push_back(heuristicValue(est, metric));
+    out.truth.push_back(truthValue(rec, metric));
+  }
+  return out;
+}
+
+ml::Dataset buildMlDataset(std::span<const WindowRecord> records,
+                           features::FeatureSet set, rxstats::Metric metric,
+                           const ResolutionCodec& codec) {
+  ml::Dataset data;
+  data.featureNames = features::featureNames(set);
+  for (const auto& rec : records) {
+    if (!rec.truthValid) continue;
+    const auto& feats = set == features::FeatureSet::kIpUdp
+                            ? rec.ipudpFeatures
+                            : rec.rtpFeatures;
+    double target = truthValue(rec, metric);
+    if (metric == rxstats::Metric::kResolution) {
+      target = codec.encode(rec.truthFrameHeight);
+    }
+    data.addRow(feats, target);
+  }
+  return data;
+}
+
+ml::TreeTask taskFor(rxstats::Metric metric) {
+  return metric == rxstats::Metric::kResolution
+             ? ml::TreeTask::kClassification
+             : ml::TreeTask::kRegression;
+}
+
+MlEvaluation evaluateMlCv(std::span<const WindowRecord> records,
+                          features::FeatureSet set, rxstats::Metric metric,
+                          const ResolutionCodec& codec, int folds,
+                          std::uint64_t seed,
+                          const ml::ForestOptions& options) {
+  const ml::Dataset data = buildMlDataset(records, set, metric, codec);
+  if (data.rows() == 0) {
+    throw std::invalid_argument("evaluateMlCv: no valid records");
+  }
+  const auto task = taskFor(metric);
+  const auto cv = ml::crossValidate(data, task, options, folds, seed);
+
+  MlEvaluation eval;
+  eval.series.predicted = cv.predicted;
+  eval.series.truth = cv.truth;
+
+  ml::RandomForest full;
+  full.fit(data, task, options, seed ^ 0xABCDEF1234567ULL);
+  eval.importance = full.rankedImportance();
+  return eval;
+}
+
+MlEvaluation evaluateMlTransfer(std::span<const WindowRecord> trainRecords,
+                                std::span<const WindowRecord> testRecords,
+                                features::FeatureSet set,
+                                rxstats::Metric metric,
+                                const ResolutionCodec& codec,
+                                std::uint64_t seed,
+                                const ml::ForestOptions& options) {
+  const ml::Dataset train = buildMlDataset(trainRecords, set, metric, codec);
+  const ml::Dataset test = buildMlDataset(testRecords, set, metric, codec);
+  if (train.rows() == 0 || test.rows() == 0) {
+    throw std::invalid_argument("evaluateMlTransfer: empty split");
+  }
+  const auto task = taskFor(metric);
+  ml::RandomForest forest;
+  forest.fit(train, task, options, seed);
+
+  MlEvaluation eval;
+  eval.series.predicted = forest.predictAll(test);
+  eval.series.truth = test.y;
+  eval.importance = forest.rankedImportance();
+  return eval;
+}
+
+}  // namespace vcaqoe::core

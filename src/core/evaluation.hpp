@@ -1,0 +1,79 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/methods.hpp"
+#include "core/session.hpp"
+#include "features/feature_vector.hpp"
+#include "ml/random_forest.hpp"
+#include "rxstats/qoe_metrics.hpp"
+
+/// Evaluation harness: turns window records into the numbers the paper's
+/// tables and figures report (MAE / MRAE / percentile whiskers / confusion
+/// matrices / importance rankings), for all four methods.
+namespace vcaqoe::core {
+
+/// Signed errors (predicted - truth) summarized the way the paper draws its
+/// boxplots: MAE (or MRAE for bitrate), median, and the 10th/90th percentile
+/// whiskers.
+struct ErrorSummary {
+  double mae = 0.0;
+  double mrae = 0.0;
+  double medianError = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+  std::size_t n = 0;
+};
+
+ErrorSummary summarizeErrors(std::span<const double> predicted,
+                             std::span<const double> truth,
+                             bool relative = false);
+
+/// Extracts the (predicted, truth) series of a heuristic method for a
+/// metric over valid records. Resolution is not supported for heuristics
+/// (the paper's heuristics do not estimate it).
+struct Series {
+  std::vector<double> predicted;
+  std::vector<double> truth;
+};
+Series heuristicSeries(std::span<const WindowRecord> records, Method method,
+                       rxstats::Metric metric);
+
+/// Assembles an ML dataset (features + target) from valid records.
+/// Resolution targets are encoded through `codec`.
+ml::Dataset buildMlDataset(std::span<const WindowRecord> records,
+                           features::FeatureSet set, rxstats::Metric metric,
+                           const ResolutionCodec& codec = {});
+
+/// Result of evaluating one ML method on one metric.
+struct MlEvaluation {
+  Series series;  // out-of-fold (CV) or test-set (transfer) predictions
+  /// Importance of every feature from a forest fit on the full training
+  /// data, ranked descending.
+  std::vector<std::pair<std::string, double>> importance;
+};
+
+/// 5-fold (or k-fold) cross-validated evaluation, as in §4.3.
+MlEvaluation evaluateMlCv(std::span<const WindowRecord> records,
+                          features::FeatureSet set, rxstats::Metric metric,
+                          const ResolutionCodec& codec, int folds,
+                          std::uint64_t seed,
+                          const ml::ForestOptions& options = {});
+
+/// Transferability protocol of §5.3: train on one dataset (lab), test on
+/// another (real world).
+MlEvaluation evaluateMlTransfer(std::span<const WindowRecord> trainRecords,
+                                std::span<const WindowRecord> testRecords,
+                                features::FeatureSet set,
+                                rxstats::Metric metric,
+                                const ResolutionCodec& codec,
+                                std::uint64_t seed,
+                                const ml::ForestOptions& options = {});
+
+/// TreeTask for a metric (resolution is classification, the rest
+/// regression).
+ml::TreeTask taskFor(rxstats::Metric metric);
+
+}  // namespace vcaqoe::core

@@ -1,0 +1,104 @@
+#include "core/flow_classifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/time.hpp"
+
+namespace vcaqoe::core {
+
+namespace {
+
+using FlowTuple =
+    std::tuple<std::uint32_t, std::uint32_t, std::uint16_t, std::uint16_t>;
+
+FlowTuple keyOf(const netflow::FlowKey& flow) {
+  return {flow.srcIp, flow.dstIp, flow.srcPort, flow.dstPort};
+}
+
+}  // namespace
+
+std::vector<FlowSignature> summarizeFlows(
+    const std::vector<netflow::PcapRecord>& records,
+    std::uint32_t videoSizeBytes) {
+  struct Accumulator {
+    FlowSignature sig;
+    common::TimeNs first = 0;
+    common::TimeNs last = 0;
+    std::size_t large = 0;
+    std::set<std::int64_t> activeBins;
+  };
+  std::map<FlowTuple, Accumulator> flows;
+
+  for (const auto& record : records) {
+    auto [it, inserted] = flows.try_emplace(keyOf(record.flow));
+    auto& acc = it->second;
+    if (inserted) {
+      acc.sig.flow = record.flow;
+      acc.first = record.packet.arrivalNs;
+    }
+    acc.first = std::min(acc.first, record.packet.arrivalNs);
+    acc.last = std::max(acc.last, record.packet.arrivalNs);
+    ++acc.sig.packets;
+    acc.sig.bytes += record.packet.sizeBytes;
+    if (record.packet.sizeBytes >= videoSizeBytes) ++acc.large;
+    acc.activeBins.insert(
+        common::windowIndex(record.packet.arrivalNs, common::millisToNs(100.0)));
+  }
+
+  std::vector<FlowSignature> out;
+  out.reserve(flows.size());
+  for (auto& [key, acc] : flows) {
+    auto& sig = acc.sig;
+    sig.durationSec = common::nsToSeconds(acc.last - acc.first);
+    const double effectiveSec = std::max(sig.durationSec, 1e-3);
+    sig.packetsPerSec = static_cast<double>(sig.packets) / effectiveSec;
+    const auto totalBins = static_cast<double>(
+        std::max<std::int64_t>(1, (acc.last - acc.first) /
+                                          common::millisToNs(100.0) +
+                                      1));
+    sig.activityFraction =
+        static_cast<double>(acc.activeBins.size()) / totalBins;
+    sig.largeFraction =
+        static_cast<double>(acc.large) / static_cast<double>(sig.packets);
+    sig.smallFraction = 1.0 - sig.largeFraction;
+    out.push_back(sig);
+  }
+  return out;
+}
+
+std::vector<FlowVerdict> classifyFlows(
+    const std::vector<netflow::PcapRecord>& records,
+    const FlowClassifierOptions& options) {
+  std::vector<FlowVerdict> verdicts;
+  for (const auto& sig : summarizeFlows(records, options.videoSizeBytes)) {
+    FlowVerdict verdict;
+    verdict.signature = sig;
+    verdict.isVcaMedia = sig.durationSec >= options.minDurationSec &&
+                         sig.packetsPerSec >= options.minPacketsPerSec &&
+                         sig.activityFraction >= options.minActivityFraction &&
+                         sig.largeFraction >= options.minLargeFraction &&
+                         sig.smallFraction >= options.minSmallFraction;
+    verdicts.push_back(verdict);
+  }
+  return verdicts;
+}
+
+std::vector<netflow::FlowKey> vcaMediaFlows(
+    const std::vector<netflow::PcapRecord>& records,
+    const FlowClassifierOptions& options) {
+  auto verdicts = classifyFlows(records, options);
+  std::sort(verdicts.begin(), verdicts.end(),
+            [](const FlowVerdict& a, const FlowVerdict& b) {
+              return a.signature.bytes > b.signature.bytes;
+            });
+  std::vector<netflow::FlowKey> out;
+  for (const auto& verdict : verdicts) {
+    if (verdict.isVcaMedia) out.push_back(verdict.signature.flow);
+  }
+  return out;
+}
+
+}  // namespace vcaqoe::core

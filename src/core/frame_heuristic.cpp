@@ -1,0 +1,52 @@
+#include "core/frame_heuristic.hpp"
+
+#include <cstdlib>
+
+namespace vcaqoe::core {
+
+HeuristicAssembly assembleFramesIpUdp(std::span<const netflow::Packet> video,
+                                      const HeuristicParams& params) {
+  HeuristicAssembly out;
+  out.frameOfPacket.reserve(video.size());
+
+  for (std::size_t i = 0; i < video.size(); ++i) {
+    const auto size = static_cast<std::int64_t>(video[i].sizeBytes);
+
+    // Compare with up to Nmax previously seen packets, most recent first
+    // (Algorithm 1). A match assigns this packet to the matching packet's
+    // frame; no match starts a new frame.
+    std::int64_t matchedFrame = -1;
+    const int lookback = std::max(params.lookback, 1);
+    for (int back = 1; back <= lookback && back <= static_cast<int>(i);
+         ++back) {
+      const auto& prev = video[i - static_cast<std::size_t>(back)];
+      const auto diff =
+          std::llabs(size - static_cast<std::int64_t>(prev.sizeBytes));
+      if (diff <= static_cast<std::int64_t>(params.deltaMaxBytes)) {
+        matchedFrame = out.frameOfPacket[i - static_cast<std::size_t>(back)];
+        break;
+      }
+    }
+
+    if (matchedFrame < 0) {
+      HeuristicFrame frame;
+      frame.firstNs = video[i].arrivalNs;
+      frame.endNs = video[i].arrivalNs;
+      frame.bytes = video[i].sizeBytes;
+      frame.packetCount = 1;
+      out.frames.push_back(frame);
+      out.frameOfPacket.push_back(
+          static_cast<std::uint32_t>(out.frames.size() - 1));
+    } else {
+      auto& frame = out.frames[static_cast<std::size_t>(matchedFrame)];
+      frame.endNs = std::max(frame.endNs, video[i].arrivalNs);
+      frame.firstNs = std::min(frame.firstNs, video[i].arrivalNs);
+      frame.bytes += video[i].sizeBytes;
+      ++frame.packetCount;
+      out.frameOfPacket.push_back(static_cast<std::uint32_t>(matchedFrame));
+    }
+  }
+  return out;
+}
+
+}  // namespace vcaqoe::core

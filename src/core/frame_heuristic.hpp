@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netflow/packet.hpp"
+
+/// IP/UDP frame-boundary heuristic — Algorithm 1 of the paper.
+///
+/// Rationale (§3.2.1): VCAs fragment a frame into (nearly) equal-sized
+/// packets, and consecutive frames differ in size; so a packet whose size is
+/// within Δmax of one of the previous Nmax packets belongs to that packet's
+/// frame, otherwise it starts a new frame. The lookback handles out-of-order
+/// arrivals at the cost of occasionally gluing similar-sized frames.
+namespace vcaqoe::core {
+
+struct HeuristicParams {
+  /// Δmax_size: maximum intra-frame packet size difference (2 bytes for all
+  /// three VCAs, §4.3).
+  std::uint32_t deltaMaxBytes = 2;
+  /// Nmax: how many previous packets to compare against (Meet 3, Teams 2,
+  /// Webex 1, §4.3; sensitivity in Fig A.10).
+  int lookback = 1;
+};
+
+/// One frame estimated from IP/UDP headers only.
+struct HeuristicFrame {
+  common::TimeNs firstNs = 0;  // arrival of the first packet assigned
+  common::TimeNs endNs = 0;    // arrival of the last packet assigned
+  std::uint64_t bytes = 0;     // sum of packet sizes (incl. 12 B RTP header)
+  std::uint32_t packetCount = 0;
+};
+
+/// Output of the heuristic: the frames plus the per-packet frame assignment
+/// (frameOfPacket[i] indexes into frames; used by the error-anatomy
+/// analysis of Fig 4).
+struct HeuristicAssembly {
+  std::vector<HeuristicFrame> frames;
+  std::vector<std::uint32_t> frameOfPacket;
+};
+
+/// Runs Algorithm 1 over video-classified packets in arrival order.
+HeuristicAssembly assembleFramesIpUdp(std::span<const netflow::Packet> video,
+                                      const HeuristicParams& params);
+
+}  // namespace vcaqoe::core

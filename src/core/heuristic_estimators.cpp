@@ -1,0 +1,106 @@
+#include "core/heuristic_estimators.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/stats.hpp"
+#include "rtp/rtp.hpp"
+
+namespace vcaqoe::core {
+
+EstimateTimeline qoeFromFrames(std::span<const HeuristicFrame> frames,
+                               common::DurationNs windowNs,
+                               std::int64_t numWindows) {
+  std::vector<HeuristicFrame> ordered(frames.begin(), frames.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const HeuristicFrame& a, const HeuristicFrame& b) {
+              return a.endNs < b.endNs;
+            });
+
+  EstimateTimeline timeline(static_cast<std::size_t>(numWindows));
+  for (std::int64_t w = 0; w < numWindows; ++w) {
+    timeline[static_cast<std::size_t>(w)].window = w;
+  }
+
+  const double seconds = common::nsToSeconds(windowNs);
+  std::vector<std::vector<double>> gapsByWindow(
+      static_cast<std::size_t>(numWindows));
+
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const auto w = common::windowIndex(ordered[i].endNs, windowNs);
+    if (w < 0 || w >= numWindows) continue;
+    auto& row = timeline[static_cast<std::size_t>(w)];
+    ++row.frameCount;
+    // Payload bits: packet sizes minus the fixed 12-byte RTP header — the
+    // only application overhead inferable without parsing RTP (§5.1.3).
+    const double payloadBytes =
+        static_cast<double>(ordered[i].bytes) -
+        12.0 * static_cast<double>(ordered[i].packetCount);
+    row.bitrateKbps += payloadBytes * 8.0 / seconds / 1e3;
+    if (i > 0) {
+      gapsByWindow[static_cast<std::size_t>(w)].push_back(
+          common::nsToMillis(ordered[i].endNs - ordered[i - 1].endNs));
+    }
+  }
+
+  for (std::int64_t w = 0; w < numWindows; ++w) {
+    auto& row = timeline[static_cast<std::size_t>(w)];
+    row.fps = static_cast<double>(row.frameCount) / seconds;
+    const auto& gaps = gapsByWindow[static_cast<std::size_t>(w)];
+    row.frameJitterMs = gaps.size() >= 2 ? common::sampleStdev(gaps) : 0.0;
+  }
+  return timeline;
+}
+
+EstimateTimeline IpUdpHeuristicEstimator::estimate(
+    const netflow::PacketTrace& trace, common::DurationNs windowNs,
+    std::int64_t numWindows) const {
+  const auto video = classifier_.filterVideo(trace);
+  const auto assembly = assembleFramesIpUdp(video, params_);
+  return qoeFromFrames(assembly.frames, windowNs, numWindows);
+}
+
+std::vector<HeuristicFrame> RtpHeuristicEstimator::assembleByTimestamp(
+    std::span<const netflow::Packet> packets) const {
+  struct Accumulator {
+    HeuristicFrame frame;
+    common::TimeNs markerArrival = -1;
+  };
+  std::map<std::uint32_t, Accumulator> byTs;
+  for (const auto& pkt : packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (!header || header->payloadType != videoPt_) continue;
+    auto& acc = byTs[header->timestamp];
+    if (acc.frame.packetCount == 0) {
+      acc.frame.firstNs = pkt.arrivalNs;
+      acc.frame.endNs = pkt.arrivalNs;
+    }
+    acc.frame.firstNs = std::min(acc.frame.firstNs, pkt.arrivalNs);
+    acc.frame.endNs = std::max(acc.frame.endNs, pkt.arrivalNs);
+    acc.frame.bytes += pkt.sizeBytes;
+    ++acc.frame.packetCount;
+    if (header->marker) acc.markerArrival = pkt.arrivalNs;
+  }
+
+  std::vector<HeuristicFrame> frames;
+  frames.reserve(byTs.size());
+  for (auto& [ts, acc] : byTs) {
+    // The marker bit flags the last packet of the frame; when it arrived in
+    // order its arrival is the frame end (Michel et al.'s method). With
+    // reordering the latest arrival bounds the completion.
+    if (acc.markerArrival >= 0) {
+      acc.frame.endNs = std::max(acc.frame.endNs, acc.markerArrival);
+    }
+    frames.push_back(acc.frame);
+  }
+  return frames;
+}
+
+EstimateTimeline RtpHeuristicEstimator::estimate(
+    const netflow::PacketTrace& trace, common::DurationNs windowNs,
+    std::int64_t numWindows) const {
+  const auto frames = assembleByTimestamp(trace);
+  return qoeFromFrames(frames, windowNs, numWindows);
+}
+
+}  // namespace vcaqoe::core

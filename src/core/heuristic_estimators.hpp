@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/frame_heuristic.hpp"
+#include "core/media_classifier.hpp"
+#include "netflow/packet.hpp"
+
+/// The two heuristic QoE estimators (§3.2.1 and §3.3).
+///
+/// Both model the session as a sequence of frames and derive per-window
+/// bitrate / frame rate / frame jitter from frame end times and sizes; they
+/// differ only in how frame boundaries are found (packet-size similarity vs
+/// RTP timestamp + marker bit). Neither estimates resolution (§3.2.1).
+namespace vcaqoe::core {
+
+/// Per-window heuristic estimates.
+struct EstimatedQoe {
+  std::int64_t window = 0;
+  double bitrateKbps = 0.0;
+  double fps = 0.0;
+  double frameJitterMs = 0.0;
+  std::uint32_t frameCount = 0;
+};
+
+using EstimateTimeline = std::vector<EstimatedQoe>;
+
+/// Shared frames → QoE math (§3.2.1 "QoE estimation from frames"):
+///  frame rate — frames whose end time falls in the window, per second;
+///  bitrate    — payload bits of those frames (12-byte RTP header per packet
+///               subtracted, the only overhead visible without RTP);
+///  jitter     — stdev of consecutive end-time gaps within the window.
+/// Produces exactly `numWindows` rows for windows [0, numWindows).
+EstimateTimeline qoeFromFrames(std::span<const HeuristicFrame> frames,
+                               common::DurationNs windowNs,
+                               std::int64_t numWindows);
+
+/// IP/UDP Heuristic: V_min media classification + Algorithm 1 + frame math.
+class IpUdpHeuristicEstimator {
+ public:
+  IpUdpHeuristicEstimator(MediaClassifierOptions classifierOptions,
+                          HeuristicParams params)
+      : classifier_(classifierOptions), params_(params) {}
+
+  EstimateTimeline estimate(const netflow::PacketTrace& trace,
+                            common::DurationNs windowNs,
+                            std::int64_t numWindows) const;
+
+  /// The intermediate frame assembly (exposed for the error anatomy).
+  HeuristicAssembly assemble(std::span<const netflow::Packet> video) const {
+    return assembleFramesIpUdp(video, params_);
+  }
+
+  const MediaClassifier& classifier() const { return classifier_; }
+  const HeuristicParams& params() const { return params_; }
+
+ private:
+  MediaClassifier classifier_;
+  HeuristicParams params_;
+};
+
+/// RTP Heuristic (the Michel et al.-style baseline): frames are packets
+/// sharing one RTP timestamp; the marker bit flags the frame end.
+class RtpHeuristicEstimator {
+ public:
+  explicit RtpHeuristicEstimator(std::uint8_t videoPt) : videoPt_(videoPt) {}
+
+  EstimateTimeline estimate(const netflow::PacketTrace& trace,
+                            common::DurationNs windowNs,
+                            std::int64_t numWindows) const;
+
+  /// Frame table from RTP headers (also the ground-truth frame segmentation
+  /// used by the error anatomy of Fig 4).
+  std::vector<HeuristicFrame> assembleByTimestamp(
+      std::span<const netflow::Packet> packets) const;
+
+ private:
+  std::uint8_t videoPt_;
+};
+
+}  // namespace vcaqoe::core

@@ -1,0 +1,42 @@
+#include "core/media_classifier.hpp"
+
+#include "rtp/rtp.hpp"
+
+namespace vcaqoe::core {
+
+std::vector<netflow::Packet> MediaClassifier::filterVideo(
+    std::span<const netflow::Packet> packets) const {
+  std::vector<netflow::Packet> video;
+  video.reserve(packets.size());
+  for (const auto& pkt : packets) {
+    if (isVideo(pkt)) video.push_back(pkt);
+  }
+  return video;
+}
+
+TruthLabel groundTruthLabel(const netflow::Packet& packet,
+                            std::uint8_t audioPt, std::uint8_t videoPt,
+                            std::uint8_t rtxPt,
+                            std::uint32_t rtxKeepaliveBytes) {
+  TruthLabel label;
+  const auto header = rtp::decode(packet.headBytes());
+  if (!header) {
+    label.kind = rtp::MediaKind::kControl;
+    return label;
+  }
+  if (header->payloadType == audioPt) {
+    label.kind = rtp::MediaKind::kAudio;
+  } else if (header->payloadType == videoPt) {
+    label.kind = rtp::MediaKind::kVideo;
+    label.video = true;
+  } else if (rtxPt != 0 && header->payloadType == rtxPt) {
+    label.kind = rtp::MediaKind::kVideoRtx;
+    label.keepalive = packet.sizeBytes == rtxKeepaliveBytes;
+    label.video = !label.keepalive;
+  } else {
+    label.kind = rtp::MediaKind::kControl;
+  }
+  return label;
+}
+
+}  // namespace vcaqoe::core

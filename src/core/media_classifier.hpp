@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netflow/packet.hpp"
+#include "rtp/media_kind.hpp"
+
+/// Media classification from IP/UDP headers only (paper §3.1).
+///
+/// Audio packets are small ([89, 385] bytes observed), video packets large
+/// (99% above 564 bytes), and RTX keep-alives sit at exactly 304 bytes; so a
+/// size threshold V_min tags video packets. Everything below the threshold
+/// (audio, STUN, keep-alives) is excluded from QoE inference.
+namespace vcaqoe::core {
+
+struct MediaClassifierOptions {
+  /// Packets at least this large are classified as video. Between the
+  /// audio/keep-alive band (<= 385) and the video band (> 564) for all three
+  /// VCAs; determined "by inspecting a few VCA traces collected in the lab".
+  std::uint32_t vminBytes = 450;
+};
+
+class MediaClassifier {
+ public:
+  explicit MediaClassifier(MediaClassifierOptions options = {})
+      : options_(options) {}
+
+  bool isVideo(const netflow::Packet& packet) const {
+    return packet.sizeBytes >= options_.vminBytes;
+  }
+
+  /// The video-classified packets of a trace or window, in input order.
+  std::vector<netflow::Packet> filterVideo(
+      std::span<const netflow::Packet> packets) const;
+
+  const MediaClassifierOptions& options() const { return options_; }
+
+ private:
+  MediaClassifierOptions options_;
+};
+
+/// Ground truth for one packet, derived the way the paper derives it: parse
+/// the RTP header and look up the payload type; non-RTP payloads (DTLS,
+/// STUN) are control traffic.
+struct TruthLabel {
+  rtp::MediaKind kind = rtp::MediaKind::kControl;
+  /// RTX keep-alive (exactly the profile's keep-alive size on the RTX
+  /// stream): carries no video payload, so it does not count as video.
+  bool keepalive = false;
+  /// Carries video payload: primary video or an RTX retransmission.
+  bool video = false;
+};
+
+TruthLabel groundTruthLabel(const netflow::Packet& packet,
+                            std::uint8_t audioPt, std::uint8_t videoPt,
+                            std::uint8_t rtxPt,
+                            std::uint32_t rtxKeepaliveBytes);
+
+}  // namespace vcaqoe::core

@@ -1,0 +1,19 @@
+#include "core/methods.hpp"
+
+namespace vcaqoe::core {
+
+std::string toString(Method method) {
+  switch (method) {
+    case Method::kRtpMl:
+      return "RTP ML";
+    case Method::kIpUdpMl:
+      return "IP/UDP ML";
+    case Method::kRtpHeuristic:
+      return "RTP Heuristic";
+    case Method::kIpUdpHeuristic:
+      return "IP/UDP Heuristic";
+  }
+  return "unknown";
+}
+
+}  // namespace vcaqoe::core

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// The four estimation methods the paper compares (Figs 3, 6, 10).
+namespace vcaqoe::core {
+
+enum class Method : std::uint8_t {
+  kRtpMl,           // random forest on RTP + flow features
+  kIpUdpMl,         // random forest on IP/UDP flow + semantic features
+  kRtpHeuristic,    // RTP timestamp/marker frame boundaries
+  kIpUdpHeuristic,  // Algorithm 1 (packet-size similarity)
+};
+
+std::string toString(Method method);
+
+}  // namespace vcaqoe::core

@@ -1,0 +1,147 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "features/windows.hpp"
+#include "ml/metrics.hpp"
+#include "rtp/rtp.hpp"
+
+namespace vcaqoe::core {
+
+HeuristicParams defaultHeuristicParams(const std::string& vcaName) {
+  HeuristicParams params;
+  params.deltaMaxBytes = 2;
+  if (vcaName == "meet") {
+    params.lookback = 3;
+  } else if (vcaName == "teams") {
+    params.lookback = 2;
+  } else if (vcaName == "webex") {
+    params.lookback = 1;
+  } else {
+    params.lookback = 2;
+  }
+  return params;
+}
+
+double ResolutionCodec::encode(int frameHeight) const {
+  return useBins ? static_cast<double>(ml::teamsResolutionBin(frameHeight))
+                 : static_cast<double>(frameHeight);
+}
+
+std::string ResolutionCodec::labelName(int label) const {
+  return useBins ? ml::teamsResolutionBinName(label)
+                 : std::to_string(label) + "p";
+}
+
+ResolutionCodec resolutionCodecFor(const std::string& vcaName) {
+  ResolutionCodec codec;
+  codec.useBins = vcaName == "teams";
+  return codec;
+}
+
+std::vector<WindowRecord> buildWindowRecords(
+    const LabeledSession& session, const RecordBuilderOptions& options) {
+  const common::DurationNs windowNs = options.windowNs;
+  const auto windowSeconds =
+      static_cast<std::int64_t>(windowNs / common::kNanosPerSecond);
+  const auto numWindows = static_cast<std::int64_t>(
+      common::secondsToNs(session.durationSec) / windowNs);
+  if (numWindows <= 0) return {};
+
+  HeuristicParams heuristicParams =
+      options.heuristicFromProfile
+          ? defaultHeuristicParams(session.profile.name)
+          : options.heuristic;
+
+  features::ExtractionParams extraction = options.extraction;
+  extraction.videoPt = session.profile.videoPt;
+  extraction.rtxPt = session.profile.rtxPt;
+
+  // Heuristic timelines over the whole session.
+  const IpUdpHeuristicEstimator ipudp(options.classifier, heuristicParams);
+  const RtpHeuristicEstimator rtpHeuristic(session.profile.videoPt);
+  const auto ipudpTimeline =
+      ipudp.estimate(session.packets, windowNs, numWindows);
+  const auto rtpTimeline =
+      rtpHeuristic.estimate(session.packets, windowNs, numWindows);
+
+  // Ground-truth rows by second index.
+  std::unordered_map<std::int64_t, const rxstats::QoeRow*> truthBySecond;
+  truthBySecond.reserve(session.truth.size());
+  for (const auto& row : session.truth) truthBySecond[row.second] = &row;
+
+  const MediaClassifier classifier(options.classifier);
+  const auto windows = features::sliceWindows(session.packets, windowNs);
+
+  std::vector<WindowRecord> records;
+  records.reserve(static_cast<std::size_t>(numWindows));
+
+  for (std::int64_t w = 0; w < numWindows; ++w) {
+    WindowRecord rec;
+    rec.sessionId = session.id;
+    rec.window = w;
+
+    // Feature extraction. Windows beyond the last packet are empty.
+    features::Window window;
+    window.index = w;
+    window.startNs = w * windowNs;
+    window.durationNs = windowNs;
+    if (w < static_cast<std::int64_t>(windows.size())) {
+      window = windows[static_cast<std::size_t>(w)];
+    }
+
+    // IP/UDP path: size-threshold classification.
+    const auto videoByThreshold = classifier.filterVideo(window.packets);
+    rec.ipudpFeatures = features::extractFeatures(
+        window, videoByThreshold, features::FeatureSet::kIpUdp, extraction);
+
+    // RTP path: payload-type classification of the primary video stream.
+    std::vector<netflow::Packet> videoByPt;
+    videoByPt.reserve(window.packets.size());
+    for (const auto& pkt : window.packets) {
+      const auto header = rtp::decode(pkt.headBytes());
+      if (header && header->payloadType == session.profile.videoPt) {
+        videoByPt.push_back(pkt);
+      }
+    }
+    rec.rtpFeatures = features::extractFeatures(
+        window, videoByPt, features::FeatureSet::kRtp, extraction);
+
+    rec.ipudpHeuristic = ipudpTimeline[static_cast<std::size_t>(w)];
+    rec.rtpHeuristic = rtpTimeline[static_cast<std::size_t>(w)];
+
+    // Aggregate ground truth over the window's seconds; every second must
+    // be present and valid for the window to count (the paper filters logs
+    // with missing per-second rows, §4.1).
+    std::vector<double> bitrates;
+    std::vector<double> fpss;
+    std::vector<double> jitters;
+    int height = 0;
+    bool allValid = true;
+    for (std::int64_t s = w * windowSeconds; s < (w + 1) * windowSeconds;
+         ++s) {
+      const auto it = truthBySecond.find(s);
+      if (it == truthBySecond.end() || !it->second->valid) {
+        allValid = false;
+        break;
+      }
+      bitrates.push_back(it->second->bitrateKbps);
+      fpss.push_back(it->second->fps);
+      jitters.push_back(it->second->frameJitterMs);
+      height = it->second->frameHeight;
+    }
+    if (allValid && !bitrates.empty()) {
+      rec.truthValid = true;
+      rec.truthBitrateKbps = common::mean(bitrates);
+      rec.truthFps = common::mean(fpss);
+      rec.truthJitterMs = common::mean(jitters);
+      rec.truthFrameHeight = height;
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace vcaqoe::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/frame_heuristic.hpp"
+#include "core/heuristic_estimators.hpp"
+#include "core/media_classifier.hpp"
+#include "features/extractors.hpp"
+#include "netflow/packet.hpp"
+#include "rxstats/qoe_metrics.hpp"
+#include "simcall/call_simulator.hpp"
+
+/// Labeled sessions and per-window records.
+///
+/// A `LabeledSession` is one call: the receiver packet trace plus the
+/// webrtc-internals-style ground truth. `buildWindowRecords` turns a session
+/// into per-window rows carrying everything every method needs — both
+/// feature families, both heuristics' estimates, and the aggregated ground
+/// truth — so each bench computes a session exactly once.
+namespace vcaqoe::core {
+
+struct LabeledSession {
+  std::uint64_t id = 0;
+  netflow::PacketTrace packets;
+  rxstats::QoeTimeline truth;  // per-second rows
+  simcall::VcaProfile profile;
+  double durationSec = 0.0;
+};
+
+/// Algorithm-1 lookback per VCA (§4.3: Nmax = 3 / 2 / 1 for Meet / Teams /
+/// Webex; Δmax = 2 bytes for all).
+HeuristicParams defaultHeuristicParams(const std::string& vcaName);
+
+/// Resolution label encoding: Meet and Webex classify per distinct frame
+/// height; Teams' 11 rungs are binned into low/medium/high (§5.1.5).
+struct ResolutionCodec {
+  bool useBins = false;
+  double encode(int frameHeight) const;
+  std::string labelName(int label) const;
+};
+ResolutionCodec resolutionCodecFor(const std::string& vcaName);
+
+struct RecordBuilderOptions {
+  common::DurationNs windowNs = common::kNanosPerSecond;
+  MediaClassifierOptions classifier;
+  /// Algorithm-1 parameters; by default derived per VCA from the profile.
+  HeuristicParams heuristic;
+  bool heuristicFromProfile = true;
+  features::ExtractionParams extraction;  // PTs filled from the profile
+};
+
+/// One prediction window of one session.
+struct WindowRecord {
+  std::uint64_t sessionId = 0;
+  std::int64_t window = 0;
+
+  std::vector<double> ipudpFeatures;  // 14 features
+  std::vector<double> rtpFeatures;    // 24 features
+
+  // Ground truth aggregated over the window.
+  double truthBitrateKbps = 0.0;
+  double truthFps = 0.0;
+  double truthJitterMs = 0.0;
+  int truthFrameHeight = 0;
+  bool truthValid = false;
+
+  EstimatedQoe ipudpHeuristic;
+  EstimatedQoe rtpHeuristic;
+};
+
+/// Builds the records of all complete windows of a session. Windows whose
+/// seconds are not all present/valid in the ground truth are marked
+/// truthValid = false (callers filter).
+std::vector<WindowRecord> buildWindowRecords(
+    const LabeledSession& session, const RecordBuilderOptions& options = {});
+
+}  // namespace vcaqoe::core

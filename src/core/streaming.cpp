@@ -1,0 +1,190 @@
+#include "core/streaming.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace vcaqoe::core {
+
+StreamingIpUdpEstimator::StreamingIpUdpEstimator(StreamingOptions options,
+                                                 Callback callback)
+    : options_(std::move(options)),
+      callback_(std::move(callback)),
+      classifier_(options_.classifier) {
+  if (!callback_) {
+    throw std::invalid_argument("StreamingIpUdpEstimator: null callback");
+  }
+  if (options_.windowNs <= 0) {
+    throw std::invalid_argument("StreamingIpUdpEstimator: bad window");
+  }
+}
+
+void StreamingIpUdpEstimator::onPacket(const netflow::Packet& packet) {
+  if (packet.arrivalNs < lastArrival_) {
+    throw std::invalid_argument(
+        "StreamingIpUdpEstimator: packets must be fed in arrival order");
+  }
+  lastArrival_ = packet.arrivalNs;
+
+  const auto window = common::windowIndex(packet.arrivalNs, options_.windowNs);
+  if (window >= nextWindowToEmit_) {
+    windowPackets_[window].push_back(packet);
+  }
+
+  if (classifier_.isVideo(packet)) {
+    ingestVideoPacket(packet);
+    closeStaleFrames();
+  }
+  emitReadyWindows(packet.arrivalNs);
+}
+
+void StreamingIpUdpEstimator::ingestVideoPacket(
+    const netflow::Packet& packet) {
+  // Algorithm 1, incremental: match against the previous Nmax video packets,
+  // most recent first.
+  const auto size = static_cast<std::int64_t>(packet.sizeBytes);
+  std::int64_t matched = -1;
+  for (const auto& [prevSize, frameId] : recent_) {
+    const auto diff = std::llabs(size - static_cast<std::int64_t>(prevSize));
+    if (diff <= static_cast<std::int64_t>(options_.heuristic.deltaMaxBytes)) {
+      matched = static_cast<std::int64_t>(frameId);
+      break;
+    }
+  }
+
+  std::uint64_t frameId;
+  if (matched < 0) {
+    frameId = nextFrameId_++;
+    OpenFrame open;
+    open.frame.firstNs = packet.arrivalNs;
+    open.frame.endNs = packet.arrivalNs;
+    open.frame.bytes = packet.sizeBytes;
+    open.frame.packetCount = 1;
+    open.lastTouchedPacket = videoPacketIndex_;
+    openFrames_.emplace(frameId, open);
+  } else {
+    frameId = static_cast<std::uint64_t>(matched);
+    auto it = openFrames_.find(frameId);
+    if (it != openFrames_.end()) {
+      it->second.frame.endNs =
+          std::max(it->second.frame.endNs, packet.arrivalNs);
+      it->second.frame.firstNs =
+          std::min(it->second.frame.firstNs, packet.arrivalNs);
+      it->second.frame.bytes += packet.sizeBytes;
+      ++it->second.frame.packetCount;
+      it->second.lastTouchedPacket = videoPacketIndex_;
+    }
+  }
+
+  recent_.emplace_front(packet.sizeBytes, frameId);
+  const auto lookback =
+      static_cast<std::size_t>(std::max(options_.heuristic.lookback, 1));
+  while (recent_.size() > lookback) recent_.pop_back();
+  ++videoPacketIndex_;
+}
+
+void StreamingIpUdpEstimator::closeStaleFrames() {
+  // A frame can only be extended through the lookback horizon; once its
+  // newest packet is more than Nmax video packets old, it is final.
+  const auto lookback =
+      static_cast<std::uint64_t>(std::max(options_.heuristic.lookback, 1));
+  for (auto it = openFrames_.begin(); it != openFrames_.end();) {
+    if (videoPacketIndex_ - it->second.lastTouchedPacket > lookback) {
+      closedFrames_.emplace(it->second.frame.endNs, it->second.frame);
+      it = openFrames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StreamingIpUdpEstimator::emitReadyWindows(
+    std::optional<common::TimeNs> now) {
+  // Latest window that can possibly still be emitted.
+  std::int64_t lastWindow = nextWindowToEmit_ - 1;
+  if (!windowPackets_.empty()) {
+    lastWindow = std::max(lastWindow, windowPackets_.rbegin()->first);
+  }
+  if (!closedFrames_.empty()) {
+    lastWindow = std::max(
+        lastWindow,
+        common::windowIndex(closedFrames_.rbegin()->first, options_.windowNs));
+  }
+
+  while (nextWindowToEmit_ <= lastWindow) {
+    const std::int64_t w = nextWindowToEmit_;
+    const common::TimeNs windowEnd = (w + 1) * options_.windowNs;
+
+    if (now.has_value()) {
+      if (*now < windowEnd) break;
+      // An open frame whose current end is inside window w could still be
+      // extended (moving it into a later window): not final yet.
+      bool blocked = false;
+      for (const auto& [id, open] : openFrames_) {
+        if (open.frame.endNs < windowEnd) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) break;
+    }
+
+    StreamingOutput out;
+    out.window = w;
+
+    // Heuristic metrics from closed frames ending inside this window,
+    // consumed in global end order (gap chain mirrors the batch estimator).
+    const double seconds = common::nsToSeconds(options_.windowNs);
+    std::vector<double> gaps;
+    auto it = closedFrames_.begin();
+    while (it != closedFrames_.end() && it->first < windowEnd) {
+      const HeuristicFrame& frame = it->second;
+      ++out.heuristic.frameCount;
+      out.heuristic.bitrateKbps +=
+          (static_cast<double>(frame.bytes) -
+           12.0 * static_cast<double>(frame.packetCount)) *
+          8.0 / seconds / 1e3;
+      if (lastEmittedFrameEnd_ >= 0) {
+        gaps.push_back(common::nsToMillis(frame.endNs - lastEmittedFrameEnd_));
+      }
+      lastEmittedFrameEnd_ = frame.endNs;
+      it = closedFrames_.erase(it);
+    }
+    out.heuristic.window = w;
+    out.heuristic.fps = static_cast<double>(out.heuristic.frameCount) / seconds;
+    out.heuristic.frameJitterMs =
+        gaps.size() >= 2 ? common::sampleStdev(gaps) : 0.0;
+
+    // Features over the buffered window packets.
+    features::Window window;
+    window.index = w;
+    window.startNs = w * options_.windowNs;
+    window.durationNs = options_.windowNs;
+    const auto bufferIt = windowPackets_.find(w);
+    static const std::vector<netflow::Packet> kEmpty;
+    const auto& packets =
+        bufferIt != windowPackets_.end() ? bufferIt->second : kEmpty;
+    window.packets = packets;
+    const auto video = classifier_.filterVideo(window.packets);
+    out.features = features::extractFeatures(
+        window, video, features::FeatureSet::kIpUdp, options_.extraction);
+    if (model_ != nullptr) {
+      out.prediction = model_->predict(out.features);
+    }
+
+    callback_(out);
+    if (bufferIt != windowPackets_.end()) windowPackets_.erase(bufferIt);
+    ++nextWindowToEmit_;
+  }
+}
+
+void StreamingIpUdpEstimator::finish() {
+  for (auto& [id, open] : openFrames_) {
+    closedFrames_.emplace(open.frame.endNs, open.frame);
+  }
+  openFrames_.clear();
+  emitReadyWindows(std::nullopt);
+}
+
+}  // namespace vcaqoe::core

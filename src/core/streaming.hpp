@@ -1,0 +1,103 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/frame_heuristic.hpp"
+#include "core/heuristic_estimators.hpp"
+#include "core/media_classifier.hpp"
+#include "features/extractors.hpp"
+#include "ml/random_forest.hpp"
+#include "netflow/packet.hpp"
+
+/// Streaming (single-pass, bounded-memory) IP/UDP estimation.
+///
+/// §7 of the paper flags deployment at network scale as future work and
+/// calls for "streaming versions of the methods". This module processes
+/// packets one at a time in arrival order and emits one result per
+/// completed prediction window:
+///  * the 14 IP/UDP ML features,
+///  * the IP/UDP Heuristic estimates (Algorithm 1 run incrementally), and
+///  * optionally a model prediction, when a trained forest is attached.
+///
+/// Memory is O(packets per window + Nmax); no trace is ever materialized.
+/// Windows are finalized one window behind the stream head so that frames
+/// whose packets straddle a boundary are attributed to the window of their
+/// true end time, matching the batch estimator exactly (tested property).
+namespace vcaqoe::core {
+
+struct StreamingOptions {
+  common::DurationNs windowNs = common::kNanosPerSecond;
+  MediaClassifierOptions classifier;
+  HeuristicParams heuristic;
+  features::ExtractionParams extraction;
+};
+
+/// One completed window.
+struct StreamingOutput {
+  std::int64_t window = 0;
+  std::vector<double> features;  // IP/UDP feature vector (14)
+  EstimatedQoe heuristic;
+  /// Prediction of the attached model; unset when no model attached.
+  std::optional<double> prediction;
+};
+
+class StreamingIpUdpEstimator {
+ public:
+  using Callback = std::function<void(const StreamingOutput&)>;
+
+  StreamingIpUdpEstimator(StreamingOptions options, Callback callback);
+
+  /// Attaches a trained forest whose input is the IP/UDP feature vector;
+  /// every emitted window then carries `prediction`.
+  void attachModel(const ml::RandomForest* model) { model_ = model; }
+
+  /// Feeds one packet; packets must arrive in non-decreasing arrival order
+  /// (out-of-order feeding throws std::invalid_argument).
+  void onPacket(const netflow::Packet& packet);
+
+  /// Flushes all remaining windows (end of capture).
+  void finish();
+
+  /// Windows emitted so far.
+  std::int64_t emittedWindows() const { return nextWindowToEmit_; }
+
+ private:
+  struct OpenFrame {
+    HeuristicFrame frame;
+    std::uint64_t lastTouchedPacket = 0;  // global video-packet index
+  };
+
+  void ingestVideoPacket(const netflow::Packet& packet);
+  void closeStaleFrames();
+  /// Emits every window whose content can no longer change given the
+  /// current stream head (`now`); pass nullopt to flush everything.
+  void emitReadyWindows(std::optional<common::TimeNs> now);
+
+  StreamingOptions options_;
+  Callback callback_;
+  const ml::RandomForest* model_ = nullptr;
+  MediaClassifier classifier_;
+
+  common::TimeNs lastArrival_ = -1;
+
+  // Incremental Algorithm-1 state.
+  std::deque<std::pair<std::uint32_t, std::uint64_t>> recent_;  // size, frame id
+  std::map<std::uint64_t, OpenFrame> openFrames_;
+  std::uint64_t nextFrameId_ = 0;
+  std::uint64_t videoPacketIndex_ = 0;
+
+  // Closed frames not yet attributed to an emitted window, keyed by end.
+  std::multimap<common::TimeNs, HeuristicFrame> closedFrames_;
+  common::TimeNs lastEmittedFrameEnd_ = -1;
+
+  // Per-window packet buffer for feature extraction.
+  std::map<std::int64_t, std::vector<netflow::Packet>> windowPackets_;
+
+  std::int64_t nextWindowToEmit_ = 0;
+};
+
+}  // namespace vcaqoe::core

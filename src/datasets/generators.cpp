@@ -1,0 +1,185 @@
+#include "datasets/generators.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "rxstats/ground_truth.hpp"
+#include "simcall/call_simulator.hpp"
+
+namespace vcaqoe::datasets {
+
+core::LabeledSession simulateSession(
+    const simcall::VcaProfile& profile,
+    const netem::ConditionSchedule& schedule, double durationSec,
+    std::uint64_t seed, std::uint64_t sessionId,
+    const rxstats::GroundTruthOptions& truthOptions) {
+  simcall::CallSimulator simulator(profile, schedule, seed);
+  simcall::CallResult call = simulator.run(durationSec);
+
+  core::LabeledSession session;
+  session.id = sessionId;
+  session.truth = rxstats::buildGroundTruth(call, durationSec, truthOptions,
+                                            seed ^ 0x6A09E667F3BCC908ULL);
+  session.packets = std::move(call.packets);
+  session.profile = call.profile;
+  session.durationSec = durationSec;
+  return session;
+}
+
+std::vector<core::LabeledSession> generateLabDataset(
+    const LabDatasetOptions& options) {
+  common::Rng rng(options.seed);
+  std::vector<core::LabeledSession> sessions;
+  std::uint64_t id = 0;
+
+  struct Job {
+    simcall::VcaProfile profile;
+    netem::ConditionSchedule schedule;
+    double durationSec;
+    std::uint64_t seed;
+    std::uint64_t id;
+  };
+  std::vector<Job> jobs;
+  for (const auto& profile : allProfiles(Deployment::kLab)) {
+    netem::NdtTraceSynthesizer synth(rng.engine()());
+    for (int call = 0; call < options.callsPerVca; ++call) {
+      Job job;
+      job.profile = profile;
+      job.durationSec = rng.uniform(options.minCallSec, options.maxCallSec);
+      job.schedule = synth.synthesize(
+          static_cast<std::size_t>(std::ceil(job.durationSec)));
+      job.seed = rng.engine()();
+      job.id = id++;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  sessions.resize(jobs.size());
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t threads = std::max(1u, hw ? hw : 4u);
+  std::vector<std::thread> pool;
+  std::atomic<std::size_t> next{0};
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&]() {
+      for (std::size_t i = next.fetch_add(1); i < jobs.size();
+           i = next.fetch_add(1)) {
+        const Job& job = jobs[i];
+        sessions[i] = simulateSession(job.profile, job.schedule,
+                                      job.durationSec, job.seed, job.id);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return sessions;
+}
+
+rxstats::GroundTruthOptions raspberryPiReceiver(
+    const simcall::VcaProfile& profile) {
+  rxstats::GroundTruthOptions options;
+  // The RPi hardware-decodes H.264 (Teams, Webex) at any rung, but Meet's
+  // VP9 falls back to ~24 Mpixel/s software decode: 540p keeps 30 fps,
+  // 720p saturates at ~26 fps with skip bursts. This codec asymmetry is
+  // what makes the real-world Meet regime unlike anything in the lab data
+  // (§5.3).
+  if (profile.codec == "VP9") {
+    options.jitterBuffer.decodePixelsPerSec = 24e6;
+  }
+  return options;
+}
+
+std::vector<core::LabeledSession> generateRealWorldDataset(
+    const RealWorldDatasetOptions& options) {
+  common::Rng rng(options.seed);
+  const auto& households = netem::householdProfiles();
+
+  struct Job {
+    simcall::VcaProfile profile;
+    netem::ConditionSchedule schedule;
+    double durationSec;
+    std::uint64_t seed;
+    std::uint64_t id;
+  };
+  std::vector<Job> jobs;
+  std::uint64_t id = 1'000'000;  // distinct id space from the lab dataset
+
+  const auto profiles = allProfiles(Deployment::kRealWorld);
+  const int paperCounts[3] = {320, 178, 417};  // Meet, Teams, Webex (§4.2)
+  for (std::size_t v = 0; v < profiles.size(); ++v) {
+    const int calls = std::max(
+        1, static_cast<int>(std::lround(paperCounts[v] *
+                                        options.callCountScale)));
+    for (int call = 0; call < calls; ++call) {
+      Job job;
+      job.profile = profiles[v];
+      job.durationSec = rng.uniform(options.minCallSec, options.maxCallSec);
+      const auto& household = households[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(households.size()) - 1))];
+      common::Rng scheduleRng(rng.engine()());
+      job.schedule = netem::householdSchedule(
+          household, static_cast<std::size_t>(std::ceil(job.durationSec)) + 1,
+          scheduleRng);
+      job.seed = rng.engine()();
+      job.id = id++;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  std::vector<core::LabeledSession> sessions(jobs.size());
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t threads = std::max(1u, hw ? hw : 4u);
+  std::vector<std::thread> pool;
+  std::atomic<std::size_t> next{0};
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&]() {
+      for (std::size_t i = next.fetch_add(1); i < jobs.size();
+           i = next.fetch_add(1)) {
+        const Job& job = jobs[i];
+        sessions[i] = simulateSession(job.profile, job.schedule,
+                                      job.durationSec, job.seed, job.id,
+                                      raspberryPiReceiver(job.profile));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return sessions;
+}
+
+std::vector<core::WindowRecord> recordsForSessions(
+    const std::vector<core::LabeledSession>& sessions,
+    const core::RecordBuilderOptions& options) {
+  std::vector<std::vector<core::WindowRecord>> perSession(sessions.size());
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t threads = std::max(1u, hw ? hw : 4u);
+  std::vector<std::thread> pool;
+  std::atomic<std::size_t> next{0};
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&]() {
+      for (std::size_t i = next.fetch_add(1); i < sessions.size();
+           i = next.fetch_add(1)) {
+        perSession[i] = core::buildWindowRecords(sessions[i], options);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  std::vector<core::WindowRecord> all;
+  for (auto& records : perSession) {
+    all.insert(all.end(), std::make_move_iterator(records.begin()),
+               std::make_move_iterator(records.end()));
+  }
+  return all;
+}
+
+std::vector<core::LabeledSession> sessionsForVca(
+    const std::vector<core::LabeledSession>& sessions,
+    const std::string& vcaName) {
+  std::vector<core::LabeledSession> out;
+  for (const auto& session : sessions) {
+    if (session.profile.name == vcaName) out.push_back(session);
+  }
+  return out;
+}
+
+}  // namespace vcaqoe::datasets

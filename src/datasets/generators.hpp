@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/session.hpp"
+#include "datasets/vca_profiles.hpp"
+#include "netem/conditions.hpp"
+#include "rxstats/ground_truth.hpp"
+
+/// Dataset generation: the simulation counterpart of the paper's two data
+/// collections (§4.2) — in-lab calls under NDT-derived emulated conditions,
+/// and real-world calls from 15 household vantage points.
+namespace vcaqoe::datasets {
+
+/// Simulates one labeled call end to end (sender models → link emulator →
+/// receiver trace → webrtc-internals ground truth).
+core::LabeledSession simulateSession(
+    const simcall::VcaProfile& profile,
+    const netem::ConditionSchedule& schedule, double durationSec,
+    std::uint64_t seed, std::uint64_t sessionId,
+    const rxstats::GroundTruthOptions& truthOptions = {});
+
+/// Ground-truth options modeling the Raspberry Pi receivers of the
+/// real-world deployment: H.264 decodes in hardware, but Meet's VP9 is
+/// software-decoded and cannot sustain 720p at 30 fps.
+rxstats::GroundTruthOptions raspberryPiReceiver(
+    const simcall::VcaProfile& profile);
+
+struct LabDatasetOptions {
+  /// Calls per VCA; the paper's lab dataset is ≈11k/15k/13k seconds —
+  /// scaled down by default to keep benches fast. Seconds scale linearly.
+  int callsPerVca = 30;
+  double minCallSec = 50.0;
+  double maxCallSec = 80.0;
+  std::uint64_t seed = 20231024;  // IMC'23 presentation date
+};
+
+/// In-lab dataset: calls for all three VCAs under synthetic NDT-like
+/// dynamic conditions (<10 Mbps).
+std::vector<core::LabeledSession> generateLabDataset(
+    const LabDatasetOptions& options = {});
+
+struct RealWorldDatasetOptions {
+  /// Scale factor on the paper's call counts (320 Meet / 178 Teams /
+  /// 417 Webex). 0.15 keeps bench runtime reasonable.
+  double callCountScale = 0.15;
+  double minCallSec = 15.0;  // §4.2: 15-25 s calls every 30 minutes
+  double maxCallSec = 25.0;
+  std::uint64_t seed = 19991231;
+};
+
+/// Real-world dataset: short calls cycling over the 15 household profiles.
+std::vector<core::LabeledSession> generateRealWorldDataset(
+    const RealWorldDatasetOptions& options = {});
+
+/// Builds window records for many sessions (concatenated, in session
+/// order). Sessions are processed in parallel.
+std::vector<core::WindowRecord> recordsForSessions(
+    const std::vector<core::LabeledSession>& sessions,
+    const core::RecordBuilderOptions& options = {});
+
+/// Filters sessions of one VCA.
+std::vector<core::LabeledSession> sessionsForVca(
+    const std::vector<core::LabeledSession>& sessions,
+    const std::string& vcaName);
+
+}  // namespace vcaqoe::datasets

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simcall/profile.hpp"
+
+/// Concrete sender models for the three studied VCAs, in their two
+/// deployments (the paper found different payload-type numbering and QoE
+/// regimes between the lab and the real-world captures, §5.2).
+///
+/// Calibration targets taken from the paper:
+///  * Meet — VP8/VP9; resolution ladder 180/270/360 in-lab plus 540/720 in
+///    the wild; a size-growing fraction of unequally fragmented frames
+///    (4.26% of frames violate Δmax in-lab, 14.48% real-world).
+///  * Teams — H.264; PT 111/102/103 in-lab, video 100 / RTX 101 real-world;
+///    11 resolution rungs 90..720; in-lab median bitrate ≈ 1700 kbps.
+///  * Webex — H.264; in-lab median bitrate ≈ 500 kbps; resolutions
+///    {180, 360}, single rung in the wild; no RTX stream in the wild;
+///    coarse encoder quantization (frequent frame-size collisions → the
+///    coalesce errors of Fig 4).
+namespace vcaqoe::datasets {
+
+enum class Deployment { kLab, kRealWorld };
+
+simcall::VcaProfile meetProfile(Deployment deployment);
+simcall::VcaProfile teamsProfile(Deployment deployment);
+simcall::VcaProfile webexProfile(Deployment deployment);
+
+/// All three profiles for a deployment, in paper order (Meet, Teams, Webex).
+std::vector<simcall::VcaProfile> allProfiles(Deployment deployment);
+
+/// Profile by name ("meet", "teams", "webex"); throws on unknown name.
+simcall::VcaProfile profileByName(const std::string& name,
+                                  Deployment deployment);
+
+}  // namespace vcaqoe::datasets

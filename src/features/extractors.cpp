@@ -1,0 +1,152 @@
+#include "features/extractors.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+#include "rtp/rtp.hpp"
+
+namespace vcaqoe::features {
+
+namespace {
+
+void appendFive(std::vector<double>& out, const common::FiveNumber& f) {
+  out.push_back(f.mean);
+  out.push_back(f.stdev);
+  out.push_back(f.median);
+  out.push_back(f.min);
+  out.push_back(f.max);
+}
+
+}  // namespace
+
+std::vector<double> flowStatistics(std::span<const netflow::Packet> video,
+                                   common::DurationNs windowNs) {
+  const double seconds = common::nsToSeconds(windowNs);
+
+  double totalBytes = 0.0;
+  std::vector<double> sizes;
+  sizes.reserve(video.size());
+  std::vector<double> iats;
+  iats.reserve(video.size());
+  for (std::size_t i = 0; i < video.size(); ++i) {
+    totalBytes += video[i].sizeBytes;
+    sizes.push_back(static_cast<double>(video[i].sizeBytes));
+    if (i > 0) {
+      iats.push_back(
+          common::nsToMillis(video[i].arrivalNs - video[i - 1].arrivalNs));
+    }
+  }
+
+  std::vector<double> out;
+  out.reserve(12);
+  out.push_back(totalBytes / seconds);
+  out.push_back(static_cast<double>(video.size()) / seconds);
+  appendFive(out, common::fiveNumber(sizes));
+  appendFive(out, common::fiveNumber(iats));
+  return out;
+}
+
+std::vector<double> semanticFeatures(std::span<const netflow::Packet> video,
+                                     const ExtractionParams& params) {
+  std::unordered_set<std::uint32_t> uniqueSizes;
+  uniqueSizes.reserve(video.size());
+  std::size_t burstBoundaries = 0;
+  for (std::size_t i = 0; i < video.size(); ++i) {
+    uniqueSizes.insert(video[i].sizeBytes);
+    if (i > 0 && video[i].arrivalNs - video[i - 1].arrivalNs >=
+                     params.microburstIatNs) {
+      ++burstBoundaries;
+    }
+  }
+  // Microburst count: bursts are separated by gaps >= θ_IAT, so the number
+  // of bursts is boundaries + 1 for a non-empty window.
+  const double microbursts =
+      video.empty() ? 0.0 : static_cast<double>(burstBoundaries + 1);
+  return {static_cast<double>(uniqueSizes.size()), microbursts};
+}
+
+std::vector<double> rtpFeatures(const Window& window,
+                                const ExtractionParams& params) {
+  std::set<std::uint32_t> videoTs;
+  std::set<std::uint32_t> rtxTs;
+  double markerVideo = 0.0;
+  double markerRtx = 0.0;
+
+  // Out-of-order detection over the primary video sequence numbers.
+  bool haveLastSeq = false;
+  std::uint16_t lastSeq = 0;
+  double outOfOrder = 0.0;
+
+  // RTP lag: completion time per frame (max arrival among a timestamp's
+  // packets), then delay versus the timestamp-implied transmission time.
+  std::map<std::uint32_t, common::TimeNs> frameCompletion;
+
+  for (const auto& pkt : window.packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (!header) continue;
+    if (header->payloadType == params.videoPt) {
+      videoTs.insert(header->timestamp);
+      if (header->marker) markerVideo += 1.0;
+      if (haveLastSeq &&
+          rtp::sequenceDistance(lastSeq, header->sequenceNumber) <= 0) {
+        outOfOrder += 1.0;
+      }
+      lastSeq = header->sequenceNumber;
+      haveLastSeq = true;
+      auto [it, inserted] =
+          frameCompletion.try_emplace(header->timestamp, pkt.arrivalNs);
+      if (!inserted) it->second = std::max(it->second, pkt.arrivalNs);
+    } else if (params.rtxPt != 0 && header->payloadType == params.rtxPt) {
+      rtxTs.insert(header->timestamp);
+      if (header->marker) markerRtx += 1.0;
+    }
+  }
+
+  std::size_t intersection = 0;
+  for (const auto ts : rtxTs) {
+    if (videoTs.count(ts) > 0) ++intersection;
+  }
+  const std::size_t unionCount = videoTs.size() + rtxTs.size() - intersection;
+
+  // Lag series: first frame in the window is the zero-delay reference.
+  std::vector<double> lagsMs;
+  if (!frameCompletion.empty()) {
+    // std::map iterates in timestamp order == capture order within a call.
+    const auto& [ts0, t0] = *frameCompletion.begin();
+    for (const auto& [ts, t] : frameCompletion) {
+      const auto mediaElapsed =
+          rtp::timestampDeltaToNs(ts0, ts, rtp::kVideoClockHz);
+      lagsMs.push_back(common::nsToMillis((t - t0) - mediaElapsed));
+    }
+  }
+
+  std::vector<double> out;
+  out.reserve(12);
+  out.push_back(static_cast<double>(videoTs.size()));
+  out.push_back(static_cast<double>(rtxTs.size()));
+  out.push_back(static_cast<double>(intersection));
+  out.push_back(static_cast<double>(unionCount));
+  out.push_back(markerVideo);
+  out.push_back(markerRtx);
+  out.push_back(outOfOrder);
+  appendFive(out, common::fiveNumber(lagsMs));
+  return out;
+}
+
+std::vector<double> extractFeatures(const Window& window,
+                                    std::span<const netflow::Packet> video,
+                                    FeatureSet set,
+                                    const ExtractionParams& params) {
+  std::vector<double> out = flowStatistics(video, window.durationNs);
+  const std::vector<double> extra = set == FeatureSet::kIpUdp
+                                        ? semanticFeatures(video, params)
+                                        : rtpFeatures(window, params);
+  out.insert(out.end(), extra.begin(), extra.end());
+  return out;
+}
+
+}  // namespace vcaqoe::features

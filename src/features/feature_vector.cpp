@@ -1,0 +1,61 @@
+#include "features/feature_vector.hpp"
+
+namespace vcaqoe::features {
+
+namespace {
+
+const std::vector<std::string>& flowNames() {
+  static const std::vector<std::string> kNames = {
+      "# bytes",       "# packets",    "Size [mean]",  "Size [stdev]",
+      "Size [median]", "Size [min]",   "Size [max]",   "IAT [mean]",
+      "IAT [stdev]",   "IAT [median]", "IAT [min]",    "IAT [max]",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& semanticNames() {
+  static const std::vector<std::string> kNames = {
+      "# unique sizes",
+      "# microbursts",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& rtpNames() {
+  static const std::vector<std::string> kNames = {
+      "# unique RTPvid TS",
+      "# unique RTPrtx TS",
+      "# unique RTP TS [intersect]",
+      "# unique RTP TS [union]",
+      "Markervid bit sum",
+      "Markerrtx bit sum",
+      "# out-of-order seq",
+      "RTP lag [mean]",
+      "RTP lag [stdev]",
+      "RTP lag [median]",
+      "RTP lag [min]",
+      "RTP lag [max]",
+  };
+  return kNames;
+}
+
+std::vector<std::string> concat(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b) {
+  std::vector<std::string> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& featureNames(FeatureSet set) {
+  static const std::vector<std::string> kIpUdpNames =
+      concat(flowNames(), semanticNames());
+  static const std::vector<std::string> kRtpSetNames =
+      concat(flowNames(), rtpNames());
+  return set == FeatureSet::kIpUdp ? kIpUdpNames : kRtpSetNames;
+}
+
+std::size_t featureCount(FeatureSet set) { return featureNames(set).size(); }
+
+}  // namespace vcaqoe::features

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// Named feature vectors shared by the ML estimators, the importance
+/// reports, and the benches.
+namespace vcaqoe::features {
+
+/// Which feature family a model consumes (Table 1).
+enum class FeatureSet {
+  /// Flow-level statistics + VCA-semantic features (14 features) — the
+  /// paper's IP/UDP ML input.
+  kIpUdp,
+  /// Flow-level statistics + RTP-header features — the RTP ML baseline.
+  kRtp,
+};
+
+/// Ordered feature names for a set. The order is the column order of every
+/// dataset matrix built from that set.
+const std::vector<std::string>& featureNames(FeatureSet set);
+
+/// Number of features in a set.
+std::size_t featureCount(FeatureSet set);
+
+}  // namespace vcaqoe::features

@@ -1,0 +1,40 @@
+#include "features/windows.hpp"
+
+#include <stdexcept>
+
+namespace vcaqoe::features {
+
+std::vector<Window> sliceWindows(const netflow::PacketTrace& trace,
+                                 common::DurationNs windowNs) {
+  if (windowNs <= 0) throw std::invalid_argument("windowNs must be positive");
+  if (!netflow::isArrivalOrdered(trace)) {
+    throw std::invalid_argument("trace must be arrival-ordered");
+  }
+
+  std::vector<Window> windows;
+  if (trace.empty()) return windows;
+
+  const std::int64_t lastIndex =
+      common::windowIndex(trace.back().arrivalNs, windowNs);
+  std::size_t cursor = 0;
+  for (std::int64_t w = 0; w <= lastIndex; ++w) {
+    const common::TimeNs start = w * windowNs;
+    const common::TimeNs end = start + windowNs;
+    // Packets before t=0 (none in practice) are skipped.
+    while (cursor < trace.size() && trace[cursor].arrivalNs < start) ++cursor;
+    std::size_t last = cursor;
+    while (last < trace.size() && trace[last].arrivalNs < end) ++last;
+
+    Window window;
+    window.index = w;
+    window.startNs = start;
+    window.durationNs = windowNs;
+    window.packets = std::span<const netflow::Packet>(trace).subspan(
+        cursor, last - cursor);
+    windows.push_back(window);
+    cursor = last;
+  }
+  return windows;
+}
+
+}  // namespace vcaqoe::features

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netflow/packet.hpp"
+
+/// Prediction-window slicing (§2.2: estimates are produced at a W-second
+/// granularity; W = 1 s everywhere except the Fig 12 sweep).
+namespace vcaqoe::features {
+
+/// One prediction window over a packet trace: the half-open time interval
+/// [index*W, (index+1)*W) and the packets arriving inside it.
+struct Window {
+  std::int64_t index = 0;
+  common::TimeNs startNs = 0;
+  common::DurationNs durationNs = common::kNanosPerSecond;
+  std::span<const netflow::Packet> packets;
+};
+
+/// Slices an arrival-ordered trace into consecutive W-sized windows from
+/// t = 0 to the last packet. Empty windows are included (a stalled call is
+/// still a prediction interval). Throws std::invalid_argument if the trace
+/// is not arrival-ordered or windowNs <= 0.
+std::vector<Window> sliceWindows(const netflow::PacketTrace& trace,
+                                 common::DurationNs windowNs);
+
+}  // namespace vcaqoe::features

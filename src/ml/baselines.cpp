@@ -1,0 +1,250 @@
+#include "ml/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "ml/random_forest.hpp"
+
+namespace vcaqoe::ml {
+
+namespace {
+
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> scale;
+
+  static Standardizer fit(const Dataset& data) {
+    const std::size_t p = data.cols();
+    Standardizer s;
+    s.mean.assign(p, 0.0);
+    s.scale.assign(p, 1.0);
+    for (const auto& row : data.x) {
+      for (std::size_t f = 0; f < p; ++f) s.mean[f] += row[f];
+    }
+    for (double& m : s.mean) m /= static_cast<double>(data.rows());
+    std::vector<double> var(p, 0.0);
+    for (const auto& row : data.x) {
+      for (std::size_t f = 0; f < p; ++f) {
+        const double d = row[f] - s.mean[f];
+        var[f] += d * d;
+      }
+    }
+    for (std::size_t f = 0; f < p; ++f) {
+      const double sd = std::sqrt(var[f] / static_cast<double>(data.rows()));
+      s.scale[f] = sd > 1e-12 ? sd : 1.0;
+    }
+    return s;
+  }
+
+  std::vector<double> apply(std::span<const double> x) const {
+    std::vector<double> out(x.size());
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      out[f] = (x[f] - mean[f]) / scale[f];
+    }
+    return out;
+  }
+};
+
+/// Solves the symmetric positive-definite system A w = b in place via
+/// Gaussian elimination with partial pivoting (A is p x p with p <= ~30).
+std::vector<double> solveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      throw std::runtime_error("ridge: singular system");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> w(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) sum -= a[row][k] * w[k];
+    w[row] = sum / a[row][row];
+  }
+  return w;
+}
+
+}  // namespace
+
+void RidgeRegression::fit(const Dataset& data, Options options) {
+  if (data.rows() == 0) {
+    throw std::invalid_argument("RidgeRegression::fit: empty dataset");
+  }
+  const std::size_t p = data.cols();
+  const auto standardizer = Standardizer::fit(data);
+  mean_ = standardizer.mean;
+  scale_ = standardizer.scale;
+
+  // Centered targets make the intercept the target mean.
+  intercept_ = common::mean(data.y);
+
+  // Normal equations on standardized features: (Z^T Z + λI) w = Z^T y.
+  std::vector<std::vector<double>> a(p, std::vector<double>(p, 0.0));
+  std::vector<double> b(p, 0.0);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto z = standardizer.apply(data.x[i]);
+    const double resid = data.y[i] - intercept_;
+    for (std::size_t f = 0; f < p; ++f) {
+      b[f] += z[f] * resid;
+      for (std::size_t g = f; g < p; ++g) a[f][g] += z[f] * z[g];
+    }
+  }
+  for (std::size_t f = 0; f < p; ++f) {
+    for (std::size_t g = 0; g < f; ++g) a[f][g] = a[g][f];
+    a[f][f] += options.lambda;
+  }
+  weights_ = solveLinearSystem(std::move(a), std::move(b));
+}
+
+double RidgeRegression::predict(std::span<const double> x) const {
+  if (!trained()) throw std::logic_error("RidgeRegression::predict before fit");
+  double out = intercept_;
+  for (std::size_t f = 0; f < weights_.size(); ++f) {
+    out += weights_[f] * (x[f] - mean_[f]) / scale_[f];
+  }
+  return out;
+}
+
+std::vector<double> RidgeRegression::predictAll(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.rows());
+  for (const auto& row : data.x) out.push_back(predict(row));
+  return out;
+}
+
+void KnnModel::fit(const Dataset& data, Options options) {
+  if (data.rows() == 0) {
+    throw std::invalid_argument("KnnModel::fit: empty dataset");
+  }
+  options_ = options;
+  const auto standardizer = Standardizer::fit(data);
+  mean_ = standardizer.mean;
+  scale_ = standardizer.scale;
+  x_.clear();
+  x_.reserve(data.rows());
+  for (const auto& row : data.x) x_.push_back(standardizer.apply(row));
+  y_ = data.y;
+}
+
+double KnnModel::predict(std::span<const double> x) const {
+  if (!trained()) throw std::logic_error("KnnModel::predict before fit");
+  std::vector<double> z(x.size());
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    z[f] = (x[f] - mean_[f]) / scale_[f];
+  }
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(options_.k, 1)),
+                            x_.size());
+
+  // Partial sort of squared distances.
+  std::vector<std::pair<double, std::size_t>> dist;
+  dist.reserve(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    double d = 0.0;
+    for (std::size_t f = 0; f < z.size(); ++f) {
+      const double diff = z[f] - x_[i][f];
+      d += diff * diff;
+    }
+    dist.emplace_back(d, i);
+  }
+  std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dist.end());
+
+  if (options_.task == TreeTask::kRegression) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) sum += y_[dist[i].second];
+    return sum / static_cast<double>(k);
+  }
+  std::map<int, int> votes;
+  for (std::size_t i = 0; i < k; ++i) {
+    ++votes[static_cast<int>(y_[dist[i].second])];
+  }
+  int best = 0;
+  int bestVotes = -1;
+  for (const auto& [cls, count] : votes) {
+    if (count > bestVotes) {
+      best = cls;
+      bestVotes = count;
+    }
+  }
+  return static_cast<double>(best);
+}
+
+std::vector<double> KnnModel::predictAll(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.rows());
+  for (const auto& row : data.x) out.push_back(predict(row));
+  return out;
+}
+
+ModelComparison compareModels(const Dataset& data, TreeTask task, int folds,
+                              std::uint64_t seed) {
+  data.validate();
+  common::Rng rng(seed);
+  const auto assignment = kFoldAssignment(data.rows(), folds, rng);
+
+  std::vector<double> forestPred(data.rows(), 0.0);
+  std::vector<double> treePred(data.rows(), 0.0);
+  std::vector<double> ridgePred(data.rows(), 0.0);
+  std::vector<double> knnPred(data.rows(), 0.0);
+
+  for (int fold = 0; fold < folds; ++fold) {
+    const auto split = foldIndices(assignment, fold);
+    if (split.train.empty() || split.test.empty()) continue;
+    const Dataset train = data.subset(split.train);
+
+    RandomForest forest;
+    ForestOptions forestOptions;
+    forestOptions.numTrees = 40;
+    forest.fit(train, task, forestOptions,
+               seed + static_cast<std::uint64_t>(fold));
+
+    DecisionTree tree;
+    std::vector<std::size_t> all(train.rows());
+    std::iota(all.begin(), all.end(), 0);
+    common::Rng treeRng(seed ^ static_cast<std::uint64_t>(fold + 101));
+    tree.fit(train, all, task, TreeOptions{}, treeRng);
+
+    RidgeRegression ridge;
+    if (task == TreeTask::kRegression) ridge.fit(train);
+
+    KnnModel knn;
+    KnnModel::Options knnOptions;
+    knnOptions.task = task;
+    knn.fit(train, knnOptions);
+
+    for (const std::size_t i : split.test) {
+      forestPred[i] = forest.predict(data.x[i]);
+      treePred[i] = tree.predict(data.x[i]);
+      ridgePred[i] =
+          task == TreeTask::kRegression ? ridge.predict(data.x[i]) : 0.0;
+      knnPred[i] = knn.predict(data.x[i]);
+    }
+  }
+
+  ModelComparison out;
+  out.forestMae = common::meanAbsoluteError(forestPred, data.y);
+  out.treeMae = common::meanAbsoluteError(treePred, data.y);
+  out.ridgeMae = task == TreeTask::kRegression
+                     ? common::meanAbsoluteError(ridgePred, data.y)
+                     : 0.0;
+  out.knnMae = common::meanAbsoluteError(knnPred, data.y);
+  return out;
+}
+
+}  // namespace vcaqoe::ml

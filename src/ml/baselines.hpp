@@ -1,0 +1,75 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+/// Classical baseline models.
+///
+/// §4.3 of the paper compares SVMs, decision trees, and random forests and
+/// keeps random forests because they are consistently the most accurate.
+/// These baselines reproduce that model comparison: a regularized linear
+/// model (ridge regression — the linear-SVM-shaped hypothesis class), a
+/// k-nearest-neighbour model, and the single CART tree from decision_tree.h.
+namespace vcaqoe::ml {
+
+struct RidgeOptions {
+  double lambda = 1.0;
+};
+
+/// L2-regularized linear least squares with an intercept, solved in closed
+/// form. Features are standardized internally.
+class RidgeRegression {
+ public:
+  using Options = RidgeOptions;
+
+  void fit(const Dataset& data, Options options = {});
+  double predict(std::span<const double> x) const;
+  std::vector<double> predictAll(const Dataset& data) const;
+  bool trained() const { return !weights_.empty(); }
+
+ private:
+  std::vector<double> weights_;  // per standardized feature
+  double intercept_ = 0.0;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+struct KnnOptions {
+  int k = 9;
+  TreeTask task = TreeTask::kRegression;
+};
+
+/// k-nearest neighbours over standardized features; mean of neighbour
+/// targets (regression) or majority vote (classification).
+class KnnModel {
+ public:
+  using Options = KnnOptions;
+
+  void fit(const Dataset& data, Options options = {});
+  double predict(std::span<const double> x) const;
+  std::vector<double> predictAll(const Dataset& data) const;
+  bool trained() const { return !x_.empty(); }
+
+ private:
+  Options options_;
+  std::vector<std::vector<double>> x_;  // standardized training rows
+  std::vector<double> y_;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+/// Cross-validated MAE of each baseline plus the forest, used by the model
+/// ablation bench. Returned in the order {forest, tree, ridge, knn}.
+struct ModelComparison {
+  double forestMae = 0.0;
+  double treeMae = 0.0;
+  double ridgeMae = 0.0;
+  double knnMae = 0.0;
+};
+ModelComparison compareModels(const Dataset& data, TreeTask task, int folds,
+                              std::uint64_t seed);
+
+}  // namespace vcaqoe::ml

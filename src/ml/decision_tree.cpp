@@ -1,0 +1,241 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace vcaqoe::ml {
+
+namespace {
+
+/// Class count bookkeeping for Gini computations.
+struct GiniCounter {
+  std::vector<double> counts;
+  double total = 0.0;
+
+  explicit GiniCounter(std::size_t numClasses) : counts(numClasses, 0.0) {}
+
+  void add(int cls, double w = 1.0) {
+    counts[static_cast<std::size_t>(cls)] += w;
+    total += w;
+  }
+  void remove(int cls) {
+    counts[static_cast<std::size_t>(cls)] -= 1.0;
+    total -= 1.0;
+  }
+  double gini() const {
+    if (total <= 0.0) return 0.0;
+    double sumSq = 0.0;
+    for (const double c : counts) sumSq += c * c;
+    return 1.0 - sumSq / (total * total);
+  }
+  int majority() const {
+    return static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+  }
+};
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data,
+                       std::span<const std::size_t> sampleIdx, TreeTask task,
+                       const TreeOptions& options, common::Rng& rng) {
+  if (data.rows() == 0 || sampleIdx.empty()) {
+    throw std::invalid_argument("DecisionTree::fit: empty training data");
+  }
+  task_ = task;
+  options_ = options;
+  nodes_.clear();
+  importance_.assign(data.cols(), 0.0);
+  totalSamples_ = sampleIdx.size();
+
+  std::vector<std::size_t> idx(sampleIdx.begin(), sampleIdx.end());
+  build(data, idx, 0, idx.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data,
+                                 std::vector<std::size_t>& idx,
+                                 std::size_t begin, std::size_t end, int depth,
+                                 common::Rng& rng) {
+  const std::size_t n = end - begin;
+  const std::size_t p = data.cols();
+
+  // Node statistics and impurity.
+  double leafValue = 0.0;
+  double nodeImpurity = 0.0;
+  std::size_t numClasses = 0;
+  if (task_ == TreeTask::kRegression) {
+    double sum = 0.0;
+    double sumSq = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double y = data.y[idx[i]];
+      sum += y;
+      sumSq += y * y;
+    }
+    leafValue = sum / static_cast<double>(n);
+    nodeImpurity = std::max(
+        0.0, sumSq / static_cast<double>(n) - leafValue * leafValue);
+  } else {
+    for (std::size_t i = begin; i < end; ++i) {
+      numClasses = std::max(
+          numClasses, static_cast<std::size_t>(data.y[idx[i]]) + 1);
+    }
+    GiniCounter counter(numClasses);
+    for (std::size_t i = begin; i < end; ++i) {
+      counter.add(static_cast<int>(data.y[idx[i]]));
+    }
+    leafValue = static_cast<double>(counter.majority());
+    nodeImpurity = counter.gini();
+  }
+
+  const auto makeLeaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.value = leafValue;
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= options_.maxDepth || n < static_cast<std::size_t>(
+                                            options_.minSamplesSplit) ||
+      nodeImpurity <= 1e-12) {
+    return makeLeaf();
+  }
+
+  // Candidate features: a random subset of maxFeatures (all when 0).
+  std::vector<std::size_t> candidates(p);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  if (options_.maxFeatures > 0 &&
+      static_cast<std::size_t>(options_.maxFeatures) < p) {
+    rng.shuffle(candidates);
+    candidates.resize(static_cast<std::size_t>(options_.maxFeatures));
+  }
+
+  double bestGain = 0.0;
+  std::size_t bestFeature = 0;
+  double bestThreshold = 0.0;
+
+  // (value, y or class) pairs sorted per candidate feature.
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(n);
+
+  for (const std::size_t f : candidates) {
+    pairs.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      pairs.emplace_back(data.x[idx[i]][f], data.y[idx[i]]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    if (pairs.front().first == pairs.back().first) continue;  // constant
+
+    const auto minLeaf = static_cast<std::size_t>(options_.minSamplesLeaf);
+    if (task_ == TreeTask::kRegression) {
+      double sumLeft = 0.0;
+      double sumSqLeft = 0.0;
+      double sumTotal = 0.0;
+      double sumSqTotal = 0.0;
+      for (const auto& [v, y] : pairs) {
+        sumTotal += y;
+        sumSqTotal += y * y;
+      }
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double y = pairs[i].second;
+        sumLeft += y;
+        sumSqLeft += y * y;
+        if (pairs[i].first == pairs[i + 1].first) continue;
+        const std::size_t nl = i + 1;
+        const std::size_t nr = n - nl;
+        if (nl < minLeaf || nr < minLeaf) continue;
+        const double meanL = sumLeft / static_cast<double>(nl);
+        const double meanR =
+            (sumTotal - sumLeft) / static_cast<double>(nr);
+        const double sseL = sumSqLeft - static_cast<double>(nl) * meanL * meanL;
+        const double sseR = (sumSqTotal - sumSqLeft) -
+                            static_cast<double>(nr) * meanR * meanR;
+        const double childImpurity =
+            (sseL + sseR) / static_cast<double>(n);
+        const double gain = nodeImpurity - childImpurity;
+        if (gain > bestGain) {
+          bestGain = gain;
+          bestFeature = f;
+          bestThreshold = (pairs[i].first + pairs[i + 1].first) / 2.0;
+        }
+      }
+    } else {
+      GiniCounter left(numClasses);
+      GiniCounter right(numClasses);
+      for (const auto& [v, y] : pairs) right.add(static_cast<int>(y));
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const int cls = static_cast<int>(pairs[i].second);
+        left.add(cls);
+        right.remove(cls);
+        if (pairs[i].first == pairs[i + 1].first) continue;
+        const std::size_t nl = i + 1;
+        const std::size_t nr = n - nl;
+        if (nl < minLeaf || nr < minLeaf) continue;
+        const double childImpurity =
+            (left.total * left.gini() + right.total * right.gini()) /
+            static_cast<double>(n);
+        const double gain = nodeImpurity - childImpurity;
+        if (gain > bestGain) {
+          bestGain = gain;
+          bestFeature = f;
+          bestThreshold = (pairs[i].first + pairs[i + 1].first) / 2.0;
+        }
+      }
+    }
+  }
+
+  if (bestGain <= 1e-12) return makeLeaf();
+
+  // Credit the split to the feature, weighted by the node's sample share.
+  importance_[bestFeature] +=
+      bestGain * static_cast<double>(n) / static_cast<double>(totalSamples_);
+
+  // Partition the index range around the threshold.
+  const auto mid = std::stable_partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(begin),
+      idx.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) { return data.x[row][bestFeature] <= bestThreshold; });
+  const std::size_t split =
+      static_cast<std::size_t>(mid - idx.begin());
+  if (split == begin || split == end) return makeLeaf();  // degenerate
+
+  const std::int32_t nodeIndex = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(nodeIndex)].featureIndex =
+      static_cast<std::int32_t>(bestFeature);
+  nodes_[static_cast<std::size_t>(nodeIndex)].threshold = bestThreshold;
+  nodes_[static_cast<std::size_t>(nodeIndex)].value = leafValue;
+
+  const std::int32_t left = build(data, idx, begin, split, depth + 1, rng);
+  const std::int32_t right = build(data, idx, split, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(nodeIndex)].left = left;
+  nodes_[static_cast<std::size_t>(nodeIndex)].right = right;
+  return nodeIndex;
+}
+
+DecisionTree DecisionTree::fromNodes(std::vector<Node> nodes, TreeTask task,
+                                     std::vector<double> importance) {
+  DecisionTree tree;
+  tree.task_ = task;
+  tree.nodes_ = std::move(nodes);
+  tree.importance_ = std::move(importance);
+  tree.totalSamples_ = 1;
+  return tree;
+}
+
+double DecisionTree::predict(std::span<const double> x) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict before fit");
+  }
+  std::size_t node = 0;
+  while (nodes_[node].featureIndex >= 0) {
+    const auto& nd = nodes_[node];
+    const double v = x[static_cast<std::size_t>(nd.featureIndex)];
+    node = static_cast<std::size_t>(v <= nd.threshold ? nd.left : nd.right);
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace vcaqoe::ml

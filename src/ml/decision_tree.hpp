@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+/// CART decision trees (regression via variance reduction, classification
+/// via Gini impurity) — the base learner of the random forests the paper's
+/// ML methods use (§4.3).
+namespace vcaqoe::ml {
+
+enum class TreeTask : std::uint8_t { kRegression, kClassification };
+
+struct TreeOptions {
+  int maxDepth = 18;
+  int minSamplesLeaf = 2;
+  int minSamplesSplit = 4;
+  /// Number of features examined per split; 0 = all (single tree), forests
+  /// pass sqrt(p) (classification) or p/3 (regression).
+  int maxFeatures = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fits on the rows of `data` selected by `sampleIdx` (with repetition
+  /// allowed — bagging passes bootstrap samples).
+  void fit(const Dataset& data, std::span<const std::size_t> sampleIdx,
+           TreeTask task, const TreeOptions& options, common::Rng& rng);
+
+  double predict(std::span<const double> x) const;
+
+  /// Total impurity decrease credited to each feature during training
+  /// (unnormalized; forests aggregate and normalize).
+  const std::vector<double>& featureImportance() const { return importance_; }
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  bool trained() const { return !nodes_.empty(); }
+
+  /// Serialized node layout (also the in-memory layout; exposed for model
+  /// persistence).
+  struct Node {
+    // Leaf when featureIndex < 0.
+    std::int32_t featureIndex = -1;
+    double threshold = 0.0;  // go left when x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;  // mean (regression) or majority class id
+
+    friend bool operator==(const Node&, const Node&) = default;
+  };
+
+  /// Persistence support: raw node access and reconstruction.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  static DecisionTree fromNodes(std::vector<Node> nodes, TreeTask task,
+                                std::vector<double> importance);
+
+ private:
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& idx,
+                     std::size_t begin, std::size_t end, int depth,
+                     common::Rng& rng);
+
+  TreeTask task_ = TreeTask::kRegression;
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  std::size_t totalSamples_ = 0;
+};
+
+}  // namespace vcaqoe::ml

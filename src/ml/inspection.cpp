@@ -1,0 +1,79 @@
+#include "ml/inspection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace vcaqoe::ml {
+
+namespace {
+
+double modelError(const RandomForest& forest, const Dataset& data) {
+  const auto predicted = forest.predictAll(data);
+  if (forest.task() == TreeTask::kRegression) {
+    return common::meanAbsoluteError(predicted, data.y);
+  }
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    if (static_cast<int>(predicted[i]) != static_cast<int>(data.y[i])) {
+      ++wrong;
+    }
+  }
+  return static_cast<double>(wrong) / static_cast<double>(data.rows());
+}
+
+}  // namespace
+
+std::vector<double> permutationImportance(
+    const RandomForest& forest, const Dataset& data,
+    const PermutationImportanceOptions& options) {
+  if (!forest.trained()) {
+    throw std::logic_error("permutationImportance: untrained forest");
+  }
+  data.validate();
+  if (data.rows() < 2) {
+    throw std::invalid_argument("permutationImportance: too few rows");
+  }
+
+  const double baseline = modelError(forest, data);
+  const std::size_t p = data.cols();
+  std::vector<double> importance(p, 0.0);
+  common::Rng rng(options.seed);
+
+  for (std::size_t f = 0; f < p; ++f) {
+    double errorSum = 0.0;
+    for (int repeat = 0; repeat < std::max(options.repeats, 1); ++repeat) {
+      Dataset shuffled = data;
+      std::vector<double> column(data.rows());
+      for (std::size_t i = 0; i < data.rows(); ++i) column[i] = data.x[i][f];
+      rng.shuffle(column);
+      for (std::size_t i = 0; i < data.rows(); ++i) {
+        shuffled.x[i][f] = column[i];
+      }
+      errorSum += modelError(forest, shuffled);
+    }
+    importance[f] =
+        errorSum / static_cast<double>(std::max(options.repeats, 1)) -
+        baseline;
+  }
+  return importance;
+}
+
+std::vector<std::pair<std::string, double>> rankedPermutationImportance(
+    const RandomForest& forest, const Dataset& data,
+    const PermutationImportanceOptions& options) {
+  const auto importance = permutationImportance(forest, data, options);
+  std::vector<std::pair<std::string, double>> ranked;
+  for (std::size_t f = 0; f < importance.size(); ++f) {
+    const std::string name = f < data.featureNames.size()
+                                 ? data.featureNames[f]
+                                 : "feature_" + std::to_string(f);
+    ranked.emplace_back(name, importance[f]);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranked;
+}
+
+}  // namespace vcaqoe::ml

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
+
+/// Model inspection beyond impurity importance.
+///
+/// The paper reads its feature-importance figures off impurity decrease,
+/// which is known to inflate high-cardinality features. Permutation
+/// importance — the accuracy drop when one feature's column is shuffled —
+/// is the standard cross-check; `bench_ablation_params` and the tests use
+/// it to confirm the paper's importance rankings are not an artifact of the
+/// importance estimator.
+namespace vcaqoe::ml {
+
+struct PermutationImportanceOptions {
+  /// Shuffles per feature; the reported value is the mean error increase.
+  int repeats = 3;
+  std::uint64_t seed = 1;
+};
+
+/// Mean increase in error (MAE for regression, error rate for
+/// classification) on `data` when each feature is permuted, in feature
+/// order. Non-negative values only in expectation; small negatives are
+/// possible and meaningful (the feature is noise).
+std::vector<double> permutationImportance(
+    const RandomForest& forest, const Dataset& data,
+    const PermutationImportanceOptions& options = {});
+
+/// (name, importance) pairs sorted descending.
+std::vector<std::pair<std::string, double>> rankedPermutationImportance(
+    const RandomForest& forest, const Dataset& data,
+    const PermutationImportanceOptions& options = {});
+
+}  // namespace vcaqoe::ml

@@ -1,0 +1,71 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcaqoe::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::span<const double> truth,
+                                 std::span<const double> predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("ConfusionMatrix: size mismatch");
+  }
+  std::vector<int> labelSet;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const int t = static_cast<int>(truth[i]);
+    const int p = static_cast<int>(predicted[i]);
+    ++counts_[{t, p}];
+    ++rowTotals_[t];
+    if (t == p) ++correct_;
+    ++total_;
+    labelSet.push_back(t);
+    labelSet.push_back(p);
+  }
+  std::sort(labelSet.begin(), labelSet.end());
+  labelSet.erase(std::unique(labelSet.begin(), labelSet.end()),
+                 labelSet.end());
+  labels_ = std::move(labelSet);
+}
+
+std::size_t ConfusionMatrix::count(int truthLabel, int predictedLabel) const {
+  const auto it = counts_.find({truthLabel, predictedLabel});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::size_t ConfusionMatrix::rowTotal(int truthLabel) const {
+  const auto it = rowTotals_.find(truthLabel);
+  return it == rowTotals_.end() ? 0 : it->second;
+}
+
+double ConfusionMatrix::rowFraction(int truthLabel, int predictedLabel) const {
+  const std::size_t total = rowTotal(truthLabel);
+  if (total == 0) return 0.0;
+  return static_cast<double>(count(truthLabel, predictedLabel)) /
+         static_cast<double>(total);
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(correct_) / static_cast<double>(total_);
+}
+
+int teamsResolutionBin(int frameHeight) {
+  if (frameHeight <= 240) return 0;
+  if (frameHeight <= 480) return 1;
+  return 2;
+}
+
+std::string teamsResolutionBinName(int bin) {
+  switch (bin) {
+    case 0:
+      return "Low";
+    case 1:
+      return "Medium";
+    case 2:
+      return "High";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace vcaqoe::ml

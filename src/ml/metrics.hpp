@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+/// Classification metrics: the paper reports resolution as overall accuracy
+/// (Table 3) plus row-normalized confusion matrices (Tables 4, A.3).
+namespace vcaqoe::ml {
+
+class ConfusionMatrix {
+ public:
+  /// Builds from parallel truth/prediction label sequences (labels are
+  /// arbitrary ints, e.g. frame heights or bin ids).
+  ConfusionMatrix(std::span<const double> truth,
+                  std::span<const double> predicted);
+
+  /// Sorted distinct labels.
+  const std::vector<int>& labels() const { return labels_; }
+  /// Count of rows with truth `t` predicted as `p`.
+  std::size_t count(int truthLabel, int predictedLabel) const;
+  /// Total rows with the given truth label.
+  std::size_t rowTotal(int truthLabel) const;
+  /// Row-normalized fraction (the percentage cells of Tables 2/4/A.3).
+  double rowFraction(int truthLabel, int predictedLabel) const;
+  /// Overall accuracy.
+  double accuracy() const;
+  std::size_t total() const { return total_; }
+
+ private:
+  std::vector<int> labels_;
+  std::map<std::pair<int, int>, std::size_t> counts_;
+  std::map<int, std::size_t> rowTotals_;
+  std::size_t correct_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Maps a Teams frame height to the paper's three resolution classes:
+/// low (<= 240), medium ((240, 480]), high (> 480). Returns 0/1/2.
+int teamsResolutionBin(int frameHeight);
+
+/// Human-readable names for the Teams bins.
+std::string teamsResolutionBinName(int bin);
+
+}  // namespace vcaqoe::ml

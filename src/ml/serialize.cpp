@@ -1,0 +1,160 @@
+#include "ml/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace vcaqoe::ml {
+
+namespace {
+
+std::string escape(const std::string& name) {
+  // Feature names may contain spaces; encode them to keep the format
+  // whitespace-delimited.
+  std::string out;
+  for (const char c : name) {
+    if (c == ' ') {
+      out += "\\s";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& token) {
+  std::string out;
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] == '\\' && i + 1 < token.size()) {
+      out += token[i + 1] == 's' ? ' ' : token[i + 1];
+      ++i;
+    } else {
+      out += token[i];
+    }
+  }
+  return out;
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("model load: " + what);
+}
+
+}  // namespace
+
+void saveForest(const RandomForest& forest, std::ostream& out) {
+  if (!forest.trained()) {
+    throw std::logic_error("saveForest: forest is untrained");
+  }
+  out << "vcaqoe-forest " << kModelFormatVersion << '\n';
+  out << "task " << (forest.task() == TreeTask::kRegression ? "regression"
+                                                            : "classification")
+      << '\n';
+  out << std::setprecision(17);
+
+  const auto& names = forest.featureNames();
+  out << "features " << names.size();
+  for (const auto& name : names) out << ' ' << escape(name);
+  out << '\n';
+
+  const auto importance = forest.featureImportance();
+  out << "importance " << importance.size();
+  for (const double v : importance) out << ' ' << v;
+  out << '\n';
+
+  out << "trees " << forest.treeCount() << '\n';
+  for (const auto& tree : forest.trees()) {
+    const auto& nodes = tree.nodes();
+    out << "tree " << nodes.size() << '\n';
+    for (const auto& node : nodes) {
+      out << node.featureIndex << ' ' << node.threshold << ' ' << node.left
+          << ' ' << node.right << ' ' << node.value << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("saveForest: stream write failed");
+}
+
+void saveForestFile(const RandomForest& forest, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveForest: cannot open " + path);
+  saveForest(forest, out);
+}
+
+RandomForest loadForest(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version)) malformed("missing header");
+  if (magic != "vcaqoe-forest") malformed("bad magic '" + magic + "'");
+  if (version != kModelFormatVersion) {
+    malformed("unsupported version " + std::to_string(version));
+  }
+
+  std::string key;
+  std::string taskName;
+  if (!(in >> key >> taskName) || key != "task") malformed("missing task");
+  TreeTask task;
+  if (taskName == "regression") {
+    task = TreeTask::kRegression;
+  } else if (taskName == "classification") {
+    task = TreeTask::kClassification;
+  } else {
+    malformed("unknown task '" + taskName + "'");
+  }
+
+  std::size_t nameCount = 0;
+  if (!(in >> key >> nameCount) || key != "features") {
+    malformed("missing features");
+  }
+  std::vector<std::string> names(nameCount);
+  for (auto& name : names) {
+    std::string token;
+    if (!(in >> token)) malformed("truncated feature names");
+    name = unescape(token);
+  }
+
+  std::size_t importanceCount = 0;
+  if (!(in >> key >> importanceCount) || key != "importance") {
+    malformed("missing importance");
+  }
+  std::vector<double> importance(importanceCount);
+  for (auto& v : importance) {
+    if (!(in >> v)) malformed("truncated importance");
+  }
+
+  std::size_t treeCount = 0;
+  if (!(in >> key >> treeCount) || key != "trees") malformed("missing trees");
+  std::vector<DecisionTree> trees;
+  trees.reserve(treeCount);
+  for (std::size_t t = 0; t < treeCount; ++t) {
+    std::size_t nodeCount = 0;
+    if (!(in >> key >> nodeCount) || key != "tree") malformed("missing tree");
+    if (nodeCount == 0) malformed("empty tree");
+    std::vector<DecisionTree::Node> nodes(nodeCount);
+    for (auto& node : nodes) {
+      if (!(in >> node.featureIndex >> node.threshold >> node.left >>
+            node.right >> node.value)) {
+        malformed("truncated tree nodes");
+      }
+      const auto limit = static_cast<std::int32_t>(nodeCount);
+      if (node.featureIndex >= 0 &&
+          (node.left < 0 || node.left >= limit || node.right < 0 ||
+           node.right >= limit ||
+           node.featureIndex >= static_cast<std::int32_t>(nameCount))) {
+        malformed("node references out of range");
+      }
+    }
+    trees.push_back(DecisionTree::fromNodes(std::move(nodes), task, {}));
+  }
+  return RandomForest::fromParts(task, std::move(names), std::move(trees),
+                                 std::move(importance));
+}
+
+RandomForest loadForestFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadForest: cannot open " + path);
+  return loadForest(in);
+}
+
+}  // namespace vcaqoe::ml

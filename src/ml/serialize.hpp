@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/random_forest.hpp"
+
+/// Model persistence.
+///
+/// A deployment (the paper's §7 "system considerations") trains models
+/// offline on labeled lab data and ships them to monitoring points; the
+/// monitors must load models without retraining. The format is a versioned,
+/// line-oriented text format — easy to diff, inspect, and parse without
+/// external dependencies.
+namespace vcaqoe::ml {
+
+inline constexpr int kModelFormatVersion = 1;
+
+/// Serializes a trained forest. Throws std::logic_error if untrained.
+void saveForest(const RandomForest& forest, std::ostream& out);
+void saveForestFile(const RandomForest& forest, const std::string& path);
+
+/// Deserializes a forest. Throws std::runtime_error on malformed input or
+/// version mismatch.
+RandomForest loadForest(std::istream& in);
+RandomForest loadForestFile(const std::string& path);
+
+}  // namespace vcaqoe::ml

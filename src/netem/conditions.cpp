@@ -1,0 +1,175 @@
+#include "netem/conditions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcaqoe::netem {
+
+ConditionSchedule ConditionSchedule::constant(const SecondCondition& c,
+                                              std::size_t durationSec) {
+  return ConditionSchedule(std::vector<SecondCondition>(durationSec, c));
+}
+
+const SecondCondition& ConditionSchedule::at(common::TimeNs t) const {
+  static const SecondCondition kDefault{};
+  if (seconds_.empty()) return kDefault;
+  const std::int64_t idx = common::secondIndex(std::max<common::TimeNs>(t, 0));
+  const std::size_t clamped =
+      std::min(static_cast<std::size_t>(idx), seconds_.size() - 1);
+  return seconds_[clamped];
+}
+
+ConditionSchedule NdtTraceSynthesizer::synthesize(std::size_t durationSec) {
+  // Per-test parameters, mirroring the spread of sub-10 Mbps NDT tests.
+  const double meanKbps = std::exp(rng_.uniform(std::log(300.0), std::log(9'500.0)));
+  const double cv = rng_.uniform(0.08, 0.45);  // coefficient of variation
+  const double stdevKbps = meanKbps * cv;
+  const double baseRttMs = rng_.uniform(8.0, 90.0);
+  const bool lossyTest = rng_.bernoulli(0.25);
+  const double episodeLoss = lossyTest ? rng_.uniform(0.003, 0.04) : 0.0;
+
+  std::vector<SecondCondition> seconds;
+  seconds.reserve(durationSec);
+
+  // AR(1) walk for throughput; RTT inflates when throughput sags (queue
+  // build-up), which is what tcp-info sequences show.
+  double walk = 0.0;
+  const double phi = 0.7;
+  bool inLossEpisode = false;
+  for (std::size_t i = 0; i < durationSec; ++i) {
+    walk = phi * walk + rng_.normal(0.0, stdevKbps * std::sqrt(1 - phi * phi));
+    SecondCondition c;
+    c.throughputKbps = std::max(100.0, meanKbps + walk);
+    const double sag = std::max(0.0, (meanKbps - c.throughputKbps) / meanKbps);
+    c.delayMs = baseRttMs / 2.0 * (1.0 + 2.5 * sag);
+    c.jitterMs = rng_.uniform(0.3, 3.0) + 12.0 * sag;
+    if (inLossEpisode) {
+      c.lossRate = episodeLoss;
+      if (rng_.bernoulli(0.4)) inLossEpisode = false;
+    } else {
+      c.lossRate = 0.0;
+      if (episodeLoss > 0.0 && rng_.bernoulli(0.08)) inLossEpisode = true;
+    }
+    seconds.push_back(c);
+  }
+  return ConditionSchedule(std::move(seconds));
+}
+
+namespace {
+constexpr double kDefaultThroughputKbps = 1'500.0;
+constexpr double kDefaultDelayMs = 50.0;
+}  // namespace
+
+ConditionSchedule meanThroughputProfile(double kbps, std::size_t durationSec) {
+  SecondCondition c;
+  c.throughputKbps = kbps;
+  c.delayMs = kDefaultDelayMs;
+  return ConditionSchedule::constant(c, durationSec);
+}
+
+ConditionSchedule throughputStdevProfile(double kbpsStdev,
+                                         std::size_t durationSec) {
+  // Per-second throughput drawn around the 1500 kbps default. Deterministic
+  // pseudo-random sequence derived from the stdev so repeated calls with the
+  // same parameters yield the same schedule.
+  common::Rng rng(0x7470ULL ^ static_cast<std::uint64_t>(kbpsStdev * 1e3));
+  std::vector<SecondCondition> seconds(durationSec);
+  for (auto& c : seconds) {
+    c.throughputKbps = std::max(
+        100.0, rng.normal(kDefaultThroughputKbps, kbpsStdev));
+    c.delayMs = kDefaultDelayMs;
+  }
+  return ConditionSchedule(std::move(seconds));
+}
+
+ConditionSchedule meanLatencyProfile(double delayMs, std::size_t durationSec) {
+  SecondCondition c;
+  c.throughputKbps = kDefaultThroughputKbps;
+  c.delayMs = delayMs;
+  return ConditionSchedule::constant(c, durationSec);
+}
+
+ConditionSchedule latencyStdevProfile(double jitterMs,
+                                      std::size_t durationSec) {
+  SecondCondition c;
+  c.throughputKbps = kDefaultThroughputKbps;
+  c.delayMs = kDefaultDelayMs;
+  c.jitterMs = jitterMs;
+  return ConditionSchedule::constant(c, durationSec);
+}
+
+ConditionSchedule packetLossProfile(double lossPct, std::size_t durationSec) {
+  SecondCondition c;
+  c.throughputKbps = kDefaultThroughputKbps;
+  c.delayMs = kDefaultDelayMs;
+  c.lossRate = lossPct / 100.0;
+  return ConditionSchedule::constant(c, durationSec);
+}
+
+const std::vector<ImpairmentSweep>& impairmentSweeps() {
+  static const std::vector<ImpairmentSweep> kSweeps = {
+      {"Mean Throughput", "throughput_kbps",
+       {100, 200, 500, 1000, 2000, 4000}, &meanThroughputProfile},
+      {"Throughput stdev.", "throughput_stdev_kbps",
+       {0, 100, 200, 500, 1000, 1500}, &throughputStdevProfile},
+      {"Mean Latency", "delay_ms", {50, 100, 200, 300, 400, 500},
+       &meanLatencyProfile},
+      {"Latency stdev.", "jitter_ms",
+       {10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, &latencyStdevProfile},
+      {"Packet Loss %", "loss_pct", {1, 2, 5, 10, 15, 20}, &packetLossProfile},
+  };
+  return kSweeps;
+}
+
+const std::vector<AccessNetworkProfile>& householdProfiles() {
+  // 15 households across neighbourhoods/ISPs/speed tiers (§4.2). Values are
+  // synthetic but span the access tiers a major US city exhibits.
+  static const std::vector<AccessNetworkProfile> kHouseholds = {
+      {"dsl-25", 25'000, 2'500, 22.0, 2.5, 0.0008, 0.020, 0.75},
+      {"dsl-50", 50'000, 4'000, 18.0, 2.0, 0.0005, 0.015, 0.70},
+      {"cable-100a", 100'000, 8'000, 12.0, 1.5, 0.0003, 0.012, 0.65},
+      {"cable-100b", 100'000, 12'000, 14.0, 2.2, 0.0006, 0.018, 0.70},
+      {"cable-200a", 200'000, 15'000, 11.0, 1.2, 0.0002, 0.010, 0.60},
+      {"cable-200b", 200'000, 10'000, 13.0, 1.8, 0.0004, 0.014, 0.65},
+      {"cable-400", 400'000, 20'000, 10.0, 1.0, 0.0002, 0.008, 0.55},
+      {"fiber-300", 300'000, 9'000, 6.0, 0.6, 0.0001, 0.005, 0.50},
+      {"fiber-500", 500'000, 12'000, 5.0, 0.5, 0.0001, 0.004, 0.45},
+      {"fiber-940a", 940'000, 18'000, 4.0, 0.4, 0.0001, 0.003, 0.40},
+      {"fiber-940b", 940'000, 22'000, 4.5, 0.5, 0.0001, 0.003, 0.40},
+      {"wisp-30", 30'000, 6'000, 28.0, 4.0, 0.0015, 0.030, 0.80},
+      {"lte-40", 40'000, 10'000, 35.0, 5.5, 0.0020, 0.035, 0.85},
+      {"cable-60", 60'000, 7'000, 16.0, 2.4, 0.0007, 0.016, 0.70},
+      {"fiber-100", 100'000, 4'000, 7.0, 0.7, 0.0001, 0.006, 0.50},
+  };
+  return kHouseholds;
+}
+
+ConditionSchedule householdSchedule(const AccessNetworkProfile& profile,
+                                    std::size_t durationSec,
+                                    common::Rng& rng) {
+  std::vector<SecondCondition> seconds;
+  seconds.reserve(durationSec);
+  int dipRemaining = 0;
+  for (std::size_t i = 0; i < durationSec; ++i) {
+    SecondCondition c;
+    c.throughputKbps = std::max(
+        500.0, rng.normal(profile.downKbpsMean, profile.downKbpsStdev));
+    c.delayMs = std::max(1.0, rng.normal(profile.baseDelayMs,
+                                         profile.baseDelayMs * 0.05));
+    c.jitterMs = std::max(0.05, rng.normal(profile.jitterMs,
+                                           profile.jitterMs * 0.2));
+    c.lossRate = profile.lossRate;
+    if (dipRemaining > 0) {
+      --dipRemaining;
+      c.throughputKbps *= (1.0 - profile.dipSeverity);
+      c.jitterMs += rng.uniform(2.0, 12.0);
+      c.lossRate += rng.uniform(0.002, 0.02);
+    } else if (rng.bernoulli(profile.dipProbability)) {
+      dipRemaining = static_cast<int>(rng.uniformInt(1, 4));
+    }
+    seconds.push_back(c);
+  }
+  return ConditionSchedule(std::move(seconds));
+}
+
+}  // namespace vcaqoe::netem

@@ -1,0 +1,77 @@
+#include "netem/link.hpp"
+
+#include <algorithm>
+
+namespace vcaqoe::netem {
+
+LinkEmulator::LinkEmulator(ConditionSchedule schedule, std::uint64_t seed,
+                           Options options)
+    : schedule_(std::move(schedule)), rng_(seed), options_(options) {}
+
+std::optional<common::TimeNs> LinkEmulator::send(common::TimeNs departureNs,
+                                                 std::uint32_t sizeBytes) {
+  ++stats_.offeredPackets;
+  stats_.offeredBytes += sizeBytes;
+  ++windowOffered_;
+
+  const SecondCondition& cond = schedule_.at(departureNs);
+
+  // Random (Bernoulli) loss, applied before queueing like tc's netem stage.
+  if (rng_.bernoulli(cond.lossRate)) {
+    ++stats_.randomLosses;
+    ++windowLost_;
+    return std::nullopt;
+  }
+
+  // Bottleneck FIFO: serialization at the scheduled capacity.
+  const double bitsPerNs = cond.throughputKbps * 1e3 / 1e9;
+  const auto serviceNs = static_cast<common::DurationNs>(
+      static_cast<double>(sizeBytes) * 8.0 / std::max(bitsPerNs, 1e-12));
+  const common::TimeNs startService = std::max(departureNs, queueFreeAt_);
+  const common::DurationNs queueDelay = startService - departureNs;
+  if (queueDelay > options_.maxQueueDelayNs) {
+    ++stats_.queueDrops;
+    ++windowLost_;
+    return std::nullopt;
+  }
+  queueFreeAt_ = startService + serviceNs;
+
+  // Propagation + per-packet jitter (truncated at zero extra delay). Jitter
+  // is independent per packet, so large jitter reorders packets.
+  const double jitterMs = std::max(0.0, rng_.normal(0.0, cond.jitterMs));
+  const common::TimeNs arrival = queueFreeAt_ +
+                                 common::millisToNs(cond.delayMs) +
+                                 common::millisToNs(jitterMs);
+
+  ++stats_.deliveredPackets;
+  stats_.deliveredBytes += sizeBytes;
+  windowDeliveredBytes_ += sizeBytes;
+  return arrival;
+}
+
+common::DurationNs LinkEmulator::currentQueueDelay(common::TimeNs t) const {
+  return std::max<common::DurationNs>(0, queueFreeAt_ - t);
+}
+
+double LinkEmulator::recentLossRate() const { return lastWindowLossRate_; }
+
+double LinkEmulator::recentDeliveryRateKbps() const {
+  return lastWindowRateKbps_;
+}
+
+void LinkEmulator::rollFeedbackWindow(common::TimeNs now) {
+  const common::DurationNs span = std::max<common::DurationNs>(
+      now - windowStart_, common::kNanosPerMilli);
+  lastWindowLossRate_ =
+      windowOffered_ ? static_cast<double>(windowLost_) /
+                           static_cast<double>(windowOffered_)
+                     : 0.0;
+  lastWindowRateKbps_ = static_cast<double>(windowDeliveredBytes_) * 8.0 /
+                        common::nsToSeconds(span) / 1e3;
+  windowOffered_ = 0;
+  windowLost_ = 0;
+  windowDeliveredBytes_ = 0;
+  windowStart_ = now;
+}
+
+}  // namespace vcaqoe::netem

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netem/conditions.hpp"
+
+/// Bottleneck-link emulator.
+///
+/// Models the downstream path the paper emulates with `tc`: a FIFO
+/// bottleneck queue whose drain rate follows the per-second throughput
+/// schedule, followed by propagation delay with per-packet jitter and
+/// Bernoulli loss. Independent per-packet jitter produces packet reordering
+/// under high latency jitter — the error source §5.4 identifies.
+namespace vcaqoe::netem {
+
+struct LinkStats {
+  std::uint64_t offeredPackets = 0;
+  std::uint64_t deliveredPackets = 0;
+  std::uint64_t randomLosses = 0;
+  std::uint64_t queueDrops = 0;
+  std::uint64_t offeredBytes = 0;
+  std::uint64_t deliveredBytes = 0;
+};
+
+struct LinkOptions {
+  /// Maximum queueing delay before tail drop (a ~250 ms buffer is typical
+  /// for access links; deep enough to show bufferbloat under load).
+  common::DurationNs maxQueueDelayNs = common::millisToNs(250.0);
+};
+
+class LinkEmulator {
+ public:
+  using Options = LinkOptions;
+
+  LinkEmulator(ConditionSchedule schedule, std::uint64_t seed,
+               Options options = {});
+
+  /// Offers one packet to the link at its departure time. Packets must be
+  /// offered in non-decreasing departure order. Returns the arrival time at
+  /// the receiver, or nullopt if the packet was dropped (queue overflow or
+  /// random loss).
+  std::optional<common::TimeNs> send(common::TimeNs departureNs,
+                                     std::uint32_t sizeBytes);
+
+  /// Instantaneous queueing delay a packet offered at `t` would experience.
+  common::DurationNs currentQueueDelay(common::TimeNs t) const;
+
+  /// Fraction of offered packets lost in the last completed window the
+  /// sender's congestion controller samples (randomly lost + queue drops).
+  double recentLossRate() const;
+
+  /// Delivery rate (kbps) observed over the sender's last feedback interval.
+  double recentDeliveryRateKbps() const;
+
+  /// Marks the end of a sender feedback interval; recent* accessors report
+  /// over the interval just closed.
+  void rollFeedbackWindow(common::TimeNs now);
+
+  const LinkStats& stats() const { return stats_; }
+  const ConditionSchedule& schedule() const { return schedule_; }
+
+ private:
+  ConditionSchedule schedule_;
+  common::Rng rng_;
+  Options options_;
+  LinkStats stats_;
+
+  common::TimeNs queueFreeAt_ = 0;
+
+  // Feedback-interval accounting.
+  std::uint64_t windowOffered_ = 0;
+  std::uint64_t windowLost_ = 0;
+  std::uint64_t windowDeliveredBytes_ = 0;
+  common::TimeNs windowStart_ = 0;
+  double lastWindowLossRate_ = 0.0;
+  double lastWindowRateKbps_ = 0.0;
+};
+
+}  // namespace vcaqoe::netem

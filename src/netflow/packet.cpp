@@ -1,0 +1,27 @@
+#include "netflow/packet.hpp"
+
+#include <algorithm>
+
+namespace vcaqoe::netflow {
+
+void Packet::setHead(std::span<const std::uint8_t> payloadPrefix) {
+  headLen = static_cast<std::uint8_t>(
+      std::min(payloadPrefix.size(), kHeadCapacity));
+  std::copy_n(payloadPrefix.begin(), headLen, head.begin());
+}
+
+bool isArrivalOrdered(const PacketTrace& trace) {
+  return std::is_sorted(trace.begin(), trace.end(),
+                        [](const Packet& a, const Packet& b) {
+                          return a.arrivalNs < b.arrivalNs;
+                        });
+}
+
+void sortByArrival(PacketTrace& trace) {
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.arrivalNs < b.arrivalNs;
+                   });
+}
+
+}  // namespace vcaqoe::netflow

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/time.hpp"
+
+/// Wire-level packet observations.
+///
+/// A `Packet` is what a passive monitoring point at an access node records
+/// for one UDP datagram of a VCA session: arrival time, UDP payload size, and
+/// (optionally) the first few payload bytes. The paper's IP/UDP methods use
+/// only `arrivalNs` and `sizeBytes`; the RTP baselines additionally parse the
+/// RTP header out of `head`.
+namespace vcaqoe::netflow {
+
+/// Maximum number of UDP payload prefix bytes captured per packet. 20 bytes
+/// is enough for the fixed 12-byte RTP header plus margin, mirroring a
+/// monitoring system with a small snap length.
+inline constexpr std::size_t kHeadCapacity = 20;
+
+/// UDP 5-tuple (protocol implied) identifying a flow in a trace.
+struct FlowKey {
+  std::uint32_t srcIp = 0;
+  std::uint32_t dstIp = 0;
+  std::uint16_t srcPort = 0;
+  std::uint16_t dstPort = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+/// One observed UDP datagram.
+struct Packet {
+  /// Arrival time at the observation point (receiver side), ns since epoch.
+  common::TimeNs arrivalNs = 0;
+  /// Sender departure time; simulation ground truth, 0 when read from pcap.
+  common::TimeNs departureNs = 0;
+  /// UDP payload length in bytes (excludes IP/UDP headers; includes the RTP
+  /// header when the payload is RTP). This is the packet "size" every method
+  /// in the paper operates on.
+  std::uint32_t sizeBytes = 0;
+  /// Number of valid bytes in `head`.
+  std::uint8_t headLen = 0;
+  /// First `headLen` bytes of the UDP payload.
+  std::array<std::uint8_t, kHeadCapacity> head{};
+
+  /// The captured payload prefix as a span.
+  std::span<const std::uint8_t> headBytes() const {
+    return {head.data(), headLen};
+  }
+
+  /// Copies up to kHeadCapacity bytes of `payloadPrefix` into `head`.
+  void setHead(std::span<const std::uint8_t> payloadPrefix);
+};
+
+/// A receiver-side packet trace in arrival order (the unit the estimators
+/// consume; the paper calls this "a single VCA session").
+using PacketTrace = std::vector<Packet>;
+
+/// Returns true if the trace is sorted by arrival time (stable order).
+bool isArrivalOrdered(const PacketTrace& trace);
+
+/// Stable-sorts a trace by arrival time.
+void sortByArrival(PacketTrace& trace);
+
+}  // namespace vcaqoe::netflow

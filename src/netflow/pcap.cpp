@@ -1,0 +1,250 @@
+#include "netflow/pcap.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "netflow/bytes.hpp"
+
+namespace vcaqoe::netflow {
+
+namespace {
+
+// pcap headers are in the writer's native order; we always emit little-endian
+// and accept either on read.
+
+void le16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+class EndianReader {
+ public:
+  EndianReader(std::span<const std::uint8_t> data, bool swap)
+      : data_(data), swap_(swap) {}
+
+  std::uint16_t u16() {
+    require(2);
+    std::uint16_t v;
+    if (swap_) {
+      v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    } else {
+      v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    if (swap_) {
+      v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+          static_cast<std::uint32_t>(data_[pos_ + 3]);
+    } else {
+      v = static_cast<std::uint32_t>(data_[pos_]) |
+          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+          (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    require(n);
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) throw std::runtime_error("pcap: truncated file");
+  }
+
+  std::span<const std::uint8_t> data_;
+  bool swap_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::uint32_t snaplen) : snaplen_(snaplen) {
+  le32(buffer_, kPcapMagicNano);
+  le16(buffer_, 2);  // version major
+  le16(buffer_, 4);  // version minor
+  le32(buffer_, 0);  // thiszone
+  le32(buffer_, 0);  // sigfigs
+  le32(buffer_, snaplen_);
+  le32(buffer_, kLinktypeRawIpv4);
+}
+
+void PcapWriter::write(const FlowKey& flow, const Packet& packet) {
+  // Assemble the on-wire bytes we actually have: IPv4 + UDP headers plus the
+  // captured payload prefix.
+  std::vector<std::uint8_t> wire;
+  wire.reserve(kIpv4HeaderSize + kUdpHeaderSize + packet.headLen);
+
+  Ipv4Header ip;
+  ip.totalLength = static_cast<std::uint16_t>(
+      kIpv4HeaderSize + kUdpHeaderSize + packet.sizeBytes);
+  ip.srcAddr = flow.srcIp;
+  ip.dstAddr = flow.dstIp;
+  encodeIpv4(ip, wire);
+
+  UdpHeader udp;
+  udp.srcPort = flow.srcPort;
+  udp.dstPort = flow.dstPort;
+  udp.length = static_cast<std::uint16_t>(kUdpHeaderSize + packet.sizeBytes);
+  encodeUdp(udp, wire);
+
+  auto headSpan = packet.headBytes();
+  wire.insert(wire.end(), headSpan.begin(), headSpan.end());
+
+  const std::uint32_t origLen = static_cast<std::uint32_t>(
+      kIpv4HeaderSize + kUdpHeaderSize + packet.sizeBytes);
+  const std::uint32_t capLen =
+      std::min({static_cast<std::uint32_t>(wire.size()), snaplen_, origLen});
+
+  const auto ts = packet.arrivalNs;
+  le32(buffer_, static_cast<std::uint32_t>(ts / common::kNanosPerSecond));
+  le32(buffer_, static_cast<std::uint32_t>(ts % common::kNanosPerSecond));
+  le32(buffer_, capLen);
+  le32(buffer_, origLen);
+  buffer_.insert(buffer_.end(), wire.begin(), wire.begin() + capLen);
+}
+
+void PcapWriter::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("pcap: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(buffer_.data()),
+            static_cast<std::streamsize>(buffer_.size()));
+  if (!out) throw std::runtime_error("pcap: write failed for " + path);
+}
+
+std::vector<PcapRecord> parsePcap(std::span<const std::uint8_t> data) {
+  if (data.size() < 24) throw std::runtime_error("pcap: file too short");
+
+  // Determine byte order and resolution from the magic number.
+  const std::uint32_t magicLe = static_cast<std::uint32_t>(data[0]) |
+                                (static_cast<std::uint32_t>(data[1]) << 8) |
+                                (static_cast<std::uint32_t>(data[2]) << 16) |
+                                (static_cast<std::uint32_t>(data[3]) << 24);
+  bool swap = false;
+  bool nano = false;
+  if (magicLe == kPcapMagicNano) {
+    nano = true;
+  } else if (magicLe == kPcapMagicMicro) {
+    nano = false;
+  } else {
+    const std::uint32_t magicBe = __builtin_bswap32(magicLe);
+    if (magicBe == kPcapMagicNano) {
+      nano = true;
+      swap = true;
+    } else if (magicBe == kPcapMagicMicro) {
+      swap = true;
+    } else {
+      throw std::runtime_error("pcap: bad magic");
+    }
+  }
+
+  EndianReader r(data, swap);
+  r.u32();  // magic (already inspected)
+  r.u16();  // version major
+  r.u16();  // version minor
+  r.u32();  // thiszone
+  r.u32();  // sigfigs
+  r.u32();  // snaplen
+  const std::uint32_t linktype = r.u32();
+  if (linktype != kLinktypeRawIpv4) {
+    throw std::runtime_error("pcap: unsupported linktype " +
+                             std::to_string(linktype));
+  }
+
+  std::vector<PcapRecord> records;
+  while (r.remaining() > 0) {
+    if (r.remaining() < 16) throw std::runtime_error("pcap: truncated record");
+    const std::uint32_t tsSec = r.u32();
+    const std::uint32_t tsFrac = r.u32();
+    const std::uint32_t capLen = r.u32();
+    r.u32();  // origLen (redundant with the IP total length we parse below)
+    auto wire = r.bytes(capLen);
+
+    std::size_t ipLen = 0;
+    auto ip = decodeIpv4(wire, ipLen);
+    if (!ip || ip->protocol != kIpProtoUdp) continue;
+    auto udp = decodeUdp(wire.subspan(ipLen));
+    if (!udp) continue;
+
+    PcapRecord rec;
+    rec.flow.srcIp = ip->srcAddr;
+    rec.flow.dstIp = ip->dstAddr;
+    rec.flow.srcPort = udp->srcPort;
+    rec.flow.dstPort = udp->dstPort;
+    rec.packet.arrivalNs =
+        static_cast<common::TimeNs>(tsSec) * common::kNanosPerSecond +
+        (nano ? tsFrac : tsFrac * 1000LL);
+    rec.packet.sizeBytes =
+        static_cast<std::uint32_t>(udp->length - kUdpHeaderSize);
+    const std::size_t payloadOffset = ipLen + kUdpHeaderSize;
+    if (wire.size() > payloadOffset) {
+      rec.packet.setHead(wire.subspan(payloadOffset));
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<PcapRecord> loadPcap(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pcap: cannot open " + path);
+  std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>()};
+  return parsePcap(data);
+}
+
+PacketTrace packetsForFlow(const std::vector<PcapRecord>& records,
+                           const FlowKey& flow) {
+  PacketTrace trace;
+  for (const auto& rec : records) {
+    if (rec.flow == flow) trace.push_back(rec.packet);
+  }
+  return trace;
+}
+
+FlowKey dominantFlow(const std::vector<PcapRecord>& records) {
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t,
+                      std::uint16_t>,
+           std::size_t>
+      counts;
+  for (const auto& rec : records) {
+    ++counts[{rec.flow.srcIp, rec.flow.dstIp, rec.flow.srcPort,
+              rec.flow.dstPort}];
+  }
+  FlowKey best{};
+  std::size_t bestCount = 0;
+  for (const auto& [key, count] : counts) {
+    if (count > bestCount) {
+      bestCount = count;
+      best = FlowKey{std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                     std::get<3>(key)};
+    }
+  }
+  return best;
+}
+
+}  // namespace vcaqoe::netflow

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netflow/ip.hpp"
+#include "netflow/packet.hpp"
+
+/// Classic-pcap (libpcap) capture file reader/writer.
+///
+/// Files are written with the nanosecond-resolution magic (0xA1B23C4D) and
+/// LINKTYPE_RAW (101, raw IPv4) so timestamps round-trip exactly. A small
+/// snap length is used deliberately: the monitoring model of the paper only
+/// needs IP/UDP headers plus at most the 12-byte RTP prefix.
+namespace vcaqoe::netflow {
+
+inline constexpr std::uint32_t kPcapMagicNano = 0xA1B23C4D;
+inline constexpr std::uint32_t kPcapMagicMicro = 0xA1B2C3D4;
+inline constexpr std::uint32_t kLinktypeRawIpv4 = 101;
+
+/// One record as stored in a capture: the flow it belongs to plus the packet
+/// observation derived from the headers.
+struct PcapRecord {
+  FlowKey flow;
+  Packet packet;
+};
+
+/// Serializes packets into an in-memory pcap byte stream.
+class PcapWriter {
+ public:
+  /// `snaplen` bounds the stored bytes per packet (link-layer onwards).
+  explicit PcapWriter(std::uint32_t snaplen = kIpv4HeaderSize +
+                                              kUdpHeaderSize + kHeadCapacity);
+
+  /// Appends one UDP datagram. Payload bytes beyond `packet.headLen` are not
+  /// available and are captured as a truncated record (caplen < origlen),
+  /// exactly like a snap-length-limited real capture.
+  void write(const FlowKey& flow, const Packet& packet);
+
+  /// The complete file contents (global header + records so far).
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+
+  /// Writes the buffer to a file. Throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::uint32_t snaplen_;
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Parses an in-memory pcap byte stream. Throws std::runtime_error on
+/// malformed global/record headers; skips non-IPv4/UDP records.
+std::vector<PcapRecord> parsePcap(std::span<const std::uint8_t> data);
+
+/// Loads a capture file from disk. Throws std::runtime_error on I/O failure.
+std::vector<PcapRecord> loadPcap(const std::string& path);
+
+/// Convenience: extracts only the packets of the given flow, in file order.
+PacketTrace packetsForFlow(const std::vector<PcapRecord>& records,
+                           const FlowKey& flow);
+
+/// Convenience: the flow with the most packets in the capture (a VCA media
+/// flow dominates its session's traffic).
+FlowKey dominantFlow(const std::vector<PcapRecord>& records);
+
+}  // namespace vcaqoe::netflow

@@ -1,0 +1,37 @@
+#include "rtp/media_kind.hpp"
+
+namespace vcaqoe::rtp {
+
+std::string toString(MediaKind kind) {
+  switch (kind) {
+    case MediaKind::kAudio:
+      return "audio";
+    case MediaKind::kVideo:
+      return "video";
+    case MediaKind::kVideoRtx:
+      return "video-rtx";
+    case MediaKind::kControl:
+      return "control";
+  }
+  return "unknown";
+}
+
+void PayloadTypeMap::assign(std::uint8_t pt, MediaKind kind) {
+  ptToKind_[pt] = kind;
+  kindToPt_[static_cast<std::uint8_t>(kind)] = pt;
+}
+
+std::optional<MediaKind> PayloadTypeMap::kindOf(std::uint8_t pt) const {
+  const auto it = ptToKind_.find(pt);
+  if (it == ptToKind_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint8_t> PayloadTypeMap::payloadTypeOf(
+    MediaKind kind) const {
+  const auto it = kindToPt_.find(static_cast<std::uint8_t>(kind));
+  if (it == kindToPt_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace vcaqoe::rtp

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+/// Media-kind taxonomy and payload-type mapping.
+///
+/// The ground truth for media classification (paper §3.1) is the RTP
+/// `payload type` header; each VCA uses its own numbering, and the numbering
+/// differs between the in-lab and real-world captures (§5.2). This module
+/// provides the registry both the simulator and the evaluation use.
+namespace vcaqoe::rtp {
+
+enum class MediaKind : std::uint8_t {
+  kAudio,     // OPUS voice stream
+  kVideo,     // primary video stream
+  kVideoRtx,  // video retransmission stream (incl. 304-byte keep-alives)
+  kControl,   // DTLS/STUN/handshake datagrams (no RTP header)
+};
+
+std::string toString(MediaKind kind);
+
+/// Bidirectional payload-type <-> media-kind map for one VCA deployment.
+class PayloadTypeMap {
+ public:
+  PayloadTypeMap() = default;
+
+  /// Registers `pt` as carrying `kind`. Re-registering a PT overwrites.
+  void assign(std::uint8_t pt, MediaKind kind);
+
+  /// Kind for a payload type; nullopt when the PT is unknown.
+  std::optional<MediaKind> kindOf(std::uint8_t pt) const;
+
+  /// The payload type registered for `kind`; nullopt if none.
+  std::optional<std::uint8_t> payloadTypeOf(MediaKind kind) const;
+
+ private:
+  std::unordered_map<std::uint8_t, MediaKind> ptToKind_;
+  std::unordered_map<std::uint8_t, std::uint8_t> kindToPt_;  // key: MediaKind
+};
+
+}  // namespace vcaqoe::rtp

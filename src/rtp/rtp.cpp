@@ -1,0 +1,49 @@
+#include "rtp/rtp.hpp"
+
+#include "common/time.hpp"
+#include "netflow/bytes.hpp"
+
+namespace vcaqoe::rtp {
+
+void encode(const RtpHeader& h, std::vector<std::uint8_t>& out) {
+  netflow::ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(kRtpVersion << 6));  // V=2, P=0, X=0, CC=0
+  w.u8(static_cast<std::uint8_t>((h.marker ? 0x80 : 0x00) |
+                                 (h.payloadType & 0x7F)));
+  w.u16(h.sequenceNumber);
+  w.u32(h.timestamp);
+  w.u32(h.ssrc);
+}
+
+std::optional<RtpHeader> decode(std::span<const std::uint8_t> data) {
+  if (data.size() < kRtpHeaderSize) return std::nullopt;
+  if ((data[0] >> 6) != kRtpVersion) return std::nullopt;
+  netflow::ByteReader r(data);
+  r.skip(1);
+  const std::uint8_t mpt = r.u8();
+  RtpHeader h;
+  h.marker = (mpt & 0x80) != 0;
+  h.payloadType = mpt & 0x7F;
+  h.sequenceNumber = r.u16();
+  h.timestamp = r.u32();
+  h.ssrc = r.u32();
+  return h;
+}
+
+std::int32_t sequenceDistance(std::uint16_t a, std::uint16_t b) {
+  const std::int32_t d = static_cast<std::int32_t>(b) - a;
+  if (d > 32767) return d - 65536;
+  if (d < -32768) return d + 65536;
+  return d;
+}
+
+std::int64_t timestampDeltaToNs(std::uint32_t from, std::uint32_t to,
+                                std::uint32_t clockHz) {
+  // Unwrap modulo-2^32; deltas in a call are far below half the ring.
+  std::int64_t d = static_cast<std::int64_t>(to) - static_cast<std::int64_t>(from);
+  if (d > (1LL << 31)) d -= (1LL << 32);
+  if (d < -(1LL << 31)) d += (1LL << 32);
+  return d * common::kNanosPerSecond / static_cast<std::int64_t>(clockHz);
+}
+
+}  // namespace vcaqoe::rtp

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+/// RFC 3550 RTP fixed-header codec.
+///
+/// The simulator serializes real RTP headers into each packet's payload
+/// prefix; the RTP-baseline estimators and the ground-truth extractors parse
+/// them back. The IP/UDP methods never touch this module — that asymmetry is
+/// the point of the paper.
+namespace vcaqoe::rtp {
+
+inline constexpr std::size_t kRtpHeaderSize = 12;
+inline constexpr std::uint8_t kRtpVersion = 2;
+
+/// RTP timestamp clock rate for video codecs (RFC 6184 and friends).
+inline constexpr std::uint32_t kVideoClockHz = 90'000;
+/// OPUS RTP clock rate (RFC 7587).
+inline constexpr std::uint32_t kAudioClockHz = 48'000;
+
+/// Parsed RTP fixed header. CSRC lists and header extensions are not modeled
+/// (WebRTC media packets in this problem carry none that matter for QoE
+/// inference; the paper's features use only PT/marker/seq/timestamp/SSRC).
+struct RtpHeader {
+  std::uint8_t payloadType = 0;  // 7 bits
+  bool marker = false;
+  std::uint16_t sequenceNumber = 0;
+  std::uint32_t timestamp = 0;
+  std::uint32_t ssrc = 0;
+
+  friend bool operator==(const RtpHeader&, const RtpHeader&) = default;
+};
+
+/// Serializes the 12-byte fixed header (version 2, no padding/extension/CSRC).
+void encode(const RtpHeader& h, std::vector<std::uint8_t>& out);
+
+/// Parses a fixed header from the first bytes of a UDP payload. Returns
+/// nullopt if the buffer is shorter than 12 bytes or the version is not 2 —
+/// which is exactly how a monitor distinguishes RTP media from DTLS/STUN
+/// traffic sharing the same flow.
+std::optional<RtpHeader> decode(std::span<const std::uint8_t> data);
+
+/// Forward distance from sequence number `a` to `b` in modulo-2^16 space
+/// (RFC 3550 §A.1 style). Positive result means b is ahead of a.
+std::int32_t sequenceDistance(std::uint16_t a, std::uint16_t b);
+
+/// Converts an RTP timestamp delta to nanoseconds under the given clock.
+std::int64_t timestampDeltaToNs(std::uint32_t from, std::uint32_t to,
+                                std::uint32_t clockHz);
+
+}  // namespace vcaqoe::rtp

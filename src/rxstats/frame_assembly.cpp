@@ -1,0 +1,72 @@
+#include "rxstats/frame_assembly.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "rtp/rtp.hpp"
+
+namespace vcaqoe::rxstats {
+
+std::vector<ReceivedFrame> assembleFrames(
+    const netflow::PacketTrace& packets,
+    const std::vector<simcall::SentFrame>& sentFrames, std::uint8_t videoPt,
+    std::uint8_t rtxPt) {
+  // Index the sender truth by RTP timestamp.
+  std::unordered_map<std::uint32_t, const simcall::SentFrame*> truth;
+  truth.reserve(sentFrames.size());
+  for (const auto& f : sentFrames) truth[f.rtpTimestamp] = &f;
+
+  std::unordered_map<std::uint32_t, ReceivedFrame> building;
+  building.reserve(sentFrames.size());
+
+  for (const auto& pkt : packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (!header) continue;  // DTLS/STUN
+    const bool primary = header->payloadType == videoPt;
+    const bool rtx = rtxPt != 0 && header->payloadType == rtxPt;
+    if (!primary && !rtx) continue;
+    const auto truthIt = truth.find(header->timestamp);
+    if (truthIt == truth.end()) continue;  // RTX keep-alive, not a frame
+
+    ReceivedFrame& frame = building[header->timestamp];
+    if (frame.packetsReceived == 0 && frame.rtxRecovered == 0) {
+      frame.rtpTimestamp = header->timestamp;
+      frame.captureNs = truthIt->second->captureNs;
+      frame.firstArrivalNs = pkt.arrivalNs;
+      frame.packetsExpected = truthIt->second->packetCount;
+      frame.frameHeight = truthIt->second->frameHeight;
+      frame.keyframe = truthIt->second->keyframe;
+    }
+    frame.firstArrivalNs = std::min(frame.firstArrivalNs, pkt.arrivalNs);
+    frame.payloadBytes +=
+        pkt.sizeBytes - static_cast<std::uint32_t>(rtp::kRtpHeaderSize);
+    if (primary) {
+      ++frame.packetsReceived;
+      frame.sawMarker = frame.sawMarker || header->marker;
+    } else {
+      ++frame.rtxRecovered;
+    }
+    if (frame.packetsReceived + frame.rtxRecovered >= frame.packetsExpected &&
+        !frame.complete) {
+      frame.complete = true;
+      frame.completeNs = pkt.arrivalNs;
+    }
+  }
+
+  std::vector<ReceivedFrame> frames;
+  frames.reserve(building.size());
+  for (auto& [ts, frame] : building) {
+    if (!frame.complete) {
+      // Record the best-known completion bound for diagnostics.
+      frame.completeNs = frame.firstArrivalNs;
+    }
+    frames.push_back(frame);
+  }
+  std::sort(frames.begin(), frames.end(),
+            [](const ReceivedFrame& a, const ReceivedFrame& b) {
+              return a.captureNs < b.captureNs;
+            });
+  return frames;
+}
+
+}  // namespace vcaqoe::rxstats

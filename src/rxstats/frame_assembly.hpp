@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netflow/packet.hpp"
+#include "simcall/call_simulator.hpp"
+
+/// Receiver-side frame reassembly from RTP packets.
+///
+/// This is the ground-truth path: like the paper's analysis of RTP captures,
+/// frames are identified by their RTP timestamp (every packet of a frame
+/// shares one timestamp, the marker bit tags the last packet). Completeness
+/// is judged against the sender frame table, with RTX recoveries counted in.
+namespace vcaqoe::rxstats {
+
+/// One reassembled video frame at the receiver.
+struct ReceivedFrame {
+  std::uint32_t rtpTimestamp = 0;
+  common::TimeNs captureNs = 0;        // sender capture time (truth)
+  common::TimeNs firstArrivalNs = 0;
+  common::TimeNs completeNs = 0;       // arrival of the last needed packet
+  std::uint32_t payloadBytes = 0;      // media payload received (excl. RTP)
+  std::uint16_t packetsReceived = 0;   // primary-stream packets
+  std::uint16_t packetsExpected = 0;   // from the sender frame table
+  std::uint16_t rtxRecovered = 0;      // losses recovered via RTX
+  int frameHeight = 0;
+  bool keyframe = false;               // from the sender frame table
+  bool complete = false;               // fully received (after RTX)
+  bool sawMarker = false;
+};
+
+/// Reassembles the video frames of a simulated call. Packets must be the
+/// receiver trace (arrival-ordered); `videoPt`/`rtxPt` select the streams.
+std::vector<ReceivedFrame> assembleFrames(
+    const netflow::PacketTrace& packets,
+    const std::vector<simcall::SentFrame>& sentFrames, std::uint8_t videoPt,
+    std::uint8_t rtxPt);
+
+}  // namespace vcaqoe::rxstats

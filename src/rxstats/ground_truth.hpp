@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "rxstats/frame_assembly.hpp"
+#include "rxstats/jitter_buffer.hpp"
+#include "rxstats/qoe_metrics.hpp"
+#include "simcall/call_simulator.hpp"
+
+/// Ground-truth QoE extraction: the simulation's stand-in for Chrome's
+/// webrtc-internals per-second log (§4.1).
+namespace vcaqoe::rxstats {
+
+struct GroundTruthOptions {
+  JitterBuffer::Options jitterBuffer;
+  /// Seconds trimmed from the start (call setup / ramp is logged by
+  /// webrtc-internals but our evaluation, like the paper's filtering of
+  /// short logs, skips the connect transient).
+  int warmupSeconds = 2;
+};
+
+/// Builds the per-second ground-truth timeline for a simulated call:
+///   bitrate  — video payload bits received per second (arrival-based),
+///   fps      — frames decoded per second (post jitter buffer),
+///   jitter   — stdev of consecutive decode gaps within the second,
+///   height   — height of the last frame decoded in the second.
+/// Rows cover [warmupSeconds, floor(callDuration)) and are marked invalid
+/// for seconds with no decoded frame.
+QoeTimeline buildGroundTruth(const simcall::CallResult& call,
+                             double durationSec,
+                             const GroundTruthOptions& options = {},
+                             std::uint64_t seed = 1);
+
+}  // namespace vcaqoe::rxstats

@@ -1,0 +1,98 @@
+#include "rxstats/jitter_buffer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcaqoe::rxstats {
+
+std::vector<DecodedFrame> JitterBuffer::playout(
+    const std::vector<ReceivedFrame>& frames, common::Rng& rng) const {
+  std::vector<DecodedFrame> decoded;
+  decoded.reserve(frames.size());
+
+  bool first = true;
+  common::TimeNs baseArrival = 0;
+  common::TimeNs baseCapture = 0;
+  double jitterEstimateNs = 0.0;
+  double targetDelayNs = static_cast<double>(options_.minTargetDelayNs);
+  common::TimeNs lastDecode = 0;
+  double lastLatenessNs = 0.0;
+
+  bool referenceBroken = false;
+  common::TimeNs decoderBusyUntil = 0;
+  for (const auto& frame : frames) {
+    // Delta frames reference the previous frame: after an unrecovered loss
+    // nothing decodes until the next (PLI-triggered) keyframe arrives.
+    if (!frame.complete) {
+      referenceBroken = true;
+      continue;
+    }
+    if (frame.keyframe) referenceBroken = false;
+    if (referenceBroken) continue;
+
+    // Decoder capacity: service time proportional to the frame's pixels
+    // (16:9). When the decoder is too far behind, the frame is skipped —
+    // skipping a delta frame is safe for the model (references decode-only).
+    common::DurationNs decodeServiceNs = 0;
+    if (options_.decodePixelsPerSec > 0.0) {
+      const double pixels = static_cast<double>(frame.frameHeight) *
+                            frame.frameHeight * 16.0 / 9.0;
+      decodeServiceNs = static_cast<common::DurationNs>(
+          pixels / options_.decodePixelsPerSec *
+          static_cast<double>(common::kNanosPerSecond));
+      const common::TimeNs startDecode =
+          std::max(frame.completeNs, decoderBusyUntil);
+      if (startDecode - frame.completeNs > options_.decodeSkipThresholdNs) {
+        continue;  // decoder overloaded: frame dropped before decode
+      }
+      decoderBusyUntil = startDecode + decodeServiceNs;
+    }
+    if (first) {
+      baseArrival = frame.completeNs;
+      baseCapture = frame.captureNs;
+      first = false;
+    }
+    // How late the frame is relative to its nominal (capture-paced) slot.
+    const auto expected = baseArrival + (frame.captureNs - baseCapture);
+    const double latenessNs =
+        static_cast<double>(frame.completeNs - expected);
+
+    // RFC 3550-style interarrival jitter estimate over frame completions.
+    const double d = std::abs(latenessNs - lastLatenessNs);
+    lastLatenessNs = latenessNs;
+    jitterEstimateNs += options_.jitterGain * (d - jitterEstimateNs);
+
+    // Target delay: rises immediately when jitter spikes, decays slowly.
+    const double wanted = options_.jitterMultiplier * jitterEstimateNs;
+    if (wanted > targetDelayNs) {
+      targetDelayNs = wanted;
+    } else {
+      targetDelayNs += 0.05 * (wanted - targetDelayNs);
+    }
+    targetDelayNs = std::clamp(
+        targetDelayNs, static_cast<double>(options_.minTargetDelayNs),
+        static_cast<double>(options_.maxTargetDelayNs));
+
+    // Scheduled playout: the buffer holds frames to their smoothed slot but
+    // can never emit before the frame has arrived and been decoded.
+    const auto decodeLatency =
+        decodeServiceNs +
+        static_cast<common::DurationNs>(
+            static_cast<double>(options_.decodeDelayNs) * rng.uniform(0.6, 1.6));
+    const common::TimeNs scheduled =
+        expected + static_cast<common::DurationNs>(targetDelayNs);
+    common::TimeNs decodeAt =
+        std::max(frame.completeNs + decodeLatency, scheduled);
+    // Renderer cannot emit two frames at once.
+    if (!decoded.empty()) {
+      decodeAt = std::max(decodeAt, lastDecode + common::millisToNs(1.0));
+    }
+    lastDecode = decodeAt;
+
+    decoded.push_back(DecodedFrame{decodeAt, frame.frameHeight,
+                                   frame.payloadBytes});
+  }
+  return decoded;
+}
+
+}  // namespace vcaqoe::rxstats

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "rxstats/frame_assembly.hpp"
+
+/// Adaptive jitter buffer + decoder model.
+///
+/// webrtc-internals reports frame statistics *after* the jitter buffer and
+/// decoder, not at packet arrival. The paper leans on this repeatedly: all
+/// methods "overestimate" frame jitter because the buffer smooths playout
+/// (§5.1.4, Fig 8), and the heuristics cannot calibrate away buffer delays
+/// while the ML methods partially can (§5.1.2). This model reproduces that
+/// application-level transformation.
+namespace vcaqoe::rxstats {
+
+/// Playout record for one decoded frame.
+struct DecodedFrame {
+  common::TimeNs decodeNs = 0;  // when the frame left the buffer/decoder
+  int frameHeight = 0;
+  std::uint32_t payloadBytes = 0;
+};
+
+struct JitterBufferOptions {
+  /// Floor of the adaptive target delay.
+  common::DurationNs minTargetDelayNs = common::millisToNs(10.0);
+  /// Ceiling of the adaptive target delay.
+  common::DurationNs maxTargetDelayNs = common::millisToNs(300.0);
+  /// Multiplier on the jitter estimate when setting the target delay.
+  double jitterMultiplier = 2.5;
+  /// EWMA gain for the inter-arrival jitter estimate (RFC 3550-flavoured).
+  double jitterGain = 1.0 / 16.0;
+  /// Mean decoder latency; a small random component is added per frame.
+  common::DurationNs decodeDelayNs = common::millisToNs(4.0);
+  /// Decoder throughput in pixels/second; 0 = unconstrained. The paper's
+  /// real-world vantage points are Raspberry Pis whose decoder cannot keep
+  /// up with 540/720p at 30 fps — decoded fps sags below the network frame
+  /// rate, which is the regime lab-trained models have never seen (§5.3).
+  double decodePixelsPerSec = 0.0;
+  /// A frame is skipped when the decoder falls further behind than this.
+  common::DurationNs decodeSkipThresholdNs = common::millisToNs(50.0);
+};
+
+class JitterBuffer {
+ public:
+  using Options = JitterBufferOptions;
+
+  explicit JitterBuffer(Options options = {}) : options_(options) {}
+
+  /// Plays out the complete frames of a call and returns their decode times,
+  /// in decode order. Incomplete frames are dropped (they reduce fps, as in
+  /// the real pipeline).
+  std::vector<DecodedFrame> playout(const std::vector<ReceivedFrame>& frames,
+                                    common::Rng& rng) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace vcaqoe::rxstats

@@ -1,0 +1,41 @@
+#include "rxstats/qoe_metrics.hpp"
+
+namespace vcaqoe::rxstats {
+
+std::string toString(Metric m) {
+  switch (m) {
+    case Metric::kBitrate:
+      return "bitrate";
+    case Metric::kFrameRate:
+      return "frame_rate";
+    case Metric::kFrameJitter:
+      return "frame_jitter";
+    case Metric::kResolution:
+      return "resolution";
+  }
+  return "unknown";
+}
+
+std::vector<double> metricSeries(const QoeTimeline& rows, Metric m) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    switch (m) {
+      case Metric::kBitrate:
+        out.push_back(row.bitrateKbps);
+        break;
+      case Metric::kFrameRate:
+        out.push_back(row.fps);
+        break;
+      case Metric::kFrameJitter:
+        out.push_back(row.frameJitterMs);
+        break;
+      case Metric::kResolution:
+        out.push_back(static_cast<double>(row.frameHeight));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vcaqoe::rxstats

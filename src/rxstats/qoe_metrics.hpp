@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// The four QoE metrics of the paper (§2.1) and the per-second ground-truth
+/// row format modeled on Chrome's webrtc-internals stats.
+namespace vcaqoe::rxstats {
+
+enum class Metric : std::uint8_t {
+  kBitrate,     // kbps received, regression target
+  kFrameRate,   // frames decoded per second, regression target
+  kFrameJitter, // stdev of inter-frame delay (ms), regression target
+  kResolution,  // frame height, classification target
+};
+
+std::string toString(Metric m);
+
+/// One second of application-level ground truth, as webrtc-internals would
+/// report it.
+struct QoeRow {
+  std::int64_t second = 0;       // seconds since call start
+  double bitrateKbps = 0.0;      // video payload bits received / 1 s
+  double fps = 0.0;              // frames decoded in this second
+  double frameJitterMs = 0.0;    // stdev of inter-decode gaps
+  int frameHeight = 0;           // height of the last decoded frame
+  bool valid = false;            // at least one decoded frame this second
+
+  friend bool operator==(const QoeRow&, const QoeRow&) = default;
+};
+
+using QoeTimeline = std::vector<QoeRow>;
+
+/// Extracts the per-second series of one metric as doubles (resolution is
+/// returned as the numeric frame height).
+std::vector<double> metricSeries(const QoeTimeline& rows, Metric m);
+
+}  // namespace vcaqoe::rxstats

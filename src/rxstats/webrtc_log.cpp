@@ -1,0 +1,248 @@
+#include "rxstats/webrtc_log.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace vcaqoe::rxstats {
+
+namespace {
+
+void appendSeries(std::ostringstream& out, const char* key,
+                  const std::vector<double>& values, bool last = false) {
+  out << "  \"" << key << "\": [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out << ", ";
+    // Round-trippable formatting without trailing-zero noise.
+    std::ostringstream v;
+    v.precision(10);
+    v << values[i];
+    out << v.str();
+  }
+  out << "]" << (last ? "" : ",") << '\n';
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("webrtc log: " + what);
+}
+
+/// Minimal recursive-descent parser for the subset of JSON this format
+/// uses: one flat object with string/number/array-of-number values.
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(const std::string& text) : text_(text) {}
+
+  struct Value {
+    std::string string;
+    double number = 0.0;
+    std::vector<double> array;
+    enum class Kind { kString, kNumber, kArray } kind = Kind::kNumber;
+  };
+
+  std::map<std::string, Value> parseObject() {
+    std::map<std::string, Value> out;
+    skipWs();
+    expect('{');
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skipWs();
+      const std::string key = parseString();
+      skipWs();
+      expect(':');
+      skipWs();
+      out[key] = parseValue();
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    return out;
+  }
+
+ private:
+  char peek() const {
+    if (pos_ >= text_.size()) malformed("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      malformed(std::string("expected '") + c + "' at offset " +
+                std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) out += text_[pos_++];
+      else out += c;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) malformed("expected number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  Value parseValue() {
+    Value v;
+    const char c = peek();
+    if (c == '"') {
+      v.kind = Value::Kind::kString;
+      v.string = parseString();
+    } else if (c == '[') {
+      v.kind = Value::Kind::kArray;
+      ++pos_;
+      skipWs();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        skipWs();
+        v.array.push_back(parseNumber());
+        skipWs();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        break;
+      }
+    } else {
+      v.kind = Value::Kind::kNumber;
+      v.number = parseNumber();
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string writeWebrtcLog(const WebrtcLog& log) {
+  std::vector<double> fps;
+  std::vector<double> bitrate;
+  std::vector<double> jitter;
+  std::vector<double> height;
+  std::vector<double> valid;
+  for (const auto& row : log.rows) {
+    fps.push_back(row.fps);
+    bitrate.push_back(row.bitrateKbps);
+    jitter.push_back(row.frameJitterMs);
+    height.push_back(static_cast<double>(row.frameHeight));
+    valid.push_back(row.valid ? 1.0 : 0.0);
+  }
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"vca\": \"" << log.vca << "\",\n";
+  out << "  \"startSecond\": " << log.startSecond << ",\n";
+  appendSeries(out, "framesPerSecond", fps);
+  appendSeries(out, "bitrateKbps", bitrate);
+  appendSeries(out, "frameJitterMs", jitter);
+  appendSeries(out, "frameHeight", height);
+  appendSeries(out, "valid", valid, /*last=*/true);
+  out << "}\n";
+  return out.str();
+}
+
+void saveWebrtcLog(const WebrtcLog& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("webrtc log: cannot open " + path);
+  out << writeWebrtcLog(log);
+  if (!out) throw std::runtime_error("webrtc log: write failed " + path);
+}
+
+WebrtcLog parseWebrtcLog(const std::string& json) {
+  MiniJsonParser parser(json);
+  const auto object = parser.parseObject();
+
+  const auto requireArray = [&](const char* key) -> const std::vector<double>& {
+    const auto it = object.find(key);
+    if (it == object.end() ||
+        it->second.kind != MiniJsonParser::Value::Kind::kArray) {
+      malformed(std::string("missing array '") + key + "'");
+    }
+    return it->second.array;
+  };
+
+  WebrtcLog log;
+  if (const auto it = object.find("vca");
+      it != object.end() &&
+      it->second.kind == MiniJsonParser::Value::Kind::kString) {
+    log.vca = it->second.string;
+  } else {
+    malformed("missing 'vca'");
+  }
+  if (const auto it = object.find("startSecond");
+      it != object.end() &&
+      it->second.kind == MiniJsonParser::Value::Kind::kNumber) {
+    log.startSecond = static_cast<std::int64_t>(it->second.number);
+  } else {
+    malformed("missing 'startSecond'");
+  }
+
+  const auto& fps = requireArray("framesPerSecond");
+  const auto& bitrate = requireArray("bitrateKbps");
+  const auto& jitter = requireArray("frameJitterMs");
+  const auto& height = requireArray("frameHeight");
+  const auto& valid = requireArray("valid");
+  if (fps.size() != bitrate.size() || fps.size() != jitter.size() ||
+      fps.size() != height.size() || fps.size() != valid.size()) {
+    malformed("series length mismatch");
+  }
+
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    QoeRow row;
+    row.second = log.startSecond + static_cast<std::int64_t>(i);
+    row.fps = fps[i];
+    row.bitrateKbps = bitrate[i];
+    row.frameJitterMs = jitter[i];
+    row.frameHeight = static_cast<int>(std::lround(height[i]));
+    row.valid = valid[i] != 0.0;
+    log.rows.push_back(row);
+  }
+  return log;
+}
+
+WebrtcLog loadWebrtcLog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("webrtc log: cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parseWebrtcLog(buffer.str());
+}
+
+}  // namespace vcaqoe::rxstats

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "rxstats/qoe_metrics.hpp"
+
+/// webrtc-internals-style JSON logs.
+///
+/// The paper's ground truth comes from Chrome's webrtc-internals dumps
+/// (§4.1); its public dataset pairs each pcap with such a JSON log. This
+/// module writes and parses the equivalent artifact for simulated calls, so
+/// the example programs and tests can exercise the same pcap + JSON-log
+/// workflow as the released vcaml tooling — including the paper's caveat
+/// that logs report only start/end times and per-second series have to be
+/// aligned by assumption.
+namespace vcaqoe::rxstats {
+
+struct WebrtcLog {
+  std::string vca;             // "meet" / "teams" / "webex"
+  std::int64_t startSecond = 0;  // first per-second sample (after warmup)
+  QoeTimeline rows;
+
+  friend bool operator==(const WebrtcLog&, const WebrtcLog&) = default;
+};
+
+/// Serializes the log as pretty-printed JSON with one array per stat
+/// (framesPerSecond, bitrateKbps, frameJitterMs, frameHeight, valid).
+std::string writeWebrtcLog(const WebrtcLog& log);
+
+/// Writes to a file; throws std::runtime_error on I/O failure.
+void saveWebrtcLog(const WebrtcLog& log, const std::string& path);
+
+/// Parses a log produced by writeWebrtcLog (tolerates arbitrary whitespace
+/// and key order). Throws std::runtime_error on malformed input or
+/// mismatched series lengths.
+WebrtcLog parseWebrtcLog(const std::string& json);
+
+/// Loads from a file; throws std::runtime_error on I/O failure.
+WebrtcLog loadWebrtcLog(const std::string& path);
+
+}  // namespace vcaqoe::rxstats

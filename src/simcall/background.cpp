@@ -1,0 +1,132 @@
+#include "simcall/background.hpp"
+
+#include <algorithm>
+
+namespace vcaqoe::simcall {
+
+namespace {
+
+netflow::PcapRecord makeRecord(const netflow::FlowKey& flow,
+                               common::TimeNs arrival, std::uint32_t size) {
+  netflow::PcapRecord record;
+  record.flow = flow;
+  record.packet.arrivalNs = arrival;
+  record.packet.sizeBytes = size;
+  return record;
+}
+
+void generateDns(std::vector<netflow::PcapRecord>& out,
+                 const netflow::FlowKey& flow, double durationSec,
+                 common::Rng& rng) {
+  common::TimeNs t = common::secondsToNs(rng.uniform(0.0, 1.0));
+  const common::TimeNs end = common::secondsToNs(durationSec);
+  while (t < end) {
+    out.push_back(makeRecord(
+        flow, t, static_cast<std::uint32_t>(rng.uniformInt(60, 180))));
+    t += common::secondsToNs(rng.exponential(2.0));
+  }
+}
+
+void generateWebBrowsing(std::vector<netflow::PcapRecord>& out,
+                         const netflow::FlowKey& flow, double durationSec,
+                         common::Rng& rng) {
+  // Page loads: a burst of large packets every few seconds, then silence.
+  common::TimeNs t = common::secondsToNs(rng.uniform(0.0, 2.0));
+  const common::TimeNs end = common::secondsToNs(durationSec);
+  while (t < end) {
+    const int burstPackets = static_cast<int>(rng.uniformInt(20, 250));
+    common::TimeNs burstT = t;
+    for (int i = 0; i < burstPackets && burstT < end; ++i) {
+      out.push_back(makeRecord(
+          flow, burstT,
+          static_cast<std::uint32_t>(rng.uniformInt(1'100, 1'400))));
+      burstT += common::microsToNs(rng.uniform(30.0, 400.0));
+    }
+    t = burstT + common::secondsToNs(rng.exponential(4.0));
+  }
+}
+
+void generateVideoStreaming(std::vector<netflow::PcapRecord>& out,
+                            const netflow::FlowKey& flow, double durationSec,
+                            common::Rng& rng) {
+  // DASH: ~2 s chunks downloaded at line rate every ~4 s (ON/OFF pattern —
+  // the tell that separates VoD from real-time conferencing).
+  common::TimeNs t = common::secondsToNs(rng.uniform(0.0, 1.0));
+  const common::TimeNs end = common::secondsToNs(durationSec);
+  while (t < end) {
+    const auto chunkBytes = rng.uniformInt(700'000, 2'000'000);
+    std::int64_t sent = 0;
+    common::TimeNs chunkT = t;
+    while (sent < chunkBytes && chunkT < end) {
+      out.push_back(makeRecord(flow, chunkT, 1'400));
+      sent += 1'400;
+      chunkT += common::microsToNs(rng.uniform(100.0, 180.0));
+    }
+    t += common::secondsToNs(rng.uniform(3.5, 5.0));
+  }
+}
+
+void generateGaming(std::vector<netflow::PcapRecord>& out,
+                    const netflow::FlowKey& flow, double durationSec,
+                    common::Rng& rng) {
+  // 30-60 Hz ticks of small state updates.
+  const double tickMs = rng.uniform(16.0, 33.0);
+  common::TimeNs t = 0;
+  const common::TimeNs end = common::secondsToNs(durationSec);
+  while (t < end) {
+    out.push_back(makeRecord(
+        flow, t, static_cast<std::uint32_t>(rng.uniformInt(60, 220))));
+    t += common::millisToNs(tickMs * rng.uniform(0.9, 1.1));
+  }
+}
+
+}  // namespace
+
+std::vector<netflow::PcapRecord> generateBackgroundFlow(
+    BackgroundKind kind, const netflow::FlowKey& flow, double durationSec,
+    common::Rng& rng) {
+  std::vector<netflow::PcapRecord> out;
+  switch (kind) {
+    case BackgroundKind::kDns:
+      generateDns(out, flow, durationSec, rng);
+      break;
+    case BackgroundKind::kWebBrowsing:
+      generateWebBrowsing(out, flow, durationSec, rng);
+      break;
+    case BackgroundKind::kVideoStreaming:
+      generateVideoStreaming(out, flow, durationSec, rng);
+      break;
+    case BackgroundKind::kGaming:
+      generateGaming(out, flow, durationSec, rng);
+      break;
+  }
+  return out;
+}
+
+std::vector<netflow::PcapRecord> generateBackgroundMix(double durationSec,
+                                                       std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<netflow::PcapRecord> all;
+  const BackgroundKind kinds[] = {
+      BackgroundKind::kDns, BackgroundKind::kWebBrowsing,
+      BackgroundKind::kVideoStreaming, BackgroundKind::kGaming};
+  std::uint16_t port = 40'000;
+  for (const auto kind : kinds) {
+    netflow::FlowKey flow;
+    flow.srcIp = 0x08080800u + static_cast<std::uint32_t>(port % 251);
+    flow.dstIp = 0xC0A80117u;  // 192.168.1.23
+    flow.srcPort = static_cast<std::uint16_t>(kind == BackgroundKind::kDns
+                                                  ? 53
+                                                  : 443);
+    flow.dstPort = port++;
+    auto records = generateBackgroundFlow(kind, flow, durationSec, rng);
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const netflow::PcapRecord& a, const netflow::PcapRecord& b) {
+              return a.packet.arrivalNs < b.packet.arrivalNs;
+            });
+  return all;
+}
+
+}  // namespace vcaqoe::simcall

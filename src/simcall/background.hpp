@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netflow/packet.hpp"
+#include "netflow/pcap.hpp"
+
+/// Background (non-VCA) traffic generators.
+///
+/// The paper assumes the VCA session's packets have already been isolated
+/// by a traffic classifier (§2.2, citing prior work). This module provides
+/// the other side of that problem: realistic non-VCA flows to mix into a
+/// capture so the flow classifier (core/flow_classifier) has something to
+/// reject — DNS chatter, web-browsing bursts, DASH-style video downloads,
+/// and low-rate gaming traffic.
+namespace vcaqoe::simcall {
+
+enum class BackgroundKind {
+  kDns,            // sparse small request/response datagrams
+  kWebBrowsing,    // short QUIC-like bursts of large packets
+  kVideoStreaming, // DASH: multi-second ON/OFF chunks of MTU packets
+  kGaming,         // small packets at a steady tick rate
+};
+
+/// One synthetic background flow over [0, durationSec).
+std::vector<netflow::PcapRecord> generateBackgroundFlow(
+    BackgroundKind kind, const netflow::FlowKey& flow, double durationSec,
+    common::Rng& rng);
+
+/// A bundle of mixed background flows with distinct 5-tuples.
+std::vector<netflow::PcapRecord> generateBackgroundMix(double durationSec,
+                                                       std::uint64_t seed);
+
+}  // namespace vcaqoe::simcall

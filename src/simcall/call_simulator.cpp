@@ -1,0 +1,303 @@
+#include "simcall/call_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rtp/rtp.hpp"
+#include "simcall/packetizer.hpp"
+
+namespace vcaqoe::simcall {
+
+namespace {
+
+/// First byte of a DTLS handshake record (content type 22). The top two bits
+/// are 0, so RTP parsing (version must be 2) correctly rejects these.
+constexpr std::uint8_t kDtlsHandshakeByte = 22;
+/// First byte of a STUN binding request (0b00...); also non-RTP.
+constexpr std::uint8_t kStunByte = 0x00;
+
+}  // namespace
+
+CallSimulator::CallSimulator(VcaProfile profile,
+                             netem::ConditionSchedule schedule,
+                             std::uint64_t seed)
+    : profile_(std::move(profile)),
+      rng_(seed),
+      link_(std::move(schedule), seed ^ 0x9E3779B97F4A7C15ULL),
+      rate_(profile_),
+      encoder_(profile_, common::Rng(seed ^ 0xC2B2AE3D27D4EB4FULL)) {}
+
+void CallSimulator::sendRtpPacket(common::TimeNs departNs,
+                                  std::uint32_t payloadBytes,
+                                  const rtp::RtpHeader& header, bool isVideo) {
+  const std::uint32_t wireBytes =
+      payloadBytes + static_cast<std::uint32_t>(rtp::kRtpHeaderSize);
+  auto arrival = link_.send(departNs, wireBytes);
+  if (!arrival) {
+    if (isVideo && profile_.rtxPt != 0) {
+      // Receiver NACKs after roughly one RTT; sender retransmits on the RTX
+      // stream with the same media timestamp.
+      rtxQueue_.push_back(PendingRtx{
+          departNs + common::millisToNs(currentRttMs_ +
+                                        rng_.uniform(2.0, 15.0)),
+          payloadBytes, header.timestamp, profile_.rtxMaxRetries});
+    } else if (isVideo) {
+      // No RTX stream: the receiver cannot recover the frame and sends a
+      // PLI once it notices the gap (~one RTT later).
+      schedulePli(departNs + common::millisToNs(currentRttMs_));
+    }
+    return;
+  }
+  netflow::Packet pkt;
+  pkt.departureNs = departNs;
+  pkt.arrivalNs = *arrival;
+  pkt.sizeBytes = wireBytes;
+  std::vector<std::uint8_t> head;
+  rtp::encode(header, head);
+  pkt.setHead(head);
+  result_.packets.push_back(pkt);
+}
+
+void CallSimulator::sendOpaquePacket(common::TimeNs departNs,
+                                     std::uint32_t payloadBytes,
+                                     std::uint8_t firstByte) {
+  auto arrival = link_.send(departNs, payloadBytes);
+  if (!arrival) return;
+  netflow::Packet pkt;
+  pkt.departureNs = departNs;
+  pkt.arrivalNs = *arrival;
+  pkt.sizeBytes = payloadBytes;
+  std::uint8_t prefix[4] = {firstByte, 0x00, 0x00, 0x01};
+  pkt.setHead(prefix);
+  result_.packets.push_back(pkt);
+}
+
+void CallSimulator::emitDtlsHandshake() {
+  // Downstream half of a DTLS 1.2 handshake: HelloVerify, ServerHello +
+  // Certificate flight, ServerHelloDone, ChangeCipherSpec/Finished. Sizes
+  // chosen to straddle the video-size threshold — the large certificate
+  // flights are what Table 2 shows being misclassified as video.
+  const std::uint32_t sizes[] = {60, 1152, 1020, 330, 91, 258};
+  common::TimeNs t = common::millisToNs(rng_.uniform(5.0, 30.0));
+  for (const std::uint32_t size : sizes) {
+    sendOpaquePacket(t, size, kDtlsHandshakeByte);
+    t += common::millisToNs(rng_.uniform(4.0, 25.0));
+  }
+}
+
+void CallSimulator::emitStunCheck(common::TimeNs t) {
+  sendOpaquePacket(t, static_cast<std::uint32_t>(rng_.uniformInt(60, 130)),
+                   kStunByte);
+}
+
+void CallSimulator::emitAudioPacket(common::TimeNs t) {
+  rtp::RtpHeader h;
+  h.payloadType = profile_.audioPt;
+  h.marker = false;
+  h.sequenceNumber = audioSeq_++;
+  h.timestamp =
+      audioTsBase_ +
+      static_cast<std::uint32_t>(common::nsToSeconds(t) * rtp::kAudioClockHz);
+  h.ssrc = audioSsrc_;
+  // The profile's [min, max] band is the observed on-wire UDP payload size
+  // (Fig 1), which includes the 12-byte RTP header. Comfort-noise frames
+  // (DTX) sit at the bottom of the band.
+  const auto wireSize =
+      audioTalking_
+          ? static_cast<std::uint32_t>(rng_.uniformInt(
+                profile_.audioMinBytes, profile_.audioMaxBytes))
+          : static_cast<std::uint32_t>(rng_.uniformInt(
+                profile_.audioMinBytes,
+                std::min(profile_.audioMinBytes + 40,
+                         profile_.audioMaxBytes)));
+  sendRtpPacket(t, wireSize - static_cast<std::uint32_t>(rtp::kRtpHeaderSize),
+                h, /*isVideo=*/false);
+}
+
+common::DurationNs CallSimulator::nextAudioInterval(common::TimeNs now) {
+  // Two-state voice-activity model: talkspurts send a packet every ptime,
+  // silence sends sparse DTX comfort noise.
+  if (now >= audioStateUntil_) {
+    audioTalking_ = !audioTalking_;
+    const double activity = std::clamp(profile_.audioActivityFactor, 0.01, 1.0);
+    const double meanSec =
+        audioTalking_ ? profile_.audioTalkspurtMeanSec
+                      : profile_.audioTalkspurtMeanSec * (1.0 - activity) /
+                            activity;
+    audioStateUntil_ =
+        now + common::secondsToNs(std::max(0.1, rng_.exponential(meanSec)));
+  }
+  return audioTalking_ ? common::millisToNs(profile_.audioPtimeMs)
+                       : common::millisToNs(profile_.audioDtxIntervalMs);
+}
+
+void CallSimulator::schedulePli(common::TimeNs dueNs) {
+  if (keyframeDueNs_ < 0 || dueNs < keyframeDueNs_) keyframeDueNs_ = dueNs;
+}
+
+void CallSimulator::emitVideoFrame(common::TimeNs t) {
+  if (keyframeDueNs_ >= 0 && t >= keyframeDueNs_) {
+    encoder_.requestKeyframe();
+    keyframeDueNs_ = -1;
+  }
+  const FrameSpec spec = encoder_.encodeFrame(t, rate_.targetKbps());
+  const auto sizes = packetizeFrame(profile_, spec.sizeBytes, rng_);
+
+  SentFrame frame;
+  frame.captureNs = t;
+  frame.rtpTimestamp =
+      videoTsBase_ +
+      static_cast<std::uint32_t>(common::nsToSeconds(t) * rtp::kVideoClockHz);
+  frame.payloadBytes = spec.sizeBytes;
+  frame.frameHeight = spec.frameHeight;
+  frame.keyframe = spec.keyframe;
+  frame.packetCount = static_cast<std::uint16_t>(sizes.size());
+  frame.encoderFps = spec.fps;
+  result_.sentFrames.push_back(frame);
+
+  // Packets of one frame leave back-to-back (microburst): successive
+  // departures a few hundred microseconds apart.
+  common::TimeNs depart = t;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    rtp::RtpHeader h;
+    h.payloadType = profile_.videoPt;
+    h.marker = (i + 1 == sizes.size());
+    h.sequenceNumber = videoSeq_++;
+    h.timestamp = frame.rtpTimestamp;
+    h.ssrc = videoSsrc_;
+    sendRtpPacket(depart, sizes[i], h, /*isVideo=*/true);
+    depart += common::microsToNs(rng_.uniform(60.0, 350.0));
+  }
+}
+
+void CallSimulator::emitRtxKeepalive(common::TimeNs t) {
+  rtp::RtpHeader h;
+  h.payloadType = profile_.rtxPt;
+  h.marker = false;
+  h.sequenceNumber = rtxSeq_++;
+  h.timestamp =
+      videoTsBase_ +
+      static_cast<std::uint32_t>(common::nsToSeconds(t) * rtp::kVideoClockHz);
+  h.ssrc = rtxSsrc_;
+  // Keep-alives carry no media; sizeBytes includes the RTP header so the
+  // on-wire size is exactly the paper's 304 bytes.
+  sendRtpPacket(t,
+                profile_.rtxKeepaliveBytes -
+                    static_cast<std::uint32_t>(rtp::kRtpHeaderSize),
+                h, /*isVideo=*/false);
+}
+
+void CallSimulator::flushDueRtx(common::TimeNs now) {
+  for (std::size_t i = 0; i < rtxQueue_.size();) {
+    if (rtxQueue_[i].dueNs > now) {
+      ++i;
+      continue;
+    }
+    PendingRtx item = rtxQueue_[i];
+    rtxQueue_.erase(rtxQueue_.begin() + static_cast<std::ptrdiff_t>(i));
+
+    rtp::RtpHeader h;
+    h.payloadType = profile_.rtxPt;
+    h.marker = false;
+    h.sequenceNumber = rtxSeq_++;
+    h.timestamp = item.rtpTimestamp;
+    h.ssrc = rtxSsrc_;
+    const std::uint32_t wireBytes =
+        item.sizeBytes + static_cast<std::uint32_t>(rtp::kRtpHeaderSize);
+    auto arrival = link_.send(item.dueNs, wireBytes);
+    if (!arrival) {
+      if (item.retriesLeft > 0) {
+        rtxQueue_.push_back(PendingRtx{
+            item.dueNs + common::millisToNs(currentRttMs_ +
+                                            rng_.uniform(2.0, 15.0)),
+            item.sizeBytes, item.rtpTimestamp, item.retriesLeft - 1});
+      } else {
+        // Recovery exhausted: the frame is lost for good, the decoder is
+        // stuck on a broken reference — receiver PLIs for a keyframe.
+        schedulePli(item.dueNs + common::millisToNs(currentRttMs_));
+      }
+      continue;
+    }
+    netflow::Packet pkt;
+    pkt.departureNs = item.dueNs;
+    pkt.arrivalNs = *arrival;
+    pkt.sizeBytes = wireBytes;
+    std::vector<std::uint8_t> head;
+    rtp::encode(h, head);
+    pkt.setHead(head);
+    result_.packets.push_back(pkt);
+  }
+}
+
+void CallSimulator::setParticipantIndex(std::uint32_t participant) {
+  videoSsrc_ = kVideoSsrc + participant;
+  audioSsrc_ = kAudioSsrc + participant;
+  rtxSsrc_ = kRtxSsrc + participant;
+  // Keep timestamp spaces of concurrent senders far apart so ground-truth
+  // frame tables keyed by timestamp never collide.
+  videoTsBase_ = 90'000 + participant * 500'000'000u;
+  audioTsBase_ = 48'000 + participant * 500'000'000u;
+}
+
+CallResult CallSimulator::run(double durationSec) {
+  const common::TimeNs endNs = common::secondsToNs(durationSec);
+
+  emitDtlsHandshake();
+
+  common::TimeNs nextVideo = common::millisToNs(rng_.uniform(80.0, 200.0));
+  common::TimeNs nextAudio = common::millisToNs(rng_.uniform(60.0, 90.0));
+  common::TimeNs nextKeepalive =
+      profile_.rtxPt != 0
+          ? common::millisToNs(profile_.rtxKeepaliveIntervalMs)
+          : endNs + 1;
+  common::TimeNs nextStun = common::secondsToNs(rng_.uniform(1.0, 3.0));
+  common::TimeNs nextFeedback = common::millisToNs(profile_.feedbackIntervalMs);
+
+  while (true) {
+    const common::TimeNs next = std::min(
+        {nextVideo, nextAudio, nextKeepalive, nextStun, nextFeedback});
+    if (next >= endNs) break;
+
+    flushDueRtx(next);
+
+    if (next == nextFeedback) {
+      link_.rollFeedbackWindow(next);
+      currentRttMs_ = 2.0 * link_.schedule().at(next).delayMs;
+      rate_.onFeedback(link_.recentLossRate() * profile_.residualLossFactor,
+                       link_.recentDeliveryRateKbps(),
+                       common::nsToMillis(link_.currentQueueDelay(next)));
+      nextFeedback += common::millisToNs(profile_.feedbackIntervalMs);
+      continue;
+    }
+    if (next == nextVideo) {
+      emitVideoFrame(next);
+      // Capture clock has a little scheduling noise around 1/fps.
+      const auto interval = encoder_.frameIntervalNs();
+      nextVideo += interval + common::microsToNs(rng_.uniform(-400.0, 400.0));
+      continue;
+    }
+    if (next == nextAudio) {
+      const auto interval = nextAudioInterval(next);
+      emitAudioPacket(next);
+      nextAudio += interval;
+      continue;
+    }
+    if (next == nextKeepalive) {
+      emitRtxKeepalive(next);
+      nextKeepalive += common::millisToNs(profile_.rtxKeepaliveIntervalMs *
+                                          rng_.uniform(0.9, 1.1));
+      continue;
+    }
+    // STUN consent check.
+    emitStunCheck(next);
+    nextStun += common::secondsToNs(rng_.uniform(2.0, 5.0));
+  }
+  flushDueRtx(endNs);
+
+  netflow::sortByArrival(result_.packets);
+  result_.profile = profile_;
+  result_.linkStats = link_.stats();
+  return result_;
+}
+
+}  // namespace vcaqoe::simcall

@@ -1,0 +1,156 @@
+#include "simcall/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcaqoe::simcall {
+
+RateController::RateController(const VcaProfile& profile)
+    : profile_(profile), targetKbps_(profile.startKbps) {}
+
+void RateController::onFeedback(double lossRate, double deliveryRateKbps,
+                                double queueDelayMs) {
+  if (lossRate > 0.10) {
+    // Heavy loss: multiplicative decrease proportional to the loss rate.
+    targetKbps_ *= std::max(0.5, 1.0 - profile_.lossDecreaseGain * lossRate);
+  } else if (queueDelayMs > 60.0) {
+    // Delay-based backoff: converge below the measured delivery rate.
+    targetKbps_ *= profile_.decreaseFactor;
+    if (deliveryRateKbps > 0.0) {
+      targetKbps_ = std::min(targetKbps_, 0.85 * deliveryRateKbps);
+    }
+  } else if (lossRate < 0.02) {
+    targetKbps_ *= profile_.increaseFactor;
+  }
+  // Loss in (2%, 10%] with an empty queue: hold.
+  targetKbps_ =
+      std::clamp(targetKbps_, profile_.minTargetKbps, profile_.maxTargetKbps);
+}
+
+VideoEncoderModel::VideoEncoderModel(const VcaProfile& profile,
+                                     common::Rng rng)
+    : profile_(profile),
+      rng_(rng),
+      currentFps_(profile.maxFps),
+      currentHeight_(profile.ladder.empty()
+                         ? 0
+                         : profile.ladder.front().frameHeight) {}
+
+int VideoEncoderModel::applyChoiceNoise(int height) {
+  if (!rng_.bernoulli(profile_.ladderChoiceNoise)) return height;
+  // Land one rung away from the bitrate-implied choice.
+  const auto& ladder = profile_.ladder;
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i].frameHeight == height) index = i;
+  }
+  const bool up = rng_.bernoulli(0.5);
+  if (up && index + 1 < ladder.size() &&
+      ladder[index + 1].frameHeight <= profile_.maxFrameHeight) {
+    return ladder[index + 1].frameHeight;
+  }
+  if (!up && index > 0) return ladder[index - 1].frameHeight;
+  return height;
+}
+
+void VideoEncoderModel::updateFps(double targetKbps) {
+  double fps = profile_.maxFps;
+  if (targetKbps < kFpsDegradeKbps) {
+    fps = profile_.maxFps * std::pow(targetKbps / kFpsDegradeKbps, 0.7);
+  }
+  fps = std::clamp(fps, kMinVideoFps, profile_.maxFps);
+  // Smooth transitions; encoders do not jump frame rates instantly.
+  currentFps_ = 0.7 * currentFps_ + 0.3 * fps;
+}
+
+void VideoEncoderModel::updateResolution(common::TimeNs now,
+                                         double targetKbps) {
+  const ResolutionRung& affordable = rungForBitrate(profile_, targetKbps);
+  if (affordable.frameHeight < currentHeight_) {
+    // Downswitch immediately: sending above budget hurts everything.
+    const int newHeight = applyChoiceNoise(affordable.frameHeight);
+    if (newHeight != currentHeight_) {
+      currentHeight_ = newHeight;
+      keyframeRequested_ = true;
+    }
+    pendingHeight_ = 0;
+    return;
+  }
+  // Upswitch: one rung at a time (the ladder is climbed stepwise, so every
+  // rung appears on the wire during ramp-up), gated on clearing the next
+  // rung's threshold with headroom for ladderUpHoldSec.
+  const ResolutionRung* next = nullptr;
+  for (const auto& rung : profile_.ladder) {
+    if (rung.frameHeight > profile_.maxFrameHeight) continue;
+    if (rung.frameHeight > currentHeight_) {
+      next = &rung;
+      break;
+    }
+  }
+  if (next != nullptr &&
+      targetKbps >= profile_.ladderUpFactor * next->minKbps) {
+    if (pendingHeight_ != next->frameHeight) {
+      pendingHeight_ = next->frameHeight;
+      pendingSinceNs_ = now;
+    } else if (common::nsToSeconds(now - pendingSinceNs_) >=
+               profile_.ladderUpHoldSec) {
+      const int newHeight = applyChoiceNoise(next->frameHeight);
+      if (newHeight != currentHeight_) {
+        currentHeight_ = newHeight;
+        keyframeRequested_ = true;  // resolution switches start on keyframes
+      }
+      pendingHeight_ = 0;
+    }
+  } else {
+    pendingHeight_ = 0;
+  }
+}
+
+FrameSpec VideoEncoderModel::encodeFrame(common::TimeNs now,
+                                         double targetKbps) {
+  updateFps(targetKbps);
+  updateResolution(now, targetKbps);
+
+  const bool keyframe =
+      firstFrame_ || keyframeRequested_ ||
+      common::nsToSeconds(now - lastKeyframeNs_) >= profile_.keyframeIntervalSec;
+  if (keyframe) lastKeyframeNs_ = now;
+  firstFrame_ = false;
+  keyframeRequested_ = false;
+
+  // AR(1) content-complexity process with mean 1 (so the realized bitrate
+  // tracks the target) and occasional scene changes.
+  if (rng_.bernoulli(profile_.sceneChangeProb)) {
+    contentFactor_ = rng_.uniform(1.3, 2.2);
+  } else {
+    const double phi = profile_.contentCorrelation;
+    const double innovation =
+        rng_.normal(0.0, profile_.frameSizeCv * std::sqrt(1.0 - phi * phi));
+    contentFactor_ = phi * contentFactor_ + (1.0 - phi) * 1.0 + innovation;
+    contentFactor_ = std::max(0.15, contentFactor_);
+  }
+
+  const double idealBytes = targetKbps * 1e3 / 8.0 / currentFps_;
+  double bytes = idealBytes * contentFactor_ * (1.0 + profile_.fecOverhead);
+  if (keyframe) bytes *= profile_.keyframeSizeMultiplier;
+  bytes = std::max<double>(bytes, profile_.minFrameBytes);
+
+  // Quantize to the encoder's rate-control granularity.
+  const double q = std::max<std::uint32_t>(profile_.frameSizeQuantumBytes, 1);
+  bytes = std::round(bytes / q) * q;
+  bytes = std::max<double>(bytes, profile_.minFrameBytes);
+
+  FrameSpec spec;
+  spec.sizeBytes = static_cast<std::uint32_t>(bytes);
+  spec.keyframe = keyframe;
+  spec.frameHeight = currentHeight_;
+  spec.fps = currentFps_;
+  return spec;
+}
+
+common::DurationNs VideoEncoderModel::frameIntervalNs() const {
+  return static_cast<common::DurationNs>(
+      static_cast<double>(common::kNanosPerSecond) / currentFps_);
+}
+
+}  // namespace vcaqoe::simcall

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "simcall/profile.hpp"
+
+/// Sender-side video pipeline models: congestion-controlled target bitrate
+/// (GCC-flavoured) and a variable-bitrate encoder frame-size process.
+namespace vcaqoe::simcall {
+
+/// Delay/loss-based rate controller in the spirit of WebRTC's Google
+/// Congestion Control: multiplicative increase while the path is clean,
+/// sharp decrease on loss or queue build-up, capped near the measured
+/// delivery rate under congestion.
+class RateController {
+ public:
+  explicit RateController(const VcaProfile& profile);
+
+  /// Applies one feedback report (typically once per second).
+  void onFeedback(double lossRate, double deliveryRateKbps,
+                  double queueDelayMs);
+
+  double targetKbps() const { return targetKbps_; }
+
+ private:
+  const VcaProfile& profile_;
+  double targetKbps_;
+};
+
+/// What the encoder produced for one captured frame.
+struct FrameSpec {
+  std::uint32_t sizeBytes = 0;  // video payload incl. FEC, excl. RTP headers
+  bool keyframe = false;
+  int frameHeight = 0;
+  double fps = 0.0;  // capture rate in effect when this frame was produced
+};
+
+/// Variable-bitrate encoder model: produces per-frame sizes around the rate
+/// target with AR(1)-correlated content complexity, scene changes, periodic
+/// keyframes, resolution-ladder selection with upward hysteresis, and frame
+/// rate degradation at very low bitrates.
+class VideoEncoderModel {
+ public:
+  VideoEncoderModel(const VcaProfile& profile, common::Rng rng);
+
+  /// Produces the next frame at capture time `now` given the controller's
+  /// current target.
+  FrameSpec encodeFrame(common::TimeNs now, double targetKbps);
+
+  /// Capture interval implied by the current frame rate.
+  common::DurationNs frameIntervalNs() const;
+
+  /// Forces the next encoded frame to be a keyframe (receiver PLI after an
+  /// unrecoverable loss).
+  void requestKeyframe() { keyframeRequested_ = true; }
+
+  double currentFps() const { return currentFps_; }
+  int currentFrameHeight() const { return currentHeight_; }
+
+ private:
+  void updateFps(double targetKbps);
+  void updateResolution(common::TimeNs now, double targetKbps);
+  /// Perturbs a committed ladder choice by one rung with the profile's
+  /// ladderChoiceNoise probability.
+  int applyChoiceNoise(int height);
+
+  const VcaProfile& profile_;
+  common::Rng rng_;
+
+  double currentFps_;
+  int currentHeight_;
+  double contentFactor_ = 1.0;
+  common::TimeNs lastKeyframeNs_ = 0;
+  bool firstFrame_ = true;
+  bool keyframeRequested_ = false;
+
+  // Ladder-up hysteresis state.
+  int pendingHeight_ = 0;
+  common::TimeNs pendingSinceNs_ = 0;
+};
+
+/// Frame rate below which encoders stop degrading further.
+inline constexpr double kMinVideoFps = 4.0;
+/// Target bitrate under which the frame rate starts degrading.
+inline constexpr double kFpsDegradeKbps = 250.0;
+
+}  // namespace vcaqoe::simcall

@@ -1,0 +1,61 @@
+#include "simcall/modes.hpp"
+
+#include <algorithm>
+
+namespace vcaqoe::simcall {
+
+VcaProfile screenShareVariant(VcaProfile base) {
+  base.name += "-screenshare";
+  // Screen content: ~5 fps capture, mostly-static frames with large bursts
+  // on scroll or window switches, sparse keyframes.
+  base.maxFps = 5.0;
+  base.frameSizeCv = 0.9;
+  base.contentCorrelation = 0.35;
+  base.sceneChangeProb = 0.05;
+  base.keyframeIntervalSec = 15.0;
+  base.keyframeSizeMultiplier = 2.0;
+  base.minFrameBytes = 1'000;
+  // Text detail favours resolution over frame rate: share the camera
+  // bitrate budget but never degrade resolution below the top rung
+  // affordable — modeled by keeping the ladder and widening quantization.
+  base.frameSizeQuantumBytes = std::max(base.frameSizeQuantumBytes, 8u);
+  return base;
+}
+
+MultiPartyResult simulateMultiPartyCall(const VcaProfile& profile,
+                                        const netem::ConditionSchedule& schedule,
+                                        double durationSec, std::uint64_t seed,
+                                        const MultiPartyOptions& options) {
+  MultiPartyResult result;
+  const int participants = std::max(1, options.participants);
+
+  for (int participant = 0; participant < participants; ++participant) {
+    VcaProfile senderProfile = profile;
+    if (options.splitBitrateBudget) {
+      senderProfile.maxTargetKbps =
+          std::max(senderProfile.minTargetKbps,
+                   senderProfile.maxTargetKbps / participants);
+      senderProfile.startKbps =
+          std::min(senderProfile.startKbps, senderProfile.maxTargetKbps);
+    }
+    // Approximate fair sharing of the bottleneck: each sender sees an equal
+    // slice of the per-second capacity.
+    netem::ConditionSchedule slice = schedule;
+    for (auto& second : slice.seconds()) {
+      second.throughputKbps /= participants;
+    }
+
+    CallSimulator simulator(senderProfile, slice,
+                            seed + 0x9E37u * static_cast<std::uint64_t>(
+                                                 participant + 1));
+    simulator.setParticipantIndex(static_cast<std::uint32_t>(participant));
+    CallResult call = simulator.run(durationSec);
+    result.packets.insert(result.packets.end(), call.packets.begin(),
+                          call.packets.end());
+    result.perParticipant.push_back(std::move(call));
+  }
+  netflow::sortByArrival(result.packets);
+  return result;
+}
+
+}  // namespace vcaqoe::simcall

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "netem/conditions.hpp"
+#include "simcall/call_simulator.hpp"
+#include "simcall/profile.hpp"
+
+/// Application modes beyond the paper's two-person camera call (§7 "Impact
+/// of application modes"): screen sharing and multi-party conferencing.
+/// The paper leaves quantifying these to future work; this module provides
+/// the simulation substrate and the mode ablation bench measures the
+/// impact on estimation accuracy.
+namespace vcaqoe::simcall {
+
+/// Derives a screen-share sender from a camera profile: low capture rate,
+/// highly variable frame sizes (static screen, bursts on scroll/redraw),
+/// longer keyframe spacing.
+VcaProfile screenShareVariant(VcaProfile base);
+
+struct MultiPartyOptions {
+  /// Remote senders whose media is forwarded onto the observed downlink.
+  int participants = 4;
+  /// SFU-style per-sender bitrate budget: each sender is capped at
+  /// profile.maxTargetKbps / participants (receive-side bandwidth split).
+  bool splitBitrateBudget = true;
+};
+
+struct MultiPartyResult {
+  /// The merged downlink trace (all senders on one UDP flow), sorted by
+  /// arrival.
+  netflow::PacketTrace packets;
+  /// Per-participant results (frame tables etc.); index 0 is the
+  /// "speaker" whose QoE the mode bench evaluates.
+  std::vector<CallResult> perParticipant;
+};
+
+/// Simulates an SFU-forwarded multi-party call: each remote sender runs an
+/// independent encoder/rate-control loop over its share of the access-link
+/// capacity, and all streams arrive on one flow. Approximation: the shared
+/// bottleneck is modeled by dividing the per-second capacity among senders
+/// rather than a single shared queue (documented in DESIGN.md).
+MultiPartyResult simulateMultiPartyCall(const VcaProfile& profile,
+                                        const netem::ConditionSchedule& schedule,
+                                        double durationSec, std::uint64_t seed,
+                                        const MultiPartyOptions& options = {});
+
+}  // namespace vcaqoe::simcall

@@ -1,0 +1,55 @@
+#include "simcall/packetizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcaqoe::simcall {
+
+double unequalFragmentationProb(const VcaProfile& profile,
+                                std::uint32_t frameBytes) {
+  if (profile.unequalBaseProb <= 0.0) return 0.0;
+  const double ratio =
+      static_cast<double>(frameBytes) / profile.unequalRefBytes;
+  return std::min(1.0, profile.unequalBaseProb * std::pow(ratio, 1.2));
+}
+
+std::vector<std::uint32_t> packetizeFrame(const VcaProfile& profile,
+                                          std::uint32_t frameBytes,
+                                          common::Rng& rng) {
+  const std::uint32_t mtu = std::max<std::uint32_t>(profile.mtuPayloadBytes, 64);
+  const std::uint32_t n = std::max<std::uint32_t>(
+      1, (frameBytes + mtu - 1) / mtu);
+
+  std::vector<std::uint32_t> sizes(n, frameBytes / n);
+  // Spread the remainder one byte at a time: intra-frame difference <= 1.
+  for (std::uint32_t i = 0; i < frameBytes % n; ++i) ++sizes[i];
+
+  if (n > 1 && rng.bernoulli(unequalFragmentationProb(profile, frameBytes))) {
+    // Unequal fragmentation: VP8/VP9 partition boundaries leave one (rarely
+    // two) packets — typically the tail — off the equal size, while the
+    // rest of the frame stays uniform. One odd packet costs Algorithm 1
+    // exactly one false boundary, which is what Fig 4's ~0.7 splits per
+    // window for Meet implies.
+    const int deviating = n >= 5 && rng.bernoulli(0.25) ? 2 : 1;
+    for (int k = 0; k < deviating; ++k) {
+      // Bias towards the last packet (the partition tail).
+      const auto i =
+          k == 0 && rng.bernoulli(0.7)
+              ? n - 1
+              : static_cast<std::uint32_t>(
+                    rng.uniformInt(0, static_cast<std::int64_t>(n) - 1));
+      const auto maxShift =
+          static_cast<std::int64_t>(sizes[i] * profile.unequalSpread);
+      if (maxShift < 3) continue;
+      const std::int64_t magnitude = rng.uniformInt(3, maxShift);
+      const std::int64_t shift = rng.bernoulli(0.5) ? magnitude : -magnitude;
+      const std::int64_t resized =
+          std::clamp<std::int64_t>(static_cast<std::int64_t>(sizes[i]) + shift,
+                                   64, static_cast<std::int64_t>(mtu));
+      sizes[i] = static_cast<std::uint32_t>(resized);
+    }
+  }
+  return sizes;
+}
+
+}  // namespace vcaqoe::simcall

@@ -1,0 +1,20 @@
+#include "simcall/profile.hpp"
+
+#include <stdexcept>
+
+namespace vcaqoe::simcall {
+
+const ResolutionRung& rungForBitrate(const VcaProfile& profile,
+                                     double targetKbps) {
+  if (profile.ladder.empty()) {
+    throw std::invalid_argument("VcaProfile.ladder must not be empty");
+  }
+  const ResolutionRung* best = &profile.ladder.front();
+  for (const auto& rung : profile.ladder) {
+    if (rung.frameHeight > profile.maxFrameHeight) continue;
+    if (targetKbps >= rung.minKbps) best = &rung;
+  }
+  return *best;
+}
+
+}  // namespace vcaqoe::simcall

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Per-VCA sender model parameters.
+///
+/// Each of the three studied applications (Meet, Teams, Webex) is described
+/// by one `VcaProfile`. The values of the three concrete profiles (and their
+/// lab vs real-world deployment variants) live in `datasets/vca_profiles`;
+/// this header defines the knobs the simulator understands.
+namespace vcaqoe::simcall {
+
+/// One rung of the resolution ladder: the encoder sends `frameHeight` once
+/// its target bitrate exceeds `minKbps` (with hysteresis).
+struct ResolutionRung {
+  int frameHeight = 0;
+  double minKbps = 0.0;
+};
+
+struct VcaProfile {
+  std::string name;   // "meet", "teams", "webex"
+  std::string codec;  // "VP9" or "H.264" — documentation only
+
+  // --- RTP payload types (differ between lab and real-world deployments,
+  // §5.2: e.g. Teams video 102 in lab but 100 in the wild). rtxPt == 0 means
+  // the deployment runs no retransmission stream (real-world Webex).
+  std::uint8_t audioPt = 111;
+  std::uint8_t videoPt = 102;
+  std::uint8_t rtxPt = 103;
+
+  // --- Audio (OPUS): one packet per ptime during talkspurts, sizes inside
+  // the paper's observed [89, 385] byte band. The capture setups of the
+  // paper stream a (mostly silent) looped video, so OPUS runs in DTX most
+  // of the time — audio is only ~3% of packets (Fig 1). During silence only
+  // sparse comfort-noise packets are sent.
+  double audioPtimeMs = 20.0;
+  std::uint32_t audioMinBytes = 89;
+  std::uint32_t audioMaxBytes = 385;
+  /// Fraction of call time with voice activity (talkspurts).
+  double audioActivityFactor = 0.05;
+  /// Mean talkspurt length; silence periods scale with the activity factor.
+  double audioTalkspurtMeanSec = 1.5;
+  /// Comfort-noise packet interval while silent (OPUS DTX ≈ 400 ms).
+  double audioDtxIntervalMs = 400.0;
+
+  // --- Video encoder.
+  double maxFps = 30.0;
+  double startKbps = 400.0;    // initial ramp-up target
+  double minTargetKbps = 60.0;
+  double maxTargetKbps = 2'800.0;
+  std::vector<ResolutionRung> ladder;  // ascending by minKbps
+  int maxFrameHeight = 10'000;         // deployment cap (viewport size)
+
+  /// Maximum video payload bytes per packet, excluding the 12-byte RTP
+  /// header (≈1200-byte MTU budget typical of WebRTC).
+  std::uint32_t mtuPayloadBytes = 1'164;
+  /// Smallest frame the encoder emits; keeps single-packet frames above the
+  /// audio size band (paper Fig 1: 99% of video packets > 564 B).
+  std::uint32_t minFrameBytes = 600;
+
+  /// Meet's VP8/VP9 packetization fragments some frames into unequal-sized
+  /// packets (paper §5.1.2 case 2 / §5.2.1). The probability a frame is
+  /// fragmented unevenly grows with frame size:
+  ///   p = unequalBaseProb * (frameBytes / unequalRefBytes)^1.2, clamped to 1.
+  /// Zero disables (Teams/Webex H.264 equal-size fragmentation).
+  double unequalBaseProb = 0.0;
+  double unequalRefBytes = 4'000.0;
+  /// Max relative deviation of packet sizes within an unequal frame.
+  double unequalSpread = 0.15;
+
+  /// Frame sizes are quantized to this many bytes (encoder rate-control
+  /// granularity). Coarser quantization makes consecutive frames collide in
+  /// size more often — the coalesce error of Fig 4 (largest for Webex).
+  std::uint32_t frameSizeQuantumBytes = 1;
+
+  double keyframeIntervalSec = 10.0;
+  double keyframeSizeMultiplier = 3.5;
+  /// Coefficient of variation of per-frame size around the rate target.
+  double frameSizeCv = 0.22;
+  /// AR(1) correlation of the content-complexity process.
+  double contentCorrelation = 0.55;
+  /// Probability per frame of a scene change (complexity jump).
+  double sceneChangeProb = 0.01;
+
+  /// FEC bandwidth overhead folded into frame payload (RFC 5109-style
+  /// protection is why frames are split into equal-size packets).
+  double fecOverhead = 0.05;
+
+  // --- Retransmission stream. Keep-alives dominate it: the paper finds RTX
+  // ≈ 8% of video packets with 92% being 304-byte keep-alives, i.e. about
+  // 11 keep-alives per second on a ~155 pkt/s video stream.
+  std::uint32_t rtxKeepaliveBytes = 304;
+  double rtxKeepaliveIntervalMs = 90.0;
+  int rtxMaxRetries = 1;
+
+  // --- Rate controller (GCC-flavoured). The controller reacts to the loss
+  // the *application* experiences after FEC and RTX recovery, not the raw
+  // network loss — which is why real VCAs keep their rate up under heavy
+  // random loss (the regime of Fig 11) while decoded frame rate becomes
+  // erratic.
+  double increaseFactor = 1.08;   // multiplicative increase when clean
+  double decreaseFactor = 0.85;   // on congestion
+  double lossDecreaseGain = 2.0;  // extra decrease per unit residual loss
+  /// RTCP feedback cadence driving the controller. Real GCC updates every
+  /// few RTTs and probes aggressively at call start — a 15-25 s call
+  /// reaches multi-Mbps targets within its first half, which is what lets
+  /// the paper's real-world Meet calls hit 540/720p (§5.2.4).
+  double feedbackIntervalMs = 200.0;
+  /// Fraction of raw network loss that survives FEC + RTX recovery and is
+  /// visible to the congestion controller.
+  double residualLossFactor = 0.3;
+
+  /// Hysteresis for ladder switching: move up only when the target exceeds
+  /// the rung threshold by this factor for `ladderUpHoldSec` seconds.
+  double ladderUpFactor = 1.25;
+  double ladderUpHoldSec = 1.0;
+  /// Probability that a committed ladder switch lands one rung away from
+  /// the bitrate-implied target (content/CPU-driven resolution choice).
+  /// This makes operating bitrates of adjacent rungs overlap — the source
+  /// of the paper's medium/high resolution confusion for Teams (Table 4).
+  double ladderChoiceNoise = 0.0;
+};
+
+/// Highest ladder rung (≤ maxFrameHeight) affordable at `targetKbps`;
+/// ladder must be non-empty and sorted ascending by minKbps.
+const ResolutionRung& rungForBitrate(const VcaProfile& profile,
+                                     double targetKbps);
+
+}  // namespace vcaqoe::simcall

@@ -1,0 +1,139 @@
+// Tests for the §7 calibrated-heuristic idea and permutation importance.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/calibration.hpp"
+#include "core/evaluation.hpp"
+#include "datasets/generators.hpp"
+#include "ml/inspection.hpp"
+
+namespace vcaqoe {
+namespace {
+
+// -------------------------------------------------------------- calibrator
+
+TEST(Calibrator, RecoversAffineRelation) {
+  common::Rng rng(1);
+  std::vector<double> h;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    h.push_back(x);
+    y.push_back(0.8 * x - 3.0 + rng.normal(0.0, 0.2));
+  }
+  core::HeuristicCalibrator calibrator;
+  calibrator.fit(h, y);
+  EXPECT_NEAR(calibrator.slope(), 0.8, 0.02);
+  EXPECT_NEAR(calibrator.offset(), -3.0, 0.5);
+  EXPECT_NEAR(calibrator.apply(50.0), 37.0, 0.5);
+}
+
+TEST(Calibrator, ConstantHeuristicFallsBackToOffset) {
+  const std::vector<double> h(50, 10.0);
+  std::vector<double> y(50, 14.0);
+  core::HeuristicCalibrator calibrator;
+  calibrator.fit(h, y);
+  EXPECT_DOUBLE_EQ(calibrator.slope(), 1.0);
+  EXPECT_DOUBLE_EQ(calibrator.offset(), 4.0);
+}
+
+TEST(Calibrator, RejectsBadInput) {
+  core::HeuristicCalibrator calibrator;
+  EXPECT_THROW(calibrator.fit({}, {}), std::invalid_argument);
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(calibrator.fit(a, b), std::invalid_argument);
+  EXPECT_THROW(calibrator.apply(1.0), std::logic_error);
+}
+
+TEST(Calibrator, RemovesHeuristicBitrateBias) {
+  // The IP/UDP heuristic systematically overestimates bitrate (§5.1.3); a
+  // small calibration set removes the bias without any labeled ML training.
+  datasets::LabDatasetOptions options;
+  options.callsPerVca = 6;
+  options.seed = 555;
+  const auto sessions = datasets::generateLabDataset(options);
+  const auto records = datasets::recordsForSessions(
+      datasets::sessionsForVca(sessions, "teams"));
+  const auto report = core::evaluateCalibration(
+      records, core::Method::kIpUdpHeuristic, rxstats::Metric::kBitrate, 0.2);
+  EXPECT_LT(report.calibratedMae, report.rawMae);
+  EXPECT_LT(report.slope, 1.0);  // shrinks the +7% overhead
+  EXPECT_GT(report.testWindows, report.calibrationWindows);
+}
+
+TEST(Calibrator, EvaluateRejectsDegenerateSplit) {
+  std::vector<core::WindowRecord> records;
+  EXPECT_THROW(core::evaluateCalibration(records,
+                                         core::Method::kIpUdpHeuristic,
+                                         rxstats::Metric::kBitrate),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- permutation importance
+
+TEST(PermutationImportance, FlagsInformativeFeature) {
+  ml::Dataset d;
+  d.featureNames = {"signal", "noise"};
+  common::Rng rng(2);
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.addRow({x, rng.uniform(0.0, 1.0)}, 10.0 * x);
+  }
+  ml::RandomForest forest;
+  ml::ForestOptions forestOptions;
+  forestOptions.numTrees = 15;
+  forest.fit(d, ml::TreeTask::kRegression, forestOptions, 3);
+
+  const auto ranked = ml::rankedPermutationImportance(forest, d);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].first, "signal");
+  EXPECT_GT(ranked[0].second, 1.0);
+  EXPECT_LT(std::abs(ranked[1].second), 0.5);
+}
+
+TEST(PermutationImportance, ClassificationErrorRate) {
+  ml::Dataset d;
+  d.featureNames = {"x"};
+  common::Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.addRow({x}, x > 0.5 ? 1.0 : 0.0);
+  }
+  ml::RandomForest forest;
+  ml::ForestOptions forestOptions;
+  forestOptions.numTrees = 11;
+  forest.fit(d, ml::TreeTask::kClassification, forestOptions, 5);
+  const auto importance = ml::permutationImportance(forest, d);
+  EXPECT_GT(importance[0], 0.25);  // shuffling x ruins a near-perfect model
+}
+
+TEST(PermutationImportance, AgreesWithImpurityOnTopFeature) {
+  // Cross-check the estimator the paper uses: both rankings should put the
+  // dominant feature first on a clean synthetic task.
+  ml::Dataset d;
+  d.featureNames = {"a", "b", "c"};
+  common::Rng rng(6);
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    d.addRow({a, rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)},
+             20.0 * a + rng.normal(0.0, 0.5));
+  }
+  ml::RandomForest forest;
+  ml::ForestOptions forestOptions;
+  forestOptions.numTrees = 20;
+  forest.fit(d, ml::TreeTask::kRegression, forestOptions, 7);
+  EXPECT_EQ(forest.rankedImportance()[0].first, "a");
+  EXPECT_EQ(ml::rankedPermutationImportance(forest, d)[0].first, "a");
+}
+
+TEST(PermutationImportance, RejectsUntrainedAndTiny) {
+  ml::RandomForest forest;
+  ml::Dataset d;
+  d.featureNames = {"x"};
+  d.addRow({1.0}, 1.0);
+  EXPECT_THROW(ml::permutationImportance(forest, d), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vcaqoe

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/time.hpp"
+
+namespace vcaqoe::common {
+namespace {
+
+// ---------------------------------------------------------------- time
+
+TEST(Time, SecondsRoundTrip) {
+  EXPECT_EQ(secondsToNs(1.0), kNanosPerSecond);
+  EXPECT_EQ(secondsToNs(2.5), 2'500'000'000LL);
+  EXPECT_DOUBLE_EQ(nsToSeconds(kNanosPerSecond), 1.0);
+  EXPECT_DOUBLE_EQ(nsToSeconds(secondsToNs(123.456)), 123.456);
+}
+
+TEST(Time, MillisMicros) {
+  EXPECT_EQ(millisToNs(1.0), 1'000'000LL);
+  EXPECT_EQ(microsToNs(1.0), 1'000LL);
+  EXPECT_DOUBLE_EQ(nsToMillis(1'500'000), 1.5);
+}
+
+TEST(Time, SecondIndexFloors) {
+  EXPECT_EQ(secondIndex(0), 0);
+  EXPECT_EQ(secondIndex(kNanosPerSecond - 1), 0);
+  EXPECT_EQ(secondIndex(kNanosPerSecond), 1);
+  EXPECT_EQ(secondIndex(-1), -1);
+  EXPECT_EQ(secondIndex(-kNanosPerSecond), -1);
+  EXPECT_EQ(secondIndex(-kNanosPerSecond - 1), -2);
+}
+
+TEST(Time, WindowIndexMatchesSecondIndexForOneSecond) {
+  for (const TimeNs t : {0LL, 999'999'999LL, 1'000'000'000LL, 5'500'000'000LL}) {
+    EXPECT_EQ(windowIndex(t, kNanosPerSecond), secondIndex(t)) << t;
+  }
+}
+
+TEST(Time, WindowIndexLargerWindows) {
+  const DurationNs w = 2 * kNanosPerSecond;
+  EXPECT_EQ(windowIndex(0, w), 0);
+  EXPECT_EQ(windowIndex(2 * kNanosPerSecond - 1, w), 0);
+  EXPECT_EQ(windowIndex(2 * kNanosPerSecond, w), 1);
+  EXPECT_EQ(windowIndex(7 * kNanosPerSecond, w), 3);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, SampleStdevKnownValue) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population stdev of this classic example is 2; sample stdev is larger.
+  EXPECT_NEAR(populationStdev(xs), 2.0, 1e-12);
+  EXPECT_NEAR(sampleStdev(xs), 2.138089935, 1e-6);
+}
+
+TEST(Stats, StdevDegenerate) {
+  EXPECT_DOUBLE_EQ(sampleStdev(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(sampleStdev(std::vector<double>{3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(sampleStdev(std::vector<double>{3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Stats, FiveNumberMatchesPieces) {
+  const std::vector<double> xs = {5.0, 1.0, 9.0, 3.0, 7.0};
+  const FiveNumber f = fiveNumber(xs);
+  EXPECT_DOUBLE_EQ(f.mean, 5.0);
+  EXPECT_DOUBLE_EQ(f.median, 5.0);
+  EXPECT_DOUBLE_EQ(f.min, 1.0);
+  EXPECT_DOUBLE_EQ(f.max, 9.0);
+  EXPECT_NEAR(f.stdev, sampleStdev(xs), 1e-12);
+}
+
+TEST(Stats, FiveNumberEmpty) {
+  const FiveNumber f = fiveNumber(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(f.mean, 0.0);
+  EXPECT_DOUBLE_EQ(f.max, 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> xs = {3.0, -1.0, 4.0, 1.0, 5.0, -9.0, 2.0};
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.stdev(), sampleStdev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -9.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+  rs.clear();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+TEST(Stats, EmpiricalCdf) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(empiricalCdf(sorted, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empiricalCdf(sorted, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(empiricalCdf(sorted, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(empiricalCdf(sorted, 10.0), 1.0);
+}
+
+TEST(Stats, MaeAndMrae) {
+  const std::vector<double> pred = {10.0, 20.0, 30.0};
+  const std::vector<double> truth = {12.0, 20.0, 26.0};
+  EXPECT_NEAR(meanAbsoluteError(pred, truth), 2.0, 1e-12);
+  EXPECT_NEAR(meanRelativeAbsoluteError(pred, truth),
+              (2.0 / 12 + 0.0 + 4.0 / 26) / 3.0, 1e-12);
+}
+
+TEST(Stats, MraeSkipsZeroTruth) {
+  const std::vector<double> pred = {5.0, 10.0};
+  const std::vector<double> truth = {0.0, 20.0};
+  EXPECT_NEAR(meanRelativeAbsoluteError(pred, truth), 0.5, 1e-12);
+}
+
+TEST(Stats, ErrorSizeMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(meanAbsoluteError(a, b), std::invalid_argument);
+}
+
+TEST(Stats, FractionWithin) {
+  const std::vector<double> pred = {10.0, 15.0, 30.0, 28.0};
+  const std::vector<double> truth = {12.0, 20.0, 30.0, 30.0};
+  EXPECT_DOUBLE_EQ(fractionWithinAbsolute(pred, truth, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(fractionWithinRelative(pred, truth, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(fractionWithinRelative(pred, truth, 0.05), 0.25);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, TruncatedNormalClamped) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.truncatedNormal(0.0, 10.0, -1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(123);
+  int hits = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(99);
+  RunningStats rs;
+  for (int i = 0; i < 50'000; ++i) rs.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 5.0, 0.05);
+  EXPECT_NEAR(rs.stdev(), 2.0, 0.05);
+}
+
+TEST(Rng, NormalZeroStdevIsMean) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.normal(3.5, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(rng.normal(3.5, -1.0), 3.5);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(42);
+  Rng forked = a.fork();
+  // The fork consumed one draw from `a`; a fresh rng with the same seed
+  // diverges from `a` only after that draw — just assert fork is usable and
+  // deterministic.
+  Rng a2(42);
+  Rng forked2 = a2.fork();
+  EXPECT_DOUBLE_EQ(forked.uniform(0.0, 1.0), forked2.uniform(0.0, 1.0));
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weightedIndex(w), 1u);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| b     |    22 |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.addRow({"x"});
+  EXPECT_NE(t.render().find("| x |"), std::string::npos);
+}
+
+TEST(Table, NumAndPct) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::pct(0.98341, 2), "98.34%");
+}
+
+TEST(Table, Banner) {
+  const std::string b = banner("Hello");
+  EXPECT_NE(b.find("Hello"), std::string::npos);
+  EXPECT_EQ(b.front(), '=');
+}
+
+// Property sweep: percentile is monotone in p and bounded by min/max.
+class PercentileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileProperty, MonotoneAndBounded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  const int n = 1 + GetParam() * 7 % 50;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.uniform(-100.0, 100.0));
+  double last = percentile(xs, 0.0);
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  EXPECT_DOUBLE_EQ(last, *mn);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double v = percentile(xs, p);
+    EXPECT_GE(v, last);
+    EXPECT_LE(v, *mx);
+    last = v;
+  }
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), *mx);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace vcaqoe::common

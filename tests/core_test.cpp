@@ -1,0 +1,455 @@
+#include <gtest/gtest.h>
+
+#include "core/error_anatomy.hpp"
+#include "core/evaluation.hpp"
+#include "core/frame_heuristic.hpp"
+#include "core/heuristic_estimators.hpp"
+#include "core/media_classifier.hpp"
+#include "core/methods.hpp"
+#include "core/session.hpp"
+#include "rtp/rtp.hpp"
+
+namespace vcaqoe::core {
+namespace {
+
+netflow::Packet sized(common::TimeNs arrival, std::uint32_t size) {
+  netflow::Packet p;
+  p.arrivalNs = arrival;
+  p.sizeBytes = size;
+  return p;
+}
+
+netflow::Packet rtpPkt(common::TimeNs arrival, std::uint32_t size,
+                       std::uint8_t pt, std::uint32_t ts, bool marker,
+                       std::uint16_t seq = 0) {
+  netflow::Packet p = sized(arrival, size);
+  rtp::RtpHeader h;
+  h.payloadType = pt;
+  h.timestamp = ts;
+  h.marker = marker;
+  h.sequenceNumber = seq;
+  std::vector<std::uint8_t> head;
+  rtp::encode(h, head);
+  p.setHead(head);
+  return p;
+}
+
+// --------------------------------------------------------- media classifier
+
+TEST(MediaClassifier, ThresholdSeparatesAudioFromVideo) {
+  const MediaClassifier classifier;
+  EXPECT_FALSE(classifier.isVideo(sized(0, 89)));    // audio min
+  EXPECT_FALSE(classifier.isVideo(sized(0, 385)));   // audio max
+  EXPECT_FALSE(classifier.isVideo(sized(0, 304)));   // RTX keep-alive
+  EXPECT_TRUE(classifier.isVideo(sized(0, 564)));    // video band
+  EXPECT_TRUE(classifier.isVideo(sized(0, 1176)));
+}
+
+TEST(MediaClassifier, FilterVideoPreservesOrder) {
+  const MediaClassifier classifier;
+  const std::vector<netflow::Packet> packets = {
+      sized(1, 1000), sized(2, 100), sized(3, 900)};
+  const auto video = classifier.filterVideo(packets);
+  ASSERT_EQ(video.size(), 2u);
+  EXPECT_EQ(video[0].arrivalNs, 1);
+  EXPECT_EQ(video[1].arrivalNs, 3);
+}
+
+TEST(MediaClassifier, GroundTruthLabels) {
+  const auto audio = groundTruthLabel(rtpPkt(0, 200, 111, 1, false), 111, 102,
+                                      103, 304);
+  EXPECT_EQ(audio.kind, rtp::MediaKind::kAudio);
+  EXPECT_FALSE(audio.video);
+
+  const auto video =
+      groundTruthLabel(rtpPkt(0, 1100, 102, 1, false), 111, 102, 103, 304);
+  EXPECT_EQ(video.kind, rtp::MediaKind::kVideo);
+  EXPECT_TRUE(video.video);
+
+  const auto keepalive =
+      groundTruthLabel(rtpPkt(0, 304, 103, 1, false), 111, 102, 103, 304);
+  EXPECT_EQ(keepalive.kind, rtp::MediaKind::kVideoRtx);
+  EXPECT_TRUE(keepalive.keepalive);
+  EXPECT_FALSE(keepalive.video);
+
+  const auto rtx =
+      groundTruthLabel(rtpPkt(0, 1100, 103, 1, false), 111, 102, 103, 304);
+  EXPECT_FALSE(rtx.keepalive);
+  EXPECT_TRUE(rtx.video);
+
+  netflow::Packet dtls = sized(0, 1152);
+  const std::uint8_t head[1] = {22};
+  dtls.setHead(head);
+  const auto control = groundTruthLabel(dtls, 111, 102, 103, 304);
+  EXPECT_EQ(control.kind, rtp::MediaKind::kControl);
+  EXPECT_FALSE(control.video);
+}
+
+// ------------------------------------------------------------- Algorithm 1
+
+HeuristicParams params(int lookback, std::uint32_t delta = 2) {
+  HeuristicParams p;
+  p.lookback = lookback;
+  p.deltaMaxBytes = delta;
+  return p;
+}
+
+TEST(Algorithm1, EqualSizedPacketsOneFrame) {
+  const std::vector<netflow::Packet> video = {
+      sized(0, 1000), sized(1, 1000), sized(2, 999), sized(3, 1001)};
+  const auto out = assembleFramesIpUdp(video, params(1));
+  ASSERT_EQ(out.frames.size(), 1u);
+  EXPECT_EQ(out.frames[0].packetCount, 4u);
+  EXPECT_EQ(out.frames[0].bytes, 4000u);
+  EXPECT_EQ(out.frames[0].firstNs, 0);
+  EXPECT_EQ(out.frames[0].endNs, 3);
+}
+
+TEST(Algorithm1, SizeJumpStartsNewFrame) {
+  const std::vector<netflow::Packet> video = {
+      sized(0, 1000), sized(1, 1000), sized(2, 1200), sized(3, 1200)};
+  const auto out = assembleFramesIpUdp(video, params(1));
+  ASSERT_EQ(out.frames.size(), 2u);
+  EXPECT_EQ(out.frames[0].packetCount, 2u);
+  EXPECT_EQ(out.frames[1].packetCount, 2u);
+  EXPECT_EQ(out.frameOfPacket, (std::vector<std::uint32_t>{0, 0, 1, 1}));
+}
+
+TEST(Algorithm1, LookbackRecoversInterleavedPacket) {
+  // Frame A (1000) interleaved with frame B (1200): lookback 1 splits A,
+  // lookback 2 reunites it.
+  const std::vector<netflow::Packet> video = {
+      sized(0, 1000), sized(1, 1200), sized(2, 1000), sized(3, 1200)};
+  const auto narrow = assembleFramesIpUdp(video, params(1));
+  EXPECT_EQ(narrow.frames.size(), 4u);
+  const auto wide = assembleFramesIpUdp(video, params(2));
+  ASSERT_EQ(wide.frames.size(), 2u);
+  EXPECT_EQ(wide.frames[0].packetCount, 2u);
+  EXPECT_EQ(wide.frames[1].packetCount, 2u);
+}
+
+TEST(Algorithm1, CoalescesSimilarConsecutiveFrames) {
+  // Two true frames of identical packet sizes merge — the Webex failure
+  // mode (Fig 4).
+  const std::vector<netflow::Packet> video = {
+      sized(0, 1042), sized(1, 1042),
+      sized(33, 1043), sized(34, 1043)};  // next frame, within Δmax
+  const auto out = assembleFramesIpUdp(video, params(1));
+  EXPECT_EQ(out.frames.size(), 1u);
+}
+
+TEST(Algorithm1, DeltaMaxBoundary) {
+  // Difference of exactly Δmax joins; Δmax+1 splits.
+  const std::vector<netflow::Packet> joined = {sized(0, 1000), sized(1, 1002)};
+  EXPECT_EQ(assembleFramesIpUdp(joined, params(1)).frames.size(), 1u);
+  const std::vector<netflow::Packet> split = {sized(0, 1000), sized(1, 1003)};
+  EXPECT_EQ(assembleFramesIpUdp(split, params(1)).frames.size(), 2u);
+}
+
+TEST(Algorithm1, EmptyInput) {
+  const auto out = assembleFramesIpUdp({}, params(3));
+  EXPECT_TRUE(out.frames.empty());
+  EXPECT_TRUE(out.frameOfPacket.empty());
+}
+
+// Property: every packet is assigned to exactly one frame and the byte sum
+// is preserved, for any lookback.
+class Algorithm1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Algorithm1Property, PartitionInvariants) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  std::vector<netflow::Packet> video;
+  std::uint64_t totalBytes = 0;
+  common::TimeNs t = 0;
+  for (int frame = 0; frame < 50; ++frame) {
+    const auto size =
+        static_cast<std::uint32_t>(rng.uniformInt(600, 1176));
+    const int n = static_cast<int>(rng.uniformInt(1, 6));
+    for (int i = 0; i < n; ++i) {
+      video.push_back(sized(t, size));
+      totalBytes += size;
+      t += common::microsToNs(200.0);
+    }
+    t += common::millisToNs(33.0);
+  }
+  const auto out = assembleFramesIpUdp(video, params(GetParam()));
+  EXPECT_EQ(out.frameOfPacket.size(), video.size());
+  std::uint64_t frameBytes = 0;
+  std::uint64_t framePackets = 0;
+  for (const auto& f : out.frames) {
+    frameBytes += f.bytes;
+    framePackets += f.packetCount;
+    EXPECT_LE(f.firstNs, f.endNs);
+  }
+  EXPECT_EQ(frameBytes, totalBytes);
+  EXPECT_EQ(framePackets, video.size());
+  for (const auto id : out.frameOfPacket) {
+    EXPECT_LT(id, out.frames.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lookbacks, Algorithm1Property,
+                         ::testing::Range(1, 11));
+
+// --------------------------------------------------------- frames -> QoE
+
+TEST(QoeFromFrames, CountsFramesByEndTime) {
+  std::vector<HeuristicFrame> frames(3);
+  frames[0] = {common::millisToNs(100.0), common::millisToNs(110.0), 5012, 4};
+  frames[1] = {common::millisToNs(900.0), common::millisToNs(1050.0), 3012, 2};
+  frames[2] = {common::millisToNs(1500.0), common::millisToNs(1510.0), 2012, 1};
+  const auto timeline = qoeFromFrames(frames, common::kNanosPerSecond, 2);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].frameCount, 1u);  // only the first ends in [0,1)
+  EXPECT_EQ(timeline[1].frameCount, 2u);
+  EXPECT_DOUBLE_EQ(timeline[0].fps, 1.0);
+}
+
+TEST(QoeFromFrames, BitrateSubtractsRtpHeaders) {
+  std::vector<HeuristicFrame> frames(1);
+  frames[0] = {0, common::millisToNs(10.0), 5'048, 4};  // 4 packets
+  const auto timeline = qoeFromFrames(frames, common::kNanosPerSecond, 1);
+  // (5048 - 4*12) * 8 bits / 1 s / 1e3 = 40.0 kbps.
+  EXPECT_DOUBLE_EQ(timeline[0].bitrateKbps, 40.0);
+}
+
+TEST(QoeFromFrames, JitterIsStdevOfEndGaps) {
+  std::vector<HeuristicFrame> frames;
+  // End times 0, 30, 70, 90 ms → gaps 30, 40, 20 → stdev = 10.
+  for (const double endMs : {0.0, 30.0, 70.0, 90.0}) {
+    frames.push_back(
+        {common::millisToNs(endMs), common::millisToNs(endMs), 1000, 1});
+  }
+  const auto timeline = qoeFromFrames(frames, common::kNanosPerSecond, 1);
+  EXPECT_NEAR(timeline[0].frameJitterMs, 10.0, 1e-9);
+}
+
+TEST(QoeFromFrames, ProducesRequestedWindowCount) {
+  const auto timeline = qoeFromFrames({}, common::kNanosPerSecond, 7);
+  ASSERT_EQ(timeline.size(), 7u);
+  for (std::int64_t w = 0; w < 7; ++w) {
+    EXPECT_EQ(timeline[static_cast<std::size_t>(w)].window, w);
+    EXPECT_DOUBLE_EQ(timeline[static_cast<std::size_t>(w)].fps, 0.0);
+  }
+}
+
+// ------------------------------------------------------- RTP heuristic
+
+TEST(RtpHeuristic, GroupsByTimestampUsesMarkerEnd) {
+  const RtpHeuristicEstimator estimator(102);
+  netflow::PacketTrace trace = {
+      rtpPkt(10, 1012, 102, 5000, false, 1),
+      rtpPkt(25, 1012, 102, 5000, true, 2),   // marker: frame end at 25
+      rtpPkt(40, 800, 102, 8000, true, 3),
+      rtpPkt(42, 304, 103, 5000, false, 1),   // RTX ignored by PT filter
+  };
+  const auto frames = estimator.assembleByTimestamp(trace);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].packetCount, 2u);
+  EXPECT_EQ(frames[0].endNs, 25);
+  EXPECT_EQ(frames[1].packetCount, 1u);
+}
+
+TEST(RtpHeuristic, EstimateTimelineMatchesFrames) {
+  const RtpHeuristicEstimator estimator(102);
+  netflow::PacketTrace trace;
+  for (int i = 0; i < 30; ++i) {
+    trace.push_back(rtpPkt(common::millisToNs(33.0 * i + 400.0), 1012, 102,
+                           static_cast<std::uint32_t>(1000 + i * 3000), true,
+                           static_cast<std::uint16_t>(i)));
+  }
+  const auto timeline =
+      estimator.estimate(trace, common::kNanosPerSecond, 2);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].frameCount + timeline[1].frameCount, 30u);
+}
+
+// ------------------------------------------------------------ evaluation
+
+TEST(Evaluation, SummarizeErrorsAbsolute) {
+  const std::vector<double> pred = {10.0, 30.0, 28.0};
+  const std::vector<double> truth = {12.0, 30.0, 30.0};
+  const auto s = summarizeErrors(pred, truth);
+  EXPECT_NEAR(s.mae, 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_LE(s.p10, s.medianError);
+  EXPECT_LE(s.medianError, s.p90);
+}
+
+TEST(Evaluation, SummarizeErrorsRelativeSkipsZeroTruth) {
+  const std::vector<double> pred = {10.0, 50.0};
+  const std::vector<double> truth = {0.0, 40.0};
+  const auto s = summarizeErrors(pred, truth, /*relative=*/true);
+  EXPECT_NEAR(s.medianError, 0.25, 1e-12);
+}
+
+WindowRecord validRecord(double truthFps, double heuristicFps) {
+  WindowRecord rec;
+  rec.truthValid = true;
+  rec.truthFps = truthFps;
+  rec.truthBitrateKbps = 500.0;
+  rec.truthJitterMs = 10.0;
+  rec.truthFrameHeight = 360;
+  rec.ipudpHeuristic.fps = heuristicFps;
+  rec.ipudpHeuristic.bitrateKbps = 480.0;
+  rec.rtpHeuristic.fps = truthFps;
+  rec.ipudpFeatures.assign(features::featureCount(features::FeatureSet::kIpUdp),
+                           1.0);
+  rec.rtpFeatures.assign(features::featureCount(features::FeatureSet::kRtp),
+                         1.0);
+  return rec;
+}
+
+TEST(Evaluation, HeuristicSeriesFiltersInvalid) {
+  std::vector<WindowRecord> records = {validRecord(30.0, 28.0),
+                                       validRecord(25.0, 26.0)};
+  records.push_back(WindowRecord{});  // invalid truth
+  const auto series = heuristicSeries(records, Method::kIpUdpHeuristic,
+                                      rxstats::Metric::kFrameRate);
+  ASSERT_EQ(series.predicted.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.predicted[0], 28.0);
+  EXPECT_DOUBLE_EQ(series.truth[1], 25.0);
+}
+
+TEST(Evaluation, HeuristicSeriesRejectsMlMethods) {
+  const std::vector<WindowRecord> records = {validRecord(30.0, 28.0)};
+  EXPECT_THROW(
+      heuristicSeries(records, Method::kIpUdpMl, rxstats::Metric::kFrameRate),
+      std::invalid_argument);
+}
+
+TEST(Evaluation, HeuristicResolutionUnsupported) {
+  const std::vector<WindowRecord> records = {validRecord(30.0, 28.0)};
+  EXPECT_THROW(heuristicSeries(records, Method::kIpUdpHeuristic,
+                               rxstats::Metric::kResolution),
+               std::invalid_argument);
+}
+
+TEST(Evaluation, BuildMlDatasetShapes) {
+  std::vector<WindowRecord> records = {validRecord(30.0, 28.0),
+                                       validRecord(20.0, 19.0)};
+  const auto data = buildMlDataset(records, features::FeatureSet::kIpUdp,
+                                   rxstats::Metric::kFrameRate);
+  EXPECT_EQ(data.rows(), 2u);
+  EXPECT_EQ(data.cols(), 14u);
+  EXPECT_DOUBLE_EQ(data.y[0], 30.0);
+
+  const auto rtpData = buildMlDataset(records, features::FeatureSet::kRtp,
+                                      rxstats::Metric::kBitrate);
+  EXPECT_EQ(rtpData.cols(), 24u);
+  EXPECT_DOUBLE_EQ(rtpData.y[0], 500.0);
+}
+
+TEST(Evaluation, BuildMlDatasetEncodesResolution) {
+  std::vector<WindowRecord> records = {validRecord(30.0, 28.0)};
+  records[0].truthFrameHeight = 404;
+  const auto codec = resolutionCodecFor("teams");
+  const auto data = buildMlDataset(records, features::FeatureSet::kIpUdp,
+                                   rxstats::Metric::kResolution, codec);
+  EXPECT_DOUBLE_EQ(data.y[0], 1.0);  // 404p is the medium bin
+  const auto meetCodec = resolutionCodecFor("meet");
+  const auto meetData = buildMlDataset(records, features::FeatureSet::kIpUdp,
+                                       rxstats::Metric::kResolution, meetCodec);
+  EXPECT_DOUBLE_EQ(meetData.y[0], 404.0);  // per-height class
+}
+
+TEST(Evaluation, TaskForMetrics) {
+  EXPECT_EQ(taskFor(rxstats::Metric::kResolution),
+            ml::TreeTask::kClassification);
+  EXPECT_EQ(taskFor(rxstats::Metric::kBitrate), ml::TreeTask::kRegression);
+}
+
+TEST(Evaluation, DefaultHeuristicParamsPerVca) {
+  EXPECT_EQ(defaultHeuristicParams("meet").lookback, 3);
+  EXPECT_EQ(defaultHeuristicParams("teams").lookback, 2);
+  EXPECT_EQ(defaultHeuristicParams("webex").lookback, 1);
+  EXPECT_EQ(defaultHeuristicParams("meet").deltaMaxBytes, 2u);
+}
+
+TEST(Evaluation, ResolutionCodecNames) {
+  const auto teams = resolutionCodecFor("teams");
+  EXPECT_TRUE(teams.useBins);
+  EXPECT_EQ(teams.labelName(1), "Medium");
+  const auto meet = resolutionCodecFor("meet");
+  EXPECT_FALSE(meet.useBins);
+  EXPECT_EQ(meet.labelName(360), "360p");
+}
+
+TEST(Methods, ToStringCovers) {
+  EXPECT_EQ(toString(Method::kRtpMl), "RTP ML");
+  EXPECT_EQ(toString(Method::kIpUdpMl), "IP/UDP ML");
+  EXPECT_EQ(toString(Method::kRtpHeuristic), "RTP Heuristic");
+  EXPECT_EQ(toString(Method::kIpUdpHeuristic), "IP/UDP Heuristic");
+}
+
+// ---------------------------------------------------------- error anatomy
+
+TEST(ErrorAnatomy, DetectsSplit) {
+  // One true frame with an oversize middle packet: split, no interleave.
+  netflow::PacketTrace trace = {
+      rtpPkt(10, 1000, 102, 5000, false, 1),
+      rtpPkt(11, 1200, 102, 5000, false, 2),
+      rtpPkt(12, 1000, 102, 5000, true, 3),
+  };
+  const auto counts = analyzeErrorAnatomy(trace, 102, {}, params(1),
+                                          common::kNanosPerSecond, 1);
+  EXPECT_DOUBLE_EQ(counts.splitsPerWindow, 1.0);
+  EXPECT_DOUBLE_EQ(counts.interleavesPerWindow, 0.0);
+}
+
+TEST(ErrorAnatomy, DetectsCoalesce) {
+  netflow::PacketTrace trace = {
+      rtpPkt(10, 1000, 102, 5000, true, 1),
+      rtpPkt(43, 1001, 102, 8000, true, 2),  // same size: glued
+  };
+  const auto counts = analyzeErrorAnatomy(trace, 102, {}, params(1),
+                                          common::kNanosPerSecond, 1);
+  EXPECT_DOUBLE_EQ(counts.coalescesPerWindow, 1.0);
+  EXPECT_DOUBLE_EQ(counts.splitsPerWindow, 0.0);
+}
+
+TEST(ErrorAnatomy, DetectsInterleave) {
+  // Frames' packets alternate in arrival order.
+  netflow::PacketTrace trace = {
+      rtpPkt(10, 1000, 102, 5000, false, 1),
+      rtpPkt(11, 1300, 102, 8000, false, 3),
+      rtpPkt(12, 1000, 102, 5000, true, 2),
+      rtpPkt(13, 1300, 102, 8000, true, 4),
+  };
+  const auto counts = analyzeErrorAnatomy(trace, 102, {}, params(1),
+                                          common::kNanosPerSecond, 1);
+  EXPECT_DOUBLE_EQ(counts.interleavesPerWindow, 2.0);
+}
+
+TEST(ErrorAnatomy, CleanTraceNoErrors) {
+  netflow::PacketTrace trace;
+  std::uint16_t seq = 1;
+  for (int frame = 0; frame < 30; ++frame) {
+    const auto ts = static_cast<std::uint32_t>(1000 + frame * 3000);
+    const auto size = static_cast<std::uint32_t>(900 + frame * 7);
+    trace.push_back(rtpPkt(common::millisToNs(frame * 33.0), size, 102, ts,
+                           false, seq++));
+    trace.push_back(rtpPkt(common::millisToNs(frame * 33.0 + 0.4), size, 102,
+                           ts, true, seq++));
+  }
+  const auto counts = analyzeErrorAnatomy(trace, 102, {}, params(2),
+                                          common::kNanosPerSecond, 1);
+  EXPECT_DOUBLE_EQ(counts.splitsPerWindow, 0.0);
+  EXPECT_DOUBLE_EQ(counts.interleavesPerWindow, 0.0);
+  EXPECT_DOUBLE_EQ(counts.coalescesPerWindow, 0.0);
+}
+
+TEST(ErrorAnatomy, CombineWeightsByWindows) {
+  AnatomyCounts a;
+  a.splitsPerWindow = 1.0;
+  a.windows = 10;
+  AnatomyCounts b;
+  b.splitsPerWindow = 3.0;
+  b.windows = 30;
+  const auto merged = combineAnatomy(std::vector<AnatomyCounts>{a, b});
+  EXPECT_EQ(merged.windows, 40u);
+  EXPECT_NEAR(merged.splitsPerWindow, 2.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace vcaqoe::core

@@ -1,0 +1,292 @@
+// Tests for the webrtc-internals JSON logs, the VCA flow classifier with
+// background traffic, and the §7 application modes (screen share,
+// multi-party).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/flow_classifier.hpp"
+#include "core/heuristic_estimators.hpp"
+#include "core/session.hpp"
+#include "datasets/generators.hpp"
+#include "datasets/vca_profiles.hpp"
+#include "netem/conditions.hpp"
+#include "rtp/rtp.hpp"
+#include "rxstats/ground_truth.hpp"
+#include "rxstats/webrtc_log.hpp"
+#include "simcall/background.hpp"
+#include "simcall/modes.hpp"
+
+namespace vcaqoe {
+namespace {
+
+// ------------------------------------------------------------- webrtc log
+
+rxstats::WebrtcLog sampleLog() {
+  rxstats::WebrtcLog log;
+  log.vca = "teams";
+  log.startSecond = 2;
+  for (int i = 0; i < 5; ++i) {
+    rxstats::QoeRow row;
+    row.second = 2 + i;
+    row.fps = 30.0 - i;
+    row.bitrateKbps = 1'000.5 + i * 10;
+    row.frameJitterMs = 3.25 * i;
+    row.frameHeight = i % 2 ? 360 : 270;
+    row.valid = i != 3;
+    log.rows.push_back(row);
+  }
+  return log;
+}
+
+TEST(WebrtcLog, RoundTrip) {
+  const auto log = sampleLog();
+  const std::string json = writeWebrtcLog(log);
+  const auto parsed = rxstats::parseWebrtcLog(json);
+  EXPECT_EQ(parsed, log);
+}
+
+TEST(WebrtcLog, FileRoundTrip) {
+  const auto log = sampleLog();
+  const std::string path = "/tmp/vcaqoe_webrtc_log_test.json";
+  rxstats::saveWebrtcLog(log, path);
+  const auto loaded = rxstats::loadWebrtcLog(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded, log);
+}
+
+TEST(WebrtcLog, ToleratesWhitespaceAndKeyOrder) {
+  const std::string json =
+      "{ \"startSecond\": 0,\n\n  \"framesPerSecond\": [30, 29],\n"
+      "\"bitrateKbps\":[500,501] , \"frameJitterMs\": [1, 2],\n"
+      "\"frameHeight\": [360, 360], \"valid\": [1, 1],\n"
+      "\"vca\": \"meet\" }";
+  const auto log = rxstats::parseWebrtcLog(json);
+  EXPECT_EQ(log.vca, "meet");
+  ASSERT_EQ(log.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(log.rows[1].fps, 29.0);
+  EXPECT_EQ(log.rows[0].frameHeight, 360);
+}
+
+TEST(WebrtcLog, RejectsMalformedInput) {
+  EXPECT_THROW(rxstats::parseWebrtcLog("not json"), std::runtime_error);
+  EXPECT_THROW(rxstats::parseWebrtcLog("{}"), std::runtime_error);
+  EXPECT_THROW(rxstats::parseWebrtcLog(
+                   "{\"vca\": \"x\", \"startSecond\": 0,"
+                   "\"framesPerSecond\": [1], \"bitrateKbps\": [1, 2],"
+                   "\"frameJitterMs\": [1], \"frameHeight\": [1],"
+                   "\"valid\": [1]}"),
+               std::runtime_error);  // length mismatch
+}
+
+TEST(WebrtcLog, RoundTripsSimulatedGroundTruth) {
+  const auto profile = datasets::teamsProfile(datasets::Deployment::kLab);
+  netem::NdtTraceSynthesizer synth(3);
+  const auto session =
+      datasets::simulateSession(profile, synth.synthesize(20), 20.0, 5, 1);
+  rxstats::WebrtcLog log;
+  log.vca = profile.name;
+  log.startSecond = session.truth.front().second;
+  log.rows = session.truth;
+  const auto parsed = rxstats::parseWebrtcLog(writeWebrtcLog(log));
+  ASSERT_EQ(parsed.rows.size(), session.truth.size());
+  for (std::size_t i = 0; i < parsed.rows.size(); ++i) {
+    EXPECT_NEAR(parsed.rows[i].bitrateKbps, session.truth[i].bitrateKbps,
+                1e-4);
+    EXPECT_DOUBLE_EQ(parsed.rows[i].fps, session.truth[i].fps);
+  }
+}
+
+// ------------------------------------------------- background + classifier
+
+netflow::FlowKey vcaFlow() {
+  netflow::FlowKey flow;
+  flow.srcIp = 0x0A010101;
+  flow.dstIp = 0xC0A80117;
+  flow.srcPort = 19'305;
+  flow.dstPort = 50'001;
+  return flow;
+}
+
+std::vector<netflow::PcapRecord> mixedCapture(std::uint64_t seed) {
+  const auto profile = datasets::teamsProfile(datasets::Deployment::kLab);
+  netem::NdtTraceSynthesizer synth(seed);
+  const auto session =
+      datasets::simulateSession(profile, synth.synthesize(30), 30.0, seed, 1);
+
+  std::vector<netflow::PcapRecord> records;
+  for (const auto& pkt : session.packets) {
+    netflow::PcapRecord rec;
+    rec.flow = vcaFlow();
+    rec.packet = pkt;
+    records.push_back(rec);
+  }
+  const auto background = simcall::generateBackgroundMix(30.0, seed ^ 0xBB);
+  records.insert(records.end(), background.begin(), background.end());
+  std::sort(records.begin(), records.end(),
+            [](const netflow::PcapRecord& a, const netflow::PcapRecord& b) {
+              return a.packet.arrivalNs < b.packet.arrivalNs;
+            });
+  return records;
+}
+
+TEST(Background, GeneratesAllKinds) {
+  common::Rng rng(1);
+  for (const auto kind :
+       {simcall::BackgroundKind::kDns, simcall::BackgroundKind::kWebBrowsing,
+        simcall::BackgroundKind::kVideoStreaming,
+        simcall::BackgroundKind::kGaming}) {
+    const auto records =
+        simcall::generateBackgroundFlow(kind, vcaFlow(), 20.0, rng);
+    EXPECT_GT(records.size(), 3u);
+    for (const auto& rec : records) {
+      EXPECT_GE(rec.packet.arrivalNs, 0);
+      EXPECT_LE(rec.packet.arrivalNs, common::secondsToNs(21.0));
+      EXPECT_GT(rec.packet.sizeBytes, 0u);
+    }
+  }
+}
+
+TEST(Background, DashStreamingIsBursty) {
+  common::Rng rng(2);
+  const auto records = simcall::generateBackgroundFlow(
+      simcall::BackgroundKind::kVideoStreaming, vcaFlow(), 30.0, rng);
+  const auto sigs = core::summarizeFlows(records);
+  ASSERT_EQ(sigs.size(), 1u);
+  EXPECT_LT(sigs[0].activityFraction, 0.8);  // ON/OFF
+  EXPECT_GT(sigs[0].largeFraction, 0.95);    // bulk MTU packets
+}
+
+TEST(FlowClassifier, FindsExactlyTheVcaFlow) {
+  const auto records = mixedCapture(7);
+  const auto media = core::vcaMediaFlows(records);
+  ASSERT_EQ(media.size(), 1u);
+  EXPECT_EQ(media[0], vcaFlow());
+}
+
+TEST(FlowClassifier, SignatureSanity) {
+  const auto records = mixedCapture(8);
+  const auto verdicts = core::classifyFlows(records);
+  EXPECT_EQ(verdicts.size(), 5u);  // VCA + 4 background kinds
+  for (const auto& verdict : verdicts) {
+    if (verdict.signature.flow == vcaFlow()) {
+      EXPECT_TRUE(verdict.isVcaMedia);
+      EXPECT_GT(verdict.signature.activityFraction, 0.85);
+      EXPECT_GT(verdict.signature.largeFraction, 0.25);
+      EXPECT_GT(verdict.signature.smallFraction, 0.01);
+    } else {
+      EXPECT_FALSE(verdict.isVcaMedia)
+          << "misclassified background flow dstPort="
+          << verdict.signature.flow.dstPort;
+    }
+  }
+}
+
+class ClassifierSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClassifierSeeds, RobustAcrossSeeds) {
+  const auto records =
+      mixedCapture(static_cast<std::uint64_t>(GetParam()) + 100);
+  const auto media = core::vcaMediaFlows(records);
+  ASSERT_EQ(media.size(), 1u);
+  EXPECT_EQ(media[0], vcaFlow());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierSeeds, ::testing::Range(1, 6));
+
+// --------------------------------------------------------------- app modes
+
+TEST(Modes, ScreenShareVariantShape) {
+  const auto base = datasets::teamsProfile(datasets::Deployment::kLab);
+  const auto share = simcall::screenShareVariant(base);
+  EXPECT_EQ(share.name, "teams-screenshare");
+  EXPECT_LT(share.maxFps, 10.0);
+  EXPECT_GT(share.frameSizeCv, base.frameSizeCv);
+}
+
+TEST(Modes, ScreenShareProducesLowFrameRate) {
+  const auto profile = simcall::screenShareVariant(
+      datasets::teamsProfile(datasets::Deployment::kLab));
+  netem::SecondCondition c;
+  c.throughputKbps = 10'000.0;
+  c.delayMs = 20.0;
+  simcall::CallSimulator sim(profile,
+                             netem::ConditionSchedule::constant(c, 30), 3);
+  const auto call = sim.run(20.0);
+  const auto rows = rxstats::buildGroundTruth(call, 20.0);
+  double meanFps = 0.0;
+  for (const auto& row : rows) meanFps += row.fps;
+  meanFps /= static_cast<double>(rows.size());
+  EXPECT_LT(meanFps, 7.0);
+  EXPECT_GT(meanFps, 2.0);
+}
+
+TEST(Modes, MultiPartyMergesDistinctStreams) {
+  const auto profile = datasets::teamsProfile(datasets::Deployment::kLab);
+  netem::SecondCondition c;
+  c.throughputKbps = 20'000.0;
+  c.delayMs = 15.0;
+  const auto result = simcall::simulateMultiPartyCall(
+      profile, netem::ConditionSchedule::constant(c, 20), 15.0, 9, {4, true});
+  ASSERT_EQ(result.perParticipant.size(), 4u);
+  EXPECT_TRUE(netflow::isArrivalOrdered(result.packets));
+
+  std::set<std::uint32_t> videoSsrcs;
+  for (const auto& pkt : result.packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (header && header->payloadType == profile.videoPt) {
+      videoSsrcs.insert(header->ssrc);
+    }
+  }
+  EXPECT_EQ(videoSsrcs.size(), 4u);
+
+  // Timestamp spaces must not collide across participants.
+  std::set<std::uint32_t> ts0;
+  for (const auto& frame : result.perParticipant[0].sentFrames) {
+    ts0.insert(frame.rtpTimestamp);
+  }
+  for (const auto& frame : result.perParticipant[1].sentFrames) {
+    EXPECT_EQ(ts0.count(frame.rtpTimestamp), 0u);
+  }
+}
+
+TEST(Modes, MultiPartyInflatesIpUdpHeuristicFrameCount) {
+  // §7: multiple streams on one flow break the "session = one frame
+  // sequence" abstraction — the heuristic counts everybody's frames.
+  const auto profile = datasets::teamsProfile(datasets::Deployment::kLab);
+  netem::SecondCondition c;
+  c.throughputKbps = 20'000.0;
+  c.delayMs = 15.0;
+  const auto result = simcall::simulateMultiPartyCall(
+      profile, netem::ConditionSchedule::constant(c, 25), 20.0, 11, {4, true});
+
+  // Ground truth for the observed participant (index 0).
+  simcall::CallResult speaker;
+  speaker.packets = result.packets;  // receiver sees the merged flow
+  speaker.sentFrames = result.perParticipant[0].sentFrames;
+  speaker.profile = profile;
+  const auto truth = rxstats::buildGroundTruth(speaker, 20.0);
+
+  const core::IpUdpHeuristicEstimator estimator(
+      {}, core::defaultHeuristicParams(profile.name));
+  const auto estimates = estimator.estimate(result.packets,
+                                            common::kNanosPerSecond, 20);
+
+  double truthFps = 0.0;
+  double estimatedFps = 0.0;
+  std::size_t n = 0;
+  for (const auto& row : truth) {
+    if (!row.valid) continue;
+    truthFps += row.fps;
+    estimatedFps += estimates[static_cast<std::size_t>(row.second)].fps;
+    ++n;
+  }
+  ASSERT_GT(n, 10u);
+  truthFps /= static_cast<double>(n);
+  estimatedFps /= static_cast<double>(n);
+  // The heuristic roughly counts all four participants' frames.
+  EXPECT_GT(estimatedFps, 2.0 * truthFps);
+}
+
+}  // namespace
+}  // namespace vcaqoe

@@ -1,0 +1,302 @@
+// End-to-end integration tests: full simulated calls through the complete
+// inference pipeline, checking the paper's qualitative claims hold on the
+// reproduction (§5): media classification is near-perfect, ML methods beat
+// heuristics, IP/UDP ML tracks RTP ML, and pcap round trips preserve
+// estimates.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/evaluation.hpp"
+#include "core/media_classifier.hpp"
+#include "core/session.hpp"
+#include "datasets/generators.hpp"
+#include "ml/metrics.hpp"
+#include "datasets/vca_profiles.hpp"
+#include "netem/conditions.hpp"
+#include "netflow/pcap.hpp"
+#include "rtp/rtp.hpp"
+
+namespace vcaqoe {
+namespace {
+
+std::vector<core::LabeledSession> smallLabDataset() {
+  datasets::LabDatasetOptions options;
+  options.callsPerVca = 12;
+  options.minCallSec = 40.0;
+  options.maxCallSec = 50.0;
+  options.seed = 4242;
+  static const auto sessions = datasets::generateLabDataset(options);
+  return sessions;
+}
+
+TEST(Integration, DatasetGeneratorProducesAllVcas) {
+  const auto sessions = smallLabDataset();
+  EXPECT_EQ(sessions.size(), 36u);
+  for (const auto& name : {"meet", "teams", "webex"}) {
+    EXPECT_EQ(datasets::sessionsForVca(sessions, name).size(), 12u) << name;
+  }
+  for (const auto& session : sessions) {
+    EXPECT_GT(session.packets.size(), 1000u);
+    EXPECT_GE(session.truth.size(), 35u);
+    EXPECT_TRUE(netflow::isArrivalOrdered(session.packets));
+  }
+}
+
+TEST(Integration, MediaClassificationAccuracyHigh) {
+  // Paper Table 2 / A.1 / A.2: ~100% of video classified video, >98% of
+  // non-video classified non-video.
+  const auto sessions = smallLabDataset();
+  const core::MediaClassifier classifier;
+  std::uint64_t videoTotal = 0;
+  std::uint64_t videoCorrect = 0;
+  std::uint64_t nonVideoTotal = 0;
+  std::uint64_t nonVideoCorrect = 0;
+  for (const auto& session : sessions) {
+    for (const auto& pkt : session.packets) {
+      const auto truth = core::groundTruthLabel(
+          pkt, session.profile.audioPt, session.profile.videoPt,
+          session.profile.rtxPt, session.profile.rtxKeepaliveBytes);
+      const bool predicted = classifier.isVideo(pkt);
+      if (truth.video) {
+        ++videoTotal;
+        videoCorrect += predicted ? 1 : 0;
+      } else {
+        ++nonVideoTotal;
+        nonVideoCorrect += predicted ? 0 : 1;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(videoCorrect) / videoTotal, 0.99);
+  EXPECT_GT(static_cast<double>(nonVideoCorrect) / nonVideoTotal, 0.97);
+  // The DTLS handshake packets are the dominant misclassification source.
+  EXPECT_LT(static_cast<double>(nonVideoCorrect) / nonVideoTotal, 1.0);
+}
+
+TEST(Integration, WindowRecordsConsistent) {
+  const auto sessions = smallLabDataset();
+  const auto records = datasets::recordsForSessions(sessions);
+  ASSERT_GT(records.size(), 500u);
+  std::size_t valid = 0;
+  for (const auto& rec : records) {
+    ASSERT_EQ(rec.ipudpFeatures.size(), 14u);
+    ASSERT_EQ(rec.rtpFeatures.size(), 24u);
+    if (!rec.truthValid) continue;
+    ++valid;
+    EXPECT_GE(rec.truthFps, 0.0);
+    // Catch-up bursts after a jitter-buffer stall can briefly exceed the
+    // capture rate within one wall-clock second.
+    EXPECT_LE(rec.truthFps, 60.0);
+    EXPECT_GE(rec.truthBitrateKbps, 0.0);
+    EXPECT_GT(rec.truthFrameHeight, 0);
+  }
+  EXPECT_GT(static_cast<double>(valid) / records.size(), 0.8);
+}
+
+TEST(Integration, MlBeatsIpUdpHeuristicOnFrameRate) {
+  // §5.1.2: "both heuristics tend to have higher errors than ML-based
+  // methods" — check IP/UDP ML < IP/UDP Heuristic on a small dataset.
+  const auto sessions = smallLabDataset();
+  const auto records = datasets::recordsForSessions(sessions);
+
+  ml::ForestOptions forest;
+  forest.numTrees = 25;
+  const auto mlEval =
+      core::evaluateMlCv(records, features::FeatureSet::kIpUdp,
+                         rxstats::Metric::kFrameRate, {}, 5, 7, forest);
+  const auto mlSummary =
+      core::summarizeErrors(mlEval.series.predicted, mlEval.series.truth);
+
+  const auto heuristic = core::heuristicSeries(
+      records, core::Method::kIpUdpHeuristic, rxstats::Metric::kFrameRate);
+  const auto heuristicSummary =
+      core::summarizeErrors(heuristic.predicted, heuristic.truth);
+
+  EXPECT_LT(mlSummary.mae, heuristicSummary.mae);
+  EXPECT_LT(mlSummary.mae, 2.5);  // within the paper's ~2 FPS band
+}
+
+TEST(Integration, IpUdpMlTracksRtpMl) {
+  // The headline claim: IP/UDP-only features estimate frame rate with
+  // accuracy comparable to RTP headers (abstract: difference < ~0.5 FPS at
+  // our scale).
+  const auto sessions = smallLabDataset();
+  const auto records = datasets::recordsForSessions(sessions);
+  ml::ForestOptions forest;
+  forest.numTrees = 25;
+
+  const auto ipudp =
+      core::evaluateMlCv(records, features::FeatureSet::kIpUdp,
+                         rxstats::Metric::kFrameRate, {}, 5, 7, forest);
+  const auto rtp =
+      core::evaluateMlCv(records, features::FeatureSet::kRtp,
+                         rxstats::Metric::kFrameRate, {}, 5, 7, forest);
+  const double ipudpMae = common::meanAbsoluteError(ipudp.series.predicted,
+                                                    ipudp.series.truth);
+  const double rtpMae =
+      common::meanAbsoluteError(rtp.series.predicted, rtp.series.truth);
+  EXPECT_LT(std::abs(ipudpMae - rtpMae), 0.75);
+}
+
+TEST(Integration, ResolutionClassificationAccurate) {
+  const auto sessions = smallLabDataset();
+  for (const auto& name : {"meet", "webex"}) {
+    const auto vcaSessions = datasets::sessionsForVca(sessions, name);
+    const auto records = datasets::recordsForSessions(vcaSessions);
+    ml::ForestOptions forest;
+    forest.numTrees = 25;
+    const auto eval = core::evaluateMlCv(
+        records, features::FeatureSet::kIpUdp, rxstats::Metric::kResolution,
+        core::resolutionCodecFor(name), 5, 11, forest);
+    const ml::ConfusionMatrix cm(eval.series.truth, eval.series.predicted);
+    EXPECT_GT(cm.accuracy(), 0.80) << name;  // bench-scale dataset reaches ~92-98%
+  }
+}
+
+TEST(Integration, BitrateMlWithin25PercentMostOfTheTime) {
+  // §5.1.3: IP/UDP ML bitrate within 25% of truth in ~87-95% of windows.
+  const auto sessions = smallLabDataset();
+  const auto records = datasets::recordsForSessions(sessions);
+  ml::ForestOptions forest;
+  forest.numTrees = 25;
+  const auto eval =
+      core::evaluateMlCv(records, features::FeatureSet::kIpUdp,
+                         rxstats::Metric::kBitrate, {}, 5, 13, forest);
+  EXPECT_GT(common::fractionWithinRelative(eval.series.predicted,
+                                           eval.series.truth, 0.25),
+            0.8);
+}
+
+TEST(Integration, HeuristicBitrateBiasedHigh) {
+  // §5.1.3: heuristic bitrate errors are systemic (median relative error
+  // above zero) because codec/FEC overheads are invisible.
+  const auto sessions = smallLabDataset();
+  const auto records = datasets::recordsForSessions(sessions);
+  const auto series = core::heuristicSeries(
+      records, core::Method::kIpUdpHeuristic, rxstats::Metric::kBitrate);
+  const auto summary =
+      core::summarizeErrors(series.predicted, series.truth, /*relative=*/true);
+  EXPECT_GT(summary.medianError, 0.0);
+}
+
+TEST(Integration, PcapRoundTripPreservesEstimates) {
+  // Write a session to pcap, read it back, re-run the IP/UDP heuristic:
+  // identical per-window estimates.
+  const auto profile = datasets::teamsProfile(datasets::Deployment::kLab);
+  netem::NdtTraceSynthesizer synth(31);
+  const auto session =
+      datasets::simulateSession(profile, synth.synthesize(30), 30.0, 55, 0);
+
+  netflow::FlowKey flow;
+  flow.srcIp = 0x0A000001;
+  flow.dstIp = 0x0A000002;
+  flow.srcPort = 3478;
+  flow.dstPort = 50000;
+  netflow::PcapWriter writer;
+  for (const auto& pkt : session.packets) writer.write(flow, pkt);
+  const auto records = netflow::parsePcap(writer.bytes());
+  auto restored = netflow::packetsForFlow(records, flow);
+  ASSERT_EQ(restored.size(), session.packets.size());
+
+  const core::IpUdpHeuristicEstimator estimator(
+      {}, core::defaultHeuristicParams(profile.name));
+  const auto original =
+      estimator.estimate(session.packets, common::kNanosPerSecond, 30);
+  const auto roundTripped =
+      estimator.estimate(restored, common::kNanosPerSecond, 30);
+  ASSERT_EQ(original.size(), roundTripped.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original[i].fps, roundTripped[i].fps);
+    EXPECT_DOUBLE_EQ(original[i].bitrateKbps, roundTripped[i].bitrateKbps);
+  }
+  // And the RTP baseline still parses headers from the restored trace.
+  const core::RtpHeuristicEstimator rtpEstimator(profile.videoPt);
+  const auto rtpTimeline =
+      rtpEstimator.estimate(restored, common::kNanosPerSecond, 30);
+  double frames = 0.0;
+  for (const auto& row : rtpTimeline) frames += row.frameCount;
+  EXPECT_GT(frames, 500.0);
+}
+
+TEST(Integration, RealWorldDatasetQoeHigherThanLab) {
+  // Fig A.1 vs A.2: real-world access networks yield better QoE.
+  datasets::RealWorldDatasetOptions options;
+  options.callCountScale = 0.02;  // ~18 calls
+  options.seed = 99;
+  const auto realWorld = datasets::generateRealWorldDataset(options);
+  ASSERT_GE(realWorld.size(), 15u);
+
+  const auto lab = smallLabDataset();
+  auto meanBitrate = [](const std::vector<core::LabeledSession>& sessions) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& session : sessions) {
+      for (const auto& row : session.truth) {
+        if (!row.valid) continue;
+        sum += row.bitrateKbps;
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  EXPECT_GT(meanBitrate(realWorld), meanBitrate(lab));
+}
+
+TEST(Integration, RealWorldPayloadTypesDiffer) {
+  // §5.2: payload-type numbering changes between deployments.
+  const auto lab = datasets::teamsProfile(datasets::Deployment::kLab);
+  const auto wild = datasets::teamsProfile(datasets::Deployment::kRealWorld);
+  EXPECT_NE(lab.videoPt, wild.videoPt);
+  EXPECT_EQ(wild.videoPt, 100);
+  EXPECT_EQ(wild.rtxPt, 101);
+  EXPECT_EQ(datasets::webexProfile(datasets::Deployment::kRealWorld).rtxPt, 0);
+}
+
+TEST(Integration, TransferEvaluationRuns) {
+  // §5.3 protocol smoke test: lab-trained model applied to real-world data.
+  const auto lab = smallLabDataset();
+  datasets::RealWorldDatasetOptions options;
+  options.callCountScale = 0.02;
+  options.seed = 17;
+  const auto realWorld = datasets::generateRealWorldDataset(options);
+
+  const auto labTeams = datasets::sessionsForVca(lab, "teams");
+  const auto wildTeams = datasets::sessionsForVca(realWorld, "teams");
+  ASSERT_FALSE(wildTeams.empty());
+  const auto trainRecords = datasets::recordsForSessions(labTeams);
+  const auto testRecords = datasets::recordsForSessions(wildTeams);
+  ml::ForestOptions forest;
+  forest.numTrees = 20;
+  const auto eval = core::evaluateMlTransfer(
+      trainRecords, testRecords, features::FeatureSet::kIpUdp,
+      rxstats::Metric::kFrameRate, {}, 19, forest);
+  EXPECT_EQ(eval.series.predicted.size(), eval.series.truth.size());
+  EXPECT_GT(eval.series.predicted.size(), 50u);
+  const double mae = common::meanAbsoluteError(eval.series.predicted,
+                                               eval.series.truth);
+  EXPECT_LT(mae, 8.0);  // transfers with degraded but sane accuracy
+}
+
+TEST(Integration, UniqueSizesAmongTopFrameRateFeatures) {
+  // §5.1.2: "# unique sizes" carries strong frame-rate signal for the
+  // equal-fragmentation VCAs.
+  const auto sessions = smallLabDataset();
+  const auto teams = datasets::sessionsForVca(sessions, "teams");
+  const auto records = datasets::recordsForSessions(teams);
+  ml::ForestOptions forest;
+  forest.numTrees = 25;
+  const auto eval =
+      core::evaluateMlCv(records, features::FeatureSet::kIpUdp,
+                         rxstats::Metric::kFrameRate, {}, 5, 23, forest);
+  // At bench scale (24+ calls/VCA) this feature ranks in the top-5 (see
+  // bench_fig05); the small test dataset is noisier, so accept the top half
+  // of the 14-feature ranking here.
+  ASSERT_GE(eval.importance.size(), 7u);
+  bool found = false;
+  for (std::size_t i = 0; i < 7; ++i) {
+    if (eval.importance[i].first == "# unique sizes") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace vcaqoe

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+namespace vcaqoe::ml {
+namespace {
+
+// ---------------------------------------------------------------- dataset
+
+TEST(Dataset, AddRowChecksWidth) {
+  Dataset d;
+  d.featureNames = {"a", "b"};
+  d.addRow({1.0, 2.0}, 3.0);
+  EXPECT_EQ(d.rows(), 1u);
+  EXPECT_THROW(d.addRow({1.0}, 3.0), std::invalid_argument);
+}
+
+TEST(Dataset, AppendChecksNames) {
+  Dataset a;
+  a.featureNames = {"x"};
+  a.addRow({1.0}, 0.0);
+  Dataset b;
+  b.featureNames = {"x"};
+  b.addRow({2.0}, 1.0);
+  a.append(b);
+  EXPECT_EQ(a.rows(), 2u);
+  Dataset c;
+  c.featureNames = {"y"};
+  EXPECT_THROW(a.append(c), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  Dataset d;
+  d.featureNames = {"x"};
+  for (int i = 0; i < 5; ++i) d.addRow({static_cast<double>(i)}, i * 10.0);
+  const std::vector<std::size_t> pick = {4, 0, 2};
+  const Dataset sub = d.subset(pick);
+  ASSERT_EQ(sub.rows(), 3u);
+  EXPECT_DOUBLE_EQ(sub.x[0][0], 4.0);
+  EXPECT_DOUBLE_EQ(sub.y[1], 0.0);
+  EXPECT_DOUBLE_EQ(sub.y[2], 20.0);
+}
+
+TEST(Dataset, ValidateCatchesMismatch) {
+  Dataset d;
+  d.featureNames = {"x"};
+  d.addRow({1.0}, 2.0);
+  d.y.push_back(99.0);
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(KFold, BalancedAssignment) {
+  common::Rng rng(1);
+  const auto assignment = kFoldAssignment(100, 5, rng);
+  std::vector<int> counts(5, 0);
+  for (const int fold : assignment) {
+    ASSERT_GE(fold, 0);
+    ASSERT_LT(fold, 5);
+    ++counts[static_cast<std::size_t>(fold)];
+  }
+  for (const int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(KFold, FoldIndicesPartition) {
+  common::Rng rng(2);
+  const auto assignment = kFoldAssignment(53, 5, rng);
+  std::vector<bool> seen(53, false);
+  for (int fold = 0; fold < 5; ++fold) {
+    const auto split = foldIndices(assignment, fold);
+    EXPECT_EQ(split.train.size() + split.test.size(), 53u);
+    for (const auto i : split.test) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(KFold, RejectsTinyK) {
+  common::Rng rng(3);
+  EXPECT_THROW(kFoldAssignment(10, 1, rng), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- tree
+
+Dataset stepDataset(int n, std::uint64_t seed) {
+  // y = 10 when x0 > 0.5 else 2; x1 is noise.
+  Dataset d;
+  d.featureNames = {"x0", "x1"};
+  common::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(0.0, 1.0);
+    d.addRow({x0, rng.uniform(0.0, 1.0)}, x0 > 0.5 ? 10.0 : 2.0);
+  }
+  return d;
+}
+
+TEST(DecisionTree, LearnsStepFunction) {
+  const Dataset d = stepDataset(500, 1);
+  std::vector<std::size_t> idx(d.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  DecisionTree tree;
+  common::Rng rng(2);
+  tree.fit(d, idx, TreeTask::kRegression, TreeOptions{}, rng);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.9, 0.5}), 10.0, 0.5);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.1, 0.5}), 2.0, 0.5);
+}
+
+TEST(DecisionTree, ImportanceOnInformativeFeature) {
+  const Dataset d = stepDataset(500, 3);
+  std::vector<std::size_t> idx(d.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  DecisionTree tree;
+  common::Rng rng(4);
+  tree.fit(d, idx, TreeTask::kRegression, TreeOptions{}, rng);
+  const auto& imp = tree.featureImportance();
+  EXPECT_GT(imp[0], 10.0 * std::max(imp[1], 1e-12));
+}
+
+TEST(DecisionTree, ClassificationXorNeedsDepth) {
+  // XOR of two thresholds: no single split separates it, depth 2 does.
+  Dataset d;
+  d.featureNames = {"a", "b"};
+  common::Rng rng(5);
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    const int label = (a > 0.5) != (b > 0.5) ? 1 : 0;
+    d.addRow({a, b}, label);
+  }
+  std::vector<std::size_t> idx(d.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  DecisionTree tree;
+  common::Rng fitRng(6);
+  tree.fit(d, idx, TreeTask::kClassification, TreeOptions{}, fitRng);
+  int correct = 0;
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    if (tree.predict(d.x[i]) == d.y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / d.rows(), 0.95);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  const Dataset d = stepDataset(500, 7);
+  std::vector<std::size_t> idx(d.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  DecisionTree stump;
+  TreeOptions opts;
+  opts.maxDepth = 1;
+  common::Rng rng(8);
+  stump.fit(d, idx, TreeTask::kRegression, opts, rng);
+  EXPECT_LE(stump.nodeCount(), 3u);
+}
+
+TEST(DecisionTree, ConstantTargetSingleLeaf) {
+  Dataset d;
+  d.featureNames = {"x"};
+  for (int i = 0; i < 50; ++i) d.addRow({static_cast<double>(i)}, 7.0);
+  std::vector<std::size_t> idx(d.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  DecisionTree tree;
+  common::Rng rng(9);
+  tree.fit(d, idx, TreeTask::kRegression, TreeOptions{}, rng);
+  EXPECT_EQ(tree.nodeCount(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{123.0}), 7.0);
+}
+
+TEST(DecisionTree, ThrowsOnEmptyFitAndEarlyPredict) {
+  Dataset d;
+  DecisionTree tree;
+  common::Rng rng(10);
+  EXPECT_THROW(tree.fit(d, {}, TreeTask::kRegression, TreeOptions{}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+// ---------------------------------------------------------------- forest
+
+TEST(RandomForest, RegressionOnNoisyLinear) {
+  Dataset d;
+  d.featureNames = {"x", "noise"};
+  common::Rng rng(11);
+  for (int i = 0; i < 1500; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    d.addRow({x, rng.uniform(0.0, 1.0)}, 3.0 * x + rng.normal(0.0, 0.5));
+  }
+  RandomForest forest;
+  ForestOptions opts;
+  opts.numTrees = 30;
+  forest.fit(d, TreeTask::kRegression, opts, 12);
+  double mae = 0.0;
+  common::Rng testRng(13);
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    const double x = testRng.uniform(0.5, 9.5);
+    mae += std::abs(forest.predict(std::vector<double>{x, 0.5}) - 3.0 * x);
+  }
+  EXPECT_LT(mae / n, 0.6);
+}
+
+TEST(RandomForest, ClassificationMajorityVote) {
+  Dataset d;
+  d.featureNames = {"x"};
+  common::Rng rng(14);
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.addRow({x}, x > 0.6 ? 2.0 : (x > 0.3 ? 1.0 : 0.0));
+  }
+  RandomForest forest;
+  ForestOptions opts;
+  opts.numTrees = 25;
+  forest.fit(d, TreeTask::kClassification, opts, 15);
+  EXPECT_DOUBLE_EQ(forest.predict(std::vector<double>{0.1}), 0.0);
+  EXPECT_DOUBLE_EQ(forest.predict(std::vector<double>{0.45}), 1.0);
+  EXPECT_DOUBLE_EQ(forest.predict(std::vector<double>{0.9}), 2.0);
+}
+
+TEST(RandomForest, DeterministicAcrossThreadCounts) {
+  const Dataset d = stepDataset(400, 16);
+  RandomForest a;
+  RandomForest b;
+  ForestOptions single;
+  single.numTrees = 12;
+  single.threads = 1;
+  ForestOptions multi = single;
+  multi.threads = 8;
+  a.fit(d, TreeTask::kRegression, single, 99);
+  b.fit(d, TreeTask::kRegression, multi, 99);
+  common::Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.uniform(0.0, 1.0),
+                                   rng.uniform(0.0, 1.0)};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(RandomForest, ImportanceNormalized) {
+  const Dataset d = stepDataset(400, 18);
+  RandomForest forest;
+  ForestOptions opts;
+  opts.numTrees = 15;
+  forest.fit(d, TreeTask::kRegression, opts, 19);
+  const auto imp = forest.featureImportance();
+  double sum = 0.0;
+  for (const double v : imp) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  const auto ranked = forest.rankedImportance();
+  EXPECT_EQ(ranked[0].first, "x0");
+  EXPECT_GE(ranked[0].second, ranked[1].second);
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  RandomForest forest;
+  EXPECT_THROW(forest.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(CrossValidation, OutOfFoldPredictionsReasonable) {
+  const Dataset d = stepDataset(600, 20);
+  ForestOptions opts;
+  opts.numTrees = 15;
+  const auto cv = crossValidate(d, TreeTask::kRegression, opts, 5, 21);
+  ASSERT_EQ(cv.predicted.size(), d.rows());
+  EXPECT_LT(common::meanAbsoluteError(cv.predicted, cv.truth), 0.8);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Confusion, CountsAndAccuracy) {
+  const std::vector<double> truth = {0, 0, 1, 1, 1, 2};
+  const std::vector<double> pred = {0, 1, 1, 1, 0, 2};
+  const ConfusionMatrix cm(truth, pred);
+  EXPECT_EQ(cm.total(), 6u);
+  EXPECT_NEAR(cm.accuracy(), 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(cm.count(0, 0), 1u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(1, 0), 1u);
+  EXPECT_EQ(cm.rowTotal(1), 3u);
+  EXPECT_NEAR(cm.rowFraction(1, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(cm.labels(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Confusion, SizeMismatchThrows) {
+  const std::vector<double> a = {0.0};
+  const std::vector<double> b = {0.0, 1.0};
+  EXPECT_THROW(ConfusionMatrix(a, b), std::invalid_argument);
+}
+
+TEST(Confusion, UnseenRowFractionZero) {
+  const std::vector<double> truth = {0.0};
+  const std::vector<double> pred = {0.0};
+  const ConfusionMatrix cm(truth, pred);
+  EXPECT_DOUBLE_EQ(cm.rowFraction(5, 0), 0.0);
+}
+
+TEST(TeamsBins, PaperThresholds) {
+  // low <= 240 < medium <= 480 < high (§5.1.5).
+  EXPECT_EQ(teamsResolutionBin(90), 0);
+  EXPECT_EQ(teamsResolutionBin(240), 0);
+  EXPECT_EQ(teamsResolutionBin(270), 1);
+  EXPECT_EQ(teamsResolutionBin(404), 1);
+  EXPECT_EQ(teamsResolutionBin(480), 1);
+  EXPECT_EQ(teamsResolutionBin(540), 2);
+  EXPECT_EQ(teamsResolutionBin(720), 2);
+  EXPECT_EQ(teamsResolutionBinName(0), "Low");
+  EXPECT_EQ(teamsResolutionBinName(2), "High");
+}
+
+// Property: forest regression never predicts outside the training target
+// range (averaging of leaf means).
+class ForestRange : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForestRange, PredictionsWithinTargetRange) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Dataset d;
+  d.featureNames = {"a", "b", "c"};
+  double lo = 1e18;
+  double hi = -1e18;
+  for (int i = 0; i < 300; ++i) {
+    const double y = rng.uniform(-50.0, 50.0);
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+    d.addRow({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0),
+              rng.uniform(0.0, 1.0)},
+             y);
+  }
+  RandomForest forest;
+  ForestOptions opts;
+  opts.numTrees = 10;
+  forest.fit(d, TreeTask::kRegression, opts,
+             static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 100; ++i) {
+    const double p = forest.predict(std::vector<double>{
+        rng.uniform(-1.0, 2.0), rng.uniform(-1.0, 2.0),
+        rng.uniform(-1.0, 2.0)});
+    EXPECT_GE(p, lo - 1e-9);
+    EXPECT_LE(p, hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestRange, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace vcaqoe::ml

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "netem/conditions.hpp"
+#include "netem/link.hpp"
+
+namespace vcaqoe::netem {
+namespace {
+
+// ---------------------------------------------------------------- schedule
+
+TEST(Schedule, ConstantHoldsValue) {
+  SecondCondition c;
+  c.throughputKbps = 1234.0;
+  const auto schedule = ConditionSchedule::constant(c, 5);
+  EXPECT_EQ(schedule.durationSec(), 5u);
+  EXPECT_DOUBLE_EQ(schedule.at(0).throughputKbps, 1234.0);
+  EXPECT_DOUBLE_EQ(schedule.at(4 * common::kNanosPerSecond).throughputKbps,
+                   1234.0);
+}
+
+TEST(Schedule, LookupClampsPastEnd) {
+  std::vector<SecondCondition> seconds(3);
+  seconds[2].delayMs = 99.0;
+  const ConditionSchedule schedule(std::move(seconds));
+  EXPECT_DOUBLE_EQ(schedule.at(100 * common::kNanosPerSecond).delayMs, 99.0);
+}
+
+TEST(Schedule, EmptyScheduleReturnsDefault) {
+  const ConditionSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_GT(schedule.at(0).throughputKbps, 0.0);
+}
+
+TEST(Schedule, PerSecondLookup) {
+  std::vector<SecondCondition> seconds(3);
+  seconds[0].lossRate = 0.1;
+  seconds[1].lossRate = 0.2;
+  seconds[2].lossRate = 0.3;
+  const ConditionSchedule schedule(std::move(seconds));
+  EXPECT_DOUBLE_EQ(schedule.at(common::millisToNs(500.0)).lossRate, 0.1);
+  EXPECT_DOUBLE_EQ(schedule.at(common::millisToNs(1500.0)).lossRate, 0.2);
+  EXPECT_DOUBLE_EQ(schedule.at(common::millisToNs(2999.0)).lossRate, 0.3);
+}
+
+// ---------------------------------------------------------------- NDT
+
+TEST(Ndt, SynthesizesRequestedDuration) {
+  NdtTraceSynthesizer synth(1);
+  EXPECT_EQ(synth.synthesize(45).durationSec(), 45u);
+  EXPECT_EQ(synth.synthesize(0).durationSec(), 0u);
+}
+
+TEST(Ndt, ThroughputBelowTenMbps) {
+  NdtTraceSynthesizer synth(7);
+  for (int trace = 0; trace < 20; ++trace) {
+    const auto schedule = synth.synthesize(30);
+    double sum = 0.0;
+    for (const auto& s : schedule.seconds()) {
+      EXPECT_GE(s.throughputKbps, 100.0);
+      sum += s.throughputKbps;
+    }
+    EXPECT_LT(sum / 30.0, 11'000.0);  // §4.2: only sub-10 Mbps traces
+  }
+}
+
+TEST(Ndt, ConditionsAreDynamicAndSane) {
+  NdtTraceSynthesizer synth(3);
+  const auto schedule = synth.synthesize(60);
+  double minTp = 1e18;
+  double maxTp = 0.0;
+  for (const auto& s : schedule.seconds()) {
+    minTp = std::min(minTp, s.throughputKbps);
+    maxTp = std::max(maxTp, s.throughputKbps);
+    EXPECT_GT(s.delayMs, 0.0);
+    EXPECT_GE(s.jitterMs, 0.0);
+    EXPECT_GE(s.lossRate, 0.0);
+    EXPECT_LE(s.lossRate, 0.5);
+  }
+  EXPECT_GT(maxTp, minTp);  // not a flat line
+}
+
+TEST(Ndt, DeterministicPerSeed) {
+  NdtTraceSynthesizer a(11);
+  NdtTraceSynthesizer b(11);
+  const auto sa = a.synthesize(20);
+  const auto sb = b.synthesize(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(sa.seconds()[i].throughputKbps,
+                     sb.seconds()[i].throughputKbps);
+  }
+}
+
+// ----------------------------------------------------- Table A.6 profiles
+
+TEST(Impairments, TableA6SweepsPresent) {
+  const auto& sweeps = impairmentSweeps();
+  ASSERT_EQ(sweeps.size(), 5u);
+  EXPECT_EQ(sweeps[0].name, "Mean Throughput");
+  EXPECT_EQ(sweeps[4].name, "Packet Loss %");
+  // Paper values.
+  EXPECT_EQ(sweeps[0].values,
+            (std::vector<double>{100, 200, 500, 1000, 2000, 4000}));
+  EXPECT_EQ(sweeps[4].values, (std::vector<double>{1, 2, 5, 10, 15, 20}));
+  EXPECT_EQ(sweeps[3].values.size(), 10u);
+}
+
+TEST(Impairments, LossProfileSetsOnlyLoss) {
+  const auto schedule = packetLossProfile(10.0, 10);
+  for (const auto& s : schedule.seconds()) {
+    EXPECT_DOUBLE_EQ(s.lossRate, 0.10);
+    EXPECT_DOUBLE_EQ(s.throughputKbps, 1500.0);
+    EXPECT_DOUBLE_EQ(s.delayMs, 50.0);
+    EXPECT_DOUBLE_EQ(s.jitterMs, 0.0);
+  }
+}
+
+TEST(Impairments, LatencyJitterProfile) {
+  const auto schedule = latencyStdevProfile(40.0, 5);
+  for (const auto& s : schedule.seconds()) {
+    EXPECT_DOUBLE_EQ(s.jitterMs, 40.0);
+    EXPECT_DOUBLE_EQ(s.delayMs, 50.0);
+  }
+}
+
+TEST(Impairments, ThroughputStdevProfileVaries) {
+  const auto schedule = throughputStdevProfile(500.0, 30);
+  common::RunningStats rs;
+  for (const auto& s : schedule.seconds()) rs.add(s.throughputKbps);
+  EXPECT_NEAR(rs.mean(), 1500.0, 400.0);
+  EXPECT_GT(rs.stdev(), 100.0);
+  // And deterministic across calls.
+  const auto again = throughputStdevProfile(500.0, 30);
+  EXPECT_DOUBLE_EQ(again.seconds()[7].throughputKbps,
+                   schedule.seconds()[7].throughputKbps);
+}
+
+// ---------------------------------------------------------- households
+
+TEST(Households, FifteenProfiles) {
+  EXPECT_EQ(householdProfiles().size(), 15u);
+}
+
+TEST(Households, ScheduleMostlyFasterThanLab) {
+  common::Rng rng(5);
+  for (const auto& household : householdProfiles()) {
+    const auto schedule = householdSchedule(household, 20, rng);
+    EXPECT_EQ(schedule.durationSec(), 20u);
+    double mean = 0.0;
+    for (const auto& s : schedule.seconds()) mean += s.throughputKbps;
+    mean /= 20.0;
+    EXPECT_GT(mean, 5'000.0) << household.ispTier;
+  }
+}
+
+// ---------------------------------------------------------------- link
+
+ConditionSchedule cleanLink(double kbps = 50'000.0, double delayMs = 10.0) {
+  SecondCondition c;
+  c.throughputKbps = kbps;
+  c.delayMs = delayMs;
+  return ConditionSchedule::constant(c, 600);
+}
+
+TEST(Link, DeliversEverythingOnCleanLink) {
+  LinkEmulator link(cleanLink(), 1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto arrival =
+        link.send(i * common::millisToNs(1.0), 1200);
+    ASSERT_TRUE(arrival.has_value());
+    EXPECT_GT(*arrival, i * common::millisToNs(1.0));
+  }
+  EXPECT_EQ(link.stats().deliveredPackets, 1000u);
+  EXPECT_EQ(link.stats().randomLosses, 0u);
+  EXPECT_EQ(link.stats().queueDrops, 0u);
+}
+
+TEST(Link, AppliesPropagationDelay) {
+  LinkEmulator link(cleanLink(50'000.0, 40.0), 1);
+  const auto arrival = link.send(0, 1000);
+  ASSERT_TRUE(arrival.has_value());
+  // 40 ms propagation + 0.16 ms serialization at 50 Mbps.
+  EXPECT_GE(*arrival, common::millisToNs(40.0));
+  EXPECT_LT(*arrival, common::millisToNs(42.0));
+}
+
+TEST(Link, BernoulliLossRateApproximatelyHonored) {
+  SecondCondition c;
+  c.throughputKbps = 100'000.0;
+  c.lossRate = 0.2;
+  LinkEmulator link(ConditionSchedule::constant(c, 600), 7);
+  const int n = 20'000;
+  int delivered = 0;
+  for (int i = 0; i < n; ++i) {
+    if (link.send(i * common::microsToNs(50.0), 500)) ++delivered;
+  }
+  EXPECT_NEAR(static_cast<double>(n - delivered) / n, 0.2, 0.02);
+}
+
+TEST(Link, QueueDropsUnderOverload) {
+  // 1 Mbps link, 250 ms buffer, offered ~10 Mbps: must tail-drop.
+  LinkEmulator link(cleanLink(1'000.0, 10.0), 3);
+  std::uint64_t drops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!link.send(i * common::microsToNs(960.0), 1200)) ++drops;
+  }
+  EXPECT_GT(drops, 1000u);
+  EXPECT_EQ(link.stats().queueDrops, drops);
+}
+
+TEST(Link, SerializationOrdersBackToBackPackets) {
+  // Without jitter, FIFO service preserves order (offered load just under
+  // the 5 Mbps capacity so nothing tail-drops).
+  LinkEmulator link(cleanLink(5'000.0, 10.0), 9);
+  common::TimeNs last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto arrival = link.send(i * common::millisToNs(2.0), 1200);
+    ASSERT_TRUE(arrival.has_value());
+    EXPECT_GT(*arrival, last);
+    last = *arrival;
+  }
+}
+
+TEST(Link, HighJitterReordersPackets) {
+  SecondCondition c;
+  c.throughputKbps = 100'000.0;
+  c.delayMs = 20.0;
+  c.jitterMs = 60.0;  // §5.4: very high jitter
+  LinkEmulator link(ConditionSchedule::constant(c, 600), 11);
+  int inversions = 0;
+  common::TimeNs last = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto arrival = link.send(i * common::millisToNs(1.0), 800);
+    ASSERT_TRUE(arrival.has_value());
+    if (*arrival < last) ++inversions;
+    last = *arrival;
+  }
+  EXPECT_GT(inversions, 100);
+}
+
+TEST(Link, QueueDelayVisible) {
+  LinkEmulator link(cleanLink(1'000.0, 10.0), 5);
+  for (int i = 0; i < 50; ++i) {
+    link.send(0, 1200);  // all at t=0: builds ~480 ms of queue
+  }
+  EXPECT_GT(link.currentQueueDelay(0), common::millisToNs(100.0));
+  EXPECT_EQ(link.currentQueueDelay(common::secondsToNs(100.0)), 0);
+}
+
+TEST(Link, FeedbackWindowReportsLossAndRate) {
+  SecondCondition c;
+  c.throughputKbps = 100'000.0;
+  c.lossRate = 0.5;
+  LinkEmulator link(ConditionSchedule::constant(c, 600), 13);
+  for (int i = 0; i < 4000; ++i) {
+    link.send(i * common::microsToNs(250.0), 1000);
+  }
+  link.rollFeedbackWindow(common::secondsToNs(1.0));
+  EXPECT_NEAR(link.recentLossRate(), 0.5, 0.05);
+  EXPECT_GT(link.recentDeliveryRateKbps(), 1000.0);
+  // Second window with no traffic reports zero.
+  link.rollFeedbackWindow(common::secondsToNs(2.0));
+  EXPECT_DOUBLE_EQ(link.recentLossRate(), 0.0);
+  EXPECT_DOUBLE_EQ(link.recentDeliveryRateKbps(), 0.0);
+}
+
+TEST(Link, DeterministicPerSeed) {
+  LinkEmulator a(cleanLink(2'000.0, 15.0), 21);
+  LinkEmulator b(cleanLink(2'000.0, 15.0), 21);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.send(i * common::millisToNs(2.0), 900),
+              b.send(i * common::millisToNs(2.0), 900));
+  }
+}
+
+// Property: delivered fraction decreases as configured loss grows.
+class LossMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossMonotonicity, DeliveredFractionTracksConfiguredLoss) {
+  SecondCondition c;
+  c.throughputKbps = 100'000.0;
+  c.lossRate = GetParam() / 100.0;
+  LinkEmulator link(ConditionSchedule::constant(c, 600), 31);
+  const int n = 8000;
+  int delivered = 0;
+  for (int i = 0; i < n; ++i) {
+    if (link.send(i * common::microsToNs(100.0), 700)) ++delivered;
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 1.0 - c.lossRate, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLossPoints, LossMonotonicity,
+                         ::testing::Values(1.0, 2.0, 5.0, 10.0, 15.0, 20.0));
+
+}  // namespace
+}  // namespace vcaqoe::netem

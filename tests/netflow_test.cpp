@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "netflow/bytes.hpp"
+#include "netflow/ip.hpp"
+#include "netflow/packet.hpp"
+#include "netflow/pcap.hpp"
+
+namespace vcaqoe::netflow {
+namespace {
+
+// ---------------------------------------------------------------- bytes
+
+TEST(Bytes, WriterBigEndian) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[0], 0xAB);
+  EXPECT_EQ(out[1], 0x12);
+  EXPECT_EQ(out[2], 0x34);
+  EXPECT_EQ(out[3], 0xDE);
+  EXPECT_EQ(out[6], 0xEF);
+}
+
+TEST(Bytes, ReaderRoundTrip) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(0xCAFEBABE);
+  w.u16(0x0102);
+  w.u8(0x7F);
+  ByteReader r(out);
+  EXPECT_EQ(r.u32(), 0xCAFEBABEu);
+  EXPECT_EQ(r.u16(), 0x0102u);
+  EXPECT_EQ(r.u8(), 0x7Fu);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderThrowsOnTruncation) {
+  const std::vector<std::uint8_t> data = {0x01, 0x02};
+  ByteReader r(data);
+  EXPECT_THROW(r.u32(), std::out_of_range);
+  ByteReader r2(data);
+  r2.u16();
+  EXPECT_THROW(r2.u8(), std::out_of_range);
+}
+
+TEST(Bytes, InternetChecksumKnownVector) {
+  // Classic RFC 1071 example bytes.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  const std::uint16_t sum = internetChecksum(data);
+  // Verifying: appending the checksum makes the total sum 0xFFFF.
+  std::vector<std::uint8_t> withSum = data;
+  withSum.push_back(static_cast<std::uint8_t>(sum >> 8));
+  withSum.push_back(static_cast<std::uint8_t>(sum));
+  EXPECT_EQ(internetChecksum(withSum), 0);
+}
+
+TEST(Bytes, ChecksumOddLength) {
+  const std::vector<std::uint8_t> data = {0xFF, 0x00, 0xAB};
+  // Should not crash and be stable.
+  EXPECT_EQ(internetChecksum(data), internetChecksum(data));
+}
+
+// ---------------------------------------------------------------- ip/udp
+
+TEST(Ip, EncodeDecodeRoundTrip) {
+  Ipv4Header h;
+  h.totalLength = 1200;
+  h.identification = 77;
+  h.ttl = 61;
+  h.srcAddr = 0x0A000001;
+  h.dstAddr = 0xC0A80102;
+  std::vector<std::uint8_t> buf;
+  encodeIpv4(h, buf);
+  ASSERT_EQ(buf.size(), kIpv4HeaderSize);
+
+  std::size_t consumed = 0;
+  const auto decoded = decodeIpv4(buf, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(consumed, kIpv4HeaderSize);
+  EXPECT_EQ(*decoded, h);
+}
+
+TEST(Ip, DecodeRejectsBadChecksum) {
+  Ipv4Header h;
+  h.totalLength = 100;
+  std::vector<std::uint8_t> buf;
+  encodeIpv4(h, buf);
+  buf[10] ^= 0xFF;  // corrupt checksum
+  std::size_t consumed = 0;
+  EXPECT_FALSE(decodeIpv4(buf, consumed).has_value());
+}
+
+TEST(Ip, DecodeRejectsWrongVersion) {
+  Ipv4Header h;
+  std::vector<std::uint8_t> buf;
+  encodeIpv4(h, buf);
+  buf[0] = 0x65;  // version 6
+  std::size_t consumed = 0;
+  EXPECT_FALSE(decodeIpv4(buf, consumed).has_value());
+}
+
+TEST(Ip, DecodeRejectsTruncated) {
+  const std::vector<std::uint8_t> tiny(10, 0);
+  std::size_t consumed = 0;
+  EXPECT_FALSE(decodeIpv4(tiny, consumed).has_value());
+}
+
+TEST(Udp, EncodeDecodeRoundTrip) {
+  UdpHeader h;
+  h.srcPort = 3478;
+  h.dstPort = 50000;
+  h.length = 108;
+  std::vector<std::uint8_t> buf;
+  encodeUdp(h, buf);
+  ASSERT_EQ(buf.size(), kUdpHeaderSize);
+  const auto decoded = decodeUdp(buf);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, h);
+}
+
+TEST(Udp, DecodeRejectsShortLengthField) {
+  UdpHeader h;
+  h.length = 4;  // below header size
+  std::vector<std::uint8_t> buf;
+  encodeUdp(h, buf);
+  EXPECT_FALSE(decodeUdp(buf).has_value());
+}
+
+TEST(Ip, AddressStringRoundTrip) {
+  EXPECT_EQ(ipToString(0xC0A80101), "192.168.1.1");
+  EXPECT_EQ(parseIp("192.168.1.1"), 0xC0A80101u);
+  EXPECT_EQ(parseIp("0.0.0.0"), 0u);
+  EXPECT_EQ(parseIp("255.255.255.255"), 0xFFFFFFFFu);
+  EXPECT_FALSE(parseIp("1.2.3").has_value());
+  EXPECT_FALSE(parseIp("1.2.3.4.5").has_value());
+  EXPECT_FALSE(parseIp("1.2.3.999").has_value());
+  EXPECT_FALSE(parseIp("a.b.c.d").has_value());
+}
+
+// ---------------------------------------------------------------- packet
+
+TEST(Packet, SetHeadClamps) {
+  Packet p;
+  std::vector<std::uint8_t> big(64, 0x5A);
+  p.setHead(big);
+  EXPECT_EQ(p.headLen, kHeadCapacity);
+  EXPECT_EQ(p.headBytes().size(), kHeadCapacity);
+  EXPECT_EQ(p.headBytes()[0], 0x5A);
+}
+
+TEST(Packet, SortByArrivalStable) {
+  PacketTrace trace(3);
+  trace[0].arrivalNs = 30;
+  trace[0].sizeBytes = 1;
+  trace[1].arrivalNs = 10;
+  trace[1].sizeBytes = 2;
+  trace[2].arrivalNs = 30;
+  trace[2].sizeBytes = 3;
+  EXPECT_FALSE(isArrivalOrdered(trace));
+  sortByArrival(trace);
+  EXPECT_TRUE(isArrivalOrdered(trace));
+  EXPECT_EQ(trace[0].sizeBytes, 2u);
+  EXPECT_EQ(trace[1].sizeBytes, 1u);  // stable: 1 stays before 3
+  EXPECT_EQ(trace[2].sizeBytes, 3u);
+}
+
+// ---------------------------------------------------------------- pcap
+
+FlowKey testFlow() {
+  FlowKey f;
+  f.srcIp = *parseIp("10.0.0.1");
+  f.dstIp = *parseIp("192.168.7.2");
+  f.srcPort = 3478;
+  f.dstPort = 51000;
+  return f;
+}
+
+TEST(Pcap, WriteParseRoundTrip) {
+  PcapWriter writer;
+  Packet p;
+  p.arrivalNs = 3 * common::kNanosPerSecond + 123'456'789;
+  p.sizeBytes = 1176;
+  const std::vector<std::uint8_t> head = {0x80, 0x66, 0x00, 0x07,
+                                          0x00, 0x00, 0x12, 0x34};
+  p.setHead(head);
+  writer.write(testFlow(), p);
+
+  const auto records = parsePcap(writer.bytes());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].flow, testFlow());
+  EXPECT_EQ(records[0].packet.arrivalNs, p.arrivalNs);
+  EXPECT_EQ(records[0].packet.sizeBytes, p.sizeBytes);
+  ASSERT_GE(records[0].packet.headLen, head.size());
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    EXPECT_EQ(records[0].packet.head[i], head[i]);
+  }
+}
+
+TEST(Pcap, SaveAndLoadFile) {
+  PcapWriter writer;
+  Packet p;
+  p.arrivalNs = 42;
+  p.sizeBytes = 100;
+  writer.write(testFlow(), p);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vcaqoe_test.pcap").string();
+  writer.save(path);
+  const auto records = loadPcap(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].packet.sizeBytes, 100u);
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::vector<std::uint8_t> junk(64, 0x11);
+  EXPECT_THROW(parsePcap(junk), std::runtime_error);
+}
+
+TEST(Pcap, RejectsTruncatedFile) {
+  PcapWriter writer;
+  Packet p;
+  p.sizeBytes = 500;
+  writer.write(testFlow(), p);
+  auto bytes = writer.bytes();
+  bytes.resize(bytes.size() - 5);
+  EXPECT_THROW(parsePcap(bytes), std::runtime_error);
+}
+
+TEST(Pcap, DominantFlowAndFilter) {
+  PcapWriter writer;
+  FlowKey media = testFlow();
+  FlowKey other = testFlow();
+  other.dstPort = 9;
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.arrivalNs = i;
+    p.sizeBytes = 1000;
+    writer.write(media, p);
+  }
+  Packet small;
+  small.arrivalNs = 100;
+  small.sizeBytes = 50;
+  writer.write(other, small);
+
+  const auto records = parsePcap(writer.bytes());
+  ASSERT_EQ(records.size(), 11u);
+  EXPECT_EQ(dominantFlow(records), media);
+  EXPECT_EQ(packetsForFlow(records, media).size(), 10u);
+  EXPECT_EQ(packetsForFlow(records, other).size(), 1u);
+}
+
+// Property: arbitrary packet sizes and times survive the pcap round trip.
+class PcapRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PcapRoundTrip, PreservesSizeAndTime) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  PcapWriter writer;
+  std::vector<Packet> sent;
+  for (int i = 0; i < 50; ++i) {
+    Packet p;
+    p.arrivalNs = rng.uniformInt(0, 1'000'000'000'000LL);
+    p.sizeBytes = static_cast<std::uint32_t>(rng.uniformInt(1, 65'000));
+    std::vector<std::uint8_t> head(
+        static_cast<std::size_t>(rng.uniformInt(0, 20)));
+    for (auto& b : head) {
+      b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    }
+    p.setHead(head);
+    sent.push_back(p);
+    writer.write(testFlow(), p);
+  }
+  const auto records = parsePcap(writer.bytes());
+  ASSERT_EQ(records.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(records[i].packet.arrivalNs, sent[i].arrivalNs);
+    EXPECT_EQ(records[i].packet.sizeBytes, sent[i].sizeBytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcapRoundTrip, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace vcaqoe::netflow

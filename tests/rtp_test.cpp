@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "rtp/media_kind.hpp"
+#include "rtp/rtp.hpp"
+
+namespace vcaqoe::rtp {
+namespace {
+
+TEST(Rtp, EncodeProducesTwelveBytes) {
+  RtpHeader h;
+  std::vector<std::uint8_t> buf;
+  encode(h, buf);
+  EXPECT_EQ(buf.size(), kRtpHeaderSize);
+  EXPECT_EQ(buf[0] >> 6, kRtpVersion);
+}
+
+TEST(Rtp, EncodeDecodeRoundTrip) {
+  RtpHeader h;
+  h.payloadType = 102;
+  h.marker = true;
+  h.sequenceNumber = 0xBEEF;
+  h.timestamp = 0x12345678;
+  h.ssrc = 0xCAFEBABE;
+  std::vector<std::uint8_t> buf;
+  encode(h, buf);
+  const auto decoded = decode(buf);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, h);
+}
+
+TEST(Rtp, MarkerBitIndependentOfPayloadType) {
+  RtpHeader h;
+  h.payloadType = 127;  // all PT bits set
+  h.marker = false;
+  std::vector<std::uint8_t> buf;
+  encode(h, buf);
+  const auto decoded = decode(buf);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->marker);
+  EXPECT_EQ(decoded->payloadType, 127);
+}
+
+TEST(Rtp, DecodeRejectsShortBuffer) {
+  const std::vector<std::uint8_t> buf(11, 0x80);
+  EXPECT_FALSE(decode(buf).has_value());
+}
+
+TEST(Rtp, DecodeRejectsNonRtpVersions) {
+  // DTLS handshake byte (22 = 0b00010110): version bits are 0.
+  std::vector<std::uint8_t> dtls(13, 0);
+  dtls[0] = 22;
+  EXPECT_FALSE(decode(dtls).has_value());
+  // STUN starts with 0x00.
+  std::vector<std::uint8_t> stun(13, 0);
+  EXPECT_FALSE(decode(stun).has_value());
+}
+
+class RtpRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RtpRoundTrip, RandomHeaders) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    RtpHeader h;
+    h.payloadType = static_cast<std::uint8_t>(rng.uniformInt(0, 127));
+    h.marker = rng.bernoulli(0.5);
+    h.sequenceNumber = static_cast<std::uint16_t>(rng.uniformInt(0, 65535));
+    h.timestamp = static_cast<std::uint32_t>(rng.uniformInt(0, 0xFFFFFFFFLL));
+    h.ssrc = static_cast<std::uint32_t>(rng.uniformInt(0, 0xFFFFFFFFLL));
+    std::vector<std::uint8_t> buf;
+    encode(h, buf);
+    const auto decoded = decode(buf);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, h);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtpRoundTrip, ::testing::Range(1, 6));
+
+TEST(Rtp, SequenceDistanceSimple) {
+  EXPECT_EQ(sequenceDistance(10, 15), 5);
+  EXPECT_EQ(sequenceDistance(15, 10), -5);
+  EXPECT_EQ(sequenceDistance(7, 7), 0);
+}
+
+TEST(Rtp, SequenceDistanceWrapsAround) {
+  EXPECT_EQ(sequenceDistance(65535, 0), 1);
+  EXPECT_EQ(sequenceDistance(65534, 2), 4);
+  EXPECT_EQ(sequenceDistance(0, 65535), -1);
+  EXPECT_EQ(sequenceDistance(2, 65530), -8);
+}
+
+TEST(Rtp, TimestampDeltaToNs) {
+  // 90 kHz video clock: 3000 ticks = 1/30 s.
+  EXPECT_EQ(timestampDeltaToNs(0, 3000, kVideoClockHz),
+            common::kNanosPerSecond / 30);
+  EXPECT_EQ(timestampDeltaToNs(3000, 0, kVideoClockHz),
+            -common::kNanosPerSecond / 30);
+  // 48 kHz audio clock: 960 ticks = 20 ms.
+  EXPECT_EQ(timestampDeltaToNs(0, 960, kAudioClockHz),
+            common::millisToNs(20.0));
+}
+
+TEST(Rtp, TimestampDeltaUnwrapsModulo) {
+  const std::uint32_t nearWrap = 0xFFFFFF00u;
+  const std::uint32_t afterWrap = 0x00000200u;
+  const auto delta = timestampDeltaToNs(nearWrap, afterWrap, kVideoClockHz);
+  EXPECT_GT(delta, 0);
+  EXPECT_LT(delta, common::kNanosPerSecond);
+}
+
+TEST(MediaKind, ToStringCovers) {
+  EXPECT_EQ(toString(MediaKind::kAudio), "audio");
+  EXPECT_EQ(toString(MediaKind::kVideo), "video");
+  EXPECT_EQ(toString(MediaKind::kVideoRtx), "video-rtx");
+  EXPECT_EQ(toString(MediaKind::kControl), "control");
+}
+
+TEST(MediaKind, PayloadTypeMapRoundTrip) {
+  PayloadTypeMap map;
+  map.assign(111, MediaKind::kAudio);
+  map.assign(102, MediaKind::kVideo);
+  map.assign(103, MediaKind::kVideoRtx);
+  EXPECT_EQ(map.kindOf(111), MediaKind::kAudio);
+  EXPECT_EQ(map.kindOf(102), MediaKind::kVideo);
+  EXPECT_EQ(map.kindOf(103), MediaKind::kVideoRtx);
+  EXPECT_FALSE(map.kindOf(99).has_value());
+  EXPECT_EQ(map.payloadTypeOf(MediaKind::kVideo), 102);
+  EXPECT_FALSE(map.payloadTypeOf(MediaKind::kControl).has_value());
+}
+
+TEST(MediaKind, ReassignOverwrites) {
+  PayloadTypeMap map;
+  map.assign(100, MediaKind::kVideo);
+  map.assign(100, MediaKind::kAudio);
+  EXPECT_EQ(map.kindOf(100), MediaKind::kAudio);
+}
+
+}  // namespace
+}  // namespace vcaqoe::rtp

@@ -1,0 +1,488 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "datasets/vca_profiles.hpp"
+#include "netem/conditions.hpp"
+#include "rtp/rtp.hpp"
+#include "simcall/call_simulator.hpp"
+#include "simcall/encoder.hpp"
+#include "simcall/packetizer.hpp"
+#include "simcall/profile.hpp"
+
+namespace vcaqoe::simcall {
+namespace {
+
+VcaProfile equalProfile() {
+  auto p = datasets::teamsProfile(datasets::Deployment::kLab);
+  return p;
+}
+
+// ---------------------------------------------------------------- ladder
+
+TEST(Profile, RungForBitratePicksHighestAffordable) {
+  const auto p = datasets::teamsProfile(datasets::Deployment::kLab);
+  EXPECT_EQ(rungForBitrate(p, 50.0).frameHeight, 90);
+  EXPECT_EQ(rungForBitrate(p, 500.0).frameHeight, 270);
+  EXPECT_EQ(rungForBitrate(p, 2'500.0).frameHeight, 720);
+}
+
+TEST(Profile, RungRespectsHeightCap) {
+  auto p = datasets::meetProfile(datasets::Deployment::kLab);
+  ASSERT_EQ(p.maxFrameHeight, 360);
+  EXPECT_EQ(rungForBitrate(p, 10'000.0).frameHeight, 360);
+}
+
+TEST(Profile, RungThrowsOnEmptyLadder) {
+  VcaProfile p;
+  EXPECT_THROW(rungForBitrate(p, 100.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- packetizer
+
+TEST(Packetizer, SingleSmallFrameOnePacket) {
+  common::Rng rng(1);
+  const auto sizes = packetizeFrame(equalProfile(), 800, rng);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 800u);
+}
+
+TEST(Packetizer, EqualFragmentationPreservesTotal) {
+  common::Rng rng(1);
+  const auto sizes = packetizeFrame(equalProfile(), 5'000, rng);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0u), 5'000u);
+}
+
+TEST(Packetizer, EqualFragmentationMaxDiffOneByte) {
+  common::Rng rng(1);
+  for (const std::uint32_t frame : {2'000u, 4'999u, 10'000u, 23'456u}) {
+    const auto sizes = packetizeFrame(equalProfile(), frame, rng);
+    const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+    EXPECT_LE(*mx - *mn, 1u) << frame;
+  }
+}
+
+TEST(Packetizer, RespectsMtu) {
+  common::Rng rng(1);
+  const auto profile = equalProfile();
+  const auto sizes = packetizeFrame(profile, 50'000, rng);
+  for (const auto s : sizes) EXPECT_LE(s, profile.mtuPayloadBytes);
+}
+
+TEST(Packetizer, UnequalProbZeroWhenDisabled) {
+  EXPECT_DOUBLE_EQ(unequalFragmentationProb(equalProfile(), 100'000), 0.0);
+}
+
+TEST(Packetizer, UnequalProbGrowsWithFrameSize) {
+  const auto meet = datasets::meetProfile(datasets::Deployment::kLab);
+  const double small = unequalFragmentationProb(meet, 3'000);
+  const double large = unequalFragmentationProb(meet, 15'000);
+  EXPECT_GT(large, small);
+  EXPECT_LE(large, 1.0);
+}
+
+TEST(Packetizer, MeetCalibrationNearPaperRates) {
+  // ≈4% at lab-scale frames (5 kB), ≈14% at real-world frames (13-15 kB).
+  const auto meet = datasets::meetProfile(datasets::Deployment::kLab);
+  EXPECT_NEAR(unequalFragmentationProb(meet, 5'000), 0.0426, 0.02);
+  EXPECT_NEAR(unequalFragmentationProb(meet, 14'000), 0.1448, 0.06);
+}
+
+TEST(Packetizer, UnequalModeKeepsMostPacketsEqual) {
+  auto meet = datasets::meetProfile(datasets::Deployment::kLab);
+  meet.unequalBaseProb = 1e9;  // force unequal on every frame
+  common::Rng rng(3);
+  int deviating = 0;
+  int total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto sizes = packetizeFrame(meet, 9'000, rng);
+    std::map<std::uint32_t, int> histogram;
+    for (const auto s : sizes) ++histogram[s];
+    // The two equal-split sizes dominate; count packets far from the mode.
+    std::uint32_t mode = 0;
+    int best = 0;
+    for (const auto& [size, count] : histogram) {
+      if (count > best) {
+        best = count;
+        mode = size;
+      }
+    }
+    for (const auto s : sizes) {
+      ++total;
+      if (s + 2 < mode || s > mode + 2) ++deviating;
+    }
+  }
+  EXPECT_GT(deviating, 0);
+  EXPECT_LT(static_cast<double>(deviating) / total, 0.45);
+}
+
+// ------------------------------------------------------------ rate control
+
+TEST(RateController, IncreasesWhenClean) {
+  const auto p = equalProfile();
+  RateController rc(p);
+  const double before = rc.targetKbps();
+  rc.onFeedback(0.0, 10'000.0, 0.0);
+  EXPECT_GT(rc.targetKbps(), before);
+}
+
+TEST(RateController, DecreasesOnHeavyLoss) {
+  const auto p = equalProfile();
+  RateController rc(p);
+  rc.onFeedback(0.0, 10'000.0, 0.0);
+  const double before = rc.targetKbps();
+  rc.onFeedback(0.3, 10'000.0, 0.0);
+  EXPECT_LT(rc.targetKbps(), before);
+}
+
+TEST(RateController, BacksOffUnderQueueDelay) {
+  const auto p = equalProfile();
+  RateController rc(p);
+  for (int i = 0; i < 20; ++i) rc.onFeedback(0.0, 10'000.0, 0.0);
+  const double before = rc.targetKbps();
+  rc.onFeedback(0.0, 500.0, 200.0);
+  EXPECT_LT(rc.targetKbps(), before);
+  EXPECT_LE(rc.targetKbps(), 0.85 * 500.0 + 1e-9);
+}
+
+TEST(RateController, ClampsToProfileBounds) {
+  const auto p = equalProfile();
+  RateController rc(p);
+  for (int i = 0; i < 200; ++i) rc.onFeedback(0.0, 1e9, 0.0);
+  EXPECT_DOUBLE_EQ(rc.targetKbps(), p.maxTargetKbps);
+  for (int i = 0; i < 200; ++i) rc.onFeedback(0.5, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(rc.targetKbps(), p.minTargetKbps);
+}
+
+TEST(RateController, HoldsInModerateLossBand) {
+  const auto p = equalProfile();
+  RateController rc(p);
+  const double before = rc.targetKbps();
+  rc.onFeedback(0.05, 10'000.0, 0.0);  // 2% < loss <= 10%, no queue
+  EXPECT_DOUBLE_EQ(rc.targetKbps(), before);
+}
+
+// ---------------------------------------------------------------- encoder
+
+TEST(Encoder, FullFpsAtComfortableBitrate) {
+  const auto p = equalProfile();
+  VideoEncoderModel enc(p, common::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    enc.encodeFrame(i * common::millisToNs(33.0), 1'500.0);
+  }
+  EXPECT_NEAR(enc.currentFps(), p.maxFps, 0.5);
+}
+
+TEST(Encoder, FpsDegradesAtLowBitrate) {
+  const auto p = equalProfile();
+  VideoEncoderModel enc(p, common::Rng(1));
+  for (int i = 0; i < 200; ++i) {
+    enc.encodeFrame(i * common::millisToNs(100.0), 90.0);
+  }
+  EXPECT_LT(enc.currentFps(), 15.0);
+  EXPECT_GE(enc.currentFps(), kMinVideoFps - 0.5);
+}
+
+TEST(Encoder, FrameSizesTrackTarget) {
+  const auto p = equalProfile();
+  VideoEncoderModel enc(p, common::Rng(2));
+  const double target = 1'200.0;
+  double bytes = 0.0;
+  const int frames = 3'000;
+  int keyframes = 0;
+  for (int i = 0; i < frames; ++i) {
+    const auto spec = enc.encodeFrame(i * common::millisToNs(33.33), target);
+    if (spec.keyframe) {
+      ++keyframes;
+      continue;  // exclude keyframe inflation from the mean check
+    }
+    bytes += spec.sizeBytes;
+  }
+  const double meanBytes = bytes / (frames - keyframes);
+  const double idealBytes = target * 1e3 / 8.0 / 30.0 * (1 + p.fecOverhead);
+  EXPECT_NEAR(meanBytes, idealBytes, idealBytes * 0.15);
+}
+
+TEST(Encoder, KeyframesPeriodicAndLarger) {
+  const auto p = equalProfile();
+  VideoEncoderModel enc(p, common::Rng(3));
+  int keyframes = 0;
+  double keyBytes = 0.0;
+  double deltaBytes = 0.0;
+  int deltas = 0;
+  const int frames = 30 * 35;  // 35 seconds at 30 fps
+  for (int i = 0; i < frames; ++i) {
+    const auto spec = enc.encodeFrame(i * common::millisToNs(33.33), 1'000.0);
+    if (spec.keyframe) {
+      ++keyframes;
+      keyBytes += spec.sizeBytes;
+    } else {
+      deltaBytes += spec.sizeBytes;
+      ++deltas;
+    }
+  }
+  // t=0 plus every 10 s, plus a few resolution-switch keyframes during the
+  // initial ladder climb.
+  EXPECT_GE(keyframes, 4);
+  EXPECT_LE(keyframes, 12);
+  EXPECT_GT(keyBytes / keyframes, 2.0 * deltaBytes / deltas);
+}
+
+TEST(Encoder, ResolutionFollowsBitrateWithHysteresis) {
+  const auto p = equalProfile();
+  VideoEncoderModel enc(p, common::Rng(4));
+  common::TimeNs t = 0;
+  // Low bitrate: low rung.
+  for (int i = 0; i < 60; ++i) {
+    enc.encodeFrame(t, 150.0);
+    t += common::millisToNs(33.0);
+  }
+  const int lowHeight = enc.currentFrameHeight();
+  EXPECT_LE(lowHeight, 180);
+  // Jump to high bitrate: the ladder is climbed one rung per hold period.
+  enc.encodeFrame(t, 2'600.0);
+  EXPECT_EQ(enc.currentFrameHeight(), lowHeight);
+  for (int i = 0; i < 450; ++i) {  // ~15 s: enough for the stepwise climb
+    t += common::millisToNs(33.0);
+    enc.encodeFrame(t, 2'600.0);
+  }
+  EXPECT_GE(enc.currentFrameHeight(), 480);
+  // Crash in bitrate: immediate downswitch.
+  t += common::millisToNs(33.0);
+  enc.encodeFrame(t, 100.0);
+  EXPECT_LE(enc.currentFrameHeight(), 120);
+}
+
+TEST(Encoder, MinFrameBytesEnforced) {
+  const auto p = equalProfile();
+  VideoEncoderModel enc(p, common::Rng(5));
+  for (int i = 0; i < 300; ++i) {
+    const auto spec = enc.encodeFrame(i * common::millisToNs(200.0), 80.0);
+    EXPECT_GE(spec.sizeBytes, p.minFrameBytes);
+  }
+}
+
+TEST(Encoder, QuantizationApplied) {
+  auto p = datasets::webexProfile(datasets::Deployment::kLab);
+  ASSERT_EQ(p.frameSizeQuantumBytes, 32u);
+  VideoEncoderModel enc(p, common::Rng(6));
+  for (int i = 0; i < 200; ++i) {
+    const auto spec = enc.encodeFrame(i * common::millisToNs(33.0), 600.0);
+    EXPECT_EQ(spec.sizeBytes % 32, 0u) << spec.sizeBytes;
+  }
+}
+
+// ------------------------------------------------------------- simulator
+
+netem::ConditionSchedule goodNetwork(std::size_t seconds = 30) {
+  netem::SecondCondition c;
+  c.throughputKbps = 20'000.0;
+  c.delayMs = 15.0;
+  c.jitterMs = 0.5;
+  return netem::ConditionSchedule::constant(c, seconds);
+}
+
+TEST(CallSimulator, ProducesSortedTrace) {
+  CallSimulator sim(equalProfile(), goodNetwork(), 77);
+  const auto result = sim.run(20.0);
+  EXPECT_GT(result.packets.size(), 1000u);
+  EXPECT_TRUE(netflow::isArrivalOrdered(result.packets));
+}
+
+TEST(CallSimulator, StreamsHaveConsistentHeaders) {
+  const auto profile = equalProfile();
+  CallSimulator sim(profile, goodNetwork(), 77);
+  const auto result = sim.run(20.0);
+
+  std::set<std::uint8_t> payloadTypes;
+  std::map<std::uint32_t, std::uint16_t> lastSeqBySsrc;
+  int nonRtp = 0;
+  for (const auto& pkt : result.packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (!header) {
+      ++nonRtp;
+      continue;
+    }
+    payloadTypes.insert(header->payloadType);
+  }
+  EXPECT_GT(nonRtp, 0);  // DTLS + STUN present
+  EXPECT_TRUE(payloadTypes.count(profile.audioPt));
+  EXPECT_TRUE(payloadTypes.count(profile.videoPt));
+}
+
+TEST(CallSimulator, AudioSizesWithinPaperBand) {
+  const auto profile = equalProfile();
+  CallSimulator sim(profile, goodNetwork(), 78);
+  const auto result = sim.run(15.0);
+  int audio = 0;
+  for (const auto& pkt : result.packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (!header || header->payloadType != profile.audioPt) continue;
+    ++audio;
+    EXPECT_GE(pkt.sizeBytes, profile.audioMinBytes);
+    EXPECT_LE(pkt.sizeBytes, profile.audioMaxBytes);
+  }
+  // OPUS DTX: far fewer than the 750 packets full 20 ms ptime would give,
+  // but comfort noise keeps the stream alive.
+  EXPECT_GT(audio, 20);
+  EXPECT_LT(audio, 700);
+}
+
+TEST(CallSimulator, RtxKeepalivesAreExactly304Bytes) {
+  const auto profile = equalProfile();
+  CallSimulator sim(profile, goodNetwork(), 79);
+  const auto result = sim.run(15.0);
+  int keepalives = 0;
+  for (const auto& pkt : result.packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (!header || header->payloadType != profile.rtxPt) continue;
+    if (pkt.sizeBytes == profile.rtxKeepaliveBytes) ++keepalives;
+  }
+  EXPECT_GE(keepalives, 10);  // ~one per second
+}
+
+TEST(CallSimulator, FrameTableMatchesVideoPackets) {
+  const auto profile = equalProfile();
+  CallSimulator sim(profile, goodNetwork(), 80);
+  const auto result = sim.run(10.0);
+
+  std::map<std::uint32_t, int> packetsPerTs;
+  std::map<std::uint32_t, bool> markerPerTs;
+  for (const auto& pkt : result.packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (!header || header->payloadType != profile.videoPt) continue;
+    ++packetsPerTs[header->timestamp];
+    if (header->marker) markerPerTs[header->timestamp] = true;
+  }
+
+  // Every sent frame appears in the trace with the right packet count (no
+  // loss on this clean link) and exactly one marker.
+  int checked = 0;
+  for (const auto& frame : result.sentFrames) {
+    const auto it = packetsPerTs.find(frame.rtpTimestamp);
+    ASSERT_NE(it, packetsPerTs.end()) << frame.rtpTimestamp;
+    EXPECT_EQ(it->second, frame.packetCount);
+    EXPECT_TRUE(markerPerTs[frame.rtpTimestamp]);
+    ++checked;
+  }
+  EXPECT_GT(checked, 250);  // ~30 fps for 10 s
+}
+
+TEST(CallSimulator, VideoSequenceNumbersMonotonicAtSender) {
+  const auto profile = equalProfile();
+  CallSimulator sim(profile, goodNetwork(), 81);
+  const auto result = sim.run(10.0);
+  // Sort by departure to recover sender order.
+  auto packets = result.packets;
+  std::sort(packets.begin(), packets.end(),
+            [](const netflow::Packet& a, const netflow::Packet& b) {
+              return a.departureNs < b.departureNs;
+            });
+  int last = -1;
+  for (const auto& pkt : packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (!header || header->payloadType != profile.videoPt) continue;
+    if (last >= 0) {
+      EXPECT_EQ(rtp::sequenceDistance(static_cast<std::uint16_t>(last),
+                                      header->sequenceNumber),
+                1);
+    }
+    last = header->sequenceNumber;
+  }
+}
+
+TEST(CallSimulator, LossTriggersRtxRetransmissions) {
+  netem::SecondCondition c;
+  c.throughputKbps = 20'000.0;
+  c.delayMs = 15.0;
+  c.lossRate = 0.10;
+  const auto profile = equalProfile();
+  CallSimulator sim(profile,
+                    netem::ConditionSchedule::constant(c, 30), 82);
+  const auto result = sim.run(20.0);
+  int rtxMedia = 0;
+  for (const auto& pkt : result.packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (!header || header->payloadType != profile.rtxPt) continue;
+    if (pkt.sizeBytes != profile.rtxKeepaliveBytes) ++rtxMedia;
+  }
+  EXPECT_GT(rtxMedia, 50);
+}
+
+TEST(CallSimulator, NoRtxStreamWhenProfileDisablesIt) {
+  const auto profile = datasets::webexProfile(datasets::Deployment::kRealWorld);
+  ASSERT_EQ(profile.rtxPt, 0);
+  netem::SecondCondition c;
+  c.throughputKbps = 20'000.0;
+  c.lossRate = 0.05;
+  CallSimulator sim(profile, netem::ConditionSchedule::constant(c, 20), 83);
+  const auto result = sim.run(15.0);
+  for (const auto& pkt : result.packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (!header) continue;
+    EXPECT_TRUE(header->payloadType == profile.audioPt ||
+                header->payloadType == profile.videoPt);
+  }
+}
+
+TEST(CallSimulator, DeterministicPerSeed) {
+  CallSimulator a(equalProfile(), goodNetwork(), 99);
+  CallSimulator b(equalProfile(), goodNetwork(), 99);
+  const auto ra = a.run(8.0);
+  const auto rb = b.run(8.0);
+  ASSERT_EQ(ra.packets.size(), rb.packets.size());
+  for (std::size_t i = 0; i < ra.packets.size(); ++i) {
+    EXPECT_EQ(ra.packets[i].arrivalNs, rb.packets[i].arrivalNs);
+    EXPECT_EQ(ra.packets[i].sizeBytes, rb.packets[i].sizeBytes);
+  }
+  ASSERT_EQ(ra.sentFrames.size(), rb.sentFrames.size());
+}
+
+TEST(CallSimulator, BitrateAdaptsToBottleneck) {
+  // 500 kbps bottleneck: realized video bitrate must settle well below the
+  // profile max.
+  netem::SecondCondition c;
+  c.throughputKbps = 500.0;
+  c.delayMs = 20.0;
+  const auto profile = equalProfile();
+  CallSimulator sim(profile, netem::ConditionSchedule::constant(c, 40), 84);
+  const auto result = sim.run(30.0);
+  double lateBytes = 0.0;
+  for (const auto& frame : result.sentFrames) {
+    if (common::nsToSeconds(frame.captureNs) >= 15.0) {
+      lateBytes += frame.payloadBytes;
+    }
+  }
+  const double lateKbps = lateBytes * 8.0 / 15.0 / 1e3;
+  EXPECT_LT(lateKbps, 700.0);
+}
+
+// Property sweep over all six profile variants: basic invariants hold.
+class ProfileInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ProfileInvariants, SimulationSane) {
+  const auto [name, deployment] = GetParam();
+  const auto profile = datasets::profileByName(
+      name, static_cast<datasets::Deployment>(deployment));
+  CallSimulator sim(profile, goodNetwork(), 7);
+  const auto result = sim.run(12.0);
+  EXPECT_TRUE(netflow::isArrivalOrdered(result.packets));
+  EXPECT_GT(result.sentFrames.size(), 200u);
+  for (const auto& frame : result.sentFrames) {
+    EXPECT_GT(frame.packetCount, 0);
+    EXPECT_GE(frame.payloadBytes, profile.minFrameBytes);
+    EXPECT_GT(frame.frameHeight, 0);
+    EXPECT_LE(frame.frameHeight, profile.maxFrameHeight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileInvariants,
+    ::testing::Combine(::testing::Values("meet", "teams", "webex"),
+                       ::testing::Values(0, 1)));
+
+}  // namespace
+}  // namespace vcaqoe::simcall

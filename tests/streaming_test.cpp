@@ -1,0 +1,161 @@
+// Streaming estimator tests: single-pass results must match the batch
+// pipeline (the §7 "streaming versions of the methods" requirement).
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "core/session.hpp"
+#include "core/streaming.hpp"
+#include "datasets/generators.hpp"
+#include "datasets/vca_profiles.hpp"
+#include "netem/conditions.hpp"
+
+namespace vcaqoe::core {
+namespace {
+
+core::LabeledSession makeSession(const std::string& vca, std::uint64_t seed,
+                                 double durationSec = 30.0) {
+  const auto profile =
+      datasets::profileByName(vca, datasets::Deployment::kLab);
+  netem::NdtTraceSynthesizer synth(seed);
+  return datasets::simulateSession(
+      profile, synth.synthesize(static_cast<std::size_t>(durationSec) + 1),
+      durationSec, seed * 31 + 7, seed);
+}
+
+StreamingOptions optionsFor(const std::string& vca) {
+  StreamingOptions options;
+  options.heuristic = defaultHeuristicParams(vca);
+  return options;
+}
+
+TEST(Streaming, RequiresCallback) {
+  EXPECT_THROW(StreamingIpUdpEstimator(StreamingOptions{}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Streaming, RejectsOutOfOrderPackets) {
+  StreamingIpUdpEstimator streaming(StreamingOptions{},
+                                    [](const StreamingOutput&) {});
+  netflow::Packet p;
+  p.arrivalNs = 100;
+  p.sizeBytes = 1000;
+  streaming.onPacket(p);
+  p.arrivalNs = 50;
+  EXPECT_THROW(streaming.onPacket(p), std::invalid_argument);
+}
+
+TEST(Streaming, EmitsOneOutputPerWindow) {
+  const auto session = makeSession("teams", 5);
+  std::vector<StreamingOutput> outputs;
+  StreamingIpUdpEstimator streaming(
+      optionsFor("teams"),
+      [&](const StreamingOutput& out) { outputs.push_back(out); });
+  for (const auto& pkt : session.packets) streaming.onPacket(pkt);
+  streaming.finish();
+
+  ASSERT_GE(outputs.size(), 29u);
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    EXPECT_EQ(outputs[i].window, static_cast<std::int64_t>(i));
+    EXPECT_EQ(outputs[i].features.size(), 14u);
+  }
+}
+
+class StreamingParity
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(StreamingParity, MatchesBatchPipeline) {
+  const auto [vca, seed] = GetParam();
+  const auto session = makeSession(vca, static_cast<std::uint64_t>(seed));
+
+  // Batch reference.
+  const auto records = buildWindowRecords(session);
+
+  // Streaming pass.
+  std::vector<StreamingOutput> outputs;
+  StreamingIpUdpEstimator streaming(
+      optionsFor(vca),
+      [&](const StreamingOutput& out) { outputs.push_back(out); });
+  for (const auto& pkt : session.packets) streaming.onPacket(pkt);
+  streaming.finish();
+
+  const std::size_t n = std::min(outputs.size(), records.size());
+  ASSERT_GT(n, 20u);
+  for (std::size_t w = 0; w < n; ++w) {
+    ASSERT_EQ(outputs[w].window, records[w].window);
+    // Identical feature vectors.
+    ASSERT_EQ(outputs[w].features.size(), records[w].ipudpFeatures.size());
+    for (std::size_t f = 0; f < outputs[w].features.size(); ++f) {
+      EXPECT_DOUBLE_EQ(outputs[w].features[f], records[w].ipudpFeatures[f])
+          << vca << " window " << w << " feature " << f;
+    }
+    // Identical heuristic estimates.
+    EXPECT_DOUBLE_EQ(outputs[w].heuristic.fps, records[w].ipudpHeuristic.fps)
+        << vca << " window " << w;
+    EXPECT_NEAR(outputs[w].heuristic.bitrateKbps,
+                records[w].ipudpHeuristic.bitrateKbps, 1e-6)
+        << vca << " window " << w;
+    EXPECT_NEAR(outputs[w].heuristic.frameJitterMs,
+                records[w].ipudpHeuristic.frameJitterMs, 1e-6)
+        << vca << " window " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VcasAndSeeds, StreamingParity,
+    ::testing::Combine(::testing::Values("meet", "teams", "webex"),
+                       ::testing::Values(11, 22, 33)));
+
+TEST(Streaming, AttachedModelPredictsEveryWindow) {
+  const auto session = makeSession("teams", 44);
+  const auto records = buildWindowRecords(session);
+  const auto data = buildMlDataset(records, features::FeatureSet::kIpUdp,
+                                   rxstats::Metric::kFrameRate);
+  ml::RandomForest forest;
+  ml::ForestOptions forestOptions;
+  forestOptions.numTrees = 10;
+  forest.fit(data, ml::TreeTask::kRegression, forestOptions, 3);
+
+  int withPrediction = 0;
+  StreamingIpUdpEstimator streaming(
+      optionsFor("teams"), [&](const StreamingOutput& out) {
+        if (out.prediction.has_value()) {
+          ++withPrediction;
+          EXPECT_GE(*out.prediction, 0.0);
+          EXPECT_LE(*out.prediction, 40.0);
+        }
+      });
+  streaming.attachModel(&forest);
+  for (const auto& pkt : session.packets) streaming.onPacket(pkt);
+  streaming.finish();
+  EXPECT_GE(withPrediction, 28);
+}
+
+TEST(Streaming, EmptyStreamFinishIsNoop) {
+  int calls = 0;
+  StreamingIpUdpEstimator streaming(
+      StreamingOptions{}, [&](const StreamingOutput&) { ++calls; });
+  streaming.finish();
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(streaming.emittedWindows(), 0);
+}
+
+TEST(Streaming, LargerWindowSizes) {
+  const auto session = makeSession("webex", 55);
+  StreamingOptions options = optionsFor("webex");
+  options.windowNs = 2 * common::kNanosPerSecond;
+  std::vector<StreamingOutput> outputs;
+  StreamingIpUdpEstimator streaming(
+      options, [&](const StreamingOutput& out) { outputs.push_back(out); });
+  for (const auto& pkt : session.packets) streaming.onPacket(pkt);
+  streaming.finish();
+  ASSERT_GE(outputs.size(), 14u);
+  // fps is per second even with W=2.
+  double meanFps = 0.0;
+  for (const auto& out : outputs) meanFps += out.heuristic.fps;
+  meanFps /= static_cast<double>(outputs.size());
+  EXPECT_GT(meanFps, 15.0);
+  EXPECT_LT(meanFps, 40.0);
+}
+
+}  // namespace
+}  // namespace vcaqoe::core
