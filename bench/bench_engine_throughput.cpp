@@ -1,0 +1,188 @@
+// Multi-flow streaming engine throughput.
+//
+// Replays the interleaved packet stream of K concurrent synthetic VCA flows
+// (K = 1 / 8 / 64 / 1024) through (a) a single-threaded reference — one
+// FlowTable demux plus one StreamingIpUdpEstimator per flow, all on the
+// caller thread — and (b) the sharded MultiFlowEngine, and reports packets
+// per second for both. The engine output is checked bit-identical to the
+// sequential reference before any number is trusted.
+//
+// Scale knobs (environment):
+//   VCAQOE_BENCH_ENGINE_PACKETS — total packets per scenario (default 1.5M)
+//   VCAQOE_BENCH_ENGINE_WORKERS — engine worker threads (default 4)
+//   VCAQOE_BENCH_ENGINE_REQUIRE_SPEEDUP — when 1, also fail the exit code
+//     unless the 64-flow speedup reaches 2x (off by default: wall-clock
+//     speedup on shared/loaded runners is not a correctness property)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/streaming.hpp"
+#include "engine/flow_table.hpp"
+#include "engine/multi_flow_engine.hpp"
+#include "engine/synthetic.hpp"
+#include "netflow/packet.hpp"
+
+namespace vcaqoe {
+namespace {
+
+int envInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atoi(value) : fallback;
+}
+
+struct Scenario {
+  std::vector<netflow::FlowKey> keys;
+  std::vector<std::pair<std::uint32_t, netflow::Packet>> stream;
+};
+
+Scenario makeScenario(int flows, int totalPackets) {
+  Scenario scenario;
+  const int perFlow = std::max(totalPackets / flows, 64);
+  for (int f = 0; f < flows; ++f) {
+    const auto flow = static_cast<std::uint32_t>(f);
+    scenario.keys.push_back(engine::syntheticFlowKey(flow));
+    const auto trace = engine::syntheticFlowTrace(
+        1000 + static_cast<std::uint64_t>(f), perFlow,
+        /*startNs=*/static_cast<common::TimeNs>(flow) * 41'000);
+    for (const auto& packet : trace) scenario.stream.emplace_back(flow, packet);
+  }
+  std::stable_sort(scenario.stream.begin(), scenario.stream.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.arrivalNs < b.second.arrivalNs;
+                   });
+  return scenario;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Digest of an output sequence; equal digests + equal counts stand in for
+/// field-by-field comparison at bench scale.
+struct Digest {
+  std::size_t outputs = 0;
+  double sum = 0.0;
+
+  void add(engine::FlowId flow, const core::StreamingOutput& out) {
+    ++outputs;
+    double s = static_cast<double>(flow) * 1e-3 +
+               static_cast<double>(out.window) + out.heuristic.bitrateKbps +
+               out.heuristic.fps + out.heuristic.frameJitterMs;
+    for (double f : out.features) s += f;
+    sum += s;
+  }
+
+  bool operator==(const Digest& other) const {
+    return outputs == other.outputs && sum == other.sum;
+  }
+};
+
+struct RunResult {
+  double pps = 0.0;
+  Digest digest;
+};
+
+RunResult runSequential(const Scenario& scenario,
+                        const core::StreamingOptions& streaming) {
+  const auto start = std::chrono::steady_clock::now();
+  engine::FlowTable table;
+  std::vector<std::unique_ptr<core::StreamingIpUdpEstimator>> estimators;
+  std::vector<std::vector<core::StreamingOutput>> outputs;
+  // The estimator callbacks hold pointers into `outputs`; reserve so those
+  // pointers survive growth.
+  outputs.reserve(scenario.keys.size());
+  for (const auto& [keyIndex, packet] : scenario.stream) {
+    const auto flow = table.intern(scenario.keys[keyIndex]);
+    if (flow >= estimators.size()) {
+      outputs.emplace_back();
+      auto* sink = &outputs.back();
+      estimators.push_back(std::make_unique<core::StreamingIpUdpEstimator>(
+          streaming, [sink](const core::StreamingOutput& out) {
+            sink->push_back(out);
+          }));
+    }
+    estimators[flow]->onPacket(packet);
+  }
+  for (auto& estimator : estimators) estimator->finish();
+  RunResult result;
+  result.pps = static_cast<double>(scenario.stream.size()) /
+               secondsSince(start);
+  for (engine::FlowId f = 0; f < outputs.size(); ++f) {
+    for (const auto& out : outputs[f]) result.digest.add(f, out);
+  }
+  return result;
+}
+
+RunResult runEngine(const Scenario& scenario,
+                    const core::StreamingOptions& streaming, int workers) {
+  const auto start = std::chrono::steady_clock::now();
+  engine::EngineOptions options;
+  options.streaming = streaming;
+  options.numWorkers = workers;
+  engine::MultiFlowEngine eng(options);
+  for (const auto& [keyIndex, packet] : scenario.stream) {
+    eng.onPacket(scenario.keys[keyIndex], packet);
+  }
+  const auto rest = eng.finish();
+  RunResult result;
+  result.pps = static_cast<double>(scenario.stream.size()) /
+               secondsSince(start);
+  for (const auto& r : rest) result.digest.add(r.flow, r.output);
+  return result;
+}
+
+}  // namespace
+}  // namespace vcaqoe
+
+int main() {
+  using namespace vcaqoe;
+  const int totalPackets = envInt("VCAQOE_BENCH_ENGINE_PACKETS", 1'500'000);
+  const int workers = envInt("VCAQOE_BENCH_ENGINE_WORKERS", 4);
+  const unsigned cores = std::thread::hardware_concurrency();
+  core::StreamingOptions streaming;
+
+  std::printf(
+      "engine throughput — %d workers, %u hardware threads, ~%d packets "
+      "per scenario\n",
+      workers, cores, totalPackets);
+  std::printf("%8s %12s %14s %14s %9s %10s\n", "flows", "packets",
+              "seq pkts/s", "engine pkts/s", "speedup", "identical");
+
+  bool allIdentical = true;
+  bool met2xAt64 = false;
+  for (int flows : {1, 8, 64, 1024}) {
+    const auto scenario = makeScenario(flows, totalPackets);
+    const auto seq = runSequential(scenario, streaming);
+    const auto eng = runEngine(scenario, streaming, workers);
+    const bool identical = seq.digest == eng.digest;
+    allIdentical = allIdentical && identical;
+    const double speedup = eng.pps / seq.pps;
+    if (flows == 64 && speedup >= 2.0) met2xAt64 = true;
+    std::printf("%8d %12zu %14.0f %14.0f %8.2fx %10s\n", flows,
+                scenario.stream.size(), seq.pps, eng.pps, speedup,
+                identical ? "yes" : "NO");
+  }
+
+  std::printf("\nsharded output identical to sequential: %s\n",
+              allIdentical ? "yes" : "NO");
+  std::printf("≥2x speedup at 64 flows: %s\n", met2xAt64 ? "yes" : "NO");
+  if (cores < 2) {
+    std::printf("(single-core host: parallel speedup not measurable)\n");
+  }
+  // The exit code gates on the correctness half of the contract only,
+  // unless the caller opts in to the perf assertion: wall-clock speedup on
+  // a shared or single-core host says nothing about the code.
+  if (envInt("VCAQOE_BENCH_ENGINE_REQUIRE_SPEEDUP", 0) != 0) {
+    return (allIdentical && met2xAt64) ? 0 : 1;
+  }
+  return allIdentical ? 0 : 1;
+}

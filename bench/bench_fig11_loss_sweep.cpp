@@ -36,8 +36,9 @@ int main() {
       for (int call = 0; call < callsPerPoint; ++call) {
         const auto schedule = netem::packetLossProfile(
             loss, static_cast<std::size_t>(callSec) + 1);
+        const std::uint64_t callSeed = ++seed;
         sessions.push_back(datasets::simulateSession(
-            profile, schedule, callSec, ++seed, seed));
+            profile, schedule, callSec, callSeed, callSeed));
       }
       recordsByLoss[loss] = datasets::recordsForSessions(sessions);
     }

@@ -30,8 +30,10 @@ int main() {
     for (const double value : sweep.values) {
       const auto schedule =
           sweep.make(value, static_cast<std::size_t>(callSec) + 1);
-      const auto session =
-          datasets::simulateSession(profile, schedule, callSec, ++seed, seed);
+      const std::uint64_t callSeed = ++seed;
+      const auto session = datasets::simulateSession(profile, schedule,
+                                                     callSec, callSeed,
+                                                     callSeed);
       const auto records = core::buildWindowRecords(session);
 
       common::RunningStats fps;

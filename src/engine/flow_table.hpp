@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netflow/packet.hpp"
+
+/// Flow demultiplexing for interleaved multi-session packet streams.
+///
+/// A monitoring point at an access node sees one interleaved stream of UDP
+/// datagrams from thousands of concurrent VCA sessions. The `FlowTable`
+/// assigns each distinct 5-tuple a dense `FlowId` in first-seen order, so
+/// downstream sharding and result merging are deterministic functions of the
+/// input stream (never of thread timing or hash-table iteration order).
+namespace vcaqoe::engine {
+
+/// Dense per-table flow index, assigned in first-seen order starting at 0.
+using FlowId = std::uint32_t;
+
+struct FlowKeyHash {
+  std::size_t operator()(const netflow::FlowKey& key) const noexcept;
+};
+
+class FlowTable {
+ public:
+  /// Returns the id of `key`, assigning the next dense id on first sight.
+  FlowId intern(const netflow::FlowKey& key);
+
+  /// Returns the id of `key` without interning, or nullopt if never seen.
+  std::optional<FlowId> find(const netflow::FlowKey& key) const;
+
+  /// The 5-tuple that was interned as `id` (id must be < size()).
+  const netflow::FlowKey& keyOf(FlowId id) const { return keys_[id]; }
+
+  /// Number of distinct flows seen.
+  std::size_t size() const { return keys_.size(); }
+
+  bool empty() const { return keys_.empty(); }
+
+ private:
+  std::unordered_map<netflow::FlowKey, FlowId, FlowKeyHash> ids_;
+  std::vector<netflow::FlowKey> keys_;
+};
+
+}  // namespace vcaqoe::engine

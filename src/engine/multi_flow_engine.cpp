@@ -1,0 +1,206 @@
+#include "engine/multi_flow_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcaqoe::engine {
+
+MultiFlowEngine::MultiFlowEngine(EngineOptions options)
+    : options_(std::move(options)) {
+  int workers = options_.numWorkers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  if (options_.dispatchBatch == 0) options_.dispatchBatch = 1;
+
+  shards_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->results =
+        std::make_unique<SpscRing<EngineResult>>(options_.resultRingCapacity);
+    shard->pending.reserve(options_.dispatchBatch);
+    shards_.push_back(std::move(shard));
+  }
+  runningWorkers_.store(workers, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, raw = shard.get()] { workerLoop(*raw); });
+  }
+}
+
+MultiFlowEngine::~MultiFlowEngine() {
+  if (finished_) return;
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; worker errors are lost at this point.
+  }
+}
+
+void MultiFlowEngine::onPacket(const netflow::FlowKey& key,
+                               const netflow::Packet& packet) {
+  if (finished_) {
+    throw std::logic_error("MultiFlowEngine: onPacket after finish");
+  }
+  const FlowId flow = flowTable_.intern(key);
+  // Static shard assignment: a flow lives on one shard for its whole life,
+  // so per-flow packet order survives the fan-out.
+  Shard& shard = *shards_[flow % shards_.size()];
+  shard.pending.push_back(Item{flow, packet});
+  ++packetsIngested_;
+  if (shard.pending.size() >= options_.dispatchBatch) flushPending(shard);
+}
+
+void MultiFlowEngine::flushPending(Shard& shard) {
+  if (shard.pending.empty()) return;
+  std::vector<Item> batch;
+  batch.reserve(options_.dispatchBatch);
+  batch.swap(shard.pending);
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.batches.push_back(std::move(batch));
+  }
+  shard.cv.notify_one();
+  ++batchesDispatched_;
+}
+
+void MultiFlowEngine::workerLoop(Shard& shard) {
+  for (;;) {
+    std::vector<Item> batch;
+    {
+      std::unique_lock lock(shard.mutex);
+      shard.cv.wait(lock, [&] { return shard.done || !shard.batches.empty(); });
+      if (shard.batches.empty()) break;  // done and drained
+      batch = std::move(shard.batches.front());
+      shard.batches.pop_front();
+    }
+    if (shard.error.empty()) {
+      try {
+        processBatch(shard, batch);
+      } catch (const std::exception& e) {
+        shard.error = e.what();
+      } catch (...) {
+        shard.error = "unknown worker exception";
+      }
+    }
+  }
+  if (shard.error.empty()) {
+    try {
+      // FlowId order: finalization output order is a function of the input
+      // stream, not of map insertion races (there are none, but be explicit).
+      for (auto& [flow, estimator] : shard.estimators) {
+        (void)flow;
+        estimator.finish();
+      }
+    } catch (const std::exception& e) {
+      shard.error = e.what();
+    } catch (...) {
+      shard.error = "unknown worker exception";
+    }
+  }
+  runningWorkers_.fetch_sub(1, std::memory_order_release);
+}
+
+void MultiFlowEngine::processBatch(Shard& shard,
+                                   const std::vector<Item>& batch) {
+  for (const Item& item : batch) {
+    auto it = shard.estimators.find(item.flow);
+    if (it == shard.estimators.end()) {
+      const FlowId flow = item.flow;
+      it = shard.estimators
+               .try_emplace(flow, options_.streaming,
+                            [this, &shard, flow](
+                                const core::StreamingOutput& out) {
+                              pushResult(shard, EngineResult{flow, out});
+                            })
+               .first;
+      if (options_.model != nullptr) it->second.attachModel(options_.model);
+    }
+    it->second.onPacket(item.packet);
+  }
+}
+
+void MultiFlowEngine::pushResult(Shard& shard, EngineResult result) {
+  // Back-pressure: the ring is bounded, so a worker that outruns the
+  // dispatcher parks until poll()/finish() makes room.
+  while (!shard.results->tryPush(std::move(result))) {
+    std::this_thread::yield();
+  }
+}
+
+std::size_t MultiFlowEngine::poll(std::vector<EngineResult>& out) {
+  const std::size_t before = out.size();
+  drainInto(out);
+  const std::size_t drained = out.size() - before;
+  resultsMerged_ += drained;
+  return drained;
+}
+
+void MultiFlowEngine::drainInto(std::vector<EngineResult>& out) {
+  for (auto& shard : shards_) {
+    while (auto result = shard->results->tryPop()) {
+      out.push_back(std::move(*result));
+    }
+  }
+}
+
+std::vector<EngineResult> MultiFlowEngine::finish() {
+  if (finished_) return {};
+  finished_ = true;
+
+  for (auto& shard : shards_) {
+    flushPending(*shard);
+    {
+      std::lock_guard lock(shard->mutex);
+      shard->done = true;
+    }
+    shard->cv.notify_one();
+  }
+
+  // Keep draining while the pool winds down: a worker blocked on a full
+  // result ring can only exit once we make room.
+  std::vector<EngineResult> merged;
+  while (runningWorkers_.load(std::memory_order_acquire) > 0) {
+    drainInto(merged);
+    std::this_thread::yield();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  drainInto(merged);
+  throwIfWorkerFailed();
+
+  // Deterministic merge: bucket by flow (per-flow order is already correct,
+  // single shard per flow), then concatenate in flow-id order.
+  std::vector<std::vector<EngineResult>> byFlow(flowTable_.size());
+  for (auto& result : merged) {
+    byFlow[result.flow].push_back(std::move(result));
+  }
+  std::vector<EngineResult> ordered;
+  ordered.reserve(merged.size());
+  for (auto& bucket : byFlow) {
+    for (auto& result : bucket) ordered.push_back(std::move(result));
+  }
+  resultsMerged_ += ordered.size();
+  return ordered;
+}
+
+void MultiFlowEngine::throwIfWorkerFailed() const {
+  for (const auto& shard : shards_) {
+    if (!shard->error.empty()) {
+      throw std::runtime_error("MultiFlowEngine worker failed: " +
+                               shard->error);
+    }
+  }
+}
+
+EngineStats MultiFlowEngine::stats() const {
+  EngineStats stats;
+  stats.packetsIngested = packetsIngested_;
+  stats.batchesDispatched = batchesDispatched_;
+  stats.resultsMerged = resultsMerged_;
+  stats.flows = flowTable_.size();
+  return stats;
+}
+
+}  // namespace vcaqoe::engine

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/streaming.hpp"
+#include "engine/flow_table.hpp"
+#include "engine/spsc_ring.hpp"
+#include "netflow/packet.hpp"
+
+/// Sharded multi-flow streaming inference.
+///
+/// §7 of the paper asks for network-scale deployment of the streaming
+/// methods. `MultiFlowEngine` is that step: it takes the interleaved packet
+/// stream of many concurrent VCA sessions, demultiplexes it by 5-tuple with a
+/// `FlowTable`, and shards the flows across a fixed pool of worker threads.
+/// Each shard owns one `core::StreamingIpUdpEstimator` per flow and an SPSC
+/// result ring; the caller thread merges the rings into one result stream.
+///
+/// Determinism contract (tested property): for every flow, the sequence of
+/// `StreamingOutput`s produced by the engine is bit-identical to feeding that
+/// flow's packets through a standalone `StreamingIpUdpEstimator`, regardless
+/// of worker count or thread timing. `finish()` additionally orders the
+/// merged stream by (flow id, window), which is a pure function of the input.
+namespace vcaqoe::engine {
+
+struct EngineOptions {
+  /// Per-flow streaming estimator configuration (window size, Algorithm 1
+  /// parameters, feature extraction).
+  core::StreamingOptions streaming;
+  /// Worker threads (= shards). 0 or negative means hardware_concurrency.
+  int numWorkers = 4;
+  /// Packets buffered per shard on the dispatcher side before the batch is
+  /// handed to the worker; amortizes queue synchronization.
+  std::size_t dispatchBatch = 256;
+  /// Capacity of each shard's result ring. Workers back-pressure (yield)
+  /// when their ring is full and nobody drains it.
+  std::size_t resultRingCapacity = 4096;
+  /// Optional trained forest attached to every per-flow estimator.
+  const ml::RandomForest* model = nullptr;
+};
+
+/// One completed window of one flow.
+struct EngineResult {
+  FlowId flow = 0;
+  core::StreamingOutput output;
+};
+
+/// Counters for observability / benches.
+struct EngineStats {
+  std::uint64_t packetsIngested = 0;
+  std::uint64_t batchesDispatched = 0;
+  std::uint64_t resultsMerged = 0;
+  std::size_t flows = 0;
+};
+
+class MultiFlowEngine {
+ public:
+  explicit MultiFlowEngine(EngineOptions options);
+
+  /// Joins the workers; results never drained are discarded.
+  ~MultiFlowEngine();
+
+  MultiFlowEngine(const MultiFlowEngine&) = delete;
+  MultiFlowEngine& operator=(const MultiFlowEngine&) = delete;
+
+  /// Feeds one packet of the interleaved stream. Packets of the same flow
+  /// must arrive in non-decreasing arrival order (the per-flow estimator
+  /// enforces this); distinct flows may interleave arbitrarily.
+  void onPacket(const netflow::FlowKey& key, const netflow::Packet& packet);
+
+  /// Drains every result currently available into `out` and returns how many
+  /// were appended. Per-flow order is preserved; interleaving across flows
+  /// reflects completion order. Must be called from the dispatcher thread.
+  std::size_t poll(std::vector<EngineResult>& out);
+
+  /// Flushes all pending batches, finalizes every per-flow estimator, joins
+  /// the pool, and returns all not-yet-polled results ordered by
+  /// (flow id, window). Idempotent; the engine accepts no packets afterwards.
+  std::vector<EngineResult> finish();
+
+  const FlowTable& flows() const { return flowTable_; }
+  int numWorkers() const { return static_cast<int>(shards_.size()); }
+  EngineStats stats() const;
+
+ private:
+  struct Item {
+    FlowId flow = 0;
+    netflow::Packet packet;
+  };
+
+  struct Shard {
+    // Input side (mutex-guarded batch queue, dispatcher -> worker).
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::vector<Item>> batches;
+    bool done = false;
+
+    // Dispatcher-side buffer, flushed to `batches` when full.
+    std::vector<Item> pending;
+
+    // Output side (lock-free SPSC ring, worker -> dispatcher).
+    std::unique_ptr<SpscRing<EngineResult>> results;
+
+    // Worker-owned per-flow estimators (keyed by FlowId for deterministic
+    // finalization order).
+    std::map<FlowId, core::StreamingIpUdpEstimator> estimators;
+
+    std::string error;  // first exception message seen by the worker
+    std::thread thread;
+  };
+
+  void workerLoop(Shard& shard);
+  void processBatch(Shard& shard, const std::vector<Item>& batch);
+  void pushResult(Shard& shard, EngineResult result);
+  void flushPending(Shard& shard);
+  void drainInto(std::vector<EngineResult>& out);
+  void throwIfWorkerFailed() const;
+
+  EngineOptions options_;
+  FlowTable flowTable_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int> runningWorkers_{0};
+  bool finished_ = false;
+
+  std::uint64_t packetsIngested_ = 0;
+  std::uint64_t batchesDispatched_ = 0;
+  std::uint64_t resultsMerged_ = 0;
+};
+
+}  // namespace vcaqoe::engine

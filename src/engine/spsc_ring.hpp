@@ -1,0 +1,71 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+/// Bounded single-producer / single-consumer ring buffer.
+///
+/// Each engine shard owns one of these: the shard's worker thread is the only
+/// producer and the caller thread draining results is the only consumer, so a
+/// pair of acquire/release indices is all the synchronization needed — no
+/// mutex on the result hot path.
+namespace vcaqoe::engine {
+
+/// Destructive-interference padding. A constant (not
+/// std::hardware_destructive_interference_size) so the ABI does not depend
+/// on tuning flags; 64 bytes covers x86-64 and most AArch64 parts.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t rounded = 2;
+    while (rounded < capacity) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool tryPush(T value) {
+    const auto head = head_.load(std::memory_order_relaxed);
+    const auto tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == slots_.size()) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> tryPop() {
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    const auto head = head_.load(std::memory_order_acquire);
+    if (head == tail) return std::nullopt;
+    std::optional<T> value(std::move(slots_[tail & mask_]));
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Consumer-side snapshot; racy by nature, exact once the producer stopped.
+  std::size_t sizeApprox() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace vcaqoe::engine

@@ -1,0 +1,46 @@
+#include "engine/synthetic.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace vcaqoe::engine {
+
+netflow::FlowKey syntheticFlowKey(std::uint32_t index) {
+  netflow::FlowKey key;
+  key.srcIp = 0x0A000000u + index;
+  key.dstIp = 0xC0A80001u;
+  key.srcPort = static_cast<std::uint16_t>(20000 + (index % 40000));
+  key.dstPort = 3478;
+  return key;
+}
+
+netflow::PacketTrace syntheticFlowTrace(std::uint64_t seed, int packets,
+                                        common::TimeNs startNs) {
+  common::Rng rng(seed);
+  netflow::PacketTrace trace;
+  trace.reserve(static_cast<std::size_t>(std::max(packets, 0)));
+  common::TimeNs t = startNs;
+  std::uint32_t frameSize = 1100;
+  int inFrame = 0;
+  for (int i = 0; i < packets; ++i) {
+    t += common::microsToNs(rng.uniform(200.0, 2500.0));
+    netflow::Packet packet;
+    packet.arrivalNs = t;
+    if (rng.bernoulli(0.15)) {
+      packet.sizeBytes = static_cast<std::uint32_t>(rng.uniformInt(90, 380));
+    } else {
+      if (inFrame == 0) {
+        frameSize = static_cast<std::uint32_t>(rng.uniformInt(600, 1300));
+        inFrame = static_cast<int>(rng.uniformInt(1, 4));
+      }
+      packet.sizeBytes = static_cast<std::uint32_t>(
+          std::max<std::int64_t>(500, frameSize + rng.uniformInt(-20, 20)));
+      --inFrame;
+    }
+    trace.push_back(packet);
+  }
+  return trace;
+}
+
+}  // namespace vcaqoe::engine

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "netflow/packet.hpp"
+
+/// Deterministic synthetic multi-flow traffic for engine tests, benches, and
+/// demos: one place for the traffic model so the flows the engine is tested
+/// against are exactly the flows it is benchmarked against.
+namespace vcaqoe::engine {
+
+/// A distinct, stable 5-tuple for flow `index` (client behind 10.0.0.0/8
+/// talking to one media server).
+netflow::FlowKey syntheticFlowKey(std::uint32_t index);
+
+/// A video-call-shaped flow: mostly large "video" packets whose sizes
+/// cluster per frame (Algorithm 1's matching signal), with sub-V_min
+/// "audio" packets sprinkled in. Arrival-ordered, starting at `startNs`.
+netflow::PacketTrace syntheticFlowTrace(std::uint64_t seed, int packets,
+                                        common::TimeNs startNs);
+
+}  // namespace vcaqoe::engine

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "core/streaming.hpp"
+#include "engine/flow_table.hpp"
+#include "engine/multi_flow_engine.hpp"
+#include "engine/spsc_ring.hpp"
+#include "engine/synthetic.hpp"
+#include "netflow/packet.hpp"
+
+namespace vcaqoe::engine {
+namespace {
+
+netflow::FlowKey makeKey(std::uint32_t i) { return syntheticFlowKey(i); }
+
+struct Interleaved {
+  std::vector<netflow::FlowKey> keys;            // per flow
+  std::vector<netflow::PacketTrace> perFlow;     // per flow, arrival order
+  std::vector<std::pair<std::uint32_t, netflow::Packet>> stream;  // merged
+};
+
+Interleaved makeInterleaved(int flows, int packetsPerFlow,
+                            std::uint64_t seed = 7) {
+  Interleaved in;
+  for (int f = 0; f < flows; ++f) {
+    in.keys.push_back(makeKey(static_cast<std::uint32_t>(f)));
+    in.perFlow.push_back(
+        syntheticFlowTrace(seed + static_cast<std::uint64_t>(f),
+                           packetsPerFlow, /*startNs=*/f * 37'000));
+  }
+  for (int f = 0; f < flows; ++f) {
+    for (const auto& packet : in.perFlow[static_cast<std::size_t>(f)]) {
+      in.stream.emplace_back(static_cast<std::uint32_t>(f), packet);
+    }
+  }
+  std::stable_sort(in.stream.begin(), in.stream.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.arrivalNs < b.second.arrivalNs;
+                   });
+  return in;
+}
+
+/// Ground truth: each flow through its own standalone streaming estimator.
+std::vector<std::vector<core::StreamingOutput>> sequentialReference(
+    const Interleaved& in, const core::StreamingOptions& options) {
+  std::vector<std::vector<core::StreamingOutput>> outputs(in.perFlow.size());
+  for (std::size_t f = 0; f < in.perFlow.size(); ++f) {
+    core::StreamingIpUdpEstimator estimator(
+        options,
+        [&outputs, f](const core::StreamingOutput& out) {
+          outputs[f].push_back(out);
+        });
+    for (const auto& packet : in.perFlow[f]) estimator.onPacket(packet);
+    estimator.finish();
+  }
+  return outputs;
+}
+
+void expectSameOutput(const core::StreamingOutput& got,
+                      const core::StreamingOutput& want) {
+  EXPECT_EQ(got.window, want.window);
+  EXPECT_EQ(got.features, want.features);  // bit-identical doubles
+  EXPECT_EQ(got.heuristic.window, want.heuristic.window);
+  EXPECT_EQ(got.heuristic.bitrateKbps, want.heuristic.bitrateKbps);
+  EXPECT_EQ(got.heuristic.fps, want.heuristic.fps);
+  EXPECT_EQ(got.heuristic.frameJitterMs, want.heuristic.frameJitterMs);
+  EXPECT_EQ(got.heuristic.frameCount, want.heuristic.frameCount);
+  EXPECT_EQ(got.prediction.has_value(), want.prediction.has_value());
+}
+
+TEST(FlowTable, InternAssignsDenseIdsInFirstSeenOrder) {
+  FlowTable table;
+  const auto a = makeKey(1);
+  const auto b = makeKey(2);
+  const auto c = makeKey(3);
+  EXPECT_EQ(table.intern(a), 0u);
+  EXPECT_EQ(table.intern(b), 1u);
+  EXPECT_EQ(table.intern(a), 0u);  // stable on re-sight
+  EXPECT_EQ(table.intern(c), 2u);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.keyOf(1), b);
+  EXPECT_EQ(table.find(c), std::optional<FlowId>(2u));
+  EXPECT_FALSE(table.find(makeKey(99)).has_value());
+}
+
+TEST(FlowTable, DistinguishesEveryTupleField) {
+  FlowTable table;
+  netflow::FlowKey base = makeKey(5);
+  table.intern(base);
+  for (auto mutate : {0, 1, 2, 3}) {
+    netflow::FlowKey other = base;
+    if (mutate == 0) other.srcIp ^= 1;
+    if (mutate == 1) other.dstIp ^= 1;
+    if (mutate == 2) other.srcPort ^= 1;
+    if (mutate == 3) other.dstPort ^= 1;
+    EXPECT_NE(table.intern(other), 0u);
+  }
+  EXPECT_EQ(table.size(), 5u);
+}
+
+TEST(SpscRing, PushPopPreservesFifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.tryPush(i));
+  EXPECT_FALSE(ring.tryPush(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    auto v = ring.tryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.tryPop().has_value());  // empty
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.tryPush(i));
+    auto v = ring.tryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+class EngineDeterminism : public ::testing::TestWithParam<int> {};
+
+/// The tentpole property: sharded output must equal the sequential
+/// per-flow streaming estimator, window for window, bit for bit, for any
+/// worker count.
+TEST_P(EngineDeterminism, ShardedEqualsSequential) {
+  const int workers = GetParam();
+  const int flows = 13;  // coprime with worker counts: shards get uneven load
+  const auto in = makeInterleaved(flows, 900);
+
+  core::StreamingOptions streaming;
+  const auto want = sequentialReference(in, streaming);
+
+  EngineOptions options;
+  options.streaming = streaming;
+  options.numWorkers = workers;
+  options.dispatchBatch = 64;
+  MultiFlowEngine engine(options);
+  for (const auto& [flow, packet] : in.stream) {
+    engine.onPacket(in.keys[flow], packet);
+  }
+  const auto got = engine.finish();
+
+  ASSERT_EQ(engine.flows().size(), static_cast<std::size_t>(flows));
+  // Engine ids are first-seen dense (arrival order of first packets), which
+  // need not match our key index; map key index -> engine id explicitly.
+  std::vector<FlowId> idOfKey(static_cast<std::size_t>(flows));
+  for (int f = 0; f < flows; ++f) {
+    const auto id = engine.flows().find(in.keys[static_cast<std::size_t>(f)]);
+    ASSERT_TRUE(id.has_value());
+    idOfKey[static_cast<std::size_t>(f)] = *id;
+  }
+
+  std::vector<std::vector<core::StreamingOutput>> byFlow(
+      static_cast<std::size_t>(flows));
+  std::size_t previousFlow = 0;
+  std::int64_t previousWindow = -1;
+  for (const auto& result : got) {
+    // finish() merges ordered by (flow, window).
+    if (result.flow != previousFlow) {
+      EXPECT_GT(result.flow, previousFlow);
+      previousWindow = -1;
+    }
+    EXPECT_GT(result.output.window, previousWindow);
+    previousFlow = result.flow;
+    previousWindow = result.output.window;
+    byFlow[result.flow].push_back(result.output);
+  }
+
+  for (int f = 0; f < flows; ++f) {
+    const auto& gotFlow = byFlow[idOfKey[static_cast<std::size_t>(f)]];
+    const auto& wantFlow = want[static_cast<std::size_t>(f)];
+    ASSERT_EQ(gotFlow.size(), wantFlow.size()) << "flow " << f;
+    for (std::size_t w = 0; w < wantFlow.size(); ++w) {
+      expectSameOutput(gotFlow[w], wantFlow[w]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, EngineDeterminism,
+                         ::testing::Values(1, 2, 4, 7));
+
+TEST(MultiFlowEngine, PollPreservesPerFlowOrder) {
+  const auto in = makeInterleaved(5, 600);
+  EngineOptions options;
+  options.numWorkers = 3;
+  options.dispatchBatch = 32;
+  options.resultRingCapacity = 16;  // tiny ring: forces mid-run draining
+  MultiFlowEngine engine(options);
+
+  std::vector<EngineResult> polled;
+  for (const auto& [flow, packet] : in.stream) {
+    engine.onPacket(in.keys[flow], packet);
+    engine.poll(polled);
+  }
+  auto rest = engine.finish();
+  polled.insert(polled.end(), rest.begin(), rest.end());
+
+  // Map engine flow ids back to our key indices.
+  std::vector<std::size_t> keyIndexOfId(in.keys.size());
+  for (std::size_t f = 0; f < in.keys.size(); ++f) {
+    const auto id = engine.flows().find(in.keys[f]);
+    ASSERT_TRUE(id.has_value());
+    keyIndexOfId[*id] = f;
+  }
+
+  const auto want = sequentialReference(in, options.streaming);
+  std::map<FlowId, std::size_t> cursor;
+  for (const auto& result : polled) {
+    const auto f = keyIndexOfId[result.flow];
+    const auto index = cursor[result.flow]++;
+    ASSERT_LT(index, want[f].size());
+    // Windows per flow must come out in emission order even when drained
+    // through a ring that overflowed many times.
+    expectSameOutput(result.output, want[f][index]);
+  }
+  std::size_t verified = 0;
+  for (const auto& [id, count] : cursor) verified += count;
+  std::size_t expected = 0;
+  for (const auto& flow : want) expected += flow.size();
+  EXPECT_EQ(verified, expected);
+}
+
+TEST(MultiFlowEngine, TinyBatchAndManyFlowsStillDeterministic) {
+  const auto in = makeInterleaved(31, 120);
+  const auto want = sequentialReference(in, {});
+  EngineOptions options;
+  options.numWorkers = 4;
+  options.dispatchBatch = 1;  // worst-case dispatch granularity
+  MultiFlowEngine engine(options);
+  for (const auto& [flow, packet] : in.stream) {
+    engine.onPacket(in.keys[flow], packet);
+  }
+  const auto got = engine.finish();
+  std::size_t total = 0;
+  for (const auto& flow : want) total += flow.size();
+  ASSERT_EQ(got.size(), total);
+}
+
+TEST(MultiFlowEngine, FinishIsIdempotentAndRejectsLatePackets) {
+  const auto in = makeInterleaved(2, 200);
+  MultiFlowEngine engine(EngineOptions{});
+  for (const auto& [flow, packet] : in.stream) {
+    engine.onPacket(in.keys[flow], packet);
+  }
+  const auto first = engine.finish();
+  EXPECT_FALSE(first.empty());
+  EXPECT_TRUE(engine.finish().empty());
+  netflow::Packet packet;
+  packet.arrivalNs = 1;
+  packet.sizeBytes = 1000;
+  EXPECT_THROW(engine.onPacket(in.keys[0], packet), std::logic_error);
+}
+
+TEST(MultiFlowEngine, WorkerErrorSurfacesAtFinish) {
+  MultiFlowEngine engine(EngineOptions{});
+  const auto key = makeKey(0);
+  netflow::Packet packet;
+  packet.sizeBytes = 1000;
+  packet.arrivalNs = common::kNanosPerSecond;
+  engine.onPacket(key, packet);
+  packet.arrivalNs = 0;  // out of order within the flow
+  engine.onPacket(key, packet);
+  EXPECT_THROW(engine.finish(), std::runtime_error);
+}
+
+TEST(MultiFlowEngine, StatsCountPacketsFlowsAndResults) {
+  const auto in = makeInterleaved(4, 300);
+  EngineOptions options;
+  options.numWorkers = 2;
+  MultiFlowEngine engine(options);
+  for (const auto& [flow, packet] : in.stream) {
+    engine.onPacket(in.keys[flow], packet);
+  }
+  const auto results = engine.finish();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.packetsIngested, in.stream.size());
+  EXPECT_EQ(stats.flows, 4u);
+  EXPECT_EQ(stats.resultsMerged, results.size());
+  EXPECT_GT(stats.batchesDispatched, 0u);
+}
+
+}  // namespace
+}  // namespace vcaqoe::engine

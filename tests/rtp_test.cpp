@@ -79,6 +79,100 @@ TEST_P(RtpRoundTrip, RandomHeaders) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RtpRoundTrip, ::testing::Range(1, 6));
 
+TEST(Rtp, RoundTripAtSequenceWraparound) {
+  // The two edge values of the modulo-2^16 sequence space, plus neighbours:
+  // encode/decode must be exact, not merely distance-consistent.
+  for (const std::uint16_t seq : {std::uint16_t{65534}, std::uint16_t{65535},
+                                  std::uint16_t{0}, std::uint16_t{1}}) {
+    RtpHeader h;
+    h.sequenceNumber = seq;
+    h.timestamp = 0xFFFFFFFFu;  // max timestamp rides along
+    std::vector<std::uint8_t> buf;
+    encode(h, buf);
+    const auto decoded = decode(buf);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->sequenceNumber, seq);
+    EXPECT_EQ(decoded->timestamp, 0xFFFFFFFFu);
+  }
+}
+
+TEST(Rtp, MarkerDoesNotBleedIntoPayloadTypeAtWraparound) {
+  // M is the top bit of the byte that also holds PT; the worst case is
+  // marker set with all PT bits set at the sequence wrap point.
+  RtpHeader h;
+  h.marker = true;
+  h.payloadType = 127;
+  h.sequenceNumber = 65535;
+  std::vector<std::uint8_t> buf;
+  encode(h, buf);
+  EXPECT_EQ(buf[1], 0xFF);
+  const auto decoded = decode(buf);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->marker);
+  EXPECT_EQ(decoded->payloadType, 127);
+  EXPECT_EQ(decoded->sequenceNumber, 65535);
+}
+
+TEST(Rtp, DecodeToleratesPaddingBit) {
+  // RFC 3550 §5.1: P only announces trailing padding octets; the fixed
+  // header layout is unchanged. A passive monitor must still parse padded
+  // media packets (it never walks to the payload end anyway).
+  RtpHeader h;
+  h.payloadType = 96;
+  h.marker = true;
+  h.sequenceNumber = 65535;
+  h.timestamp = 0xDEADBEEF;
+  h.ssrc = 0x01020304;
+  std::vector<std::uint8_t> buf;
+  encode(h, buf);
+  buf[0] |= 0x20;  // set P
+  const auto decoded = decode(buf);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, h);
+}
+
+TEST(Rtp, DecodeToleratesExtensionAndCsrcBits) {
+  // X and CC affect what follows the fixed 12 bytes, not the fixed bytes
+  // themselves; the fixed fields must still parse.
+  RtpHeader h;
+  h.sequenceNumber = 4242;
+  std::vector<std::uint8_t> buf;
+  encode(h, buf);
+  buf[0] |= 0x10;  // X
+  buf[0] |= 0x03;  // CC = 3
+  const auto decoded = decode(buf);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sequenceNumber, 4242);
+}
+
+TEST(Rtp, DecodeExactlyTwelveBytesBoundary) {
+  RtpHeader h;
+  h.ssrc = 0xAABBCCDD;
+  std::vector<std::uint8_t> buf;
+  encode(h, buf);
+  ASSERT_EQ(buf.size(), kRtpHeaderSize);
+  EXPECT_TRUE(decode(buf).has_value());  // exactly 12: accept
+  buf.pop_back();
+  EXPECT_FALSE(decode(buf).has_value());  // 11: reject
+}
+
+TEST(Rtp, SequenceDistanceHalfRangeBoundary) {
+  // The ambiguity point of the modulo space: +32767 is "ahead"; a distance
+  // of exactly half the ring is unrepresentable as "ahead" and collapses to
+  // -32768 in both directions (two's-complement int16 window, the RFC 3550
+  // §A.1 convention).
+  EXPECT_EQ(sequenceDistance(0, 32767), 32767);
+  EXPECT_EQ(sequenceDistance(0, 32768), -32768);
+  EXPECT_EQ(sequenceDistance(32768, 0), -32768);
+  EXPECT_EQ(sequenceDistance(1, 32768), 32767);
+}
+
+TEST(Rtp, TimestampDeltaAcrossExactWrap) {
+  // 0xFFFFFFFF -> 0 is one tick forward, not a 2^32 jump backwards.
+  EXPECT_EQ(timestampDeltaToNs(0xFFFFFFFFu, 0u, kVideoClockHz),
+            common::kNanosPerSecond / 90'000);
+}
+
 TEST(Rtp, SequenceDistanceSimple) {
   EXPECT_EQ(sequenceDistance(10, 15), 5);
   EXPECT_EQ(sequenceDistance(15, 10), -5);
