@@ -2,26 +2,6 @@
 
 namespace vcaqoe::engine {
 
-namespace {
-
-/// splitmix64 finalizer — cheap, well-distributed mixing for the 5-tuple.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
-std::size_t FlowKeyHash::operator()(const netflow::FlowKey& key) const noexcept {
-  const std::uint64_t ips =
-      (static_cast<std::uint64_t>(key.srcIp) << 32) | key.dstIp;
-  const std::uint64_t ports =
-      (static_cast<std::uint64_t>(key.srcPort) << 16) | key.dstPort;
-  return static_cast<std::size_t>(mix64(mix64(ips) ^ ports));
-}
-
 FlowId FlowTable::intern(const netflow::FlowKey& key) {
   const auto next = static_cast<FlowId>(keys_.size());
   const auto [it, inserted] = ids_.try_emplace(key, next);
@@ -33,6 +13,13 @@ std::optional<FlowId> FlowTable::find(const netflow::FlowKey& key) const {
   const auto it = ids_.find(key);
   if (it == ids_.end()) return std::nullopt;
   return it->second;
+}
+
+void FlowTable::erase(FlowId id) {
+  const auto it = ids_.find(keys_[id]);
+  // Generation check: only drop the mapping if it still points at this id —
+  // a newer generation of the same key must survive an erase of the old one.
+  if (it != ids_.end() && it->second == id) ids_.erase(it);
 }
 
 }  // namespace vcaqoe::engine

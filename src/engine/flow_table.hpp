@@ -14,30 +14,46 @@
 /// assigns each distinct 5-tuple a dense `FlowId` in first-seen order, so
 /// downstream sharding and result merging are deterministic functions of the
 /// input stream (never of thread timing or hash-table iteration order).
+///
+/// Ids are generational: `erase` forgets the key→id mapping but the id is
+/// never reused — a flow that returns after eviction is interned under a
+/// fresh id. Sidecar state keyed by `FlowId` (shard estimators, per-flow
+/// stats) therefore can never alias a live flow with a dead one, and
+/// id-indexed vectors only ever grow.
 namespace vcaqoe::engine {
 
 /// Dense per-table flow index, assigned in first-seen order starting at 0.
 using FlowId = std::uint32_t;
 
-struct FlowKeyHash {
-  std::size_t operator()(const netflow::FlowKey& key) const noexcept;
-};
+/// 5-tuple hash shared with the capture-side flow maps.
+using FlowKeyHash = netflow::FlowKeyHash;
 
 class FlowTable {
  public:
-  /// Returns the id of `key`, assigning the next dense id on first sight.
+  /// Returns the id of `key`, assigning the next dense id on first sight
+  /// (or on first sight after an erase — evicted generations stay retired).
   FlowId intern(const netflow::FlowKey& key);
 
-  /// Returns the id of `key` without interning, or nullopt if never seen.
+  /// Returns the *live* id of `key`, or nullopt if never seen or erased.
   std::optional<FlowId> find(const netflow::FlowKey& key) const;
 
-  /// The 5-tuple that was interned as `id` (id must be < size()).
+  /// The 5-tuple that was interned as `id` (id must be < size()). Valid for
+  /// erased ids too — stats exported after eviction still need the key.
   const netflow::FlowKey& keyOf(FlowId id) const { return keys_[id]; }
 
-  /// Number of distinct flows seen.
+  /// Total flows ever interned == one past the highest id handed out.
+  /// Includes erased generations, so id-indexed sidecars never shrink.
   std::size_t size() const { return keys_.size(); }
 
+  /// Flows currently resident (interned and not erased).
+  std::size_t activeSize() const { return ids_.size(); }
+
   bool empty() const { return keys_.empty(); }
+
+  /// Retires `id`: the key→id mapping is dropped so the key re-interns under
+  /// a fresh id. No-op when `id` was already erased or superseded by a newer
+  /// generation of the same key.
+  void erase(FlowId id);
 
  private:
   std::unordered_map<netflow::FlowKey, FlowId, FlowKeyHash> ids_;

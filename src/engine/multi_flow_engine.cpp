@@ -43,11 +43,83 @@ void MultiFlowEngine::onPacket(const netflow::FlowKey& key,
     throw std::logic_error("MultiFlowEngine: onPacket after finish");
   }
   const FlowId flow = flowTable_.intern(key);
+  if (flow >= flowStats_.size()) {
+    // First packet of a fresh flow generation.
+    FlowStats stats;
+    stats.key = key;
+    stats.firstArrivalNs = packet.arrivalNs;
+    flowStats_.push_back(stats);
+    lruPrev_.push_back(kNoFlow);
+    lruNext_.push_back(kNoFlow);
+    lruLinkTail(flow);
+  } else {
+    lruUnlink(flow);
+    lruLinkTail(flow);
+  }
+  FlowStats& stats = flowStats_[flow];
+  ++stats.packets;
+  stats.bytes += packet.sizeBytes;
+  stats.lastArrivalNs = packet.arrivalNs;
+
   // Static shard assignment: a flow lives on one shard for its whole life,
-  // so per-flow packet order survives the fan-out.
+  // so per-flow packet order survives the fan-out. (A re-interned generation
+  // may land on a different shard; its id is fresh, so no state aliases.)
   Shard& shard = *shards_[flow % shards_.size()];
-  shard.pending.push_back(Item{flow, packet});
+  shard.pending.push_back(Item{flow, /*evict=*/false, packet});
   ++packetsIngested_;
+  if (packet.arrivalNs > clock_) clock_ = packet.arrivalNs;
+  if (options_.idleTimeoutNs > 0) evictIdleFlows();
+  if (shard.pending.size() >= options_.dispatchBatch) flushPending(shard);
+}
+
+void MultiFlowEngine::lruLinkTail(FlowId flow) {
+  lruPrev_[flow] = lruTail_;
+  lruNext_[flow] = kNoFlow;
+  if (lruTail_ != kNoFlow) {
+    lruNext_[lruTail_] = flow;
+  } else {
+    lruHead_ = flow;
+  }
+  lruTail_ = flow;
+}
+
+void MultiFlowEngine::lruUnlink(FlowId flow) {
+  if (lruPrev_[flow] != kNoFlow) {
+    lruNext_[lruPrev_[flow]] = lruNext_[flow];
+  } else {
+    lruHead_ = lruNext_[flow];
+  }
+  if (lruNext_[flow] != kNoFlow) {
+    lruPrev_[lruNext_[flow]] = lruPrev_[flow];
+  } else {
+    lruTail_ = lruPrev_[flow];
+  }
+  lruPrev_[flow] = kNoFlow;
+  lruNext_[flow] = kNoFlow;
+}
+
+void MultiFlowEngine::evictIdleFlows() {
+  // The LRU head is the least recently dispatched flow. Per-flow last
+  // arrival is checked against the engine clock, so a globally
+  // arrival-ordered stream evicts exactly the flows whose silence exceeds
+  // the timeout.
+  while (lruHead_ != kNoFlow &&
+         flowStats_[lruHead_].lastArrivalNs + options_.idleTimeoutNs <=
+             clock_) {
+    evictFlow(lruHead_);
+  }
+}
+
+void MultiFlowEngine::evictFlow(FlowId flow) {
+  lruUnlink(flow);
+  flowStats_[flow].evicted = true;
+  ++flowsEvicted_;
+  flowTable_.erase(flow);
+  // The control item rides the same FIFO as the flow's packets, so the
+  // worker finalizes the estimator only after every dispatched packet of
+  // this generation has been processed.
+  Shard& shard = *shards_[flow % shards_.size()];
+  shard.pending.push_back(Item{flow, /*evict=*/true, netflow::Packet{}});
   if (shard.pending.size() >= options_.dispatchBatch) flushPending(shard);
 }
 
@@ -104,6 +176,16 @@ void MultiFlowEngine::workerLoop(Shard& shard) {
 void MultiFlowEngine::processBatch(Shard& shard,
                                    const std::vector<Item>& batch) {
   for (const Item& item : batch) {
+    if (item.evict) {
+      const auto evictee = shard.estimators.find(item.flow);
+      if (evictee != shard.estimators.end()) {
+        // Finalize-on-evict: the flow's trailing windows are emitted
+        // through the normal result path before the state is dropped.
+        evictee->second.finish();
+        shard.estimators.erase(evictee);
+      }
+      continue;
+    }
     auto it = shard.estimators.find(item.flow);
     if (it == shard.estimators.end()) {
       const FlowId flow = item.flow;
@@ -139,6 +221,7 @@ std::size_t MultiFlowEngine::poll(std::vector<EngineResult>& out) {
 void MultiFlowEngine::drainInto(std::vector<EngineResult>& out) {
   for (auto& shard : shards_) {
     while (auto result = shard->results->tryPop()) {
+      ++flowStats_[result->flow].windowsEmitted;
       out.push_back(std::move(*result));
     }
   }
@@ -200,6 +283,8 @@ EngineStats MultiFlowEngine::stats() const {
   stats.batchesDispatched = batchesDispatched_;
   stats.resultsMerged = resultsMerged_;
   stats.flows = flowTable_.size();
+  stats.activeFlows = flowTable_.activeSize();
+  stats.flowsEvicted = flowsEvicted_;
   return stats;
 }
 

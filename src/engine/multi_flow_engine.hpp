@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,17 @@
 /// flow's packets through a standalone `StreamingIpUdpEstimator`, regardless
 /// of worker count or thread timing. `finish()` additionally orders the
 /// merged stream by (flow id, window), which is a pure function of the input.
+///
+/// Flow lifecycle: with `idleTimeoutNs` set, a flow whose last packet is
+/// older than the timeout (against the engine clock — the max arrival seen)
+/// is evicted: its estimator is finalized on its shard (the trailing window
+/// results are emitted like any other result) and both the estimator and the
+/// `FlowTable` hash entry are freed. The *heavy* per-flow state (estimator
+/// windows/frames, table entry) is thus bounded by concurrent flows; what a
+/// long run accumulates is one constant-size `FlowStats` record plus the
+/// retired id per generation — deliberately retained so the dashboard can
+/// still report sessions that went idle and were reclaimed. A returning
+/// flow is a fresh generation with a fresh id and estimator.
 namespace vcaqoe::engine {
 
 struct EngineOptions {
@@ -46,6 +58,9 @@ struct EngineOptions {
   std::size_t resultRingCapacity = 4096;
   /// Optional trained forest attached to every per-flow estimator.
   const ml::RandomForest* model = nullptr;
+  /// Evict flows idle longer than this, measured in stream time (the max
+  /// packet arrival seen so far). 0 disables eviction.
+  common::DurationNs idleTimeoutNs = 0;
 };
 
 /// One completed window of one flow.
@@ -54,12 +69,29 @@ struct EngineResult {
   core::StreamingOutput output;
 };
 
+/// Per-flow accounting kept by the dispatcher for the lifetime of the
+/// engine. It survives eviction — an ISP dashboard can still report a
+/// session that went idle and was reclaimed.
+struct FlowStats {
+  netflow::FlowKey key;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;  ///< sum of UDP payload sizes
+  std::uint64_t windowsEmitted = 0;
+  common::TimeNs firstArrivalNs = 0;
+  common::TimeNs lastArrivalNs = 0;
+  bool evicted = false;
+};
+
 /// Counters for observability / benches.
 struct EngineStats {
   std::uint64_t packetsIngested = 0;
   std::uint64_t batchesDispatched = 0;
   std::uint64_t resultsMerged = 0;
+  /// Flows ever seen (including evicted generations).
   std::size_t flows = 0;
+  /// Flows currently resident in the table / on the shards.
+  std::size_t activeFlows = 0;
+  std::uint64_t flowsEvicted = 0;
 };
 
 class MultiFlowEngine {
@@ -91,9 +123,15 @@ class MultiFlowEngine {
   int numWorkers() const { return static_cast<int>(shards_.size()); }
   EngineStats stats() const;
 
+  /// Accounting for every flow generation ever seen, indexed by `FlowId`.
+  /// `windowsEmitted` counts results as they are drained (poll/finish).
+  const std::vector<FlowStats>& flowStats() const { return flowStats_; }
+
  private:
   struct Item {
     FlowId flow = 0;
+    /// Control item: finalize and drop the flow's estimator (idle eviction).
+    bool evict = false;
     netflow::Packet packet;
   };
 
@@ -118,12 +156,20 @@ class MultiFlowEngine {
     std::thread thread;
   };
 
+  static constexpr FlowId kNoFlow = std::numeric_limits<FlowId>::max();
+
   void workerLoop(Shard& shard);
   void processBatch(Shard& shard, const std::vector<Item>& batch);
   void pushResult(Shard& shard, EngineResult result);
   void flushPending(Shard& shard);
   void drainInto(std::vector<EngineResult>& out);
   void throwIfWorkerFailed() const;
+
+  // Flow lifecycle (dispatcher side only).
+  void lruLinkTail(FlowId flow);
+  void lruUnlink(FlowId flow);
+  void evictIdleFlows();
+  void evictFlow(FlowId flow);
 
   EngineOptions options_;
   FlowTable flowTable_;
@@ -134,6 +180,17 @@ class MultiFlowEngine {
   std::uint64_t packetsIngested_ = 0;
   std::uint64_t batchesDispatched_ = 0;
   std::uint64_t resultsMerged_ = 0;
+  std::uint64_t flowsEvicted_ = 0;
+
+  // Per-flow accounting plus an intrusive LRU over live flows, both indexed
+  // by FlowId. `clock_` is the engine's notion of "now": the max arrival
+  // seen across all flows.
+  std::vector<FlowStats> flowStats_;
+  std::vector<FlowId> lruPrev_;
+  std::vector<FlowId> lruNext_;
+  FlowId lruHead_ = kNoFlow;
+  FlowId lruTail_ = kNoFlow;
+  common::TimeNs clock_ = std::numeric_limits<common::TimeNs>::min();
 };
 
 }  // namespace vcaqoe::engine

@@ -1,0 +1,37 @@
+#include "ingest/live_capture.hpp"
+
+namespace vcaqoe::ingest {
+
+void LiveCaptureStub::push(const netflow::FlowKey& flow,
+                           const netflow::Packet& packet) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return;  // late capture callbacks after teardown are dropped
+    queue_.push_back(SourcePacket{flow, packet});
+  }
+  cv_.notify_one();
+}
+
+void LiveCaptureStub::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool LiveCaptureStub::next(SourcePacket& out) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+std::size_t LiveCaptureStub::queued() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace vcaqoe::ingest

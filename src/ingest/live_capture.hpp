@@ -1,0 +1,43 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "ingest/packet_source.hpp"
+
+namespace vcaqoe::ingest {
+
+/// Stand-in for a libpcap/AF_XDP live-capture front-end.
+///
+/// A real deployment registers a capture callback that decodes IP/UDP
+/// headers off the wire and hands `SourcePacket`s to the pipeline; this stub
+/// keeps exactly that push side (`push()` from the producer thread, `close()`
+/// at teardown) while `next()` serves the consumer through the shared
+/// `PacketSource` interface. Everything downstream — replay driver, engine,
+/// eviction — is thereby already live-capture shaped; only the OS capture
+/// hookup is missing (gated on a packet-capture capability the build
+/// environment does not ship).
+class LiveCaptureStub final : public PacketSource {
+ public:
+  /// Enqueues one observation (producer side; thread-safe).
+  void push(const netflow::FlowKey& flow, const netflow::Packet& packet);
+
+  /// Marks end of capture: `next()` drains what is queued, then returns
+  /// false instead of blocking. Idempotent; thread-safe.
+  void close();
+
+  /// Blocks until an observation is available or the capture is closed.
+  bool next(SourcePacket& out) override;
+
+  /// Observations queued and not yet pulled (diagnostic).
+  std::size_t queued() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<SourcePacket> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace vcaqoe::ingest

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "netflow/packet.hpp"
+
+/// Capture front-ends for the multi-flow engine.
+///
+/// Everything upstream of `MultiFlowEngine::onPacket` — capture-file replay
+/// today, live capture tomorrow — implements one pull interface, so the
+/// demux/shard/estimate pipeline downstream is byte-identical for replayed
+/// and live traffic. The replay driver (`replay()`) is the only consumer.
+namespace vcaqoe::ingest {
+
+/// One packet observation as delivered by a capture front-end.
+struct SourcePacket {
+  netflow::FlowKey flow;
+  netflow::Packet packet;
+};
+
+/// Pull interface over a stream of packet observations in arrival order.
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  PacketSource() = default;
+  PacketSource(const PacketSource&) = delete;
+  PacketSource& operator=(const PacketSource&) = delete;
+
+  /// Fills `out` with the next packet; returns false at end of stream. May
+  /// block (time-paced replay, live capture waiting for traffic).
+  virtual bool next(SourcePacket& out) = 0;
+};
+
+}  // namespace vcaqoe::ingest

@@ -1,0 +1,33 @@
+#include "ingest/replay_driver.hpp"
+
+#include <algorithm>
+
+namespace vcaqoe::ingest {
+
+ReplayReport replay(PacketSource& source, engine::MultiFlowEngine& engine,
+                    std::size_t pollEvery) {
+  if (pollEvery == 0) pollEvery = 1;
+  ReplayReport report;
+  SourcePacket sp;
+  while (source.next(sp)) {
+    engine.onPacket(sp.flow, sp.packet);
+    if (++report.packets % pollEvery == 0) engine.poll(report.results);
+  }
+  auto rest = engine.finish();
+  report.results.insert(report.results.end(),
+                        std::make_move_iterator(rest.begin()),
+                        std::make_move_iterator(rest.end()));
+  // Per-flow order is already emission order (single shard per flow, FIFO
+  // rings); a stable sort by flow id then window is therefore the canonical
+  // order regardless of how poll() interleaved with finish().
+  std::stable_sort(report.results.begin(), report.results.end(),
+                   [](const engine::EngineResult& a,
+                      const engine::EngineResult& b) {
+                     if (a.flow != b.flow) return a.flow < b.flow;
+                     return a.output.window < b.output.window;
+                   });
+  report.engineStats = engine.stats();
+  return report;
+}
+
+}  // namespace vcaqoe::ingest

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/multi_flow_engine.hpp"
+#include "ingest/packet_source.hpp"
+
+namespace vcaqoe::ingest {
+
+/// What one replay run produced.
+struct ReplayReport {
+  /// Packets pulled from the source and fed to the engine.
+  std::uint64_t packets = 0;
+  /// Every window result, in canonical (flow id, window) order.
+  std::vector<engine::EngineResult> results;
+  /// Engine counters snapshot taken after finish().
+  engine::EngineStats engineStats;
+};
+
+/// Pumps `source` dry into `engine`, draining result rings every
+/// `pollEvery` packets (keeping workers unblocked on bounded rings), then
+/// finalizes the engine and returns everything in canonical
+/// (flow id, window) order.
+///
+/// Canonical ordering makes the output a pure function of the packet stream:
+/// replaying a written capture yields results bit-identical to feeding the
+/// same packets to `onPacket` directly, for any worker count (tested
+/// property — the acceptance gate of the ingest path).
+ReplayReport replay(PacketSource& source, engine::MultiFlowEngine& engine,
+                    std::size_t pollEvery = 1024);
+
+}  // namespace vcaqoe::ingest

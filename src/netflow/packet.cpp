@@ -4,6 +4,26 @@
 
 namespace vcaqoe::netflow {
 
+namespace {
+
+/// splitmix64 finalizer — cheap, well-distributed mixing for the 5-tuple.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
+  const std::uint64_t ips =
+      (static_cast<std::uint64_t>(key.srcIp) << 32) | key.dstIp;
+  const std::uint64_t ports =
+      (static_cast<std::uint64_t>(key.srcPort) << 16) | key.dstPort;
+  return static_cast<std::size_t>(mix64(mix64(ips) ^ ports));
+}
+
 void Packet::setHead(std::span<const std::uint8_t> payloadPrefix) {
   headLen = static_cast<std::uint8_t>(
       std::min(payloadPrefix.size(), kHeadCapacity));

@@ -31,6 +31,13 @@ struct FlowKey {
   friend bool operator==(const FlowKey&, const FlowKey&) = default;
 };
 
+/// Hash functor for `FlowKey` (splitmix64 finalizer over the packed
+/// 5-tuple). One definition shared by the engine's `FlowTable`, the capture
+/// reader's flow maps, and any other per-flow container.
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& key) const noexcept;
+};
+
 /// One observed UDP datagram.
 struct Packet {
   /// Arrival time at the observation point (receiver side), ns since epoch.

@@ -1,10 +1,10 @@
 #include "netflow/pcap.hpp"
 
 #include <algorithm>
-#include <fstream>
-#include <map>
+#include <limits>
 #include <stdexcept>
-#include <tuple>
+#include <unordered_map>
+#include <utility>
 
 #include "netflow/bytes.hpp"
 
@@ -27,59 +27,134 @@ void le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 24));
 }
 
-class EndianReader {
- public:
-  EndianReader(std::span<const std::uint8_t> data, bool swap)
-      : data_(data), swap_(swap) {}
-
-  std::uint16_t u16() {
-    require(2);
-    std::uint16_t v;
-    if (swap_) {
-      v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
-    } else {
-      v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
-    }
-    pos_ += 2;
-    return v;
+std::uint32_t u32At(const std::uint8_t* p, bool swap) {
+  if (swap) {
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) |
+           static_cast<std::uint32_t>(p[3]);
   }
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
 
-  std::uint32_t u32() {
-    require(4);
-    std::uint32_t v = 0;
-    if (swap_) {
-      v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
-          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
-          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
-          static_cast<std::uint32_t>(data_[pos_ + 3]);
-    } else {
-      v = static_cast<std::uint32_t>(data_[pos_]) |
-          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
-          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
-          (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  std::span<const std::uint8_t> bytes(std::size_t n) {
-    require(n);
-    auto s = data_.subspan(pos_, n);
-    pos_ += n;
-    return s;
-  }
-
-  std::size_t remaining() const { return data_.size() - pos_; }
-
- private:
-  void require(std::size_t n) const {
-    if (remaining() < n) throw std::runtime_error("pcap: truncated file");
-  }
-
-  std::span<const std::uint8_t> data_;
-  bool swap_;
-  std::size_t pos_ = 0;
+struct PcapFormat {
+  bool swap = false;
+  bool nano = false;
 };
+
+/// Validates the 24-byte global header; throws on anything this reader
+/// cannot interpret (a wrong magic means the rest of the framing is noise).
+PcapFormat parseGlobalHeader(std::span<const std::uint8_t> data) {
+  if (data.size() < kPcapGlobalHeaderSize) {
+    throw std::runtime_error("pcap: file too short");
+  }
+  PcapFormat format;
+  const std::uint32_t magicLe = u32At(data.data(), /*swap=*/false);
+  if (magicLe == kPcapMagicNano) {
+    format.nano = true;
+  } else if (magicLe == kPcapMagicMicro) {
+    format.nano = false;
+  } else {
+    const std::uint32_t magicBe = __builtin_bswap32(magicLe);
+    if (magicBe == kPcapMagicNano) {
+      format.nano = true;
+      format.swap = true;
+    } else if (magicBe == kPcapMagicMicro) {
+      format.swap = true;
+    } else {
+      throw std::runtime_error("pcap: bad magic");
+    }
+  }
+  const std::uint32_t linktype = u32At(data.data() + 20, format.swap);
+  if (linktype != kLinktypeRawIpv4) {
+    throw std::runtime_error("pcap: unsupported linktype " +
+                             std::to_string(linktype));
+  }
+  return format;
+}
+
+struct RecordHeader {
+  std::uint32_t tsSec = 0;
+  std::uint32_t tsFrac = 0;
+  std::uint32_t capLen = 0;
+  std::uint32_t origLen = 0;
+};
+
+RecordHeader parseRecordHeader(const std::uint8_t* p, bool swap) {
+  RecordHeader h;
+  h.tsSec = u32At(p, swap);
+  h.tsFrac = u32At(p + 4, swap);
+  h.capLen = u32At(p + 8, swap);
+  h.origLen = u32At(p + 12, swap);
+  return h;
+}
+
+/// Decodes one captured record's wire bytes into a PcapRecord, or skips it
+/// (updating `stats`) when the headers are not a well-formed IPv4/UDP pair.
+std::optional<PcapRecord> decodeRecord(std::span<const std::uint8_t> wire,
+                                       const RecordHeader& header, bool nano,
+                                       PcapParseStats& stats) {
+  std::size_t ipLen = 0;
+  const auto ip = decodeIpv4(wire, ipLen);
+  if (!ip || ip->protocol != kIpProtoUdp) {
+    ++stats.skippedNonUdp;
+    return std::nullopt;
+  }
+  const auto rest = wire.subspan(ipLen);
+  if (rest.size() < kUdpHeaderSize) {
+    ++stats.skippedNonUdp;
+    return std::nullopt;
+  }
+  // Check the UDP length field before deriving a payload size from it: a
+  // corrupt length below the 8-byte header would underflow
+  // `length - kUdpHeaderSize` into a ~4 GB sizeBytes, and one above the
+  // checksum-verified IP payload would inflate it up to ~65 KB. The UDP
+  // header carries no checksum over its own length here (0 = unused is
+  // legal), so the IP total length is the trustworthy bound.
+  const std::uint16_t udpLength =
+      static_cast<std::uint16_t>((rest[4] << 8) | rest[5]);
+  const std::size_t ipPayload =
+      ip->totalLength >= ipLen ? ip->totalLength - ipLen : 0;
+  if (udpLength < kUdpHeaderSize || udpLength > ipPayload) {
+    ++stats.skippedBadUdpLength;
+    return std::nullopt;
+  }
+  const auto udp = decodeUdp(rest);
+  if (!udp) {
+    ++stats.skippedNonUdp;
+    return std::nullopt;
+  }
+
+  PcapRecord rec;
+  rec.flow.srcIp = ip->srcAddr;
+  rec.flow.dstIp = ip->dstAddr;
+  rec.flow.srcPort = udp->srcPort;
+  rec.flow.dstPort = udp->dstPort;
+
+  // A corrupt fractional part >= one second would spill into the next
+  // second and break the non-decreasing arrival order the estimators
+  // require; saturate it just below the carry instead.
+  const std::uint32_t fracLimit = nano ? 999'999'999u : 999'999u;
+  std::uint32_t frac = header.tsFrac;
+  if (frac > fracLimit) {
+    frac = fracLimit;
+    ++stats.clampedTimestamps;
+  }
+  rec.packet.arrivalNs =
+      static_cast<common::TimeNs>(header.tsSec) * common::kNanosPerSecond +
+      (nano ? frac : frac * static_cast<common::TimeNs>(1000));
+  rec.packet.sizeBytes = static_cast<std::uint32_t>(udp->length) -
+                         static_cast<std::uint32_t>(kUdpHeaderSize);
+  const std::size_t payloadOffset = ipLen + kUdpHeaderSize;
+  if (wire.size() > payloadOffset) {
+    rec.packet.setHead(wire.subspan(payloadOffset));
+  }
+  ++stats.recordsYielded;
+  return rec;
+}
 
 }  // namespace
 
@@ -94,6 +169,15 @@ PcapWriter::PcapWriter(std::uint32_t snaplen) : snaplen_(snaplen) {
 }
 
 void PcapWriter::write(const FlowKey& flow, const Packet& packet) {
+  const auto ts = packet.arrivalNs;
+  if (ts < 0 ||
+      ts / common::kNanosPerSecond >
+          static_cast<common::TimeNs>(std::numeric_limits<std::uint32_t>::max())) {
+    throw std::invalid_argument(
+        "pcap: arrivalNs outside the format's unsigned 32-bit seconds range "
+        "(1970..2106) would not round-trip");
+  }
+
   // Assemble the on-wire bytes we actually have: IPv4 + UDP headers plus the
   // captured payload prefix.
   std::vector<std::uint8_t> wire;
@@ -120,7 +204,6 @@ void PcapWriter::write(const FlowKey& flow, const Packet& packet) {
   const std::uint32_t capLen =
       std::min({static_cast<std::uint32_t>(wire.size()), snaplen_, origLen});
 
-  const auto ts = packet.arrivalNs;
   le32(buffer_, static_cast<std::uint32_t>(ts / common::kNanosPerSecond));
   le32(buffer_, static_cast<std::uint32_t>(ts % common::kNanosPerSecond));
   le32(buffer_, capLen);
@@ -136,85 +219,105 @@ void PcapWriter::save(const std::string& path) const {
   if (!out) throw std::runtime_error("pcap: write failed for " + path);
 }
 
-std::vector<PcapRecord> parsePcap(std::span<const std::uint8_t> data) {
-  if (data.size() < 24) throw std::runtime_error("pcap: file too short");
+PcapReader::PcapReader(std::span<const std::uint8_t> data) : data_(data) {
+  const auto format = parseGlobalHeader(data_);
+  swap_ = format.swap;
+  nano_ = format.nano;
+}
 
-  // Determine byte order and resolution from the magic number.
-  const std::uint32_t magicLe = static_cast<std::uint32_t>(data[0]) |
-                                (static_cast<std::uint32_t>(data[1]) << 8) |
-                                (static_cast<std::uint32_t>(data[2]) << 16) |
-                                (static_cast<std::uint32_t>(data[3]) << 24);
-  bool swap = false;
-  bool nano = false;
-  if (magicLe == kPcapMagicNano) {
-    nano = true;
-  } else if (magicLe == kPcapMagicMicro) {
-    nano = false;
-  } else {
-    const std::uint32_t magicBe = __builtin_bswap32(magicLe);
-    if (magicBe == kPcapMagicNano) {
-      nano = true;
-      swap = true;
-    } else if (magicBe == kPcapMagicMicro) {
-      swap = true;
-    } else {
-      throw std::runtime_error("pcap: bad magic");
+std::optional<PcapRecord> PcapReader::next() {
+  while (!done_) {
+    const std::size_t remaining = data_.size() - pos_;
+    if (remaining == 0) {
+      done_ = true;
+      break;
     }
+    if (remaining < kPcapRecordHeaderSize) {
+      ++stats_.truncatedRecords;
+      done_ = true;
+      break;
+    }
+    const auto header = parseRecordHeader(data_.data() + pos_, swap_);
+    if (header.capLen > remaining - kPcapRecordHeaderSize) {
+      // The record claims more bytes than the stream holds: a cut-off tail
+      // (or lost framing). Keep everything parsed so far, drop the rest.
+      ++stats_.truncatedRecords;
+      done_ = true;
+      break;
+    }
+    const auto wire =
+        data_.subspan(pos_ + kPcapRecordHeaderSize, header.capLen);
+    pos_ += kPcapRecordHeaderSize + header.capLen;
+    if (auto rec = decodeRecord(wire, header, nano_, stats_)) return rec;
   }
+  return std::nullopt;
+}
 
-  EndianReader r(data, swap);
-  r.u32();  // magic (already inspected)
-  r.u16();  // version major
-  r.u16();  // version minor
-  r.u32();  // thiszone
-  r.u32();  // sigfigs
-  r.u32();  // snaplen
-  const std::uint32_t linktype = r.u32();
-  if (linktype != kLinktypeRawIpv4) {
-    throw std::runtime_error("pcap: unsupported linktype " +
-                             std::to_string(linktype));
+PcapFileReader::PcapFileReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("pcap: cannot open " + path);
+  std::uint8_t header[kPcapGlobalHeaderSize];
+  in_.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    throw std::runtime_error("pcap: file too short");
   }
+  const auto format = parseGlobalHeader({header, sizeof(header)});
+  swap_ = format.swap;
+  nano_ = format.nano;
+}
 
+std::optional<PcapRecord> PcapFileReader::next() {
+  // A record larger than this is not something our writer (or any sane
+  // snaplen) produces; treat it as lost framing rather than allocating GBs.
+  constexpr std::uint32_t kMaxRecordBytes = 1u << 24;
+
+  while (!done_) {
+    std::uint8_t header[kPcapRecordHeaderSize];
+    in_.read(reinterpret_cast<char*>(header), sizeof(header));
+    const auto got = in_.gcount();
+    if (got == 0) {
+      done_ = true;
+      break;
+    }
+    if (got != static_cast<std::streamsize>(sizeof(header))) {
+      ++stats_.truncatedRecords;
+      done_ = true;
+      break;
+    }
+    const auto rec = parseRecordHeader(header, swap_);
+    if (rec.capLen > kMaxRecordBytes) {
+      ++stats_.truncatedRecords;
+      done_ = true;
+      break;
+    }
+    wire_.resize(rec.capLen);
+    in_.read(reinterpret_cast<char*>(wire_.data()), rec.capLen);
+    if (in_.gcount() != static_cast<std::streamsize>(rec.capLen)) {
+      ++stats_.truncatedRecords;
+      done_ = true;
+      break;
+    }
+    if (auto parsed = decodeRecord(wire_, rec, nano_, stats_)) return parsed;
+  }
+  return std::nullopt;
+}
+
+std::vector<PcapRecord> parsePcap(std::span<const std::uint8_t> data,
+                                  PcapParseStats* stats) {
+  PcapReader reader(data);
   std::vector<PcapRecord> records;
-  while (r.remaining() > 0) {
-    if (r.remaining() < 16) throw std::runtime_error("pcap: truncated record");
-    const std::uint32_t tsSec = r.u32();
-    const std::uint32_t tsFrac = r.u32();
-    const std::uint32_t capLen = r.u32();
-    r.u32();  // origLen (redundant with the IP total length we parse below)
-    auto wire = r.bytes(capLen);
-
-    std::size_t ipLen = 0;
-    auto ip = decodeIpv4(wire, ipLen);
-    if (!ip || ip->protocol != kIpProtoUdp) continue;
-    auto udp = decodeUdp(wire.subspan(ipLen));
-    if (!udp) continue;
-
-    PcapRecord rec;
-    rec.flow.srcIp = ip->srcAddr;
-    rec.flow.dstIp = ip->dstAddr;
-    rec.flow.srcPort = udp->srcPort;
-    rec.flow.dstPort = udp->dstPort;
-    rec.packet.arrivalNs =
-        static_cast<common::TimeNs>(tsSec) * common::kNanosPerSecond +
-        (nano ? tsFrac : tsFrac * 1000LL);
-    rec.packet.sizeBytes =
-        static_cast<std::uint32_t>(udp->length - kUdpHeaderSize);
-    const std::size_t payloadOffset = ipLen + kUdpHeaderSize;
-    if (wire.size() > payloadOffset) {
-      rec.packet.setHead(wire.subspan(payloadOffset));
-    }
-    records.push_back(std::move(rec));
-  }
+  while (auto rec = reader.next()) records.push_back(std::move(*rec));
+  if (stats != nullptr) *stats = reader.stats();
   return records;
 }
 
-std::vector<PcapRecord> loadPcap(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("pcap: cannot open " + path);
-  std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(in),
-                                 std::istreambuf_iterator<char>()};
-  return parsePcap(data);
+std::vector<PcapRecord> loadPcap(const std::string& path,
+                                 PcapParseStats* stats) {
+  PcapFileReader reader(path);
+  std::vector<PcapRecord> records;
+  while (auto rec = reader.next()) records.push_back(std::move(*rec));
+  if (stats != nullptr) *stats = reader.stats();
+  return records;
 }
 
 PacketTrace packetsForFlow(const std::vector<PcapRecord>& records,
@@ -227,21 +330,21 @@ PacketTrace packetsForFlow(const std::vector<PcapRecord>& records,
 }
 
 FlowKey dominantFlow(const std::vector<PcapRecord>& records) {
-  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t,
-                      std::uint16_t>,
-           std::size_t>
-      counts;
+  // O(1) per record via the shared 5-tuple hash; first-seen order is kept on
+  // the side so ties resolve deterministically (never by hash iteration).
+  std::unordered_map<FlowKey, std::size_t, FlowKeyHash> indexOf;
+  std::vector<std::pair<FlowKey, std::size_t>> counts;
   for (const auto& rec : records) {
-    ++counts[{rec.flow.srcIp, rec.flow.dstIp, rec.flow.srcPort,
-              rec.flow.dstPort}];
+    const auto [it, inserted] = indexOf.try_emplace(rec.flow, counts.size());
+    if (inserted) counts.emplace_back(rec.flow, 0);
+    ++counts[it->second].second;
   }
   FlowKey best{};
   std::size_t bestCount = 0;
   for (const auto& [key, count] : counts) {
     if (count > bestCount) {
       bestCount = count;
-      best = FlowKey{std::get<0>(key), std::get<1>(key), std::get<2>(key),
-                     std::get<3>(key)};
+      best = key;
     }
   }
   return best;

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,17 +15,44 @@
 /// LINKTYPE_RAW (101, raw IPv4) so timestamps round-trip exactly. A small
 /// snap length is used deliberately: the monitoring model of the paper only
 /// needs IP/UDP headers plus at most the 12-byte RTP prefix.
+///
+/// Parsing is deliberately forgiving at the record level: a capture taken at
+/// an ISP vantage point contains truncated tails (capture stopped mid-write),
+/// non-UDP traffic, and occasionally corrupt headers. A malformed *record*
+/// is skipped and counted in `PcapParseStats`, never fatal — only a malformed
+/// *file* (bad magic, unsupported linktype, short global header) throws.
 namespace vcaqoe::netflow {
 
 inline constexpr std::uint32_t kPcapMagicNano = 0xA1B23C4D;
 inline constexpr std::uint32_t kPcapMagicMicro = 0xA1B2C3D4;
 inline constexpr std::uint32_t kLinktypeRawIpv4 = 101;
+inline constexpr std::size_t kPcapGlobalHeaderSize = 24;
+inline constexpr std::size_t kPcapRecordHeaderSize = 16;
 
 /// One record as stored in a capture: the flow it belongs to plus the packet
 /// observation derived from the headers.
 struct PcapRecord {
   FlowKey flow;
   Packet packet;
+};
+
+/// What a parse pass accepted and skipped. Skips are silent per record (one
+/// bad record must not discard a multi-hour capture) but observable here.
+struct PcapParseStats {
+  /// UDP records decoded and handed to the caller.
+  std::uint64_t recordsYielded = 0;
+  /// Skipped: not IPv4/UDP, or the IP/UDP headers did not decode.
+  std::uint64_t skippedNonUdp = 0;
+  /// Skipped: the UDP length field was below the 8-byte header size (would
+  /// otherwise underflow into a ~4 GB payload size) or larger than the
+  /// checksum-verified IP payload (would inflate it up to ~65 KB).
+  std::uint64_t skippedBadUdpLength = 0;
+  /// Timestamps whose fractional part was >= one second and was saturated to
+  /// keep `arrivalNs` monotonic-safe.
+  std::uint64_t clampedTimestamps = 0;
+  /// The byte stream ended mid-record (or a record claimed more bytes than
+  /// remain). Parsing stops there; records before the cut are kept.
+  std::uint64_t truncatedRecords = 0;
 };
 
 /// Serializes packets into an in-memory pcap byte stream.
@@ -36,6 +65,10 @@ class PcapWriter {
   /// Appends one UDP datagram. Payload bytes beyond `packet.headLen` are not
   /// available and are captured as a truncated record (caplen < origlen),
   /// exactly like a snap-length-limited real capture.
+  ///
+  /// Throws std::invalid_argument when `packet.arrivalNs` does not fit the
+  /// format's unsigned 32-bit seconds field (before 1970 or past 2106):
+  /// silently truncating would round-trip to a different timestamp.
   void write(const FlowKey& flow, const Packet& packet);
 
   /// The complete file contents (global header + records so far).
@@ -49,19 +82,74 @@ class PcapWriter {
   std::vector<std::uint8_t> buffer_;
 };
 
-/// Parses an in-memory pcap byte stream. Throws std::runtime_error on
-/// malformed global/record headers; skips non-IPv4/UDP records.
-std::vector<PcapRecord> parsePcap(std::span<const std::uint8_t> data);
+/// Incremental pull parser over an in-memory pcap byte stream. The global
+/// header is validated on construction (throws std::runtime_error on bad
+/// magic, short header, or unsupported linktype); `next()` then yields one
+/// UDP record at a time, skipping malformed records per `PcapParseStats`.
+class PcapReader {
+ public:
+  explicit PcapReader(std::span<const std::uint8_t> data);
 
-/// Loads a capture file from disk. Throws std::runtime_error on I/O failure.
-std::vector<PcapRecord> loadPcap(const std::string& path);
+  /// The next UDP record, or nullopt at end of stream.
+  std::optional<PcapRecord> next();
+
+  const PcapParseStats& stats() const { return stats_; }
+  bool nanosecondResolution() const { return nano_; }
+  bool byteSwapped() const { return swap_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = kPcapGlobalHeaderSize;
+  bool swap_ = false;
+  bool nano_ = false;
+  bool done_ = false;
+  PcapParseStats stats_;
+};
+
+/// Streams records straight from a capture file with an O(record) buffer —
+/// a multi-GB capture never needs to be materialized in memory. Same
+/// validation and skip semantics as `PcapReader`.
+class PcapFileReader {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened or its global
+  /// header is malformed.
+  explicit PcapFileReader(const std::string& path);
+
+  /// The next UDP record, or nullopt at end of file.
+  std::optional<PcapRecord> next();
+
+  const PcapParseStats& stats() const { return stats_; }
+  bool nanosecondResolution() const { return nano_; }
+  bool byteSwapped() const { return swap_; }
+
+ private:
+  std::ifstream in_;
+  bool swap_ = false;
+  bool nano_ = false;
+  bool done_ = false;
+  std::vector<std::uint8_t> wire_;  // per-record scratch, reused
+  PcapParseStats stats_;
+};
+
+/// Parses an in-memory pcap byte stream into a vector (convenience wrapper
+/// over `PcapReader` for small captures; prefer the readers for streaming).
+/// Throws std::runtime_error on a malformed global header; malformed records
+/// are skipped and counted in `*stats` when provided.
+std::vector<PcapRecord> parsePcap(std::span<const std::uint8_t> data,
+                                  PcapParseStats* stats = nullptr);
+
+/// Loads a capture file from disk (streamed, then collected). Throws
+/// std::runtime_error on I/O failure or a malformed global header.
+std::vector<PcapRecord> loadPcap(const std::string& path,
+                                 PcapParseStats* stats = nullptr);
 
 /// Convenience: extracts only the packets of the given flow, in file order.
 PacketTrace packetsForFlow(const std::vector<PcapRecord>& records,
                            const FlowKey& flow);
 
 /// Convenience: the flow with the most packets in the capture (a VCA media
-/// flow dominates its session's traffic).
+/// flow dominates its session's traffic). Ties break to the first-seen flow,
+/// so the result is a deterministic function of record order.
 FlowKey dominantFlow(const std::vector<PcapRecord>& records);
 
 }  // namespace vcaqoe::netflow

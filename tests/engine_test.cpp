@@ -271,6 +271,148 @@ TEST(MultiFlowEngine, WorkerErrorSurfacesAtFinish) {
   EXPECT_THROW(engine.finish(), std::runtime_error);
 }
 
+TEST(FlowTable, EraseRetiresIdAndReinternsAsFreshGeneration) {
+  FlowTable table;
+  const auto key = makeKey(1);
+  EXPECT_EQ(table.intern(key), 0u);
+  table.erase(0);
+  EXPECT_FALSE(table.find(key).has_value());
+  EXPECT_EQ(table.activeSize(), 0u);
+  EXPECT_EQ(table.size(), 1u);  // retired ids stay counted
+  EXPECT_EQ(table.keyOf(0), key);
+
+  // The returning flow gets a fresh id — the retired one is never reused,
+  // so shard state keyed by id 0 can never alias the new generation.
+  EXPECT_EQ(table.intern(key), 1u);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.activeSize(), 1u);
+
+  // Erasing the stale generation must not disturb the live one.
+  table.erase(0);
+  EXPECT_EQ(table.find(key), std::optional<FlowId>(1u));
+}
+
+/// Builds a hand-timed flow: `packets` packets of 1000 bytes every 10 ms
+/// starting at `startNs`.
+netflow::PacketTrace steadyTrace(common::TimeNs startNs, int packets) {
+  netflow::PacketTrace trace;
+  for (int i = 0; i < packets; ++i) {
+    netflow::Packet p;
+    p.arrivalNs = startNs + static_cast<common::TimeNs>(i) * 10'000'000LL;
+    p.sizeBytes = 1000;
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+TEST(MultiFlowEngine, IdleFlowIsEvictedFinalizedAndReinternedFresh) {
+  EngineOptions options;
+  options.numWorkers = 2;
+  options.dispatchBatch = 1;  // dispatch (and evict) without buffering delay
+  options.idleTimeoutNs = 3 * common::kNanosPerSecond;
+  MultiFlowEngine engine(options);
+
+  const auto keyA = makeKey(1);
+  const auto keyB = makeKey(2);
+
+  // Flow A: 2 seconds of traffic, then silence.
+  const auto burstA = steadyTrace(0, 200);
+  for (const auto& p : burstA) engine.onPacket(keyA, p);
+  // Flow B keeps the clock advancing well past A's idle timeout.
+  for (const auto& p : steadyTrace(2 * common::kNanosPerSecond, 800)) {
+    engine.onPacket(keyB, p);
+  }
+
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.flowsEvicted, 1u);
+  EXPECT_EQ(stats.activeFlows, 1u);
+  EXPECT_EQ(stats.flows, 2u);
+  EXPECT_TRUE(engine.flowStats()[0].evicted);
+  EXPECT_FALSE(engine.flows().find(keyA).has_value());
+
+  // A returns: fresh generation, fresh id, fresh estimator (an arrival far
+  // from the evicted generation's timeline must be accepted).
+  netflow::Packet back;
+  back.arrivalNs = 50 * common::kNanosPerSecond;
+  back.sizeBytes = 1000;
+  engine.onPacket(keyA, back);
+  EXPECT_EQ(engine.flows().find(keyA), std::optional<FlowId>(2u));
+  EXPECT_EQ(engine.stats().flows, 3u);
+
+  const auto results = engine.finish();
+
+  // Finalize-on-evict: generation 0 emitted exactly what a standalone
+  // estimator fed the same burst emits, windows and fields bit-identical.
+  std::vector<core::StreamingOutput> want;
+  core::StreamingIpUdpEstimator reference(
+      options.streaming,
+      [&want](const core::StreamingOutput& out) { want.push_back(out); });
+  for (const auto& p : burstA) reference.onPacket(p);
+  reference.finish();
+
+  std::vector<core::StreamingOutput> gotA;
+  for (const auto& result : results) {
+    if (result.flow == 0) gotA.push_back(result.output);
+  }
+  ASSERT_EQ(gotA.size(), want.size());
+  for (std::size_t w = 0; w < want.size(); ++w) {
+    expectSameOutput(gotA[w], want[w]);
+  }
+
+  // Per-flow stats survived the eviction.
+  const auto& flowStats = engine.flowStats();
+  ASSERT_EQ(flowStats.size(), 3u);
+  EXPECT_EQ(flowStats[0].key, keyA);
+  EXPECT_EQ(flowStats[0].packets, burstA.size());
+  EXPECT_EQ(flowStats[0].bytes, burstA.size() * 1000u);
+  EXPECT_EQ(flowStats[0].firstArrivalNs, burstA.front().arrivalNs);
+  EXPECT_EQ(flowStats[0].lastArrivalNs, burstA.back().arrivalNs);
+  EXPECT_EQ(flowStats[0].windowsEmitted, want.size());
+  EXPECT_EQ(flowStats[2].key, keyA);
+  EXPECT_FALSE(flowStats[2].evicted);
+  EXPECT_EQ(flowStats[2].packets, 1u);
+}
+
+TEST(MultiFlowEngine, EvictionBoundsResidentFlowsOnLongRuns) {
+  EngineOptions options;
+  options.numWorkers = 2;
+  options.dispatchBatch = 16;
+  options.idleTimeoutNs = 2 * common::kNanosPerSecond;
+  MultiFlowEngine engine(options);
+
+  // 120 flows, each a half-second burst starting one second after the
+  // previous — a long tail of dead sessions a monitor must not accumulate.
+  constexpr int kFlows = 120;
+  constexpr int kPacketsPerFlow = 50;
+  std::size_t maxActive = 0;
+  for (int f = 0; f < kFlows; ++f) {
+    const auto start = static_cast<common::TimeNs>(f) * common::kNanosPerSecond;
+    for (const auto& p : steadyTrace(start, kPacketsPerFlow)) {
+      engine.onPacket(makeKey(static_cast<std::uint32_t>(f)), p);
+    }
+    maxActive = std::max(maxActive, engine.stats().activeFlows);
+  }
+  std::vector<EngineResult> drained;
+  engine.poll(drained);
+  const auto results = engine.finish();
+
+  // Resident state stayed bounded by concurrency, not by flows ever seen.
+  EXPECT_LE(maxActive, 8u);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.flows, static_cast<std::size_t>(kFlows));
+  EXPECT_GE(stats.flowsEvicted, static_cast<std::uint64_t>(kFlows - 8));
+
+  // Accounting remains queryable for every evicted generation, and every
+  // drained result was attributed.
+  ASSERT_EQ(engine.flowStats().size(), static_cast<std::size_t>(kFlows));
+  std::uint64_t windowsAccounted = 0;
+  for (const auto& fs : engine.flowStats()) {
+    EXPECT_EQ(fs.packets, static_cast<std::uint64_t>(kPacketsPerFlow));
+    windowsAccounted += fs.windowsEmitted;
+  }
+  EXPECT_EQ(windowsAccounted, drained.size() + results.size());
+}
+
 TEST(MultiFlowEngine, StatsCountPacketsFlowsAndResults) {
   const auto in = makeInterleaved(4, 300);
   EngineOptions options;

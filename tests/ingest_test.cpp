@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/streaming.hpp"
+#include "engine/multi_flow_engine.hpp"
+#include "engine/synthetic.hpp"
+#include "ingest/live_capture.hpp"
+#include "ingest/packet_source.hpp"
+#include "ingest/pcap_replay.hpp"
+#include "ingest/replay_driver.hpp"
+#include "netflow/pcap.hpp"
+
+namespace vcaqoe::ingest {
+namespace {
+
+/// A globally arrival-ordered interleaved stream of synthetic VCA flows —
+/// exactly what a capture point records.
+std::vector<SourcePacket> makeStream(int flows, int packetsPerFlow,
+                                     std::uint64_t seed = 21) {
+  std::vector<SourcePacket> stream;
+  for (int f = 0; f < flows; ++f) {
+    const auto key = engine::syntheticFlowKey(static_cast<std::uint32_t>(f));
+    const auto trace = engine::syntheticFlowTrace(
+        seed + static_cast<std::uint64_t>(f), packetsPerFlow,
+        /*startNs=*/f * 53'000);
+    for (const auto& packet : trace) stream.push_back({key, packet});
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const SourcePacket& a, const SourcePacket& b) {
+                     return a.packet.arrivalNs < b.packet.arrivalNs;
+                   });
+  return stream;
+}
+
+std::vector<std::uint8_t> writeCapture(const std::vector<SourcePacket>& s) {
+  netflow::PcapWriter writer;
+  for (const auto& sp : s) writer.write(sp.flow, sp.packet);
+  return writer.bytes();
+}
+
+void expectSameOutput(const core::StreamingOutput& got,
+                      const core::StreamingOutput& want) {
+  EXPECT_EQ(got.window, want.window);
+  EXPECT_EQ(got.features, want.features);  // bit-identical doubles
+  EXPECT_EQ(got.heuristic.window, want.heuristic.window);
+  EXPECT_EQ(got.heuristic.bitrateKbps, want.heuristic.bitrateKbps);
+  EXPECT_EQ(got.heuristic.fps, want.heuristic.fps);
+  EXPECT_EQ(got.heuristic.frameJitterMs, want.heuristic.frameJitterMs);
+  EXPECT_EQ(got.heuristic.frameCount, want.heuristic.frameCount);
+  EXPECT_EQ(got.prediction.has_value(), want.prediction.has_value());
+}
+
+/// Direct feed reference: same packets straight into onPacket, canonical
+/// order via finish().
+std::vector<engine::EngineResult> directFeed(
+    const std::vector<SourcePacket>& stream,
+    const engine::EngineOptions& options) {
+  engine::MultiFlowEngine eng(options);
+  for (const auto& sp : stream) eng.onPacket(sp.flow, sp.packet);
+  return eng.finish();
+}
+
+class ReplayDeterminism : public ::testing::TestWithParam<int> {};
+
+/// The acceptance gate of the ingest path: a capture written by PcapWriter
+/// and replayed through PcapReplaySource -> MultiFlowEngine yields
+/// bit-identical EngineResults to feeding the same packets directly.
+TEST_P(ReplayDeterminism, ReplayedCaptureMatchesDirectFeed) {
+  engine::EngineOptions options;
+  options.numWorkers = GetParam();
+  options.dispatchBatch = 64;
+  options.resultRingCapacity = 128;  // small ring: exercises mid-replay polls
+
+  const auto stream = makeStream(9, 700);
+  const auto want = directFeed(stream, options);
+
+  const auto capture = writeCapture(stream);
+  engine::MultiFlowEngine eng(options);
+  PcapReplaySource source{std::span<const std::uint8_t>(capture)};
+  const auto report = replay(source, eng, /*pollEvery=*/256);
+
+  EXPECT_EQ(report.packets, stream.size());
+  EXPECT_EQ(source.parseStats().recordsYielded, stream.size());
+  ASSERT_EQ(report.results.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(report.results[i].flow, want[i].flow);
+    expectSameOutput(report.results[i].output, want[i].output);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ReplayDeterminism,
+                         ::testing::Values(1, 4));
+
+TEST(PcapReplaySource, FileConstructorStreamsFromDisk) {
+  const auto stream = makeStream(3, 150);
+  netflow::PcapWriter writer;
+  for (const auto& sp : stream) writer.write(sp.flow, sp.packet);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vcaqoe_replay.pcap").string();
+  writer.save(path);
+
+  PcapReplaySource source(path);
+  std::size_t count = 0;
+  SourcePacket sp;
+  while (source.next(sp)) ++count;
+  std::remove(path.c_str());
+  EXPECT_EQ(count, stream.size());
+}
+
+TEST(PcapReplaySource, PacedReplayReproducesCaptureGaps) {
+  netflow::PcapWriter writer;
+  const auto key = engine::syntheticFlowKey(0);
+  for (int i = 0; i < 3; ++i) {
+    netflow::Packet p;
+    p.arrivalNs = static_cast<common::TimeNs>(i) * 20'000'000LL;  // 20 ms
+    p.sizeBytes = 500;
+    writer.write(key, p);
+  }
+
+  ReplayOptions paced;
+  paced.paceMultiplier = 2.0;  // 40 ms of capture in ~20 ms of wall time
+  PcapReplaySource source(std::span<const std::uint8_t>(writer.bytes()),
+                          paced);
+  const auto start = std::chrono::steady_clock::now();
+  SourcePacket sp;
+  std::size_t count = 0;
+  while (source.next(sp)) ++count;
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_EQ(count, 3u);
+  EXPECT_GE(elapsed, 15.0);  // >= the paced span, minus scheduler slack
+}
+
+TEST(LiveCaptureStub, DrivesEngineIdenticallyToDirectFeed) {
+  engine::EngineOptions options;
+  options.numWorkers = 2;
+  const auto stream = makeStream(4, 300);
+  const auto want = directFeed(stream, options);
+
+  LiveCaptureStub capture;
+  std::thread producer([&] {
+    for (const auto& sp : stream) capture.push(sp.flow, sp.packet);
+    capture.close();
+  });
+  engine::MultiFlowEngine eng(options);
+  const auto report = replay(capture, eng);
+  producer.join();
+
+  EXPECT_EQ(report.packets, stream.size());
+  ASSERT_EQ(report.results.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(report.results[i].flow, want[i].flow);
+    expectSameOutput(report.results[i].output, want[i].output);
+  }
+}
+
+TEST(LiveCaptureStub, CloseUnblocksConsumerAndDropsLatePushes) {
+  LiveCaptureStub capture;
+  netflow::Packet p;
+  p.sizeBytes = 100;
+  capture.push(engine::syntheticFlowKey(0), p);
+  EXPECT_EQ(capture.queued(), 1u);
+
+  SourcePacket sp;
+  EXPECT_TRUE(capture.next(sp));
+  std::thread consumer([&] { EXPECT_FALSE(capture.next(sp)); });
+  capture.close();
+  consumer.join();
+  capture.push(engine::syntheticFlowKey(0), p);  // after close: dropped
+  EXPECT_EQ(capture.queued(), 0u);
+}
+
+/// Long replay with eviction: resident state stays bounded by concurrency
+/// while the per-flow dashboard stats remain queryable after eviction.
+TEST(Replay, EvictionKeepsReplayMemoryBoundedWithStatsIntact) {
+  // 60 short sessions starting 1 s apart over a ~60 s capture: a long tail
+  // of dead flows that an unbounded monitor would accumulate forever.
+  constexpr int kFlows = 60;
+  constexpr int kPacketsPerFlow = 80;
+  std::vector<SourcePacket> stream;
+  for (int f = 0; f < kFlows; ++f) {
+    const auto key = engine::syntheticFlowKey(static_cast<std::uint32_t>(f));
+    const auto trace = engine::syntheticFlowTrace(
+        7 + static_cast<std::uint64_t>(f), kPacketsPerFlow,
+        static_cast<common::TimeNs>(f) * common::kNanosPerSecond);
+    for (const auto& packet : trace) stream.push_back({key, packet});
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const SourcePacket& a, const SourcePacket& b) {
+                     return a.packet.arrivalNs < b.packet.arrivalNs;
+                   });
+  const auto capture = writeCapture(stream);
+
+  engine::EngineOptions options;
+  options.numWorkers = 2;
+  options.idleTimeoutNs = 2 * common::kNanosPerSecond;
+  engine::MultiFlowEngine eng(options);
+  PcapReplaySource source{std::span<const std::uint8_t>(capture)};
+  const auto report = replay(source, eng);
+
+  EXPECT_EQ(report.packets, stream.size());
+  EXPECT_EQ(report.engineStats.flows, static_cast<std::size_t>(kFlows));
+  EXPECT_GE(report.engineStats.flowsEvicted,
+            static_cast<std::uint64_t>(kFlows - 10));
+  EXPECT_LE(report.engineStats.activeFlows, 10u);
+
+  const auto& flowStats = eng.flowStats();
+  ASSERT_EQ(flowStats.size(), static_cast<std::size_t>(kFlows));
+  std::uint64_t windowsAccounted = 0;
+  for (const auto& fs : flowStats) {
+    EXPECT_EQ(fs.packets, static_cast<std::uint64_t>(kPacketsPerFlow));
+    EXPECT_GT(fs.bytes, 0u);
+    EXPECT_GE(fs.lastArrivalNs, fs.firstArrivalNs);
+    windowsAccounted += fs.windowsEmitted;
+  }
+  EXPECT_EQ(windowsAccounted, report.results.size());
+}
+
+}  // namespace
+}  // namespace vcaqoe::ingest

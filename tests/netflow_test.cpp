@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
@@ -224,14 +225,53 @@ TEST(Pcap, RejectsBadMagic) {
   EXPECT_THROW(parsePcap(junk), std::runtime_error);
 }
 
-TEST(Pcap, RejectsTruncatedFile) {
+TEST(Pcap, RejectsShortGlobalHeader) {
+  const std::vector<std::uint8_t> stub(10, 0);
+  EXPECT_THROW(parsePcap(stub), std::runtime_error);
+}
+
+TEST(Pcap, RejectsUnsupportedLinktype) {
   PcapWriter writer;
-  Packet p;
-  p.sizeBytes = 500;
-  writer.write(testFlow(), p);
+  auto bytes = writer.bytes();
+  bytes[20] = 1;  // LINKTYPE_ETHERNET instead of RAW
+  EXPECT_THROW(parsePcap(bytes), std::runtime_error);
+}
+
+// A capture cut off mid-record (monitor crashed, disk filled) must keep
+// every complete record instead of discarding the whole file.
+TEST(Pcap, TruncatedTrailingRecordIsSkippedNotFatal) {
+  PcapWriter writer;
+  Packet good;
+  good.arrivalNs = 5;
+  good.sizeBytes = 700;
+  writer.write(testFlow(), good);
+  Packet cut;
+  cut.arrivalNs = 6;
+  cut.sizeBytes = 500;
+  writer.write(testFlow(), cut);
   auto bytes = writer.bytes();
   bytes.resize(bytes.size() - 5);
-  EXPECT_THROW(parsePcap(bytes), std::runtime_error);
+
+  PcapParseStats stats;
+  const auto records = parsePcap(bytes, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].packet.sizeBytes, 700u);
+  EXPECT_EQ(stats.recordsYielded, 1u);
+  EXPECT_EQ(stats.truncatedRecords, 1u);
+}
+
+TEST(Pcap, TruncatedRecordHeaderIsSkippedNotFatal) {
+  PcapWriter writer;
+  Packet good;
+  good.sizeBytes = 300;
+  writer.write(testFlow(), good);
+  auto bytes = writer.bytes();
+  bytes.insert(bytes.end(), 10, 0xEE);  // stray half record header
+
+  PcapParseStats stats;
+  const auto records = parsePcap(bytes, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(stats.truncatedRecords, 1u);
 }
 
 TEST(Pcap, DominantFlowAndFilter) {
@@ -286,6 +326,320 @@ TEST_P(PcapRoundTrip, PreservesSizeAndTime) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PcapRoundTrip, ::testing::Range(1, 9));
+
+// ------------------------------------------------- malformed-record corpus
+//
+// Hand-crafted captures (both byte orders, both timestamp resolutions,
+// deliberately corrupt records) — the parser must skip what it cannot trust
+// and keep everything else.
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v, bool bigEndian) {
+  if (bigEndian) {
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v));
+  } else {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v, bool bigEndian) {
+  if (bigEndian) {
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v));
+  } else {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+  }
+}
+
+std::vector<std::uint8_t> craftGlobalHeader(std::uint32_t magic,
+                                            bool bigEndian) {
+  std::vector<std::uint8_t> out;
+  put32(out, magic, bigEndian);
+  put16(out, 2, bigEndian);
+  put16(out, 4, bigEndian);
+  put32(out, 0, bigEndian);
+  put32(out, 0, bigEndian);
+  put32(out, 64, bigEndian);
+  put32(out, kLinktypeRawIpv4, bigEndian);
+  return out;
+}
+
+void craftRecord(std::vector<std::uint8_t>& out, std::uint32_t tsSec,
+                 std::uint32_t tsFrac, std::span<const std::uint8_t> wire,
+                 bool bigEndian) {
+  put32(out, tsSec, bigEndian);
+  put32(out, tsFrac, bigEndian);
+  put32(out, static_cast<std::uint32_t>(wire.size()), bigEndian);
+  put32(out, static_cast<std::uint32_t>(wire.size()), bigEndian);
+  out.insert(out.end(), wire.begin(), wire.end());
+}
+
+/// IPv4+UDP wire bytes with an arbitrary (possibly lying) UDP length field.
+/// The IP total length covers the claimed UDP length (as any real stack
+/// emits) unless `ipTotalLength` overrides it.
+std::vector<std::uint8_t> craftUdpWire(const FlowKey& flow,
+                                       std::uint16_t udpLengthField,
+                                       std::uint8_t ipProtocol = kIpProtoUdp,
+                                       std::uint16_t ipTotalLength = 0) {
+  std::vector<std::uint8_t> wire;
+  Ipv4Header ip;
+  ip.totalLength =
+      ipTotalLength != 0
+          ? ipTotalLength
+          : static_cast<std::uint16_t>(
+                kIpv4HeaderSize +
+                std::max<std::uint16_t>(udpLengthField, kUdpHeaderSize));
+  ip.protocol = ipProtocol;
+  ip.srcAddr = flow.srcIp;
+  ip.dstAddr = flow.dstIp;
+  encodeIpv4(ip, wire);
+  UdpHeader udp;
+  udp.srcPort = flow.srcPort;
+  udp.dstPort = flow.dstPort;
+  udp.length = udpLengthField;
+  encodeUdp(udp, wire);
+  return wire;
+}
+
+// The seed parser computed `udp->length - kUdpHeaderSize` unchecked: a
+// length field below 8 wrapped into a ~4 GB sizeBytes. Such records must be
+// skipped, and surrounding good records kept.
+TEST(Pcap, UdpLengthUnderflowIsSkipped) {
+  auto file = craftGlobalHeader(kPcapMagicNano, false);
+  const auto bad = craftUdpWire(testFlow(), /*udpLengthField=*/4);
+  craftRecord(file, 1, 0, bad, false);
+  const auto good = craftUdpWire(testFlow(), kUdpHeaderSize + 100);
+  craftRecord(file, 2, 0, good, false);
+
+  PcapParseStats stats;
+  const auto records = parsePcap(file, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].packet.sizeBytes, 100u);
+  EXPECT_EQ(stats.skippedBadUdpLength, 1u);
+  EXPECT_EQ(stats.recordsYielded, 1u);
+}
+
+// The mirror image of the underflow: a corrupt UDP length *above* the
+// checksum-verified IP payload must not inflate sizeBytes (~65 KB for a
+// ~100-byte packet would skew every byte-derived feature downstream).
+TEST(Pcap, UdpLengthBeyondIpPayloadIsSkipped) {
+  auto file = craftGlobalHeader(kPcapMagicNano, false);
+  const auto bad = craftUdpWire(
+      testFlow(), /*udpLengthField=*/0xFF28, kIpProtoUdp,
+      /*ipTotalLength=*/kIpv4HeaderSize + kUdpHeaderSize + 100);
+  craftRecord(file, 1, 0, bad, false);
+  const auto good = craftUdpWire(testFlow(), kUdpHeaderSize + 100);
+  craftRecord(file, 2, 0, good, false);
+
+  PcapParseStats stats;
+  const auto records = parsePcap(file, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].packet.sizeBytes, 100u);
+  EXPECT_EQ(stats.skippedBadUdpLength, 1u);
+}
+
+TEST(Pcap, NonUdpRecordsAreSkipped) {
+  auto file = craftGlobalHeader(kPcapMagicNano, false);
+  const auto tcp = craftUdpWire(testFlow(), kUdpHeaderSize + 50,
+                                /*ipProtocol=*/6);
+  craftRecord(file, 1, 0, tcp, false);
+  const auto udp = craftUdpWire(testFlow(), kUdpHeaderSize + 50);
+  craftRecord(file, 2, 0, udp, false);
+
+  PcapParseStats stats;
+  const auto records = parsePcap(file, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(stats.skippedNonUdp, 1u);
+}
+
+TEST(Pcap, ByteSwappedFileParses) {
+  auto file = craftGlobalHeader(kPcapMagicNano, /*bigEndian=*/true);
+  const auto wire = craftUdpWire(testFlow(), kUdpHeaderSize + 250);
+  craftRecord(file, 7, 42, wire, /*bigEndian=*/true);
+
+  const auto records = parsePcap(file);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].flow, testFlow());
+  EXPECT_EQ(records[0].packet.sizeBytes, 250u);
+  EXPECT_EQ(records[0].packet.arrivalNs, 7 * common::kNanosPerSecond + 42);
+}
+
+TEST(Pcap, MicrosecondMagicScalesToNanos) {
+  for (bool bigEndian : {false, true}) {
+    auto file = craftGlobalHeader(kPcapMagicMicro, bigEndian);
+    const auto wire = craftUdpWire(testFlow(), kUdpHeaderSize + 10);
+    craftRecord(file, 3, 123'456, wire, bigEndian);
+    const auto records = parsePcap(file);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].packet.arrivalNs,
+              3 * common::kNanosPerSecond + 123'456'000LL);
+  }
+}
+
+// A corrupt fractional timestamp must saturate below the next second so the
+// stream stays non-decreasing (the estimators reject time running backwards).
+TEST(Pcap, CorruptTimestampFractionSaturates) {
+  const auto wire = craftUdpWire(testFlow(), kUdpHeaderSize + 10);
+
+  auto nanoFile = craftGlobalHeader(kPcapMagicNano, false);
+  craftRecord(nanoFile, 1, 3'000'000'000u, wire, false);  // frac >= 1e9
+  craftRecord(nanoFile, 2, 0, wire, false);
+  PcapParseStats nanoStats;
+  const auto nanoRecords = parsePcap(nanoFile, &nanoStats);
+  ASSERT_EQ(nanoRecords.size(), 2u);
+  EXPECT_EQ(nanoRecords[0].packet.arrivalNs,
+            1 * common::kNanosPerSecond + 999'999'999LL);
+  EXPECT_LT(nanoRecords[0].packet.arrivalNs, nanoRecords[1].packet.arrivalNs);
+  EXPECT_EQ(nanoStats.clampedTimestamps, 1u);
+
+  auto microFile = craftGlobalHeader(kPcapMagicMicro, false);
+  craftRecord(microFile, 1, 5'000'000u, wire, false);  // frac >= 1e6
+  craftRecord(microFile, 2, 0, wire, false);
+  PcapParseStats microStats;
+  const auto microRecords = parsePcap(microFile, &microStats);
+  ASSERT_EQ(microRecords.size(), 2u);
+  EXPECT_EQ(microRecords[0].packet.arrivalNs,
+            1 * common::kNanosPerSecond + 999'999'000LL);
+  EXPECT_LT(microRecords[0].packet.arrivalNs,
+            microRecords[1].packet.arrivalNs);
+  EXPECT_EQ(microStats.clampedTimestamps, 1u);
+}
+
+TEST(Pcap, RecordClaimingMoreBytesThanRemainIsSkipped) {
+  auto file = craftGlobalHeader(kPcapMagicNano, false);
+  const auto wire = craftUdpWire(testFlow(), kUdpHeaderSize + 10);
+  craftRecord(file, 1, 0, wire, false);
+  put32(file, 2, false);  // tsSec
+  put32(file, 0, false);  // tsFrac
+  put32(file, 0xFFFFFF00u, false);  // capLen far beyond the buffer
+  put32(file, 64, false);  // origLen
+
+  PcapParseStats stats;
+  const auto records = parsePcap(file, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(stats.truncatedRecords, 1u);
+}
+
+// The writer's tsSec field is 32-bit: timestamps past 2106 (or before the
+// epoch) must be rejected up front instead of silently round-tripping wrong.
+TEST(Pcap, WriterRejectsTimestampsOutsideEpochRange) {
+  PcapWriter writer;
+  Packet p;
+  p.sizeBytes = 100;
+  p.arrivalNs = -1;
+  EXPECT_THROW(writer.write(testFlow(), p), std::invalid_argument);
+  p.arrivalNs = 5'000'000'000LL * common::kNanosPerSecond;  // year ~2128
+  EXPECT_THROW(writer.write(testFlow(), p), std::invalid_argument);
+  // Largest representable second still round-trips.
+  p.arrivalNs = 4'294'967'295LL * common::kNanosPerSecond + 1;
+  writer.write(testFlow(), p);
+  const auto records = parsePcap(writer.bytes());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].packet.arrivalNs, p.arrivalNs);
+}
+
+// ------------------------------------------------- streaming readers
+
+TEST(Pcap, StreamingReaderMatchesBatchParse) {
+  common::Rng rng(99);
+  PcapWriter writer;
+  FlowKey other = testFlow();
+  other.srcPort = 4000;
+  for (int i = 0; i < 40; ++i) {
+    Packet p;
+    p.arrivalNs = i * 10'000'000LL;
+    p.sizeBytes = static_cast<std::uint32_t>(rng.uniformInt(50, 1400));
+    writer.write(i % 3 == 0 ? other : testFlow(), p);
+  }
+  const auto want = parsePcap(writer.bytes());
+
+  PcapReader reader(writer.bytes());
+  std::vector<PcapRecord> got;
+  while (auto rec = reader.next()) got.push_back(*rec);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].flow, want[i].flow);
+    EXPECT_EQ(got[i].packet.arrivalNs, want[i].packet.arrivalNs);
+    EXPECT_EQ(got[i].packet.sizeBytes, want[i].packet.sizeBytes);
+  }
+  EXPECT_EQ(reader.stats().recordsYielded, want.size());
+}
+
+TEST(Pcap, FileReaderStreamsWithoutLoadingWholeFile) {
+  PcapWriter writer;
+  for (int i = 0; i < 25; ++i) {
+    Packet p;
+    p.arrivalNs = i * 1'000'000LL;
+    p.sizeBytes = 600;
+    writer.write(testFlow(), p);
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vcaqoe_stream.pcap").string();
+  writer.save(path);
+
+  PcapFileReader reader(path);
+  std::size_t count = 0;
+  common::TimeNs lastArrival = -1;
+  while (auto rec = reader.next()) {
+    EXPECT_GT(rec->packet.arrivalNs, lastArrival);
+    lastArrival = rec->packet.arrivalNs;
+    ++count;
+  }
+  std::remove(path.c_str());
+  EXPECT_EQ(count, 25u);
+  EXPECT_EQ(reader.stats().recordsYielded, 25u);
+}
+
+TEST(Pcap, FileReaderSkipsTruncatedTail) {
+  PcapWriter writer;
+  Packet p;
+  p.sizeBytes = 400;
+  writer.write(testFlow(), p);
+  p.arrivalNs = 1;
+  writer.write(testFlow(), p);
+  auto bytes = writer.bytes();
+  bytes.resize(bytes.size() - 7);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vcaqoe_trunc.pcap").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  PcapParseStats stats;
+  const auto records = loadPcap(path, &stats);
+  std::remove(path.c_str());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(stats.truncatedRecords, 1u);
+}
+
+// dominantFlow dropped its ordered map for the shared FlowKeyHash; ties must
+// still resolve deterministically — by first appearance, not hash order.
+TEST(Pcap, DominantFlowTieBreaksToFirstSeen) {
+  FlowKey late = testFlow();  // numerically smaller tuple than `early`
+  late.srcIp = 1;
+  FlowKey early = testFlow();
+  early.srcIp = 0xFFFFFFFFu;
+
+  PcapWriter writer;
+  for (int i = 0; i < 4; ++i) {
+    Packet p;
+    p.arrivalNs = 2 * i;
+    p.sizeBytes = 100;
+    writer.write(early, p);
+    p.arrivalNs = 2 * i + 1;
+    writer.write(late, p);
+  }
+  const auto records = parsePcap(writer.bytes());
+  EXPECT_EQ(dominantFlow(records), early);
+}
 
 }  // namespace
 }  // namespace vcaqoe::netflow
