@@ -134,3 +134,150 @@ inline const std::vector<core::Method>& allMethods() {
 }
 
 }  // namespace vcaqoe::bench
+
+// ---------------------------------------------------------------------------
+// Minimal vendored benchmark harness (header-only timer + iteration loop).
+//
+// `bench_perf_micro` is written against the Google Benchmark API; on
+// machines without the system package, bench/CMakeLists.txt compiles it with
+// -DVCAQOE_USE_MINIBENCH and this shim provides the subset it uses
+// (State iteration, iterations(), range(0), SetItemsProcessed,
+// DoNotOptimize, BENCHMARK()->Arg(), BENCHMARK_MAIN), so the binary always
+// builds. It is a smoke/ballpark harness: one warm-up-free doubling loop
+// per benchmark until the measured run exceeds VCAQOE_MINIBENCH_MIN_TIME
+// seconds (default 0.25) — not a statistical replacement for the real
+// library, which stays available behind -DVCAQOE_SYSTEM_BENCHMARK=ON.
+// ---------------------------------------------------------------------------
+#include <chrono>
+#include <cstdint>
+
+namespace vcaqoe::bench::mini {
+
+class State {
+ public:
+  State(std::int64_t iterations, std::int64_t arg)
+      : iterations_(iterations), arg_(arg) {}
+
+  /// Non-trivial so `for (auto _ : state)` never trips -Wunused-variable.
+  struct IterationToken {
+    IterationToken() {}
+  };
+  struct Iterator {
+    std::int64_t remaining;
+    bool operator!=(const Iterator& other) const {
+      return remaining != other.remaining;
+    }
+    void operator++() { --remaining; }
+    IterationToken operator*() const { return {}; }
+  };
+  Iterator begin() const { return Iterator{iterations_}; }
+  Iterator end() const { return Iterator{0}; }
+
+  std::int64_t iterations() const { return iterations_; }
+  std::int64_t range(std::size_t /*index*/ = 0) const { return arg_; }
+  void SetItemsProcessed(std::int64_t items) { items_ = items; }
+  std::int64_t itemsProcessed() const { return items_; }
+
+ private:
+  std::int64_t iterations_ = 0;
+  std::int64_t arg_ = 0;
+  std::int64_t items_ = 0;
+};
+
+using BenchFn = void (*)(State&);
+
+struct Registration {
+  const char* name;
+  BenchFn fn;
+  std::vector<std::int64_t> args;
+
+  Registration* Arg(std::int64_t value) {
+    args.push_back(value);
+    return this;
+  }
+};
+
+inline std::vector<Registration*>& registrations() {
+  static std::vector<Registration*> all;
+  return all;
+}
+
+inline Registration* registerBenchmark(const char* name, BenchFn fn) {
+  // Leaked on purpose: registrations live for the process like statics do.
+  auto* reg = new Registration{name, fn, {}};
+  registrations().push_back(reg);
+  return reg;
+}
+
+template <class T>
+inline void DoNotOptimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  // Fallback: volatile read defeats value propagation.
+  static volatile const T* sink;
+  sink = &value;
+#endif
+}
+
+inline int runAll() {
+  const double minSeconds = envDouble("VCAQOE_MINIBENCH_MIN_TIME", 0.25);
+  std::printf("%-34s %12s %14s %14s\n", "benchmark (vendored harness)",
+              "iterations", "ns/iter", "items/s");
+  for (auto* reg : registrations()) {
+    std::vector<std::int64_t> args = reg->args;
+    if (args.empty()) args.push_back(0);
+    for (const auto arg : args) {
+      std::int64_t iterations = 1;
+      double seconds = 0.0;
+      std::int64_t items = 0;
+      for (;;) {
+        State state(iterations, arg);
+        const auto start = std::chrono::steady_clock::now();
+        reg->fn(state);
+        seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+        items = state.itemsProcessed();
+        if (seconds >= minSeconds || iterations >= (std::int64_t{1} << 40)) {
+          break;
+        }
+        // Aim straight at the time target, growing at least 2x per probe.
+        const double scale =
+            seconds > 0.0 ? 1.4 * minSeconds / seconds : 2.0;
+        iterations = std::max(
+            iterations * 2,
+            static_cast<std::int64_t>(static_cast<double>(iterations) * scale));
+      }
+      std::string label = reg->name;
+      if (!reg->args.empty()) label += "/" + std::to_string(arg);
+      const double nsPerIter =
+          seconds * 1e9 / static_cast<double>(iterations);
+      std::printf("%-34s %12lld %14.1f ", label.c_str(),
+                  static_cast<long long>(iterations), nsPerIter);
+      if (items > 0 && seconds > 0.0) {
+        std::printf("%14.0f\n", static_cast<double>(items) / seconds);
+      } else {
+        std::printf("%14s\n", "-");
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace vcaqoe::bench::mini
+
+#ifdef VCAQOE_USE_MINIBENCH
+// Google-Benchmark-compatible surface for bench_perf_micro.
+namespace benchmark {
+using State = ::vcaqoe::bench::mini::State;
+using ::vcaqoe::bench::mini::DoNotOptimize;
+}  // namespace benchmark
+
+#define BENCHMARK(fn)                                        \
+  static ::vcaqoe::bench::mini::Registration* fn##_minibench \
+      [[maybe_unused]] = ::vcaqoe::bench::mini::registerBenchmark(#fn, fn)
+
+#define BENCHMARK_MAIN() \
+  int main() { return ::vcaqoe::bench::mini::runAll(); }
+#endif  // VCAQOE_USE_MINIBENCH

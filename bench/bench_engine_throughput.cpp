@@ -3,16 +3,20 @@
 // Replays the interleaved packet stream of K concurrent synthetic VCA flows
 // (K = 1 / 8 / 64 / 1024) through (a) a single-threaded reference — one
 // FlowTable demux plus one StreamingIpUdpEstimator per flow, all on the
-// caller thread — and (b) the sharded MultiFlowEngine, and reports packets
-// per second for both. The engine output is checked bit-identical to the
-// sequential reference before any number is trusted.
+// caller thread — and (b) the sharded MultiFlowEngine, each both without a
+// model and with a per-VCA forest resolved from a ModelRegistry (the
+// with-model column prices per-window inference into the hot path). Engine
+// output is checked bit-identical to the matching sequential reference
+// before any number is trusted.
 //
 // Scale knobs (environment):
 //   VCAQOE_BENCH_ENGINE_PACKETS — total packets per scenario (default 1.5M)
 //   VCAQOE_BENCH_ENGINE_WORKERS — engine worker threads (default 4)
+//   VCAQOE_BENCH_ENGINE_TREES   — synthetic-forest size (default 40)
 //   VCAQOE_BENCH_ENGINE_REQUIRE_SPEEDUP — when 1, also fail the exit code
-//     unless the 64-flow speedup reaches 2x (off by default: wall-clock
-//     speedup on shared/loaded runners is not a correctness property)
+//     unless the 64-flow no-model speedup reaches 2x (off by default:
+//     wall-clock speedup on shared/loaded runners is not a correctness
+//     property)
 
 #include <algorithm>
 #include <chrono>
@@ -27,6 +31,7 @@
 #include "engine/flow_table.hpp"
 #include "engine/multi_flow_engine.hpp"
 #include "engine/synthetic.hpp"
+#include "inference/model_registry.hpp"
 #include "netflow/packet.hpp"
 
 namespace vcaqoe {
@@ -78,6 +83,12 @@ struct Digest {
                static_cast<double>(out.window) + out.heuristic.bitrateKbps +
                out.heuristic.fps + out.heuristic.frameJitterMs;
     for (double f : out.features) s += f;
+    for (const auto target : inference::kAllTargets) {
+      const auto value = out.predictions.get(target);
+      if (value.has_value()) {
+        s += *value * (1.0 + static_cast<double>(target));
+      }
+    }
     sum += s;
   }
 
@@ -92,7 +103,8 @@ struct RunResult {
 };
 
 RunResult runSequential(const Scenario& scenario,
-                        const core::StreamingOptions& streaming) {
+                        const core::StreamingOptions& streaming,
+                        core::StreamingIpUdpEstimator::BackendPtr backend) {
   const auto start = std::chrono::steady_clock::now();
   engine::FlowTable table;
   std::vector<std::unique_ptr<core::StreamingIpUdpEstimator>> estimators;
@@ -106,9 +118,9 @@ RunResult runSequential(const Scenario& scenario,
       outputs.emplace_back();
       auto* sink = &outputs.back();
       estimators.push_back(std::make_unique<core::StreamingIpUdpEstimator>(
-          streaming, [sink](const core::StreamingOutput& out) {
-            sink->push_back(out);
-          }));
+          streaming,
+          [sink](const core::StreamingOutput& out) { sink->push_back(out); },
+          backend));
     }
     estimators[flow]->onPacket(packet);
   }
@@ -123,11 +135,14 @@ RunResult runSequential(const Scenario& scenario,
 }
 
 RunResult runEngine(const Scenario& scenario,
-                    const core::StreamingOptions& streaming, int workers) {
+                    const core::StreamingOptions& streaming, int workers,
+                    std::shared_ptr<inference::ModelRegistry> registry) {
   const auto start = std::chrono::steady_clock::now();
   engine::EngineOptions options;
   options.streaming = streaming;
   options.numWorkers = workers;
+  options.registry = std::move(registry);
+  options.targets = {inference::QoeTarget::kFrameRate};
   engine::MultiFlowEngine eng(options);
   for (const auto& [keyIndex, packet] : scenario.stream) {
     eng.onPacket(scenario.keys[keyIndex], packet);
@@ -147,34 +162,64 @@ int main() {
   using namespace vcaqoe;
   const int totalPackets = envInt("VCAQOE_BENCH_ENGINE_PACKETS", 1'500'000);
   const int workers = envInt("VCAQOE_BENCH_ENGINE_WORKERS", 4);
+  const int trees = envInt("VCAQOE_BENCH_ENGINE_TREES", 40);
   const unsigned cores = std::thread::hardware_concurrency();
   core::StreamingOptions streaming;
 
+  // Per-VCA frame-rate forest shared by every flow: the synthetic 5-tuples
+  // carry the Teams media port, so each flow admission resolves to it.
+  const auto makeRegistry = [trees] {
+    auto registry = std::make_shared<inference::ModelRegistry>();
+    registry->registerBackend(
+        "teams", inference::QoeTarget::kFrameRate,
+        std::make_shared<inference::ForestBackend>(
+            engine::syntheticForest(trees, 10, 30.0),
+            inference::QoeTarget::kFrameRate, "forest:teams/frame_rate"));
+    return registry;
+  };
+  const auto modelBackend = makeRegistry()->resolve(
+      "teams", inference::QoeTarget::kFrameRate);
+
   std::printf(
       "engine throughput — %d workers, %u hardware threads, ~%d packets "
-      "per scenario\n",
-      workers, cores, totalPackets);
-  std::printf("%8s %12s %14s %14s %9s %10s\n", "flows", "packets",
-              "seq pkts/s", "engine pkts/s", "speedup", "identical");
+      "per scenario, %d-tree model\n",
+      workers, cores, totalPackets, trees);
+  std::printf("%6s %10s | %12s %13s %8s | %12s %13s %8s | %9s\n", "flows",
+              "packets", "seq pkts/s", "eng pkts/s", "speedup",
+              "seq+m pkts/s", "eng+m pkts/s", "speedup", "identical");
 
   bool allIdentical = true;
   bool met2xAt64 = false;
   for (int flows : {1, 8, 64, 1024}) {
     const auto scenario = makeScenario(flows, totalPackets);
-    const auto seq = runSequential(scenario, streaming);
-    const auto eng = runEngine(scenario, streaming, workers);
-    const bool identical = seq.digest == eng.digest;
+    // Without a model.
+    const auto seq = runSequential(scenario, streaming, nullptr);
+    const auto eng = runEngine(scenario, streaming, workers, nullptr);
+    // With the per-VCA forest (fresh registry per run: resolution counters
+    // and shard state start cold, like a monitor restart).
+    const auto seqModel = runSequential(scenario, streaming, modelBackend);
+    const auto engModel = runEngine(scenario, streaming, workers,
+                                    makeRegistry());
+    const bool identical =
+        seq.digest == eng.digest && seqModel.digest == engModel.digest &&
+        seqModel.digest.outputs == seq.digest.outputs &&
+        seqModel.digest.sum != seq.digest.sum;  // model actually predicted
     allIdentical = allIdentical && identical;
     const double speedup = eng.pps / seq.pps;
+    const double speedupModel = engModel.pps / seqModel.pps;
     if (flows == 64 && speedup >= 2.0) met2xAt64 = true;
-    std::printf("%8d %12zu %14.0f %14.0f %8.2fx %10s\n", flows,
-                scenario.stream.size(), seq.pps, eng.pps, speedup,
-                identical ? "yes" : "NO");
+    std::printf(
+        "%6d %10zu | %12.0f %13.0f %7.2fx | %12.0f %13.0f %7.2fx | %9s\n",
+        flows, scenario.stream.size(), seq.pps, eng.pps, speedup,
+        seqModel.pps, engModel.pps, speedupModel, identical ? "yes" : "NO");
   }
 
-  std::printf("\nsharded output identical to sequential: %s\n",
-              allIdentical ? "yes" : "NO");
-  std::printf("≥2x speedup at 64 flows: %s\n", met2xAt64 ? "yes" : "NO");
+  std::printf(
+      "\nsharded output identical to sequential (with and without model): "
+      "%s\n",
+      allIdentical ? "yes" : "NO");
+  std::printf("≥2x no-model speedup at 64 flows: %s\n",
+              met2xAt64 ? "yes" : "NO");
   if (cores < 2) {
     std::printf("(single-core host: parallel speedup not measurable)\n");
   }

@@ -1,18 +1,21 @@
 // Capture-replay ingest throughput.
 //
-// Generates a multi-flow capture with PcapWriter, then measures the three
-// stages of the ingest path on it:
-//   parse    — PcapFileReader streaming decode alone (records/s)
-//   replay 1 — PcapReplaySource -> MultiFlowEngine, 1 worker
-//   replay N — same, N workers, idle eviction enabled
+// Generates a multi-flow capture with PcapWriter, then measures the stages
+// of the ingest path on it, without and with per-window model inference:
+//   parse      — PcapFileReader streaming decode alone (records/s)
+//   replay 1/N — PcapReplaySource -> MultiFlowEngine, idle eviction on the
+//                N-worker rows, each without a model and with a per-VCA
+//                forest resolved from a ModelRegistry at flow admission
 // The replayed packet count is checked against what was written before any
-// number is trusted; a mismatch fails the exit code.
+// number is trusted; a mismatch fails the exit code, as does a with-model
+// run whose windows carry no predictions.
 //
 // Scale knobs (environment):
 //   VCAQOE_BENCH_REPLAY_PACKETS — total packets in the capture (default 1M)
 //   VCAQOE_BENCH_REPLAY_FLOWS   — concurrent flows (default 64)
-//   VCAQOE_BENCH_REPLAY_WORKERS — engine workers for the N-worker row
+//   VCAQOE_BENCH_REPLAY_WORKERS — engine workers for the N-worker rows
 //                                 (default 4)
+//   VCAQOE_BENCH_REPLAY_TREES   — synthetic-forest size (default 40)
 
 #include <algorithm>
 #include <chrono>
@@ -25,6 +28,7 @@
 #include "common/time.hpp"
 #include "engine/multi_flow_engine.hpp"
 #include "engine/synthetic.hpp"
+#include "inference/model_registry.hpp"
 #include "ingest/pcap_replay.hpp"
 #include "ingest/replay_driver.hpp"
 #include "netflow/pcap.hpp"
@@ -74,6 +78,7 @@ int main() {
   const int totalPackets = envInt("VCAQOE_BENCH_REPLAY_PACKETS", 1'000'000);
   const int flows = std::max(envInt("VCAQOE_BENCH_REPLAY_FLOWS", 64), 1);
   const int workers = std::max(envInt("VCAQOE_BENCH_REPLAY_WORKERS", 4), 1);
+  const int trees = envInt("VCAQOE_BENCH_REPLAY_TREES", 40);
 
   std::printf("writing %d-flow / ~%d-packet capture...\n", flows,
               totalPackets);
@@ -96,25 +101,57 @@ int main() {
                 static_cast<double>(written) / s);
   }
 
-  // ---- replay through the engine
-  for (const int w : {1, workers}) {
-    engine::EngineOptions options;
-    options.numWorkers = w;
-    options.idleTimeoutNs = 30 * common::kNanosPerSecond;
-    engine::MultiFlowEngine eng(options);
-    ingest::PcapReplaySource source(path);
-    const auto start = std::chrono::steady_clock::now();
-    const auto report = ingest::replay(source, eng);
-    const double s = secondsSince(start);
-    ok = ok && report.packets == written;
-    std::printf("%-20s %d wrk %12llu packets %12.0f pkt/s  (%zu windows)\n",
-                "replay -> engine", w,
-                static_cast<unsigned long long>(report.packets),
-                static_cast<double>(report.packets) / s,
-                report.results.size());
+  // ---- replay through the engine, without and with model inference. The
+  // synthetic 5-tuples carry the Teams media port, so with a registry every
+  // flow admission resolves the shared per-VCA frame-rate forest.
+  for (const bool withModel : {false, true}) {
+    for (const int w : {1, workers}) {
+      engine::EngineOptions options;
+      options.numWorkers = w;
+      options.idleTimeoutNs = 30 * common::kNanosPerSecond;
+      if (withModel) {
+        options.registry = std::make_shared<inference::ModelRegistry>();
+        options.registry->registerBackend(
+            "teams", inference::QoeTarget::kFrameRate,
+            std::make_shared<inference::ForestBackend>(
+                engine::syntheticForest(trees, 10, 30.0),
+                inference::QoeTarget::kFrameRate, "forest:teams/frame_rate"));
+        options.targets = {inference::QoeTarget::kFrameRate};
+      }
+      engine::MultiFlowEngine eng(options);
+      ingest::PcapReplaySource source(path);
+      const auto start = std::chrono::steady_clock::now();
+      const auto report = ingest::replay(source, eng);
+      const double s = secondsSince(start);
+      ok = ok && report.packets == written;
+      std::size_t predicted = 0;
+      for (const auto& result : report.results) {
+        if (!result.output.predictions.empty()) ++predicted;
+      }
+      // With a model every window must carry a prediction; without, none.
+      ok = ok && predicted == (withModel ? report.results.size() : 0u);
+      std::printf(
+          "%-20s %d wrk %12llu packets %12.0f pkt/s  (%zu windows, %zu "
+          "predicted)\n",
+          withModel ? "replay+model -> eng" : "replay -> engine", w,
+          static_cast<unsigned long long>(report.packets),
+          static_cast<double>(report.packets) / s, report.results.size(),
+          predicted);
+      if (withModel && w == workers) {
+        const auto registryStats = eng.stats().registry;
+        std::printf(
+            "%-20s       hits %llu, misses %llu, loads %llu (shared "
+            "immutable model)\n",
+            "  registry",
+            static_cast<unsigned long long>(registryStats.hits),
+            static_cast<unsigned long long>(registryStats.misses),
+            static_cast<unsigned long long>(registryStats.loads));
+      }
+    }
   }
 
   std::filesystem::remove(path);
-  std::printf("\nreplayed counts match capture: %s\n", ok ? "yes" : "NO");
+  std::printf("\nreplayed counts and prediction coverage match: %s\n",
+              ok ? "yes" : "NO");
   return ok ? 0 : 1;
 }

@@ -12,14 +12,24 @@
 //     --pace X             replay speed: 0 = as fast as possible (default),
 //                          1 = real time, 2 = twice real time, ...
 //     --synth-flows K      no capture file: synthesize K flows (default 6)
+//     --model-dir DIR      warm-model registry root; per-VCA forests are
+//                          lazy-loaded from DIR/<vca>/<target>.forest at
+//                          flow admission (see README "Inference backends")
+//     --target LIST        comma-separated prediction targets to resolve
+//                          (frame_rate,bitrate_kbps,frame_jitter_ms,
+//                          resolution; default: all)
 //
 // Without a capture argument the tool synthesizes a multi-flow capture to a
-// temp file first, so the example is runnable out of the box.
+// temp file first, so the example is runnable out of the box. An unreadable
+// capture or one yielding zero packets is an error (non-zero exit), not an
+// all-zero report.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +37,7 @@
 #include "common/time.hpp"
 #include "engine/multi_flow_engine.hpp"
 #include "engine/synthetic.hpp"
+#include "inference/model_registry.hpp"
 #include "ingest/pcap_replay.hpp"
 #include "ingest/replay_driver.hpp"
 #include "netflow/pcap.hpp"
@@ -41,6 +52,8 @@ struct Args {
   double idleTimeoutS = 30.0;
   double pace = 0.0;
   int synthFlows = 6;
+  std::string modelDir;
+  std::vector<inference::QoeTarget> targets;
 };
 
 bool parseArgs(int argc, char** argv, Args& args) {
@@ -51,7 +64,13 @@ bool parseArgs(int argc, char** argv, Args& args) {
       out = std::atof(argv[++i]);
       return true;
     };
+    auto text = [&](std::string& out) {
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return true;
+    };
     double v = 0;
+    std::string s;
     if (arg == "--workers" && value(v)) {
       args.workers = static_cast<int>(v);
     } else if (arg == "--idle-timeout-s" && value(v)) {
@@ -60,6 +79,29 @@ bool parseArgs(int argc, char** argv, Args& args) {
       args.pace = v;
     } else if (arg == "--synth-flows" && value(v)) {
       args.synthFlows = static_cast<int>(v);
+    } else if (arg == "--model-dir" && text(s)) {
+      args.modelDir = s;
+    } else if (arg == "--target" && text(s)) {
+      // Comma-separated target slugs.
+      std::size_t start = 0;
+      while (start <= s.size()) {
+        const auto comma = s.find(',', start);
+        const auto token =
+            s.substr(start, comma == std::string::npos ? comma : comma - start);
+        if (!token.empty()) {
+          const auto target = inference::targetFromString(token);
+          if (!target.has_value()) {
+            std::fprintf(stderr,
+                         "unknown --target '%s' (expected one of: frame_rate, "
+                         "bitrate_kbps, frame_jitter_ms, resolution)\n",
+                         token.c_str());
+            return false;
+          }
+          args.targets.push_back(*target);
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (!arg.empty() && arg[0] != '-' && args.capturePath.empty()) {
       args.capturePath = arg;
     } else {
@@ -116,40 +158,97 @@ int main(int argc, char** argv) {
   engine::EngineOptions options;
   options.numWorkers = args.workers;
   options.idleTimeoutNs = common::secondsToNs(args.idleTimeoutS);
+  const bool withModels = !args.modelDir.empty();
+  if (withModels) {
+    inference::ModelRegistryOptions registryOptions;
+    registryOptions.modelDir = args.modelDir;
+    options.registry =
+        std::make_shared<inference::ModelRegistry>(registryOptions);
+    options.targets = args.targets;  // empty = all targets
+  } else if (!args.targets.empty()) {
+    std::fprintf(stderr, "--target requires --model-dir\n");
+    return 2;
+  }
   engine::MultiFlowEngine eng(options);
 
   ingest::ReplayOptions replayOptions;
   replayOptions.paceMultiplier = args.pace;
-  ingest::PcapReplaySource source(args.capturePath, replayOptions);
 
-  std::printf("replaying %s (%d workers, idle timeout %.0f s, pace %s)\n\n",
+  std::printf("replaying %s (%d workers, idle timeout %.0f s, pace %s%s%s)\n\n",
               args.capturePath.c_str(), eng.numWorkers(), args.idleTimeoutS,
-              args.pace > 0 ? std::to_string(args.pace).c_str() : "off");
-  const auto report = ingest::replay(source, eng);
+              args.pace > 0 ? std::to_string(args.pace).c_str() : "off",
+              withModels ? ", models from " : "",
+              withModels ? args.modelDir.c_str() : "");
+
+  ingest::ReplayReport report;
+  netflow::PcapParseStats parse;
+  try {
+    ingest::PcapReplaySource source(args.capturePath, replayOptions);
+    report = ingest::replay(source, eng);
+    parse = source.parseStats();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: cannot replay %s: %s\n",
+                 args.capturePath.c_str(), e.what());
+    if (synthesized) std::remove(args.capturePath.c_str());
+    return 1;
+  }
+  if (report.packets == 0) {
+    std::fprintf(stderr,
+                 "error: %s yielded no UDP packets (empty or non-UDP "
+                 "capture) — nothing to monitor\n",
+                 args.capturePath.c_str());
+    if (synthesized) std::remove(args.capturePath.c_str());
+    return 1;
+  }
 
   // ---- per-flow dashboard
-  common::TextTable table({"id", "flow", "packets", "KB", "windows",
-                           "span [s]", "state"});
+  std::vector<std::string> columns = {"id",      "flow",     "packets", "KB",
+                                      "windows", "span [s]", "state"};
+  if (withModels) {
+    columns.push_back("vca");
+    columns.push_back("backend");
+  }
+  common::TextTable table(columns);
   for (std::size_t id = 0; id < eng.flowStats().size(); ++id) {
     const auto& fs = eng.flowStats()[id];
     const double spanS =
         common::nsToSeconds(fs.lastArrivalNs - fs.firstArrivalNs);
-    table.addRow({std::to_string(id), flowLabel(fs.key),
-                  std::to_string(fs.packets),
-                  common::TextTable::num(
-                      static_cast<double>(fs.bytes) / 1024.0, 1),
-                  std::to_string(fs.windowsEmitted),
-                  common::TextTable::num(spanS, 1),
-                  fs.evicted ? "evicted" : "active"});
+    std::vector<std::string> row = {
+        std::to_string(id),
+        flowLabel(fs.key),
+        std::to_string(fs.packets),
+        common::TextTable::num(static_cast<double>(fs.bytes) / 1024.0, 1),
+        std::to_string(fs.windowsEmitted),
+        common::TextTable::num(spanS, 1),
+        fs.evicted ? "evicted" : "active"};
+    if (withModels) {
+      row.push_back(fs.vca.empty() ? "-" : fs.vca);
+      const auto backendName = fs.backendName();
+      row.push_back(backendName.empty() ? "-" : std::string(backendName));
+    }
+    table.addRow(row);
   }
   std::printf("%s\n", table.render().c_str());
 
   // ---- totals
   const auto& stats = report.engineStats;
-  const auto& parse = source.parseStats();
+  std::size_t predictedWindows = 0;
+  for (const auto& result : report.results) {
+    if (!result.output.predictions.empty()) ++predictedWindows;
+  }
   std::printf("packets replayed   %llu\n",
               static_cast<unsigned long long>(report.packets));
   std::printf("window results     %zu\n", report.results.size());
+  if (withModels) {
+    std::printf("windows predicted  %zu\n", predictedWindows);
+    std::printf(
+        "model registry     hits %llu, misses %llu, loads %llu, "
+        "load failures %llu\n",
+        static_cast<unsigned long long>(stats.registry.hits),
+        static_cast<unsigned long long>(stats.registry.misses),
+        static_cast<unsigned long long>(stats.registry.loads),
+        static_cast<unsigned long long>(stats.registry.loadFailures));
+  }
   std::printf("flows seen         %zu (peak resident bounded by eviction)\n",
               stats.flows);
   std::printf("flows evicted      %llu\n",

@@ -4,6 +4,40 @@
 
 namespace vcaqoe::core {
 
+std::string_view toString(VcaClass vca) {
+  switch (vca) {
+    case VcaClass::kMeet:
+      return "meet";
+    case VcaClass::kTeams:
+      return "teams";
+    case VcaClass::kWebex:
+      return "webex";
+    case VcaClass::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+VcaClass vcaOfPort(std::uint16_t port) {
+  if (port >= 19305 && port <= 19309) return VcaClass::kMeet;
+  if (port >= 3478 && port <= 3481) return VcaClass::kTeams;
+  if (port == 9000 || port == 5004) return VcaClass::kWebex;
+  return VcaClass::kUnknown;
+}
+
+}  // namespace
+
+VcaClass MediaClassifier::classifyVca(const netflow::FlowKey& key) const {
+  // The service endpoint can be either side of the observed 5-tuple
+  // (upstream vs downstream capture); the client's ephemeral port never
+  // collides with the relay ranges, so checking both sides is safe.
+  const auto byDst = vcaOfPort(key.dstPort);
+  if (byDst != VcaClass::kUnknown) return byDst;
+  return vcaOfPort(key.srcPort);
+}
+
 std::vector<netflow::Packet> MediaClassifier::filterVideo(
     std::span<const netflow::Packet> packets) const {
   std::vector<netflow::Packet> video;

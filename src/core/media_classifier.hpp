@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "netflow/packet.hpp"
@@ -21,6 +22,16 @@ struct MediaClassifierOptions {
   std::uint32_t vminBytes = 450;
 };
 
+/// Which of the studied VCAs a flow belongs to — the key the warm-model
+/// registry is indexed by. The paper assumes VCA traffic arrives
+/// pre-classified by prior work (§2.2); `kUnknown` flows resolve to the
+/// registry's fallback backend.
+enum class VcaClass : std::uint8_t { kUnknown = 0, kMeet, kTeams, kWebex };
+
+/// Stable lowercase name ("meet", "teams", "webex", "unknown") — also the
+/// registry key and the on-disk model directory name.
+std::string_view toString(VcaClass vca);
+
 class MediaClassifier {
  public:
   explicit MediaClassifier(MediaClassifierOptions options = {})
@@ -33,6 +44,13 @@ class MediaClassifier {
   /// The video-classified packets of a trace or window, in input order.
   std::vector<netflow::Packet> filterVideo(
       std::span<const netflow::Packet> packets) const;
+
+  /// VCA verdict for a flow from its 5-tuple alone, available at
+  /// flow-admission time (first packet). Uses the VCAs' well-known media
+  /// port ranges on either endpoint: Meet relays on UDP 19305-19309, Teams
+  /// transport relays on UDP 3478-3481, Webex media on UDP 9000 (and RTP
+  /// fallback 5004). Everything else is kUnknown.
+  VcaClass classifyVca(const netflow::FlowKey& key) const;
 
   const MediaClassifierOptions& options() const { return options_; }
 

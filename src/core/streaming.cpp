@@ -8,9 +8,11 @@
 namespace vcaqoe::core {
 
 StreamingIpUdpEstimator::StreamingIpUdpEstimator(StreamingOptions options,
-                                                 Callback callback)
+                                                 Callback callback,
+                                                 BackendPtr backend)
     : options_(std::move(options)),
       callback_(std::move(callback)),
+      backend_(std::move(backend)),
       classifier_(options_.classifier) {
   if (!callback_) {
     throw std::invalid_argument("StreamingIpUdpEstimator: null callback");
@@ -18,6 +20,15 @@ StreamingIpUdpEstimator::StreamingIpUdpEstimator(StreamingOptions options,
   if (options_.windowNs <= 0) {
     throw std::invalid_argument("StreamingIpUdpEstimator: bad window");
   }
+}
+
+void StreamingIpUdpEstimator::attachBackend(BackendPtr backend) {
+  if (nextWindowToEmit_ > 0) {
+    throw std::logic_error(
+        "StreamingIpUdpEstimator: attachBackend after a window was emitted — "
+        "resolve the backend at flow admission");
+  }
+  backend_ = std::move(backend);
 }
 
 void StreamingIpUdpEstimator::onPacket(const netflow::Packet& packet) {
@@ -169,8 +180,14 @@ void StreamingIpUdpEstimator::emitReadyWindows(
     const auto video = classifier_.filterVideo(window.packets);
     out.features = features::extractFeatures(
         window, video, features::FeatureSet::kIpUdp, options_.extraction);
-    if (model_ != nullptr) {
-      out.prediction = model_->predict(out.features);
+    if (backend_ != nullptr) {
+      inference::WindowContext context;
+      context.features = out.features;
+      context.hasHeuristic = true;
+      context.heuristicFps = out.heuristic.fps;
+      context.heuristicBitrateKbps = out.heuristic.bitrateKbps;
+      context.heuristicFrameJitterMs = out.heuristic.frameJitterMs;
+      backend_->predictWindow(context, out.predictions);
     }
 
     callback_(out);

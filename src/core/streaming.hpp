@@ -3,6 +3,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -10,7 +11,7 @@
 #include "core/heuristic_estimators.hpp"
 #include "core/media_classifier.hpp"
 #include "features/extractors.hpp"
-#include "ml/random_forest.hpp"
+#include "inference/backend.hpp"
 #include "netflow/packet.hpp"
 
 /// Streaming (single-pass, bounded-memory) IP/UDP estimation.
@@ -21,7 +22,7 @@
 /// completed prediction window:
 ///  * the 14 IP/UDP ML features,
 ///  * the IP/UDP Heuristic estimates (Algorithm 1 run incrementally), and
-///  * optionally a model prediction, when a trained forest is attached.
+///  * typed model predictions, when an inference backend is attached.
 ///
 /// Memory is O(packets per window + Nmax); no trace is ever materialized.
 /// Windows are finalized one window behind the stream head so that frames
@@ -41,19 +42,33 @@ struct StreamingOutput {
   std::int64_t window = 0;
   std::vector<double> features;  // IP/UDP feature vector (14)
   EstimatedQoe heuristic;
-  /// Prediction of the attached model; unset when no model attached.
-  std::optional<double> prediction;
+  /// Typed predictions of the attached backend; empty when none attached
+  /// (or when the backend declined, e.g. the registry fallback).
+  inference::PredictionSet predictions;
 };
 
 class StreamingIpUdpEstimator {
  public:
   using Callback = std::function<void(const StreamingOutput&)>;
+  using BackendPtr = std::shared_ptr<const inference::InferenceBackend>;
 
-  StreamingIpUdpEstimator(StreamingOptions options, Callback callback);
+  /// `backend` may be null (no inference); it is shared and immutable, so
+  /// any number of estimators across any number of threads may hold it.
+  StreamingIpUdpEstimator(StreamingOptions options, Callback callback,
+                          BackendPtr backend = nullptr);
 
-  /// Attaches a trained forest whose input is the IP/UDP feature vector;
-  /// every emitted window then carries `prediction`.
-  void attachModel(const ml::RandomForest* model) { model_ = model; }
+  /// Attaches the inference backend whose input is the completed window;
+  /// every window emitted afterwards carries its `predictions`.
+  ///
+  /// Mid-stream rule (deterministic by construction): attaching is allowed
+  /// only while no window has been emitted yet — it then applies to every
+  /// emitted window, a pure function of the packet stream. Attaching after
+  /// the first emission throws std::logic_error; resolve the backend at
+  /// flow admission (the engine does) instead of swapping it mid-flight.
+  void attachBackend(BackendPtr backend);
+
+  /// The attached backend; null when none.
+  const inference::InferenceBackend* backend() const { return backend_.get(); }
 
   /// Feeds one packet; packets must arrive in non-decreasing arrival order
   /// (out-of-order feeding throws std::invalid_argument).
@@ -79,7 +94,7 @@ class StreamingIpUdpEstimator {
 
   StreamingOptions options_;
   Callback callback_;
-  const ml::RandomForest* model_ = nullptr;
+  BackendPtr backend_;
   MediaClassifier classifier_;
 
   common::TimeNs lastArrival_ = -1;

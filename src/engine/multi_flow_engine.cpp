@@ -6,7 +6,8 @@
 namespace vcaqoe::engine {
 
 MultiFlowEngine::MultiFlowEngine(EngineOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      classifier_(options_.streaming.classifier) {
   int workers = options_.numWorkers;
   if (workers <= 0) {
     workers = static_cast<int>(std::thread::hardware_concurrency());
@@ -43,12 +44,17 @@ void MultiFlowEngine::onPacket(const netflow::FlowKey& key,
     throw std::logic_error("MultiFlowEngine: onPacket after finish");
   }
   const FlowId flow = flowTable_.intern(key);
-  if (flow >= flowStats_.size()) {
-    // First packet of a fresh flow generation.
+  core::StreamingIpUdpEstimator::BackendPtr admissionBackend;
+  const bool admitted = flow >= flowStats_.size();
+  if (admitted) {
+    // First packet of a fresh flow generation: resolve the flow's inference
+    // backend now, while the 5-tuple is at hand — a returning (evicted)
+    // flow is a fresh generation and re-resolves here too.
     FlowStats stats;
     stats.key = key;
     stats.firstArrivalNs = packet.arrivalNs;
-    flowStats_.push_back(stats);
+    admissionBackend = resolveBackend(key, stats);
+    flowStats_.push_back(std::move(stats));
     lruPrev_.push_back(kNoFlow);
     lruNext_.push_back(kNoFlow);
     lruLinkTail(flow);
@@ -65,11 +71,30 @@ void MultiFlowEngine::onPacket(const netflow::FlowKey& key,
   // so per-flow packet order survives the fan-out. (A re-interned generation
   // may land on a different shard; its id is fresh, so no state aliases.)
   Shard& shard = *shards_[flow % shards_.size()];
-  shard.pending.push_back(Item{flow, /*evict=*/false, packet});
+  shard.pending.push_back(
+      Item{flow, /*evict=*/false, packet, std::move(admissionBackend)});
   ++packetsIngested_;
   if (packet.arrivalNs > clock_) clock_ = packet.arrivalNs;
   if (options_.idleTimeoutNs > 0) evictIdleFlows();
   if (shard.pending.size() >= options_.dispatchBatch) flushPending(shard);
+}
+
+core::StreamingIpUdpEstimator::BackendPtr MultiFlowEngine::resolveBackend(
+    const netflow::FlowKey& key, FlowStats& stats) const {
+  if (!options_.registry) return nullptr;
+  std::string vca;
+  if (options_.vcaResolver) {
+    vca = options_.vcaResolver(key);
+  } else {
+    vca = std::string(core::toString(classifier_.classifyVca(key)));
+  }
+  auto backend = options_.registry->resolveSet(
+      vca, options_.targets.empty()
+               ? std::span<const inference::QoeTarget>(inference::kAllTargets)
+               : std::span<const inference::QoeTarget>(options_.targets));
+  stats.vca = std::move(vca);
+  stats.backend = backend;
+  return backend;
 }
 
 void MultiFlowEngine::lruLinkTail(FlowId flow) {
@@ -119,7 +144,8 @@ void MultiFlowEngine::evictFlow(FlowId flow) {
   // worker finalizes the estimator only after every dispatched packet of
   // this generation has been processed.
   Shard& shard = *shards_[flow % shards_.size()];
-  shard.pending.push_back(Item{flow, /*evict=*/true, netflow::Packet{}});
+  shard.pending.push_back(
+      Item{flow, /*evict=*/true, netflow::Packet{}, nullptr});
   if (shard.pending.size() >= options_.dispatchBatch) flushPending(shard);
 }
 
@@ -189,14 +215,16 @@ void MultiFlowEngine::processBatch(Shard& shard,
     auto it = shard.estimators.find(item.flow);
     if (it == shard.estimators.end()) {
       const FlowId flow = item.flow;
+      // item.backend was resolved at admission and rides the generation's
+      // first packet; the FIFO guarantees that packet creates the estimator.
       it = shard.estimators
                .try_emplace(flow, options_.streaming,
                             [this, &shard, flow](
                                 const core::StreamingOutput& out) {
                               pushResult(shard, EngineResult{flow, out});
-                            })
+                            },
+                            item.backend)
                .first;
-      if (options_.model != nullptr) it->second.attachModel(options_.model);
     }
     it->second.onPacket(item.packet);
   }
@@ -285,6 +313,7 @@ EngineStats MultiFlowEngine::stats() const {
   stats.flows = flowTable_.size();
   stats.activeFlows = flowTable_.activeSize();
   stats.flowsEvicted = flowsEvicted_;
+  if (options_.registry) stats.registry = options_.registry->stats();
   return stats;
 }
 

@@ -4,17 +4,20 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "core/streaming.hpp"
 #include "engine/flow_table.hpp"
 #include "engine/spsc_ring.hpp"
+#include "inference/model_registry.hpp"
 #include "netflow/packet.hpp"
 
 /// Sharded multi-flow streaming inference.
@@ -56,8 +59,17 @@ struct EngineOptions {
   /// Capacity of each shard's result ring. Workers back-pressure (yield)
   /// when their ring is full and nobody drains it.
   std::size_t resultRingCapacity = 4096;
-  /// Optional trained forest attached to every per-flow estimator.
-  const ml::RandomForest* model = nullptr;
+  /// Warm-model registry shared across flows (and engines): at flow
+  /// admission the flow's VCA classification keys a `resolveSet` for
+  /// `targets`, and the resolved immutable backend serves the flow for its
+  /// whole generation. Null disables inference entirely.
+  std::shared_ptr<inference::ModelRegistry> registry;
+  /// Targets resolved per flow at admission. Empty = every `QoeTarget`.
+  /// Ignored without a registry.
+  std::vector<inference::QoeTarget> targets;
+  /// Overrides the VCA classification used as the registry key. Default:
+  /// the `MediaClassifier` port-prior verdict on the flow's 5-tuple.
+  std::function<std::string(const netflow::FlowKey&)> vcaResolver;
   /// Evict flows idle longer than this, measured in stream time (the max
   /// packet arrival seen so far). 0 disables eviction.
   common::DurationNs idleTimeoutNs = 0;
@@ -80,6 +92,18 @@ struct FlowStats {
   common::TimeNs firstArrivalNs = 0;
   common::TimeNs lastArrivalNs = 0;
   bool evicted = false;
+  /// VCA classification that keyed the registry at admission ("" without a
+  /// registry; the built-in verdicts are SSO-short, so no per-flow heap).
+  std::string vca;
+  /// The shared immutable backend the flow resolved to at admission (null
+  /// without a registry). Held by pointer — a handful of instances serve
+  /// millions of generations, so this adds no per-flow allocation; use
+  /// `backendName()` for dashboards.
+  std::shared_ptr<const inference::InferenceBackend> backend;
+
+  std::string_view backendName() const {
+    return backend ? std::string_view(backend->name()) : std::string_view();
+  }
 };
 
 /// Counters for observability / benches.
@@ -92,6 +116,8 @@ struct EngineStats {
   /// Flows currently resident in the table / on the shards.
   std::size_t activeFlows = 0;
   std::uint64_t flowsEvicted = 0;
+  /// Model-registry resolution counters (all zero without a registry).
+  inference::RegistryStats registry;
 };
 
 class MultiFlowEngine {
@@ -133,6 +159,10 @@ class MultiFlowEngine {
     /// Control item: finalize and drop the flow's estimator (idle eviction).
     bool evict = false;
     netflow::Packet packet;
+    /// Set only on a flow generation's first packet: the backend the
+    /// dispatcher resolved at admission, attached when the worker creates
+    /// the estimator. A returning (re-interned) flow re-resolves.
+    core::StreamingIpUdpEstimator::BackendPtr backend;
   };
 
   struct Shard {
@@ -158,6 +188,10 @@ class MultiFlowEngine {
 
   static constexpr FlowId kNoFlow = std::numeric_limits<FlowId>::max();
 
+  /// Registry resolution for a newly admitted flow (dispatcher side).
+  core::StreamingIpUdpEstimator::BackendPtr resolveBackend(
+      const netflow::FlowKey& key, FlowStats& stats) const;
+
   void workerLoop(Shard& shard);
   void processBatch(Shard& shard, const std::vector<Item>& batch);
   void pushResult(Shard& shard, EngineResult result);
@@ -172,6 +206,8 @@ class MultiFlowEngine {
   void evictFlow(FlowId flow);
 
   EngineOptions options_;
+  /// VCA verdicts for registry keys at flow admission (default resolver).
+  core::MediaClassifier classifier_;
   FlowTable flowTable_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int> runningWorkers_{0};

@@ -43,4 +43,49 @@ netflow::PacketTrace syntheticFlowTrace(std::uint64_t seed, int packets,
   return trace;
 }
 
+ml::RandomForest syntheticForest(int trees, int depth, double leafBase) {
+  constexpr int kFeatures = 14;
+  trees = std::max(trees, 1);
+  depth = std::max(depth, 0);
+
+  std::vector<ml::DecisionTree> built;
+  built.reserve(static_cast<std::size_t>(trees));
+  for (int t = 0; t < trees; ++t) {
+    // Complete binary tree in level order: nodes [0, 2^depth - 1) are
+    // internal, the trailing 2^depth are leaves.
+    const std::int32_t internal = (1 << depth) - 1;
+    const std::int32_t total = (1 << (depth + 1)) - 1;
+    std::vector<ml::DecisionTree::Node> nodes(
+        static_cast<std::size_t>(total));
+    for (std::int32_t n = 0; n < total; ++n) {
+      auto& node = nodes[static_cast<std::size_t>(n)];
+      if (n < internal) {
+        node.featureIndex = (n + t) % kFeatures;
+        // Thresholds landing inside the typical feature ranges so both
+        // branches are actually taken on synthetic traffic.
+        node.threshold = 50.0 + 37.0 * ((n * 7 + t * 13) % 29);
+        node.left = 2 * n + 1;
+        node.right = 2 * n + 2;
+      } else {
+        node.featureIndex = -1;
+        node.value =
+            leafBase + 0.01 * static_cast<double>((t * 31 + n * 7) % 97 -
+                                                  (t == 0 && n == 0 ? 0 : 48));
+      }
+    }
+    built.push_back(
+        ml::DecisionTree::fromNodes(std::move(nodes), ml::TreeTask::kRegression,
+                                    {}));
+  }
+
+  std::vector<std::string> names;
+  names.reserve(kFeatures);
+  for (int f = 0; f < kFeatures; ++f) {
+    names.push_back("synthetic_feature_" + std::to_string(f));
+  }
+  return ml::RandomForest::fromParts(
+      ml::TreeTask::kRegression, std::move(names), std::move(built),
+      std::vector<double>(kFeatures, 1.0 / kFeatures));
+}
+
 }  // namespace vcaqoe::engine

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "common/time.hpp"
+#include "ml/random_forest.hpp"
 #include "netflow/packet.hpp"
 
 /// Deterministic synthetic multi-flow traffic for engine tests, benches, and
@@ -19,5 +20,14 @@ netflow::FlowKey syntheticFlowKey(std::uint32_t index);
 /// "audio" packets sprinkled in. Arrival-ordered, starting at `startNs`.
 netflow::PacketTrace syntheticFlowTrace(std::uint64_t seed, int packets,
                                         common::TimeNs startNs);
+
+/// A deterministic hand-built regression forest over the 14 IP/UDP
+/// features — no training, exact reproducibility: `trees` complete binary
+/// trees of `depth` levels, splits cycling through the features with
+/// thresholds varied per node, leaf values spread deterministically around
+/// `leafBase`. With `trees == 1 && depth == 0` the forest predicts exactly
+/// `leafBase` for every input — handy for per-VCA selection tests; deeper
+/// shapes give benches realistic per-window inference cost.
+ml::RandomForest syntheticForest(int trees, int depth, double leafBase);
 
 }  // namespace vcaqoe::engine

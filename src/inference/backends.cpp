@@ -1,0 +1,106 @@
+#include "inference/backends.hpp"
+
+#include <stdexcept>
+
+namespace vcaqoe::inference {
+
+std::string_view toString(QoeTarget target) {
+  switch (target) {
+    case QoeTarget::kFrameRate:
+      return "frame_rate";
+    case QoeTarget::kBitrateKbps:
+      return "bitrate_kbps";
+    case QoeTarget::kFrameJitterMs:
+      return "frame_jitter_ms";
+    case QoeTarget::kResolution:
+      return "resolution";
+  }
+  return "unknown";
+}
+
+std::optional<QoeTarget> targetFromString(std::string_view slug) {
+  for (const auto target : kAllTargets) {
+    if (toString(target) == slug) return target;
+  }
+  return std::nullopt;
+}
+
+ForestBackend::ForestBackend(ml::RandomForest forest, QoeTarget target,
+                             std::string name)
+    : forest_(std::move(forest)), target_(target), name_(std::move(name)) {
+  if (!forest_.trained()) {
+    throw std::invalid_argument("ForestBackend: forest is untrained");
+  }
+  if (name_.empty()) {
+    name_ = "forest:" + std::string(toString(target_));
+  }
+}
+
+void ForestBackend::predict(std::span<const double> features,
+                            PredictionSet& out) const {
+  out.set(target_, forest_.predict(features));
+}
+
+HeuristicBackend::HeuristicBackend() : name_("heuristic") {}
+
+void HeuristicBackend::predict(std::span<const double>,
+                               PredictionSet&) const {
+  // Algorithm 1 works on frame boundaries, which the 14 IP/UDP features do
+  // not carry — only the full-window path can fill anything.
+}
+
+void HeuristicBackend::predictWindow(const WindowContext& context,
+                                     PredictionSet& out) const {
+  if (!context.hasHeuristic) return;
+  out.set(QoeTarget::kFrameRate, context.heuristicFps);
+  out.set(QoeTarget::kBitrateKbps, context.heuristicBitrateKbps);
+  out.set(QoeTarget::kFrameJitterMs, context.heuristicFrameJitterMs);
+}
+
+std::vector<QoeTarget> HeuristicBackend::targets() const {
+  return {QoeTarget::kFrameRate, QoeTarget::kBitrateKbps,
+          QoeTarget::kFrameJitterMs};
+}
+
+NullBackend::NullBackend() : name_("null") {}
+
+void NullBackend::predict(std::span<const double>, PredictionSet&) const {}
+
+CompositeBackend::CompositeBackend(
+    std::vector<std::shared_ptr<const InferenceBackend>> children)
+    : children_(std::move(children)) {
+  for (const auto& child : children_) {
+    if (!child) throw std::invalid_argument("CompositeBackend: null child");
+    if (!name_.empty()) name_ += "+";
+    name_ += child->name();
+  }
+  if (name_.empty()) name_ = "composite:empty";
+}
+
+void CompositeBackend::predict(std::span<const double> features,
+                               PredictionSet& out) const {
+  for (const auto& child : children_) child->predict(features, out);
+}
+
+void CompositeBackend::predictWindow(const WindowContext& context,
+                                     PredictionSet& out) const {
+  for (const auto& child : children_) child->predictWindow(context, out);
+}
+
+std::vector<QoeTarget> CompositeBackend::targets() const {
+  std::vector<QoeTarget> merged;
+  for (const auto target : kAllTargets) {
+    for (const auto& child : children_) {
+      const auto childTargets = child->targets();
+      bool found = false;
+      for (const auto t : childTargets) found = found || t == target;
+      if (found) {
+        merged.push_back(target);
+        break;
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace vcaqoe::inference

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "inference/backend.hpp"
+#include "ml/random_forest.hpp"
+
+/// The concrete backends every layer now shares.
+namespace vcaqoe::inference {
+
+/// Wraps one trained `ml::RandomForest` predicting one target from the
+/// IP/UDP feature vector. The forest is owned (moved in) and never mutated
+/// after construction, so one ForestBackend serves any number of flows.
+class ForestBackend final : public InferenceBackend {
+ public:
+  /// Throws std::invalid_argument if the forest is untrained.
+  ForestBackend(ml::RandomForest forest, QoeTarget target, std::string name);
+
+  void predict(std::span<const double> features,
+               PredictionSet& out) const override;
+  std::vector<QoeTarget> targets() const override { return {target_}; }
+  const std::string& name() const override { return name_; }
+
+  const ml::RandomForest& forest() const { return forest_; }
+
+ private:
+  ml::RandomForest forest_;
+  QoeTarget target_;
+  std::string name_;
+};
+
+/// Adapts the Algorithm-1 heuristic estimates (already computed per window
+/// by the streaming estimator) into a `PredictionSet`, so heuristic and ML
+/// results flow through the same typed result path. From the feature vector
+/// alone it predicts nothing.
+class HeuristicBackend final : public InferenceBackend {
+ public:
+  HeuristicBackend();
+
+  void predict(std::span<const double> features,
+               PredictionSet& out) const override;
+  void predictWindow(const WindowContext& context,
+                     PredictionSet& out) const override;
+  std::vector<QoeTarget> targets() const override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Predicts nothing — the registry's default fallback, keeping "no model
+/// for this flow" on the same code path as every other resolution.
+class NullBackend final : public InferenceBackend {
+ public:
+  NullBackend();
+
+  void predict(std::span<const double> features,
+               PredictionSet& out) const override;
+  std::vector<QoeTarget> targets() const override { return {}; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Fans one window out to several backends (one per resolved target) and
+/// merges their predictions. Children are shared immutable backends; later
+/// children win on overlapping targets.
+class CompositeBackend final : public InferenceBackend {
+ public:
+  explicit CompositeBackend(
+      std::vector<std::shared_ptr<const InferenceBackend>> children);
+
+  void predict(std::span<const double> features,
+               PredictionSet& out) const override;
+  void predictWindow(const WindowContext& context,
+                     PredictionSet& out) const override;
+  std::vector<QoeTarget> targets() const override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::vector<std::shared_ptr<const InferenceBackend>> children_;
+  std::string name_;
+};
+
+}  // namespace vcaqoe::inference

@@ -1,0 +1,155 @@
+#include "inference/model_registry.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "ml/serialize.hpp"
+
+namespace vcaqoe::inference {
+
+ModelRegistry::ModelRegistry(ModelRegistryOptions options)
+    : options_(std::move(options)), fallback_(options_.fallback) {
+  if (!fallback_) fallback_ = std::make_shared<NullBackend>();
+}
+
+void ModelRegistry::registerBackend(
+    const std::string& vca, QoeTarget target,
+    std::shared_ptr<const InferenceBackend> backend) {
+  std::unique_lock lock(mutex_);
+  backends_[Key{vca, target}] = std::move(backend);
+  composites_.clear();  // memoized sets may now compose differently
+}
+
+std::shared_ptr<const InferenceBackend> ModelRegistry::lookupOrLoad(
+    const std::string& vca, QoeTarget target) {
+  const Key key{vca, target};
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = backends_.find(key);
+    if (it != backends_.end()) {
+      if (it->second) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Negative cache: a previous resolve already probed the disk.
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return it->second;
+    }
+  }
+
+  std::unique_lock lock(mutex_);
+  // Double-check: another thread may have loaded while we upgraded.
+  const auto it = backends_.find(key);
+  if (it != backends_.end()) {
+    if (it->second) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return it->second;
+  }
+
+  std::shared_ptr<const InferenceBackend> loaded;
+  if (!options_.modelDir.empty()) {
+    const std::string slug(toString(target));
+    const std::string path =
+        options_.modelDir + "/" + vca + "/" + slug + ml::kForestFileExtension;
+    try {
+      auto forest = ml::tryLoadForestFile(path);
+      if (forest.has_value()) {
+        loaded = std::make_shared<ForestBackend>(
+            std::move(*forest), target, "forest:" + vca + "/" + slug);
+        loads_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const std::exception&) {
+      // File present but malformed: count it, cache the miss, serve the
+      // fallback — one bad model file must not take the monitor down.
+      loadFailures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!loaded) misses_.fetch_add(1, std::memory_order_relaxed);
+  backends_[key] = loaded;
+  composites_.clear();  // memoized sets may now compose differently
+  return loaded;
+}
+
+std::shared_ptr<const InferenceBackend> ModelRegistry::resolve(
+    const std::string& vca, QoeTarget target) {
+  auto backend = lookupOrLoad(vca, target);
+  return backend ? backend : fallback_;
+}
+
+std::shared_ptr<const InferenceBackend> ModelRegistry::resolveSet(
+    const std::string& vca, std::span<const QoeTarget> targets) {
+  // Per-target probes always run, so the hit/miss/load counters see exactly
+  // one resolution per (admission, target) and lazy loads happen here; the
+  // composition itself is memoized below.
+  std::uint32_t mask = 0;
+  for (const auto target : targets) {
+    mask |= 1u << static_cast<std::uint32_t>(target);
+    lookupOrLoad(vca, target);
+  }
+  if (mask == 0) return fallback_;
+
+  // Steady state (millions of admissions, a handful of model sets) must not
+  // allocate a fresh composite per flow: memoize per (vca, target set). The
+  // cache is cleared whenever `backends_` changes, and children are built
+  // from the map under the write lock in canonical target order — never
+  // from the probe results — so neither a racing mutation nor the caller's
+  // target ordering can pin a different composition.
+  const std::pair<std::string, std::uint32_t> cacheKey{vca, mask};
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = composites_.find(cacheKey);
+    if (it != composites_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  const auto cached = composites_.find(cacheKey);
+  if (cached != composites_.end()) return cached->second;
+
+  std::vector<std::shared_ptr<const InferenceBackend>> children;
+  bool missing = false;
+  for (const auto target : kAllTargets) {
+    if ((mask & (1u << static_cast<std::uint32_t>(target))) == 0) continue;
+    const auto entry = backends_.find(Key{vca, target});
+    if (entry == backends_.end() || !entry->second) {
+      missing = true;
+      continue;
+    }
+    const auto& backend = entry->second;
+    bool duplicate = false;
+    for (const auto& seen : children) duplicate = duplicate || seen == backend;
+    if (!duplicate) children.push_back(backend);
+  }
+  std::shared_ptr<const InferenceBackend> composed;
+  if (children.empty()) {
+    composed = fallback_;
+  } else {
+    // Fallback first: real models override it on overlapping targets.
+    if (missing) children.insert(children.begin(), fallback_);
+    composed = children.size() == 1
+                   ? children.front()
+                   : std::make_shared<CompositeBackend>(std::move(children));
+  }
+  return composites_.try_emplace(cacheKey, std::move(composed)).first->second;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  std::size_t positive = 0;
+  for (const auto& [key, backend] : backends_) {
+    if (backend) ++positive;
+  }
+  return positive;
+}
+
+RegistryStats ModelRegistry::stats() const {
+  RegistryStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.loads = loads_.load(std::memory_order_relaxed);
+  stats.loadFailures = loadFailures_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace vcaqoe::inference

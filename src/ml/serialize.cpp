@@ -1,5 +1,6 @@
 #include "ml/serialize.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -154,6 +155,14 @@ RandomForest loadForest(std::istream& in) {
 RandomForest loadForestFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("loadForest: cannot open " + path);
+  return loadForest(in);
+}
+
+std::optional<RandomForest> tryLoadForestFile(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return std::nullopt;
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
   return loadForest(in);
 }
 

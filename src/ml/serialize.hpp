@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "ml/random_forest.hpp"
@@ -16,6 +17,10 @@ namespace vcaqoe::ml {
 
 inline constexpr int kModelFormatVersion = 1;
 
+/// Canonical extension of serialized forests; the inference ModelRegistry
+/// looks for `<modelDir>/<vca>/<target>.forest`.
+inline constexpr const char* kForestFileExtension = ".forest";
+
 /// Serializes a trained forest. Throws std::logic_error if untrained.
 void saveForest(const RandomForest& forest, std::ostream& out);
 void saveForestFile(const RandomForest& forest, const std::string& path);
@@ -24,5 +29,11 @@ void saveForestFile(const RandomForest& forest, const std::string& path);
 /// version mismatch.
 RandomForest loadForest(std::istream& in);
 RandomForest loadForestFile(const std::string& path);
+
+/// Lazy-load variant for registries: nullopt when `path` does not exist (a
+/// normal miss), but still throws std::runtime_error when the file exists
+/// and is malformed — a corrupt deployed model should be loud, a missing
+/// one is routine.
+std::optional<RandomForest> tryLoadForestFile(const std::string& path);
 
 }  // namespace vcaqoe::ml

@@ -70,7 +70,7 @@ void expectSameOutput(const core::StreamingOutput& got,
   EXPECT_EQ(got.heuristic.fps, want.heuristic.fps);
   EXPECT_EQ(got.heuristic.frameJitterMs, want.heuristic.frameJitterMs);
   EXPECT_EQ(got.heuristic.frameCount, want.heuristic.frameCount);
-  EXPECT_EQ(got.prediction.has_value(), want.prediction.has_value());
+  EXPECT_TRUE(got.predictions == want.predictions);  // bit-identical doubles
 }
 
 TEST(FlowTable, InternAssignsDenseIdsInFirstSeenOrder) {

@@ -1,0 +1,580 @@
+// Inference surface tests: typed PredictionSet results, the concrete
+// backends, the warm ModelRegistry (per-VCA selection, lazy disk loading,
+// fallback, concurrency), and the engine integration — backends resolved at
+// flow admission, re-resolved after eviction, deterministic across worker
+// counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/media_classifier.hpp"
+#include "core/streaming.hpp"
+#include "engine/multi_flow_engine.hpp"
+#include "engine/synthetic.hpp"
+#include "inference/backends.hpp"
+#include "inference/model_registry.hpp"
+#include "ingest/pcap_replay.hpp"
+#include "ingest/replay_driver.hpp"
+#include "ml/serialize.hpp"
+#include "netflow/pcap.hpp"
+
+namespace vcaqoe::inference {
+namespace {
+
+std::shared_ptr<const InferenceBackend> constantForestBackend(
+    double value, QoeTarget target, const std::string& name) {
+  return std::make_shared<ForestBackend>(engine::syntheticForest(1, 0, value),
+                                         target, name);
+}
+
+TEST(PredictionSet, SetGetHasClearAndEquality) {
+  PredictionSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.has(QoeTarget::kFrameRate));
+  EXPECT_EQ(set.get(QoeTarget::kFrameRate), std::nullopt);
+
+  set.set(QoeTarget::kFrameRate, 29.5);
+  set.set(QoeTarget::kResolution, 720.0);
+  EXPECT_FALSE(set.empty());
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.get(QoeTarget::kFrameRate), std::optional<double>(29.5));
+  EXPECT_EQ(set.get(QoeTarget::kResolution), std::optional<double>(720.0));
+  EXPECT_FALSE(set.has(QoeTarget::kBitrateKbps));
+
+  PredictionSet same;
+  same.set(QoeTarget::kResolution, 720.0);
+  same.set(QoeTarget::kFrameRate, 29.5);
+  EXPECT_TRUE(set == same);
+
+  PredictionSet different = same;
+  different.set(QoeTarget::kFrameRate, 30.0);
+  EXPECT_FALSE(set == different);
+  PredictionSet extra = same;
+  extra.set(QoeTarget::kBitrateKbps, 1.0);
+  EXPECT_FALSE(set == extra);
+
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set == PredictionSet{});
+}
+
+TEST(PredictionSet, TargetNamesRoundTrip) {
+  for (const auto target : kAllTargets) {
+    const auto slug = toString(target);
+    EXPECT_EQ(targetFromString(slug), std::optional<QoeTarget>(target))
+        << slug;
+  }
+  EXPECT_EQ(targetFromString("fps"), std::nullopt);
+  EXPECT_EQ(targetFromString(""), std::nullopt);
+}
+
+TEST(Backend, ForestBackendPredictsItsSingleTarget) {
+  const auto backend = constantForestBackend(30.0, QoeTarget::kFrameRate,
+                                             "forest:meet/frame_rate");
+  EXPECT_EQ(backend->name(), "forest:meet/frame_rate");
+  EXPECT_EQ(backend->targets(),
+            std::vector<QoeTarget>{QoeTarget::kFrameRate});
+
+  const std::vector<double> features(14, 1.0);
+  PredictionSet out;
+  backend->predict(features, out);
+  EXPECT_EQ(out.get(QoeTarget::kFrameRate), std::optional<double>(30.0));
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Backend, ForestBackendRejectsUntrainedForest) {
+  EXPECT_THROW(
+      ForestBackend(ml::RandomForest{}, QoeTarget::kFrameRate, "x"),
+      std::invalid_argument);
+}
+
+TEST(Backend, HeuristicBackendAdaptsWindowContext) {
+  HeuristicBackend backend;
+  EXPECT_EQ(backend.name(), "heuristic");
+
+  const std::vector<double> features(14, 1.0);
+  PredictionSet fromFeatures;
+  backend.predict(features, fromFeatures);
+  EXPECT_TRUE(fromFeatures.empty());  // frames are invisible to features
+
+  WindowContext context;
+  context.features = features;
+  context.hasHeuristic = true;
+  context.heuristicFps = 24.0;
+  context.heuristicBitrateKbps = 1500.0;
+  context.heuristicFrameJitterMs = 3.5;
+  PredictionSet out;
+  backend.predictWindow(context, out);
+  EXPECT_EQ(out.get(QoeTarget::kFrameRate), std::optional<double>(24.0));
+  EXPECT_EQ(out.get(QoeTarget::kBitrateKbps), std::optional<double>(1500.0));
+  EXPECT_EQ(out.get(QoeTarget::kFrameJitterMs), std::optional<double>(3.5));
+  EXPECT_FALSE(out.has(QoeTarget::kResolution));
+}
+
+TEST(Backend, NullBackendPredictsNothing) {
+  NullBackend backend;
+  const std::vector<double> features(14, 1.0);
+  PredictionSet out;
+  backend.predict(features, out);
+  WindowContext context;
+  context.features = features;
+  context.hasHeuristic = true;
+  backend.predictWindow(context, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(backend.targets().empty());
+}
+
+TEST(Backend, CompositeMergesChildrenLaterWins) {
+  auto fps = constantForestBackend(30.0, QoeTarget::kFrameRate, "fps");
+  auto bitrate =
+      constantForestBackend(900.0, QoeTarget::kBitrateKbps, "bitrate");
+  auto fpsOverride = constantForestBackend(15.0, QoeTarget::kFrameRate, "ovr");
+  CompositeBackend composite({fps, bitrate, fpsOverride});
+  EXPECT_EQ(composite.name(), "fps+bitrate+ovr");
+  EXPECT_EQ(composite.targets(),
+            (std::vector<QoeTarget>{QoeTarget::kFrameRate,
+                                    QoeTarget::kBitrateKbps}));
+
+  const std::vector<double> features(14, 2.0);
+  PredictionSet out;
+  composite.predict(features, out);
+  EXPECT_EQ(out.get(QoeTarget::kFrameRate), std::optional<double>(15.0));
+  EXPECT_EQ(out.get(QoeTarget::kBitrateKbps), std::optional<double>(900.0));
+}
+
+TEST(ModelRegistry, PerVcaSelectionAndHitCounters) {
+  ModelRegistry registry;
+  registry.registerBackend("meet", QoeTarget::kFrameRate,
+                           constantForestBackend(30.0, QoeTarget::kFrameRate,
+                                                 "forest:meet/frame_rate"));
+  registry.registerBackend("teams", QoeTarget::kFrameRate,
+                           constantForestBackend(15.0, QoeTarget::kFrameRate,
+                                                 "forest:teams/frame_rate"));
+  EXPECT_EQ(registry.size(), 2u);
+
+  const auto meet = registry.resolve("meet", QoeTarget::kFrameRate);
+  const auto teams = registry.resolve("teams", QoeTarget::kFrameRate);
+  EXPECT_EQ(meet->name(), "forest:meet/frame_rate");
+  EXPECT_EQ(teams->name(), "forest:teams/frame_rate");
+  EXPECT_NE(meet, teams);
+  // The same key resolves to the same shared instance (model sharing).
+  EXPECT_EQ(registry.resolve("meet", QoeTarget::kFrameRate), meet);
+
+  const auto stats = registry.stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.loads, 0u);
+}
+
+TEST(ModelRegistry, FallbackOnMissingModel) {
+  ModelRegistry defaulted;
+  const auto fallback = defaulted.resolve("webex", QoeTarget::kFrameRate);
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(fallback->name(), "null");
+  EXPECT_EQ(fallback, defaulted.fallback());
+  EXPECT_EQ(defaulted.stats().misses, 1u);
+  EXPECT_EQ(defaulted.stats().hits, 0u);
+
+  ModelRegistryOptions options;
+  options.fallback = std::make_shared<HeuristicBackend>();
+  ModelRegistry heuristicFallback(options);
+  EXPECT_EQ(heuristicFallback.resolve("webex", QoeTarget::kFrameRate)->name(),
+            "heuristic");
+}
+
+TEST(ModelRegistry, ResolveSetCompositionRules) {
+  ModelRegistry registry;
+  registry.registerBackend("meet", QoeTarget::kFrameRate,
+                           constantForestBackend(30.0, QoeTarget::kFrameRate,
+                                                 "fps"));
+  registry.registerBackend(
+      "meet", QoeTarget::kBitrateKbps,
+      constantForestBackend(900.0, QoeTarget::kBitrateKbps, "bitrate"));
+
+  // Every requested target resolved: composite of the two forests.
+  const std::vector<QoeTarget> both = {QoeTarget::kFrameRate,
+                                       QoeTarget::kBitrateKbps};
+  const auto composite = registry.resolveSet("meet", both);
+  PredictionSet out;
+  composite->predict(std::vector<double>(14, 0.0), out);
+  EXPECT_EQ(out.get(QoeTarget::kFrameRate), std::optional<double>(30.0));
+  EXPECT_EQ(out.get(QoeTarget::kBitrateKbps), std::optional<double>(900.0));
+
+  // A single resolved target returns the backend itself, no wrapper.
+  const std::vector<QoeTarget> one = {QoeTarget::kFrameRate};
+  EXPECT_EQ(registry.resolveSet("meet", one)->name(), "fps");
+
+  // Nothing resolved: the fallback itself.
+  EXPECT_EQ(registry.resolveSet("webex", both), registry.fallback());
+
+  // Partially resolved with a predicting fallback: the fallback fills what
+  // it can but the real model wins its own target.
+  ModelRegistryOptions options;
+  options.fallback = std::make_shared<HeuristicBackend>();
+  ModelRegistry partial(options);
+  partial.registerBackend("meet", QoeTarget::kFrameRate,
+                          constantForestBackend(30.0, QoeTarget::kFrameRate,
+                                                "fps"));
+  const auto mixed = partial.resolveSet("meet", both);
+  WindowContext context;
+  const std::vector<double> features(14, 0.0);
+  context.features = features;
+  context.hasHeuristic = true;
+  context.heuristicFps = 22.0;
+  context.heuristicBitrateKbps = 800.0;
+  PredictionSet merged;
+  mixed->predictWindow(context, merged);
+  EXPECT_EQ(merged.get(QoeTarget::kFrameRate), std::optional<double>(30.0));
+  EXPECT_EQ(merged.get(QoeTarget::kBitrateKbps), std::optional<double>(800.0));
+}
+
+class ModelRegistryDisk : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("vcaqoe_registry_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void saveModel(const std::string& vca, QoeTarget target, double constant) {
+    const auto vcaDir = std::filesystem::path(dir_) / vca;
+    std::filesystem::create_directories(vcaDir);
+    const auto path =
+        vcaDir / (std::string(toString(target)) + ml::kForestFileExtension);
+    ml::saveForestFile(engine::syntheticForest(1, 0, constant), path.string());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ModelRegistryDisk, LazyLoadsFromRegistryLayout) {
+  saveModel("teams", QoeTarget::kFrameRate, 21.0);
+
+  ModelRegistryOptions options;
+  options.modelDir = dir_;
+  ModelRegistry registry(options);
+
+  const auto loaded = registry.resolve("teams", QoeTarget::kFrameRate);
+  EXPECT_EQ(loaded->name(), "forest:teams/frame_rate");
+  PredictionSet out;
+  loaded->predict(std::vector<double>(14, 0.0), out);
+  EXPECT_EQ(out.get(QoeTarget::kFrameRate), std::optional<double>(21.0));
+  auto stats = registry.stats();
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // Second resolution is a cache hit — the disk is not probed again.
+  EXPECT_EQ(registry.resolve("teams", QoeTarget::kFrameRate), loaded);
+  stats = registry.stats();
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // A target with no file on disk is a (cached) miss served by the
+  // fallback, counted once per resolution.
+  EXPECT_EQ(registry.resolve("teams", QoeTarget::kBitrateKbps),
+            registry.fallback());
+  EXPECT_EQ(registry.resolve("teams", QoeTarget::kBitrateKbps),
+            registry.fallback());
+  stats = registry.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.loads, 1u);
+}
+
+TEST_F(ModelRegistryDisk, MalformedModelFileCountsLoadFailure) {
+  const auto vcaDir = std::filesystem::path(dir_) / "meet";
+  std::filesystem::create_directories(vcaDir);
+  {
+    std::ofstream bad(vcaDir / "frame_rate.forest");
+    bad << "this is not a vcaqoe forest\n";
+  }
+
+  ModelRegistryOptions options;
+  options.modelDir = dir_;
+  ModelRegistry registry(options);
+  EXPECT_EQ(registry.resolve("meet", QoeTarget::kFrameRate),
+            registry.fallback());
+  const auto stats = registry.stats();
+  EXPECT_EQ(stats.loadFailures, 1u);
+  EXPECT_EQ(stats.loads, 0u);
+  // The failure is cached; later resolutions are plain misses.
+  EXPECT_EQ(registry.resolve("meet", QoeTarget::kFrameRate),
+            registry.fallback());
+  EXPECT_EQ(registry.stats().loadFailures, 1u);
+}
+
+TEST_F(ModelRegistryDisk, ConcurrentResolveFromManyWorkers) {
+  saveModel("meet", QoeTarget::kFrameRate, 30.0);
+  saveModel("teams", QoeTarget::kFrameRate, 15.0);
+
+  ModelRegistryOptions options;
+  options.modelDir = dir_;
+  ModelRegistry registry(options);
+
+  // N workers resolving the same keys concurrently (including the lazy
+  // first load and negative caching for webex) must agree on the instances
+  // and never race — this test runs under the sanitizer CI job.
+  constexpr int kThreads = 8;
+  constexpr int kResolvesPerThread = 500;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &mismatches] {
+      for (int i = 0; i < kResolvesPerThread; ++i) {
+        const auto meet = registry.resolve("meet", QoeTarget::kFrameRate);
+        const auto teams = registry.resolve("teams", QoeTarget::kFrameRate);
+        const auto webex = registry.resolve("webex", QoeTarget::kFrameRate);
+        if (meet->name() != "forest:meet/frame_rate" ||
+            teams->name() != "forest:teams/frame_rate" ||
+            webex != registry.fallback()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const auto stats = registry.stats();
+  EXPECT_EQ(stats.loads, 2u);
+  EXPECT_EQ(stats.loadFailures, 0u);
+  // Every resolution was counted exactly once.
+  EXPECT_EQ(stats.hits + stats.misses + stats.loads,
+            static_cast<std::uint64_t>(kThreads) * kResolvesPerThread * 3);
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kThreads) *
+                              kResolvesPerThread);
+}
+
+TEST(MediaClassifierVca, PortPriorVerdictOnEitherEndpoint) {
+  const core::MediaClassifier classifier;
+  netflow::FlowKey key;
+  key.srcPort = 51000;
+  key.dstPort = 19305;
+  EXPECT_EQ(classifier.classifyVca(key), core::VcaClass::kMeet);
+  key.dstPort = 3478;
+  EXPECT_EQ(classifier.classifyVca(key), core::VcaClass::kTeams);
+  key.dstPort = 9000;
+  EXPECT_EQ(classifier.classifyVca(key), core::VcaClass::kWebex);
+  key.dstPort = 443;
+  EXPECT_EQ(classifier.classifyVca(key), core::VcaClass::kUnknown);
+  // Upstream capture: the service port sits on the source side.
+  key.srcPort = 19309;
+  EXPECT_EQ(classifier.classifyVca(key), core::VcaClass::kMeet);
+
+  EXPECT_EQ(core::toString(core::VcaClass::kMeet), "meet");
+  EXPECT_EQ(core::toString(core::VcaClass::kTeams), "teams");
+  EXPECT_EQ(core::toString(core::VcaClass::kWebex), "webex");
+  EXPECT_EQ(core::toString(core::VcaClass::kUnknown), "unknown");
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+// ---------------------------------------------------------------------------
+
+netflow::FlowKey keyWithServicePort(std::uint32_t index,
+                                    std::uint16_t servicePort) {
+  auto key = engine::syntheticFlowKey(index);
+  key.dstPort = servicePort;
+  return key;
+}
+
+std::shared_ptr<ModelRegistry> twoVcaRegistry() {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->registerBackend("meet", QoeTarget::kFrameRate,
+                            constantForestBackend(30.0, QoeTarget::kFrameRate,
+                                                  "forest:meet/frame_rate"));
+  registry->registerBackend("teams", QoeTarget::kFrameRate,
+                            constantForestBackend(15.0, QoeTarget::kFrameRate,
+                                                  "forest:teams/frame_rate"));
+  return registry;
+}
+
+/// The acceptance gate of the redesign: a pcap replayed through
+/// MultiFlowEngine with a two-VCA ModelRegistry gives every flow the
+/// backend its VCA classification selects, and the full results — features,
+/// heuristics, and typed predictions — are bit-identical across worker
+/// counts.
+TEST(EngineInference, ReplayedPcapResolvesPerVcaModelsDeterministically) {
+  // 5 flows: 2 Meet (dst 19305), 2 Teams (dst 3478), 1 unknown (dst 443).
+  struct FlowSpec {
+    netflow::FlowKey key;
+    const char* vca;
+    std::optional<double> wantFps;
+  };
+  const std::vector<FlowSpec> specs = {
+      {keyWithServicePort(0, 19305), "meet", 30.0},
+      {keyWithServicePort(1, 19305), "meet", 30.0},
+      {keyWithServicePort(2, 3478), "teams", 15.0},
+      {keyWithServicePort(3, 3478), "teams", 15.0},
+      {keyWithServicePort(4, 443), "unknown", std::nullopt},
+  };
+
+  std::vector<ingest::SourcePacket> stream;
+  for (std::size_t f = 0; f < specs.size(); ++f) {
+    const auto trace =
+        engine::syntheticFlowTrace(100 + f, 800, static_cast<common::TimeNs>(f) *
+                                                     47'000);
+    for (const auto& packet : trace) stream.push_back({specs[f].key, packet});
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const ingest::SourcePacket& a,
+                      const ingest::SourcePacket& b) {
+                     return a.packet.arrivalNs < b.packet.arrivalNs;
+                   });
+  netflow::PcapWriter writer;
+  for (const auto& sp : stream) writer.write(sp.flow, sp.packet);
+  const auto capture = writer.bytes();
+
+  const auto runWithWorkers = [&](int workers) {
+    engine::EngineOptions options;
+    options.numWorkers = workers;
+    options.dispatchBatch = 32;
+    options.registry = twoVcaRegistry();
+    options.targets = {QoeTarget::kFrameRate};
+    engine::MultiFlowEngine eng(options);
+    ingest::PcapReplaySource source{std::span<const std::uint8_t>(capture)};
+    auto report = ingest::replay(source, eng, /*pollEvery=*/128);
+
+    // Per-flow verdicts and windows carry the VCA's own model.
+    std::size_t checkedFlows = 0;
+    for (const auto& spec : specs) {
+      const auto id = eng.flows().find(spec.key);
+      EXPECT_TRUE(id.has_value()) << spec.vca;
+      if (!id.has_value()) continue;
+      const auto& stats = eng.flowStats()[*id];
+      EXPECT_EQ(stats.vca, spec.vca);
+      if (spec.wantFps.has_value()) {
+        EXPECT_EQ(stats.backendName(),
+                  std::string("forest:") + spec.vca + "/frame_rate");
+      } else {
+        EXPECT_EQ(stats.backendName(), "null");
+      }
+      std::size_t windows = 0;
+      for (const auto& result : report.results) {
+        if (result.flow != *id) continue;
+        ++windows;
+        EXPECT_EQ(result.output.predictions.get(QoeTarget::kFrameRate),
+                  spec.wantFps);
+        EXPECT_FALSE(result.output.predictions.has(QoeTarget::kBitrateKbps));
+      }
+      EXPECT_GT(windows, 0u) << "flow " << spec.vca;
+      ++checkedFlows;
+    }
+    EXPECT_EQ(checkedFlows, specs.size());
+    return report;
+  };
+
+  const auto one = runWithWorkers(1);
+  const auto four = runWithWorkers(4);
+
+  // Bit-identical across worker counts, typed predictions included.
+  ASSERT_EQ(one.results.size(), four.results.size());
+  for (std::size_t i = 0; i < one.results.size(); ++i) {
+    const auto& a = one.results[i];
+    const auto& b = four.results[i];
+    EXPECT_EQ(a.flow, b.flow);
+    EXPECT_EQ(a.output.window, b.output.window);
+    EXPECT_EQ(a.output.features, b.output.features);
+    EXPECT_EQ(a.output.heuristic.fps, b.output.heuristic.fps);
+    EXPECT_EQ(a.output.heuristic.bitrateKbps, b.output.heuristic.bitrateKbps);
+    EXPECT_EQ(a.output.heuristic.frameJitterMs,
+              b.output.heuristic.frameJitterMs);
+    EXPECT_TRUE(a.output.predictions == b.output.predictions);
+  }
+}
+
+/// Builds a steady 1000-byte / 10 ms flow (all packets above V_min).
+netflow::PacketTrace steadyTrace(common::TimeNs startNs, int packets) {
+  netflow::PacketTrace trace;
+  for (int i = 0; i < packets; ++i) {
+    netflow::Packet p;
+    p.arrivalNs = startNs + static_cast<common::TimeNs>(i) * 10'000'000LL;
+    p.sizeBytes = 1000;
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+TEST(EngineInference, EvictedThenReturningFlowReResolvesItsBackend) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->registerBackend("meet", QoeTarget::kFrameRate,
+                            constantForestBackend(30.0, QoeTarget::kFrameRate,
+                                                  "forest:meet/v1"));
+
+  engine::EngineOptions options;
+  options.numWorkers = 2;
+  options.dispatchBatch = 1;
+  options.idleTimeoutNs = 3 * common::kNanosPerSecond;
+  options.registry = registry;
+  options.targets = {QoeTarget::kFrameRate};
+  engine::MultiFlowEngine eng(options);
+
+  const auto meetKey = keyWithServicePort(1, 19305);
+  const auto teamsKey = keyWithServicePort(2, 3478);
+
+  // Generation 0 of the meet flow, then silence while teams advances the
+  // clock past the idle timeout.
+  for (const auto& p : steadyTrace(0, 200)) eng.onPacket(meetKey, p);
+  EXPECT_EQ(eng.stats().registry.hits, 1u);
+  for (const auto& p : steadyTrace(2 * common::kNanosPerSecond, 800)) {
+    eng.onPacket(teamsKey, p);
+  }
+  EXPECT_TRUE(eng.flowStats()[0].evicted);
+
+  // A new model generation is deployed while the flow is away.
+  registry->registerBackend("meet", QoeTarget::kFrameRate,
+                            constantForestBackend(60.0, QoeTarget::kFrameRate,
+                                                  "forest:meet/v2"));
+
+  // The returning flow is a fresh generation: admission re-resolves and
+  // picks up the new model, never the evicted generation's pointer.
+  for (const auto& p : steadyTrace(50 * common::kNanosPerSecond, 200)) {
+    eng.onPacket(meetKey, p);
+  }
+  const auto returnedId = eng.flows().find(meetKey);
+  ASSERT_TRUE(returnedId.has_value());
+  EXPECT_EQ(*returnedId, 2u);
+  EXPECT_EQ(eng.flowStats()[0].backendName(), "forest:meet/v1");
+  // No teams model registered: the fallback served the teams flow.
+  EXPECT_EQ(eng.flowStats()[1].backendName(), "null");
+  EXPECT_EQ(eng.flowStats()[2].backendName(), "forest:meet/v2");
+  // One resolution per admission: meet gen 0 (hit), teams (miss -> fallback),
+  // meet gen 1 (hit).
+  EXPECT_EQ(eng.stats().registry.hits, 2u);
+  EXPECT_EQ(eng.stats().registry.misses, 1u);
+
+  const auto results = eng.finish();
+  std::size_t gen0 = 0;
+  std::size_t gen1 = 0;
+  for (const auto& result : results) {
+    const auto fps = result.output.predictions.get(QoeTarget::kFrameRate);
+    if (result.flow == 0) {
+      ++gen0;
+      EXPECT_EQ(fps, std::optional<double>(30.0));
+    } else if (result.flow == 2) {
+      ++gen1;
+      EXPECT_EQ(fps, std::optional<double>(60.0));
+    }
+  }
+  EXPECT_GT(gen0, 0u);
+  EXPECT_GT(gen1, 0u);
+}
+
+}  // namespace
+}  // namespace vcaqoe::inference

@@ -7,6 +7,7 @@
 #include "core/streaming.hpp"
 #include "datasets/generators.hpp"
 #include "datasets/vca_profiles.hpp"
+#include "inference/backends.hpp"
 #include "netem/conditions.hpp"
 
 namespace vcaqoe::core {
@@ -105,7 +106,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("meet", "teams", "webex"),
                        ::testing::Values(11, 22, 33)));
 
-TEST(Streaming, AttachedModelPredictsEveryWindow) {
+TEST(Streaming, AttachedBackendPredictsEveryWindow) {
   const auto session = makeSession("teams", 44);
   const auto records = buildWindowRecords(session);
   const auto data = buildMlDataset(records, features::FeatureSet::kIpUdp,
@@ -118,16 +119,77 @@ TEST(Streaming, AttachedModelPredictsEveryWindow) {
   int withPrediction = 0;
   StreamingIpUdpEstimator streaming(
       optionsFor("teams"), [&](const StreamingOutput& out) {
-        if (out.prediction.has_value()) {
+        const auto fps = out.predictions.get(inference::QoeTarget::kFrameRate);
+        if (fps.has_value()) {
           ++withPrediction;
-          EXPECT_GE(*out.prediction, 0.0);
-          EXPECT_LE(*out.prediction, 40.0);
+          EXPECT_GE(*fps, 0.0);
+          EXPECT_LE(*fps, 40.0);
         }
+        // The forest was trained on frame rate only; nothing else is set.
+        EXPECT_FALSE(
+            out.predictions.has(inference::QoeTarget::kBitrateKbps));
       });
-  streaming.attachModel(&forest);
+  streaming.attachBackend(std::make_shared<inference::ForestBackend>(
+      std::move(forest), inference::QoeTarget::kFrameRate,
+      "forest:teams/frame_rate"));
   for (const auto& pkt : session.packets) streaming.onPacket(pkt);
   streaming.finish();
   EXPECT_GE(withPrediction, 28);
+}
+
+TEST(Streaming, HeuristicBackendMirrorsAlgorithmOneEstimates) {
+  const auto session = makeSession("meet", 9);
+  int windows = 0;
+  StreamingIpUdpEstimator streaming(
+      optionsFor("meet"),
+      [&](const StreamingOutput& out) {
+        ++windows;
+        // One code path: the heuristic estimates arrive as typed
+        // predictions, bit-identical to the heuristic struct.
+        using inference::QoeTarget;
+        EXPECT_EQ(out.predictions.get(QoeTarget::kFrameRate),
+                  std::optional<double>(out.heuristic.fps));
+        EXPECT_EQ(out.predictions.get(QoeTarget::kBitrateKbps),
+                  std::optional<double>(out.heuristic.bitrateKbps));
+        EXPECT_EQ(out.predictions.get(QoeTarget::kFrameJitterMs),
+                  std::optional<double>(out.heuristic.frameJitterMs));
+        EXPECT_FALSE(out.predictions.has(QoeTarget::kResolution));
+      },
+      std::make_shared<inference::HeuristicBackend>());
+  for (const auto& pkt : session.packets) streaming.onPacket(pkt);
+  streaming.finish();
+  EXPECT_GE(windows, 25);
+}
+
+TEST(Streaming, AttachAfterFirstEmittedWindowThrows) {
+  // The codified mid-stream rule: a backend can only be attached while no
+  // window has been emitted; afterwards the swap would race the emission
+  // point, so it throws instead.
+  std::vector<StreamingOutput> outputs;
+  StreamingIpUdpEstimator streaming(
+      StreamingOptions{},
+      [&](const StreamingOutput& out) { outputs.push_back(out); });
+
+  netflow::Packet p;
+  p.sizeBytes = 1000;
+  p.arrivalNs = 100;
+  streaming.onPacket(p);
+  // No window emitted yet: attaching is still legal and applies to every
+  // window (emission is a pure function of the packet stream).
+  auto backend = std::make_shared<inference::HeuristicBackend>();
+  streaming.attachBackend(backend);
+  EXPECT_EQ(streaming.backend(), backend.get());
+
+  p.arrivalNs = 5 * common::kNanosPerSecond;  // forces window 0 out
+  streaming.onPacket(p);
+  ASSERT_GE(streaming.emittedWindows(), 1);
+  EXPECT_THROW(streaming.attachBackend(nullptr), std::logic_error);
+  EXPECT_THROW(
+      streaming.attachBackend(std::make_shared<inference::HeuristicBackend>()),
+      std::logic_error);
+  // The early-attached backend kept predicting despite the failed swaps.
+  ASSERT_FALSE(outputs.empty());
+  EXPECT_TRUE(outputs[0].predictions.has(inference::QoeTarget::kFrameRate));
 }
 
 TEST(Streaming, EmptyStreamFinishIsNoop) {
