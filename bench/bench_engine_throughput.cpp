@@ -3,16 +3,24 @@
 // Replays the interleaved packet stream of K concurrent synthetic VCA flows
 // (K = 1 / 8 / 64 / 1024) through (a) a single-threaded reference — one
 // FlowTable demux plus one StreamingIpUdpEstimator per flow, all on the
-// caller thread — and (b) the sharded MultiFlowEngine, each both without a
-// model and with a per-VCA forest resolved from a ModelRegistry (the
-// with-model column prices per-window inference into the hot path). Engine
-// output is checked bit-identical to the matching sequential reference
-// before any number is trusted.
+// caller thread — and (b) the sharded MultiFlowEngine. The with-model
+// engine rows price per-window inference into the hot path three ways:
+//   tree+m  — unbatched, node-tree forest layout (a local backend walking
+//             ml::RandomForest directly: the pre-flattening baseline)
+//   flat+m  — unbatched, the FlattenedForest SoA arena every ForestBackend
+//             now evaluates
+//   batch+m — batched-flat: cross-flow InferenceBatcher + one
+//             predictWindowBatch per shard batch
+// All engine digests are checked bit-identical to the matching sequential
+// reference before any number is trusted. A model-eval micro section also
+// reports raw rows/s for tree vs flat vs flat-batched predict.
 //
 // Scale knobs (environment):
 //   VCAQOE_BENCH_ENGINE_PACKETS — total packets per scenario (default 1.5M)
 //   VCAQOE_BENCH_ENGINE_WORKERS — engine worker threads (default 4)
 //   VCAQOE_BENCH_ENGINE_TREES   — synthetic-forest size (default 40)
+//   VCAQOE_BENCH_ENGINE_BATCH   — cross-flow inference batch size for the
+//     batch+m column (default 32)
 //   VCAQOE_BENCH_ENGINE_REQUIRE_SPEEDUP — when 1, also fail the exit code
 //     unless the 64-flow no-model speedup reaches 2x (off by default:
 //     wall-clock speedup on shared/loaded runners is not a correctness
@@ -32,6 +40,7 @@
 #include "engine/multi_flow_engine.hpp"
 #include "engine/synthetic.hpp"
 #include "inference/model_registry.hpp"
+#include "ml/flattened_forest.hpp"
 #include "netflow/packet.hpp"
 
 namespace vcaqoe {
@@ -41,6 +50,31 @@ int envInt(const char* name, int fallback) {
   const char* value = std::getenv(name);
   return value ? std::atoi(value) : fallback;
 }
+
+/// The pre-flattening baseline: a backend that walks the AoS node tree of
+/// `ml::RandomForest` per window, exactly what ForestBackend did before the
+/// flat layout landed. Kept here (not in the library) purely as the
+/// unbatched-tree comparison column.
+class TreeForestBackend final : public inference::InferenceBackend {
+ public:
+  TreeForestBackend(ml::RandomForest forest, inference::QoeTarget target,
+                    std::string name)
+      : forest_(std::move(forest)), target_(target), name_(std::move(name)) {}
+
+  void predict(std::span<const double> features,
+               inference::PredictionSet& out) const override {
+    out.set(target_, forest_.predict(features));
+  }
+  std::vector<inference::QoeTarget> targets() const override {
+    return {target_};
+  }
+  const std::string& name() const override { return name_; }
+
+ private:
+  ml::RandomForest forest_;
+  inference::QoeTarget target_;
+  std::string name_;
+};
 
 struct Scenario {
   std::vector<netflow::FlowKey> keys;
@@ -136,13 +170,18 @@ RunResult runSequential(const Scenario& scenario,
 
 RunResult runEngine(const Scenario& scenario,
                     const core::StreamingOptions& streaming, int workers,
-                    std::shared_ptr<inference::ModelRegistry> registry) {
+                    std::shared_ptr<inference::ModelRegistry> registry,
+                    std::size_t inferenceBatch = 1) {
   const auto start = std::chrono::steady_clock::now();
   engine::EngineOptions options;
   options.streaming = streaming;
   options.numWorkers = workers;
   options.registry = std::move(registry);
   options.targets = {inference::QoeTarget::kFrameRate};
+  options.inferenceBatch = inferenceBatch;
+  // Deadline scaled to the batch size so the size knob binds rather than
+  // the dispatch-boundary flush capping the effective batch.
+  options.inferenceFlushNs = engine::scaledInferenceFlushNs(inferenceBatch);
   engine::MultiFlowEngine eng(options);
   for (const auto& [keyIndex, packet] : scenario.stream) {
     eng.onPacket(scenario.keys[keyIndex], packet);
@@ -163,30 +202,99 @@ int main() {
   const int totalPackets = envInt("VCAQOE_BENCH_ENGINE_PACKETS", 1'500'000);
   const int workers = envInt("VCAQOE_BENCH_ENGINE_WORKERS", 4);
   const int trees = envInt("VCAQOE_BENCH_ENGINE_TREES", 40);
+  const std::size_t batch = static_cast<std::size_t>(
+      std::max(envInt("VCAQOE_BENCH_ENGINE_BATCH", 32), 2));
   const unsigned cores = std::thread::hardware_concurrency();
   core::StreamingOptions streaming;
 
-  // Per-VCA frame-rate forest shared by every flow: the synthetic 5-tuples
-  // carry the Teams media port, so each flow admission resolves to it.
-  const auto makeRegistry = [trees] {
+  // One trained per-VCA frame-rate model, served in both layouts: the
+  // synthetic 5-tuples carry the Teams media port, so each flow admission
+  // resolves to it.
+  const auto model = engine::syntheticForest(trees, 10, 30.0);
+  const auto makeFlatRegistry = [&model] {
     auto registry = std::make_shared<inference::ModelRegistry>();
     registry->registerBackend(
         "teams", inference::QoeTarget::kFrameRate,
         std::make_shared<inference::ForestBackend>(
-            engine::syntheticForest(trees, 10, 30.0),
-            inference::QoeTarget::kFrameRate, "forest:teams/frame_rate"));
+            model, inference::QoeTarget::kFrameRate,
+            "forest:teams/frame_rate"));
     return registry;
   };
-  const auto modelBackend = makeRegistry()->resolve(
+  const auto makeTreeRegistry = [&model] {
+    auto registry = std::make_shared<inference::ModelRegistry>();
+    registry->registerBackend(
+        "teams", inference::QoeTarget::kFrameRate,
+        std::make_shared<TreeForestBackend>(
+            model, inference::QoeTarget::kFrameRate,
+            "forest:teams/frame_rate"));
+    return registry;
+  };
+  const auto modelBackend = makeFlatRegistry()->resolve(
       "teams", inference::QoeTarget::kFrameRate);
+
+  // ---- model-eval micro: raw predict throughput, tree vs flat vs batched.
+  {
+    const ml::FlattenedForest flat(model);
+    constexpr std::size_t kRows = 4096;
+    std::vector<std::vector<double>> rows(kRows,
+                                          std::vector<double>(14, 0.0));
+    for (std::size_t r = 0; r < kRows; ++r) {
+      for (std::size_t f = 0; f < 14; ++f) {
+        rows[r][f] = static_cast<double>((r * 31 + f * 97) % 1100);
+      }
+    }
+    // Warmup + best-of-3: one scheduler hiccup on a shared runner must not
+    // decide the printed layout ratios.
+    const auto time = [&](auto&& body) {
+      body();  // warmup (touch caches, fault pages)
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        body();
+        best = std::max(best, static_cast<double>(kRows) / secondsSince(start));
+      }
+      return best;
+    };
+    std::vector<double> treeOut(kRows), flatOut(kRows), batchOut(kRows);
+    const double treeRps = time([&] {
+      for (std::size_t r = 0; r < kRows; ++r) {
+        treeOut[r] = model.predict(rows[r]);
+      }
+    });
+    const double flatRps = time([&] {
+      for (std::size_t r = 0; r < kRows; ++r) {
+        flatOut[r] = flat.predict(rows[r]);
+      }
+    });
+    const double batchRps = time([&] {
+      std::vector<ml::FeatureRow> batchRows;
+      batchRows.reserve(batch);
+      for (std::size_t from = 0; from < kRows; from += batch) {
+        const std::size_t to = std::min(kRows, from + batch);
+        batchRows.clear();
+        for (std::size_t r = from; r < to; ++r) batchRows.push_back(rows[r]);
+        flat.predictBatch(batchRows,
+                          std::span<double>(batchOut).subspan(from, to - from));
+      }
+    });
+    const bool exact = treeOut == flatOut && treeOut == batchOut;
+    std::printf(
+        "model eval micro (%d trees, %zu rows): tree %.0f rows/s, flat %.0f "
+        "rows/s (%.2fx), flat-batch[%zu] %.0f rows/s (%.2fx), bit-exact: "
+        "%s\n\n",
+        trees, kRows, treeRps, flatRps, flatRps / treeRps, batch, batchRps,
+        batchRps / treeRps, exact ? "yes" : "NO");
+    if (!exact) return 1;
+  }
 
   std::printf(
       "engine throughput — %d workers, %u hardware threads, ~%d packets "
-      "per scenario, %d-tree model\n",
-      workers, cores, totalPackets, trees);
-  std::printf("%6s %10s | %12s %13s %8s | %12s %13s %8s | %9s\n", "flows",
-              "packets", "seq pkts/s", "eng pkts/s", "speedup",
-              "seq+m pkts/s", "eng+m pkts/s", "speedup", "identical");
+      "per scenario, %d-tree model, batch %zu\n",
+      workers, cores, totalPackets, trees, batch);
+  std::printf(
+      "%6s %10s | %11s %11s %7s | %11s %11s %11s %7s %7s | %9s\n", "flows",
+      "packets", "seq pkts/s", "eng pkts/s", "spd", "tree+m", "flat+m",
+      "batch+m", "flat x", "batch x", "identical");
 
   bool allIdentical = true;
   bool met2xAt64 = false;
@@ -196,27 +304,35 @@ int main() {
     const auto seq = runSequential(scenario, streaming, nullptr);
     const auto eng = runEngine(scenario, streaming, workers, nullptr);
     // With the per-VCA forest (fresh registry per run: resolution counters
-    // and shard state start cold, like a monitor restart).
+    // and shard state start cold, like a monitor restart): node-tree
+    // unbatched baseline, flat unbatched, flat batched.
     const auto seqModel = runSequential(scenario, streaming, modelBackend);
-    const auto engModel = runEngine(scenario, streaming, workers,
-                                    makeRegistry());
+    const auto engTree = runEngine(scenario, streaming, workers,
+                                   makeTreeRegistry());
+    const auto engFlat = runEngine(scenario, streaming, workers,
+                                   makeFlatRegistry());
+    const auto engBatch = runEngine(scenario, streaming, workers,
+                                    makeFlatRegistry(), batch);
     const bool identical =
-        seq.digest == eng.digest && seqModel.digest == engModel.digest &&
+        seq.digest == eng.digest && seqModel.digest == engTree.digest &&
+        seqModel.digest == engFlat.digest &&
+        seqModel.digest == engBatch.digest &&
         seqModel.digest.outputs == seq.digest.outputs &&
         seqModel.digest.sum != seq.digest.sum;  // model actually predicted
     allIdentical = allIdentical && identical;
     const double speedup = eng.pps / seq.pps;
-    const double speedupModel = engModel.pps / seqModel.pps;
     if (flows == 64 && speedup >= 2.0) met2xAt64 = true;
     std::printf(
-        "%6d %10zu | %12.0f %13.0f %7.2fx | %12.0f %13.0f %7.2fx | %9s\n",
-        flows, scenario.stream.size(), seq.pps, eng.pps, speedup,
-        seqModel.pps, engModel.pps, speedupModel, identical ? "yes" : "NO");
+        "%6d %10zu | %11.0f %11.0f %6.2fx | %11.0f %11.0f %11.0f %6.2fx "
+        "%6.2fx | %9s\n",
+        flows, scenario.stream.size(), seq.pps, eng.pps, speedup, engTree.pps,
+        engFlat.pps, engBatch.pps, engFlat.pps / engTree.pps,
+        engBatch.pps / engTree.pps, identical ? "yes" : "NO");
   }
 
   std::printf(
-      "\nsharded output identical to sequential (with and without model): "
-      "%s\n",
+      "\nsharded output identical to sequential (tree, flat, and batched-"
+      "flat models): %s\n",
       allIdentical ? "yes" : "NO");
   std::printf("≥2x no-model speedup at 64 flows: %s\n",
               met2xAt64 ? "yes" : "NO");

@@ -4,8 +4,10 @@
 // of the ingest path on it, without and with per-window model inference:
 //   parse      — PcapFileReader streaming decode alone (records/s)
 //   replay 1/N — PcapReplaySource -> MultiFlowEngine, idle eviction on the
-//                N-worker rows, each without a model and with a per-VCA
-//                forest resolved from a ModelRegistry at flow admission
+//                N-worker rows, each without a model, with a per-VCA
+//                (flattened) forest resolved from a ModelRegistry at flow
+//                admission, and with the same forest behind the cross-flow
+//                InferenceBatcher (batched rows)
 // The replayed packet count is checked against what was written before any
 // number is trusted; a mismatch fails the exit code, as does a with-model
 // run whose windows carry no predictions.
@@ -16,6 +18,8 @@
 //   VCAQOE_BENCH_REPLAY_WORKERS — engine workers for the N-worker rows
 //                                 (default 4)
 //   VCAQOE_BENCH_REPLAY_TREES   — synthetic-forest size (default 40)
+//   VCAQOE_BENCH_REPLAY_BATCH   — cross-flow inference batch size for the
+//                                 batched rows (default 32)
 
 #include <algorithm>
 #include <chrono>
@@ -101,15 +105,32 @@ int main() {
                 static_cast<double>(written) / s);
   }
 
-  // ---- replay through the engine, without and with model inference. The
-  // synthetic 5-tuples carry the Teams media port, so with a registry every
-  // flow admission resolves the shared per-VCA frame-rate forest.
-  for (const bool withModel : {false, true}) {
+  // ---- replay through the engine, without and with model inference
+  // (per-window and cross-flow batched). The synthetic 5-tuples carry the
+  // Teams media port, so with a registry every flow admission resolves the
+  // shared per-VCA frame-rate forest.
+  const int batch = std::max(envInt("VCAQOE_BENCH_REPLAY_BATCH", 32), 2);
+  struct Mode {
+    const char* label;
+    bool withModel;
+    std::size_t inferenceBatch;
+  };
+  const Mode modes[] = {
+      {"replay -> engine", false, 1},
+      {"replay+model -> eng", true, 1},
+      {"replay+batch -> eng", true, static_cast<std::size_t>(batch)},
+  };
+  for (const auto& mode : modes) {
     for (const int w : {1, workers}) {
       engine::EngineOptions options;
       options.numWorkers = w;
       options.idleTimeoutNs = 30 * common::kNanosPerSecond;
-      if (withModel) {
+      options.inferenceBatch = mode.inferenceBatch;
+      // Deadline scaled to the batch size so the configured size binds
+      // rather than the dispatch-boundary flush capping it.
+      options.inferenceFlushNs =
+          engine::scaledInferenceFlushNs(mode.inferenceBatch);
+      if (mode.withModel) {
         options.registry = std::make_shared<inference::ModelRegistry>();
         options.registry->registerBackend(
             "teams", inference::QoeTarget::kFrameRate,
@@ -129,16 +150,31 @@ int main() {
         if (!result.output.predictions.empty()) ++predicted;
       }
       // With a model every window must carry a prediction; without, none.
-      ok = ok && predicted == (withModel ? report.results.size() : 0u);
+      ok = ok && predicted == (mode.withModel ? report.results.size() : 0u);
       std::printf(
           "%-20s %d wrk %12llu packets %12.0f pkt/s  (%zu windows, %zu "
           "predicted)\n",
-          withModel ? "replay+model -> eng" : "replay -> engine", w,
-          static_cast<unsigned long long>(report.packets),
+          mode.label, w, static_cast<unsigned long long>(report.packets),
           static_cast<double>(report.packets) / s, report.results.size(),
           predicted);
-      if (withModel && w == workers) {
-        const auto registryStats = eng.stats().registry;
+      const auto stats = report.engineStats;
+      if (mode.inferenceBatch > 1 && w == workers) {
+        // Batched rows must actually batch: every window through the
+        // batcher, several windows per predictWindowBatch call.
+        ok = ok && stats.batchedWindows == report.results.size();
+        std::printf(
+            "%-20s       %llu batches, %llu windows batched (~%.1f "
+            "windows/batch)\n",
+            "  batching",
+            static_cast<unsigned long long>(stats.inferenceBatches),
+            static_cast<unsigned long long>(stats.batchedWindows),
+            stats.inferenceBatches > 0
+                ? static_cast<double>(stats.batchedWindows) /
+                      static_cast<double>(stats.inferenceBatches)
+                : 0.0);
+      }
+      if (mode.withModel && mode.inferenceBatch <= 1 && w == workers) {
+        const auto registryStats = stats.registry;
         std::printf(
             "%-20s       hits %llu, misses %llu, loads %llu (shared "
             "immutable model)\n",

@@ -8,13 +8,23 @@
 // Usage:
 //   pcap_monitor [capture.pcap] [options]
 //     --workers N          engine worker threads (default 4)
+//     --batch N            cross-flow inference batch size per shard: hold
+//                          up to N completed windows (bounded by ~N seconds
+//                          of stream time) and predict them with one
+//                          batched call per backend; <= 1 = per-window
+//                          inference (default 1). Output is bit-identical
+//                          either way.
 //     --idle-timeout-s S   evict flows idle > S seconds, 0 = never (default 30)
 //     --pace X             replay speed: 0 = as fast as possible (default),
 //                          1 = real time, 2 = twice real time, ...
 //     --synth-flows K      no capture file: synthesize K flows (default 6)
 //     --model-dir DIR      warm-model registry root; per-VCA forests are
-//                          lazy-loaded from DIR/<vca>/<target>.forest at
-//                          flow admission (see README "Inference backends")
+//                          lazy-loaded from DIR/<vca>/<target>.fforest or
+//                          .forest at flow admission (see README
+//                          "Inference backends")
+//     --synth-model        instead of --model-dir: register a synthetic
+//                          teams frame-rate forest so the inference (and
+//                          batched-inference) path runs out of the box
 //     --target LIST        comma-separated prediction targets to resolve
 //                          (frame_rate,bitrate_kbps,frame_jitter_ms,
 //                          resolution; default: all)
@@ -49,10 +59,12 @@ namespace {
 struct Args {
   std::string capturePath;
   int workers = 4;
+  int batch = 1;
   double idleTimeoutS = 30.0;
   double pace = 0.0;
   int synthFlows = 6;
   std::string modelDir;
+  bool synthModel = false;
   std::vector<inference::QoeTarget> targets;
 };
 
@@ -73,6 +85,8 @@ bool parseArgs(int argc, char** argv, Args& args) {
     std::string s;
     if (arg == "--workers" && value(v)) {
       args.workers = static_cast<int>(v);
+    } else if (arg == "--batch" && value(v)) {
+      args.batch = static_cast<int>(v);
     } else if (arg == "--idle-timeout-s" && value(v)) {
       args.idleTimeoutS = v;
     } else if (arg == "--pace" && value(v)) {
@@ -81,6 +95,8 @@ bool parseArgs(int argc, char** argv, Args& args) {
       args.synthFlows = static_cast<int>(v);
     } else if (arg == "--model-dir" && text(s)) {
       args.modelDir = s;
+    } else if (arg == "--synth-model") {
+      args.synthModel = true;
     } else if (arg == "--target" && text(s)) {
       // Comma-separated target slugs.
       std::size_t start = 0;
@@ -157,16 +173,35 @@ int main(int argc, char** argv) {
 
   engine::EngineOptions options;
   options.numWorkers = args.workers;
+  options.inferenceBatch =
+      args.batch > 1 ? static_cast<std::size_t>(args.batch) : 1;
+  // Batch-scaled flush deadline so "hold up to N windows" is what actually
+  // runs (the default 0 would flush at every dispatch boundary).
+  options.inferenceFlushNs =
+      engine::scaledInferenceFlushNs(options.inferenceBatch);
   options.idleTimeoutNs = common::secondsToNs(args.idleTimeoutS);
-  const bool withModels = !args.modelDir.empty();
+  if (args.synthModel && !args.modelDir.empty()) {
+    std::fprintf(stderr, "--synth-model and --model-dir are exclusive\n");
+    return 2;
+  }
+  const bool withModels = !args.modelDir.empty() || args.synthModel;
   if (withModels) {
     inference::ModelRegistryOptions registryOptions;
     registryOptions.modelDir = args.modelDir;
     options.registry =
         std::make_shared<inference::ModelRegistry>(registryOptions);
+    if (args.synthModel) {
+      // The synthesized flows carry the Teams media port, so every flow
+      // admission resolves this shared backend.
+      options.registry->registerBackend(
+          "teams", inference::QoeTarget::kFrameRate,
+          std::make_shared<inference::ForestBackend>(
+              engine::syntheticForest(10, 6, 30.0),
+              inference::QoeTarget::kFrameRate, "forest:teams/frame_rate"));
+    }
     options.targets = args.targets;  // empty = all targets
   } else if (!args.targets.empty()) {
-    std::fprintf(stderr, "--target requires --model-dir\n");
+    std::fprintf(stderr, "--target requires --model-dir or --synth-model\n");
     return 2;
   }
   engine::MultiFlowEngine eng(options);
@@ -174,11 +209,25 @@ int main(int argc, char** argv) {
   ingest::ReplayOptions replayOptions;
   replayOptions.paceMultiplier = args.pace;
 
-  std::printf("replaying %s (%d workers, idle timeout %.0f s, pace %s%s%s)\n\n",
-              args.capturePath.c_str(), eng.numWorkers(), args.idleTimeoutS,
-              args.pace > 0 ? std::to_string(args.pace).c_str() : "off",
-              withModels ? ", models from " : "",
-              withModels ? args.modelDir.c_str() : "");
+  // The engine ignores inferenceBatch without a registry (nothing to
+  // predict); the banner must reflect what actually runs.
+  const bool batching = withModels && options.inferenceBatch > 1;
+  const std::string batchLabel =
+      batching ? std::to_string(options.inferenceBatch) : "off";
+  if (args.batch > 1 && !withModels) {
+    std::fprintf(stderr,
+                 "note: --batch has no effect without --model-dir or "
+                 "--synth-model (no models to predict with)\n");
+  }
+  std::printf(
+      "replaying %s (%d workers, batch %s, idle timeout %.0f s, pace "
+      "%s%s%s)\n\n",
+      args.capturePath.c_str(), eng.numWorkers(), batchLabel.c_str(),
+      args.idleTimeoutS,
+      args.pace > 0 ? std::to_string(args.pace).c_str() : "off",
+      withModels ? ", models from " : "",
+      withModels ? (args.synthModel ? "synthetic" : args.modelDir.c_str())
+                 : "");
 
   ingest::ReplayReport report;
   netflow::PcapParseStats parse;
@@ -241,6 +290,17 @@ int main(int argc, char** argv) {
   std::printf("window results     %zu\n", report.results.size());
   if (withModels) {
     std::printf("windows predicted  %zu\n", predictedWindows);
+    if (options.inferenceBatch > 1) {
+      std::printf(
+          "inference batches  %llu (%llu windows batched, ~%.1f "
+          "windows/batch)\n",
+          static_cast<unsigned long long>(stats.inferenceBatches),
+          static_cast<unsigned long long>(stats.batchedWindows),
+          stats.inferenceBatches > 0
+              ? static_cast<double>(stats.batchedWindows) /
+                    static_cast<double>(stats.inferenceBatches)
+              : 0.0);
+    }
     std::printf(
         "model registry     hits %llu, misses %llu, loads %llu, "
         "load failures %llu\n",

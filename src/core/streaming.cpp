@@ -181,13 +181,7 @@ void StreamingIpUdpEstimator::emitReadyWindows(
     out.features = features::extractFeatures(
         window, video, features::FeatureSet::kIpUdp, options_.extraction);
     if (backend_ != nullptr) {
-      inference::WindowContext context;
-      context.features = out.features;
-      context.hasHeuristic = true;
-      context.heuristicFps = out.heuristic.fps;
-      context.heuristicBitrateKbps = out.heuristic.bitrateKbps;
-      context.heuristicFrameJitterMs = out.heuristic.frameJitterMs;
-      backend_->predictWindow(context, out.predictions);
+      backend_->predictWindow(makeWindowContext(out), out.predictions);
     }
 
     callback_(out);

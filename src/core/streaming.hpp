@@ -47,6 +47,21 @@ struct StreamingOutput {
   inference::PredictionSet predictions;
 };
 
+/// Builds the inference input for one completed window — the single source
+/// of truth for `WindowContext` construction. The estimator's per-window
+/// path and the engine's cross-flow `InferenceBatcher` both go through it,
+/// so batched and unbatched predictions see identical inputs by
+/// construction. The context borrows `out.features`; `out` must outlive it.
+inline inference::WindowContext makeWindowContext(const StreamingOutput& out) {
+  inference::WindowContext context;
+  context.features = out.features;
+  context.hasHeuristic = true;
+  context.heuristicFps = out.heuristic.fps;
+  context.heuristicBitrateKbps = out.heuristic.bitrateKbps;
+  context.heuristicFrameJitterMs = out.heuristic.frameJitterMs;
+  return context;
+}
+
 class StreamingIpUdpEstimator {
  public:
   using Callback = std::function<void(const StreamingOutput&)>;

@@ -1,0 +1,79 @@
+#include "engine/inference_batcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vcaqoe::engine {
+
+InferenceBatcher::InferenceBatcher(Options options, Sink sink)
+    : options_(options), sink_(std::move(sink)) {
+  if (!sink_) {
+    throw std::invalid_argument("InferenceBatcher: null sink");
+  }
+  if (options_.batchSize == 0) {
+    throw std::invalid_argument("InferenceBatcher: zero batch size");
+  }
+  entries_.reserve(options_.batchSize);
+}
+
+void InferenceBatcher::add(FlowId flow, core::StreamingOutput output,
+                           BackendPtr backend, common::TimeNs clockNs) {
+  entries_.push_back(
+      Entry{flow, std::move(output), std::move(backend), clockNs});
+  batchedWindows_.fetch_add(1, std::memory_order_relaxed);
+  if (entries_.size() >= options_.batchSize) flush();
+}
+
+void InferenceBatcher::onClock(common::TimeNs clockNs) {
+  if (entries_.empty()) return;
+  // Entries arrive in clock order, so the front is the oldest. Age is
+  // computed by subtraction (clockNs >= emitClockNs always) — the additive
+  // form would signed-overflow for a huge "never flush" flushNs sentinel
+  // combined with epoch-scale timestamps.
+  if (options_.flushNs <= 0 ||
+      clockNs - entries_.front().emitClockNs >= options_.flushNs) {
+    flush();
+  }
+}
+
+void InferenceBatcher::flush() {
+  if (entries_.empty()) return;
+
+  // One predictWindowBatch per distinct backend, groups formed in first-
+  // appearance order. A shard hosts flows of a handful of distinct backends
+  // (one per VCA model set), so the scan is short.
+  seen_.clear();
+  for (const auto& entry : entries_) {
+    const auto* backend = entry.backend.get();
+    if (backend == nullptr) continue;
+    bool known = false;
+    for (const auto* s : seen_) known = known || s == backend;
+    if (known) continue;
+    seen_.push_back(backend);
+
+    groupIndex_.clear();
+    contexts_.clear();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].backend.get() != backend) continue;
+      groupIndex_.push_back(i);
+      // core::makeWindowContext is the same builder the unbatched
+      // estimator path uses — identical inference inputs by construction.
+      contexts_.push_back(core::makeWindowContext(entries_[i].output));
+    }
+    results_.assign(groupIndex_.size(), inference::PredictionSet{});
+    backend->predictWindowBatch(contexts_, results_);
+    for (std::size_t j = 0; j < groupIndex_.size(); ++j) {
+      entries_[groupIndex_[j]].output.predictions = results_[j];
+    }
+    inferenceBatches_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Forward in emission order: per-flow result order — the half of the
+  // determinism contract poll() exposes — survives the batching.
+  for (auto& entry : entries_) {
+    sink_(entry.flow, std::move(entry.output));
+  }
+  entries_.clear();
+}
+
+}  // namespace vcaqoe::engine

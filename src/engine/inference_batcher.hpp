@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/streaming.hpp"
+#include "engine/flow_table.hpp"
+#include "inference/backend.hpp"
+
+/// Cross-flow window batching in front of inference.
+///
+/// Per-window model evaluation is the dominant with-model cost of the
+/// engine's hot path, and evaluating one window at a time wastes the
+/// flattened forest's batch form (`predictWindowBatch` keeps one tree's
+/// arena segment hot across a whole batch of rows). Each engine shard owns
+/// one `InferenceBatcher`: per-flow estimators emit windows *without*
+/// predictions, the batcher collects them — across every flow on the shard
+/// — into a bounded batch, runs one `predictWindowBatch` per distinct
+/// backend when the batch flushes, re-attaches the results, and forwards
+/// the completed windows to the result ring in their original emission
+/// order.
+///
+/// Flush policy (all deterministic functions of the input stream):
+///  * size        — the batch reached `batchSize` windows;
+///  * deadline    — a held window is older than `flushNs` against the
+///                  shard's stream clock (checked at dispatch-batch
+///                  boundaries); `flushNs == 0` tightens this to "flush at
+///                  every dispatch-batch boundary", the lowest-latency
+///                  setting;
+///  * finalize    — end of stream / flow eviction drains what remains.
+///
+/// Because a backend's batched prediction is bit-identical to its scalar
+/// prediction (the `InferenceBackend` contract) and forwarding preserves
+/// per-flow emission order, engine output with batching enabled is
+/// bit-identical to the unbatched engine at any worker count — the
+/// determinism contract every prior PR defends survives the batching.
+namespace vcaqoe::engine {
+
+class InferenceBatcher {
+ public:
+  using BackendPtr = std::shared_ptr<const inference::InferenceBackend>;
+  /// Receives completed (predictions attached) windows in emission order.
+  using Sink = std::function<void(FlowId, core::StreamingOutput&&)>;
+
+  struct Options {
+    /// Windows collected before a flush is forced. Must be >= 1.
+    std::size_t batchSize = 32;
+    /// Stream-time age bound on held windows; 0 flushes at every
+    /// `onClock` call (dispatch-batch boundary).
+    common::DurationNs flushNs = 0;
+  };
+
+  /// Throws std::invalid_argument on a null sink or zero batch size.
+  InferenceBatcher(Options options, Sink sink);
+
+  /// Queues one emitted window. `backend` may be null (no inference — the
+  /// window passes through untouched at the next flush). `clockNs` is the
+  /// shard's stream clock at emission, used for the deadline flush.
+  void add(FlowId flow, core::StreamingOutput output, BackendPtr backend,
+           common::TimeNs clockNs);
+
+  /// Deadline check at a dispatch-batch boundary: flushes everything when
+  /// the oldest held window's age reaches `flushNs` (or unconditionally
+  /// when `flushNs` is 0).
+  void onClock(common::TimeNs clockNs);
+
+  /// Runs inference over everything held and forwards it. Called on size /
+  /// deadline triggers and at stream finalization.
+  void flush();
+
+  std::size_t pending() const { return entries_.size(); }
+
+  /// `predictWindowBatch` calls issued (one per distinct backend per flush).
+  std::uint64_t inferenceBatches() const {
+    return inferenceBatches_.load(std::memory_order_relaxed);
+  }
+  /// Windows that were routed through the batcher.
+  std::uint64_t batchedWindows() const {
+    return batchedWindows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    FlowId flow = 0;
+    core::StreamingOutput output;
+    BackendPtr backend;
+    common::TimeNs emitClockNs = 0;
+  };
+
+  Options options_;
+  Sink sink_;
+  std::vector<Entry> entries_;
+
+  // Flush-local scratch, reused so steady state does not allocate.
+  std::vector<inference::WindowContext> contexts_;
+  std::vector<inference::PredictionSet> results_;
+  std::vector<std::size_t> groupIndex_;
+  std::vector<const inference::InferenceBackend*> seen_;
+
+  // Relaxed atomics: bumped on the worker thread, read by stats() on the
+  // dispatcher.
+  std::atomic<std::uint64_t> inferenceBatches_{0};
+  std::atomic<std::uint64_t> batchedWindows_{0};
+};
+
+}  // namespace vcaqoe::engine

@@ -21,6 +21,20 @@ MultiFlowEngine::MultiFlowEngine(EngineOptions options)
     shard->results =
         std::make_unique<SpscRing<EngineResult>>(options_.resultRingCapacity);
     shard->pending.reserve(options_.dispatchBatch);
+    // No registry means no backend can ever resolve: routing windows
+    // through the batcher would add copy/latency for zero predictions.
+    if (options_.inferenceBatch > 1 && options_.registry) {
+      InferenceBatcher::Options batcherOptions;
+      batcherOptions.batchSize = options_.inferenceBatch;
+      batcherOptions.flushNs = std::max<common::DurationNs>(
+          options_.inferenceFlushNs, 0);
+      auto* raw = shard.get();
+      shard->batcher = std::make_unique<InferenceBatcher>(
+          batcherOptions,
+          [this, raw](FlowId flow, core::StreamingOutput&& out) {
+            pushResult(*raw, EngineResult{flow, std::move(out)});
+          });
+    }
     shards_.push_back(std::move(shard));
   }
   runningWorkers_.store(workers, std::memory_order_relaxed);
@@ -190,6 +204,7 @@ void MultiFlowEngine::workerLoop(Shard& shard) {
         (void)flow;
         estimator.finish();
       }
+      if (shard.batcher) shard.batcher->flush();
     } catch (const std::exception& e) {
       shard.error = e.what();
     } catch (...) {
@@ -201,6 +216,7 @@ void MultiFlowEngine::workerLoop(Shard& shard) {
 
 void MultiFlowEngine::processBatch(Shard& shard,
                                    const std::vector<Item>& batch) {
+  bool evicted = false;
   for (const Item& item : batch) {
     if (item.evict) {
       const auto evictee = shard.estimators.find(item.flow);
@@ -209,24 +225,57 @@ void MultiFlowEngine::processBatch(Shard& shard,
         // through the normal result path before the state is dropped.
         evictee->second.finish();
         shard.estimators.erase(evictee);
+        evicted = true;
       }
       continue;
+    }
+    if (item.packet.arrivalNs > shard.streamClock) {
+      shard.streamClock = item.packet.arrivalNs;
     }
     auto it = shard.estimators.find(item.flow);
     if (it == shard.estimators.end()) {
       const FlowId flow = item.flow;
       // item.backend was resolved at admission and rides the generation's
       // first packet; the FIFO guarantees that packet creates the estimator.
-      it = shard.estimators
-               .try_emplace(flow, options_.streaming,
-                            [this, &shard, flow](
-                                const core::StreamingOutput& out) {
-                              pushResult(shard, EngineResult{flow, out});
-                            },
-                            item.backend)
-               .first;
+      if (shard.batcher) {
+        // Batched inference: the estimator emits prediction-less windows
+        // (no backend attached) and the admission backend rides the
+        // batcher callback instead, which re-attaches batched predictions.
+        it = shard.estimators
+                 .try_emplace(
+                     flow, options_.streaming,
+                     [&shard, flow, backend = item.backend](
+                         const core::StreamingOutput& out) {
+                       shard.batcher->add(flow, out, backend,
+                                          shard.streamClock);
+                     },
+                     nullptr)
+                 .first;
+      } else {
+        it = shard.estimators
+                 .try_emplace(flow, options_.streaming,
+                              [this, &shard, flow](
+                                  const core::StreamingOutput& out) {
+                                pushResult(shard, EngineResult{flow, out});
+                              },
+                              item.backend)
+                 .first;
+      }
     }
     it->second.onPacket(item.packet);
+  }
+  if (shard.batcher) {
+    if (evicted) {
+      // Eviction drains the batcher (the finalize leg of its flush
+      // policy): evicted flows' trailing windows must reach poll() even
+      // if this shard then goes quiet past the deadline horizon. Once per
+      // dispatch batch — an idle sweep evicting K flows shares one flush.
+      shard.batcher->flush();
+    } else {
+      // Dispatch-batch boundary: the deadline half of the flush policy
+      // (the size half triggers inside add()).
+      shard.batcher->onClock(shard.streamClock);
+    }
   }
 }
 
@@ -313,6 +362,11 @@ EngineStats MultiFlowEngine::stats() const {
   stats.flows = flowTable_.size();
   stats.activeFlows = flowTable_.activeSize();
   stats.flowsEvicted = flowsEvicted_;
+  for (const auto& shard : shards_) {
+    if (!shard->batcher) continue;
+    stats.batchedWindows += shard->batcher->batchedWindows();
+    stats.inferenceBatches += shard->batcher->inferenceBatches();
+  }
   if (options_.registry) stats.registry = options_.registry->stats();
   return stats;
 }

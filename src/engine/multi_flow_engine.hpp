@@ -16,6 +16,7 @@
 
 #include "core/streaming.hpp"
 #include "engine/flow_table.hpp"
+#include "engine/inference_batcher.hpp"
 #include "engine/spsc_ring.hpp"
 #include "inference/model_registry.hpp"
 #include "netflow/packet.hpp"
@@ -73,7 +74,31 @@ struct EngineOptions {
   /// Evict flows idle longer than this, measured in stream time (the max
   /// packet arrival seen so far). 0 disables eviction.
   common::DurationNs idleTimeoutNs = 0;
+  /// Cross-flow inference batching: windows emitted on a shard are held (up
+  /// to this many) and predicted with one `predictWindowBatch` per backend
+  /// instead of one virtual call per window. <= 1 keeps per-window
+  /// inference inside the estimator; ignored without a registry (nothing
+  /// to predict). Output is bit-identical either way; batching only
+  /// changes how the same predictions are computed.
+  std::size_t inferenceBatch = 1;
+  /// Stream-time bound on how long a window may sit in a shard's batch
+  /// before a flush is forced (checked at dispatch-batch boundaries). 0 =
+  /// flush at every dispatch-batch boundary (lowest latency). Ignored
+  /// without batching.
+  common::DurationNs inferenceFlushNs = 0;
 };
+
+/// Flush deadline that lets a batch of `batch` windows actually fill: a
+/// flow completes roughly one window per second of stream time, so any
+/// shorter deadline (or the default flush-every-dispatch-boundary, 0) caps
+/// the effective batch below the configured size. The benches and the
+/// monitor CLI use this when they want the size knob to bind; keep 0 when
+/// result latency matters more than batch occupancy.
+constexpr common::DurationNs scaledInferenceFlushNs(std::size_t batch) {
+  return batch > 1
+             ? static_cast<common::DurationNs>(batch) * common::kNanosPerSecond
+             : 0;
+}
 
 /// One completed window of one flow.
 struct EngineResult {
@@ -116,6 +141,11 @@ struct EngineStats {
   /// Flows currently resident in the table / on the shards.
   std::size_t activeFlows = 0;
   std::uint64_t flowsEvicted = 0;
+  /// Cross-flow batching counters (all zero with `inferenceBatch <= 1`):
+  /// windows routed through the per-shard batchers and `predictWindowBatch`
+  /// calls issued (one per distinct backend per flush).
+  std::uint64_t batchedWindows = 0;
+  std::uint64_t inferenceBatches = 0;
   /// Model-registry resolution counters (all zero without a registry).
   inference::RegistryStats registry;
 };
@@ -181,6 +211,14 @@ class MultiFlowEngine {
     // Worker-owned per-flow estimators (keyed by FlowId for deterministic
     // finalization order).
     std::map<FlowId, core::StreamingIpUdpEstimator> estimators;
+
+    // Worker-owned cross-flow inference batcher (null when
+    // `inferenceBatch <= 1`): estimators emit prediction-less windows into
+    // it and it re-attaches batched predictions before the result ring.
+    std::unique_ptr<InferenceBatcher> batcher;
+    // Worker-side stream clock (max arrival processed on this shard),
+    // driving the batcher's deadline flush.
+    common::TimeNs streamClock = std::numeric_limits<common::TimeNs>::min();
 
     std::string error;  // first exception message seen by the worker
     std::thread thread;

@@ -25,10 +25,29 @@ std::optional<QoeTarget> targetFromString(std::string_view slug) {
   return std::nullopt;
 }
 
-ForestBackend::ForestBackend(ml::RandomForest forest, QoeTarget target,
+void InferenceBackend::checkBatchShape(std::size_t rows, std::size_t outs) {
+  if (rows != outs) {
+    throw std::invalid_argument(
+        "InferenceBackend: batch rows/out length mismatch");
+  }
+}
+
+ForestBackend::ForestBackend(const ml::RandomForest& forest, QoeTarget target,
                              std::string name)
-    : forest_(std::move(forest)), target_(target), name_(std::move(name)) {
-  if (!forest_.trained()) {
+    : target_(target), name_(std::move(name)) {
+  if (!forest.trained()) {
+    throw std::invalid_argument("ForestBackend: forest is untrained");
+  }
+  flat_ = ml::FlattenedForest(forest);
+  if (name_.empty()) {
+    name_ = "forest:" + std::string(toString(target_));
+  }
+}
+
+ForestBackend::ForestBackend(ml::FlattenedForest forest, QoeTarget target,
+                             std::string name)
+    : flat_(std::move(forest)), target_(target), name_(std::move(name)) {
+  if (!flat_.trained()) {
     throw std::invalid_argument("ForestBackend: forest is untrained");
   }
   if (name_.empty()) {
@@ -38,7 +57,31 @@ ForestBackend::ForestBackend(ml::RandomForest forest, QoeTarget target,
 
 void ForestBackend::predict(std::span<const double> features,
                             PredictionSet& out) const {
-  out.set(target_, forest_.predict(features));
+  out.set(target_, flat_.predict(features));
+}
+
+void ForestBackend::predictBatch(std::span<const FeatureRow> rows,
+                                 std::span<PredictionSet> out) const {
+  checkBatchShape(rows.size(), out.size());
+  if (rows.empty()) return;
+  // The backend is const and shared across workers, so reusable scratch
+  // lives per thread — the batcher flushes on the hot path and must not
+  // pay an allocation per flush in steady state.
+  thread_local std::vector<double> values;
+  values.resize(rows.size());
+  flat_.predictBatch(rows, values);
+  for (std::size_t i = 0; i < rows.size(); ++i) out[i].set(target_, values[i]);
+}
+
+void ForestBackend::predictWindowBatch(std::span<const WindowContext> contexts,
+                                       std::span<PredictionSet> out) const {
+  checkBatchShape(contexts.size(), out.size());
+  if (contexts.empty()) return;
+  thread_local std::vector<FeatureRow> rows;
+  rows.clear();
+  rows.reserve(contexts.size());
+  for (const auto& context : contexts) rows.push_back(context.features);
+  predictBatch(rows, out);
 }
 
 HeuristicBackend::HeuristicBackend() : name_("heuristic") {}
@@ -66,6 +109,16 @@ NullBackend::NullBackend() : name_("null") {}
 
 void NullBackend::predict(std::span<const double>, PredictionSet&) const {}
 
+void NullBackend::predictBatch(std::span<const FeatureRow> rows,
+                               std::span<PredictionSet> out) const {
+  checkBatchShape(rows.size(), out.size());
+}
+
+void NullBackend::predictWindowBatch(std::span<const WindowContext> contexts,
+                                     std::span<PredictionSet> out) const {
+  checkBatchShape(contexts.size(), out.size());
+}
+
 CompositeBackend::CompositeBackend(
     std::vector<std::shared_ptr<const InferenceBackend>> children)
     : children_(std::move(children)) {
@@ -85,6 +138,22 @@ void CompositeBackend::predict(std::span<const double> features,
 void CompositeBackend::predictWindow(const WindowContext& context,
                                      PredictionSet& out) const {
   for (const auto& child : children_) child->predictWindow(context, out);
+}
+
+void CompositeBackend::predictBatch(std::span<const FeatureRow> rows,
+                                    std::span<PredictionSet> out) const {
+  // Child-major (each child sweeps the whole batch) keeps one child's arena
+  // hot; per row the children still apply in order, so later children win
+  // on overlapping targets exactly like the scalar path.
+  checkBatchShape(rows.size(), out.size());
+  for (const auto& child : children_) child->predictBatch(rows, out);
+}
+
+void CompositeBackend::predictWindowBatch(
+    std::span<const WindowContext> contexts,
+    std::span<PredictionSet> out) const {
+  checkBatchShape(contexts.size(), out.size());
+  for (const auto& child : children_) child->predictWindowBatch(contexts, out);
 }
 
 std::vector<QoeTarget> CompositeBackend::targets() const {

@@ -5,28 +5,44 @@
 #include <vector>
 
 #include "inference/backend.hpp"
+#include "ml/flattened_forest.hpp"
 #include "ml/random_forest.hpp"
 
 /// The concrete backends every layer now shares.
 namespace vcaqoe::inference {
 
-/// Wraps one trained `ml::RandomForest` predicting one target from the
-/// IP/UDP feature vector. The forest is owned (moved in) and never mutated
-/// after construction, so one ForestBackend serves any number of flows.
+/// One trained forest predicting one target from the IP/UDP feature
+/// vector, held only as a `ml::FlattenedForest` — the contiguous SoA arena
+/// the hot path scans instead of chasing the node tree — so every registry
+/// resolution hands out the flat layout and the warm cache stores exactly
+/// one representation per model. A node-tree `ml::RandomForest` passed in
+/// is flattened at construction and discarded; both layouts produce
+/// bit-identical predictions (tested property). The backend is never
+/// mutated after construction, so one instance serves any number of flows.
 class ForestBackend final : public InferenceBackend {
  public:
-  /// Throws std::invalid_argument if the forest is untrained.
-  ForestBackend(ml::RandomForest forest, QoeTarget target, std::string name);
+  /// Flattens and discards the node-tree form. Throws std::invalid_argument
+  /// if the forest is untrained.
+  ForestBackend(const ml::RandomForest& forest, QoeTarget target,
+                std::string name);
+  /// Adopts an already-flattened forest (the `.fforest` lazy-load path).
+  /// Throws std::invalid_argument if it is untrained.
+  ForestBackend(ml::FlattenedForest forest, QoeTarget target,
+                std::string name);
 
   void predict(std::span<const double> features,
                PredictionSet& out) const override;
+  void predictBatch(std::span<const FeatureRow> rows,
+                    std::span<PredictionSet> out) const override;
+  void predictWindowBatch(std::span<const WindowContext> contexts,
+                          std::span<PredictionSet> out) const override;
   std::vector<QoeTarget> targets() const override { return {target_}; }
   const std::string& name() const override { return name_; }
 
-  const ml::RandomForest& forest() const { return forest_; }
+  const ml::FlattenedForest& flattened() const { return flat_; }
 
  private:
-  ml::RandomForest forest_;
+  ml::FlattenedForest flat_;
   QoeTarget target_;
   std::string name_;
 };
@@ -34,7 +50,8 @@ class ForestBackend final : public InferenceBackend {
 /// Adapts the Algorithm-1 heuristic estimates (already computed per window
 /// by the streaming estimator) into a `PredictionSet`, so heuristic and ML
 /// results flow through the same typed result path. From the feature vector
-/// alone it predicts nothing.
+/// alone it predicts nothing. No vectorizable core, so the inherited
+/// batched entry points (a loop over the scalar calls) are already optimal.
 class HeuristicBackend final : public InferenceBackend {
  public:
   HeuristicBackend();
@@ -58,6 +75,10 @@ class NullBackend final : public InferenceBackend {
 
   void predict(std::span<const double> features,
                PredictionSet& out) const override;
+  void predictBatch(std::span<const FeatureRow> rows,
+                    std::span<PredictionSet> out) const override;
+  void predictWindowBatch(std::span<const WindowContext> contexts,
+                          std::span<PredictionSet> out) const override;
   std::vector<QoeTarget> targets() const override { return {}; }
   const std::string& name() const override { return name_; }
 
@@ -77,6 +98,10 @@ class CompositeBackend final : public InferenceBackend {
                PredictionSet& out) const override;
   void predictWindow(const WindowContext& context,
                      PredictionSet& out) const override;
+  void predictBatch(std::span<const FeatureRow> rows,
+                    std::span<PredictionSet> out) const override;
+  void predictWindowBatch(std::span<const WindowContext> contexts,
+                          std::span<PredictionSet> out) const override;
   std::vector<QoeTarget> targets() const override;
   const std::string& name() const override { return name_; }
 

@@ -52,19 +52,33 @@ std::shared_ptr<const InferenceBackend> ModelRegistry::lookupOrLoad(
   std::shared_ptr<const InferenceBackend> loaded;
   if (!options_.modelDir.empty()) {
     const std::string slug(toString(target));
-    const std::string path =
-        options_.modelDir + "/" + vca + "/" + slug + ml::kForestFileExtension;
+    const std::string stem = options_.modelDir + "/" + vca + "/" + slug;
+    const std::string name = "forest:" + vca + "/" + slug;
+    // Flat layout first (what the hot path evaluates anyway), node-tree
+    // second (flattened on load). The probes fail independently: a
+    // malformed file is counted loudly but must neither take the monitor
+    // down nor suppress a loadable sibling in the other layout (e.g. a
+    // crash mid-write leaving a truncated .fforest beside a good .forest).
     try {
-      auto forest = ml::tryLoadForestFile(path);
-      if (forest.has_value()) {
-        loaded = std::make_shared<ForestBackend>(
-            std::move(*forest), target, "forest:" + vca + "/" + slug);
+      if (auto flat = ml::tryLoadFlattenedForestFile(
+              stem + ml::kFlatForestFileExtension)) {
+        loaded =
+            std::make_shared<ForestBackend>(std::move(*flat), target, name);
         loads_.fetch_add(1, std::memory_order_relaxed);
       }
     } catch (const std::exception&) {
-      // File present but malformed: count it, cache the miss, serve the
-      // fallback — one bad model file must not take the monitor down.
       loadFailures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!loaded) {
+      try {
+        if (auto forest =
+                ml::tryLoadForestFile(stem + ml::kForestFileExtension)) {
+          loaded = std::make_shared<ForestBackend>(*forest, target, name);
+          loads_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const std::exception&) {
+        loadFailures_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   if (!loaded) misses_.fetch_add(1, std::memory_order_relaxed);

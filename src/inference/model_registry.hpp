@@ -18,8 +18,10 @@
 /// flow that classifies to the same VCA shares the same backend instance.
 /// Models are loaded lazily from a `ml::serialize` directory the first time
 /// a (vca, target) pair is requested — the layout is
-/// `<modelDir>/<vca>/<target>.forest` (e.g. `models/teams/frame_rate.forest`)
-/// — and both positive and negative lookups are cached. Counting contract:
+/// `<modelDir>/<vca>/<target>.fforest` (flattened, probed first) or
+/// `<target>.forest` (node tree, flattened on load; e.g.
+/// `models/teams/frame_rate.forest`) — and both positive and negative
+/// lookups are cached. Counting contract:
 /// every `resolve`/`resolveSet` charges one hit, miss, or load per
 /// requested target, so steady-state admission cost is one shared-lock map
 /// probe *per target* plus one memoized-composition probe; the disk is

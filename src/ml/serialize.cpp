@@ -43,6 +43,31 @@ std::string unescape(const std::string& token) {
   throw std::runtime_error("model load: " + what);
 }
 
+/// Count-vs-payload guard: a stream whose declared tree/node counts
+/// undershoot the payload would otherwise silently construct a truncated
+/// forest and leave the rest of the file on the floor.
+void rejectTrailingPayload(std::istream& in) {
+  std::string extra;
+  if (in >> extra) {
+    malformed("trailing payload past declared counts ('" + extra + "')");
+  }
+}
+
+/// Declared counts size vectors before any payload is read, so an absurd
+/// (or negative, wrapped through unsigned extraction) count must fail as a
+/// loud malformed-file error, not as a multi-GB allocation attempt. The
+/// bound is far above any real model while keeping the worst-case upfront
+/// allocation bounded: 2^24 nodes across the flat loader's four parallel
+/// arrays (20 bytes/node) or the node-tree loader's 40-byte AoS nodes is
+/// a few hundred MB, not an OOM from a 60-byte corrupt file.
+void checkDeclaredCount(std::size_t count, const char* what) {
+  constexpr std::size_t kMaxDeclaredCount = std::size_t{1} << 24;
+  if (count > kMaxDeclaredCount) {
+    malformed(std::string("absurd declared ") + what + " count " +
+              std::to_string(count));
+  }
+}
+
 }  // namespace
 
 void saveForest(const RandomForest& forest, std::ostream& out) {
@@ -108,6 +133,7 @@ RandomForest loadForest(std::istream& in) {
   if (!(in >> key >> nameCount) || key != "features") {
     malformed("missing features");
   }
+  checkDeclaredCount(nameCount, "feature");
   std::vector<std::string> names(nameCount);
   for (auto& name : names) {
     std::string token;
@@ -119,6 +145,7 @@ RandomForest loadForest(std::istream& in) {
   if (!(in >> key >> importanceCount) || key != "importance") {
     malformed("missing importance");
   }
+  checkDeclaredCount(importanceCount, "importance");
   std::vector<double> importance(importanceCount);
   for (auto& v : importance) {
     if (!(in >> v)) malformed("truncated importance");
@@ -126,11 +153,13 @@ RandomForest loadForest(std::istream& in) {
 
   std::size_t treeCount = 0;
   if (!(in >> key >> treeCount) || key != "trees") malformed("missing trees");
+  checkDeclaredCount(treeCount, "tree");
   std::vector<DecisionTree> trees;
   trees.reserve(treeCount);
   for (std::size_t t = 0; t < treeCount; ++t) {
     std::size_t nodeCount = 0;
     if (!(in >> key >> nodeCount) || key != "tree") malformed("missing tree");
+    checkDeclaredCount(nodeCount, "node");
     if (nodeCount == 0) malformed("empty tree");
     std::vector<DecisionTree::Node> nodes(nodeCount);
     for (auto& node : nodes) {
@@ -148,6 +177,7 @@ RandomForest loadForest(std::istream& in) {
     }
     trees.push_back(DecisionTree::fromNodes(std::move(nodes), task, {}));
   }
+  rejectTrailingPayload(in);
   return RandomForest::fromParts(task, std::move(names), std::move(trees),
                                  std::move(importance));
 }
@@ -164,6 +194,131 @@ std::optional<RandomForest> tryLoadForestFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   return loadForest(in);
+}
+
+void saveFlattenedForest(const FlattenedForest& forest, std::ostream& out) {
+  if (!forest.trained()) {
+    throw std::logic_error("saveFlattenedForest: forest is untrained");
+  }
+  out << "vcaqoe-forest-flat " << kModelFormatVersion << '\n';
+  out << "task "
+      << (forest.task() == TreeTask::kRegression ? "regression"
+                                                 : "classification")
+      << '\n';
+  out << std::setprecision(17);
+  out << "features " << forest.featureCount() << '\n';
+
+  out << "roots " << forest.treeCount();
+  for (const auto root : forest.roots()) out << ' ' << root;
+  out << '\n';
+
+  out << "nodes " << forest.internalNodeCount() << '\n';
+  for (std::size_t i = 0; i < forest.internalNodeCount(); ++i) {
+    out << forest.feature()[i] << ' ' << forest.threshold()[i] << ' '
+        << forest.left(i) << ' ' << forest.right(i) << '\n';
+  }
+
+  out << "leaves " << forest.leafCount();
+  for (const auto value : forest.leafValue()) out << ' ' << value;
+  out << "\nend\n";
+  if (!out) throw std::runtime_error("saveFlattenedForest: write failed");
+}
+
+void saveFlattenedForestFile(const FlattenedForest& forest,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveFlattenedForest: cannot open " + path);
+  saveFlattenedForest(forest, out);
+}
+
+FlattenedForest loadFlattenedForest(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version)) malformed("missing header");
+  if (magic != "vcaqoe-forest-flat") malformed("bad magic '" + magic + "'");
+  if (version != kModelFormatVersion) {
+    malformed("unsupported version " + std::to_string(version));
+  }
+
+  std::string key;
+  std::string taskName;
+  if (!(in >> key >> taskName) || key != "task") malformed("missing task");
+  TreeTask task;
+  if (taskName == "regression") {
+    task = TreeTask::kRegression;
+  } else if (taskName == "classification") {
+    task = TreeTask::kClassification;
+  } else {
+    malformed("unknown task '" + taskName + "'");
+  }
+
+  std::size_t featureCount = 0;
+  if (!(in >> key >> featureCount) || key != "features") {
+    malformed("missing features");
+  }
+  checkDeclaredCount(featureCount, "feature");
+
+  std::size_t treeCount = 0;
+  if (!(in >> key >> treeCount) || key != "roots") malformed("missing roots");
+  checkDeclaredCount(treeCount, "root");
+  std::vector<std::int32_t> roots(treeCount);
+  for (auto& root : roots) {
+    if (!(in >> root)) malformed("truncated roots");
+  }
+
+  std::size_t nodeCount = 0;
+  if (!(in >> key >> nodeCount) || key != "nodes") malformed("missing nodes");
+  checkDeclaredCount(nodeCount, "node");
+  std::vector<std::int32_t> feature(nodeCount);
+  std::vector<double> threshold(nodeCount);
+  std::vector<std::int32_t> left(nodeCount);
+  std::vector<std::int32_t> right(nodeCount);
+  for (std::size_t i = 0; i < nodeCount; ++i) {
+    if (!(in >> feature[i] >> threshold[i] >> left[i] >> right[i])) {
+      malformed("truncated nodes");
+    }
+  }
+
+  std::size_t leafCount = 0;
+  if (!(in >> key >> leafCount) || key != "leaves") {
+    malformed("missing leaves (declared node count disagrees with payload)");
+  }
+  checkDeclaredCount(leafCount, "leaf");
+  std::vector<double> leafValue(leafCount);
+  for (auto& value : leafValue) {
+    if (!(in >> value)) malformed("truncated leaves");
+  }
+
+  if (!(in >> key) || key != "end") {
+    malformed("missing end (declared leaf count disagrees with payload)");
+  }
+  rejectTrailingPayload(in);
+
+  try {
+    return FlattenedForest::fromParts(
+        task, featureCount, std::move(roots), std::move(feature),
+        std::move(threshold), std::move(left), std::move(right),
+        std::move(leafValue));
+  } catch (const std::invalid_argument& e) {
+    malformed(e.what());
+  }
+}
+
+FlattenedForest loadFlattenedForestFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("loadFlattenedForest: cannot open " + path);
+  }
+  return loadFlattenedForest(in);
+}
+
+std::optional<FlattenedForest> tryLoadFlattenedForestFile(
+    const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return std::nullopt;
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return loadFlattenedForest(in);
 }
 
 }  // namespace vcaqoe::ml

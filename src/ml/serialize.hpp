@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "ml/flattened_forest.hpp"
 #include "ml/random_forest.hpp"
 
 /// Model persistence.
@@ -35,5 +36,27 @@ RandomForest loadForestFile(const std::string& path);
 /// and is malformed — a corrupt deployed model should be loud, a missing
 /// one is routine.
 std::optional<RandomForest> tryLoadForestFile(const std::string& path);
+
+/// Canonical extension of serialized flattened forests.
+inline constexpr const char* kFlatForestFileExtension = ".fforest";
+
+/// Serializes a flattened forest (same versioned line-oriented family as
+/// `saveForest`, magic `vcaqoe-forest-flat`, explicit `end` terminator).
+/// Throws std::logic_error if untrained.
+void saveFlattenedForest(const FlattenedForest& forest, std::ostream& out);
+void saveFlattenedForestFile(const FlattenedForest& forest,
+                             const std::string& path);
+
+/// Deserializes a flattened forest. Throws std::runtime_error on malformed
+/// input, version mismatch, declared counts that disagree with the payload,
+/// or trailing payload past the declared counts.
+FlattenedForest loadFlattenedForest(std::istream& in);
+FlattenedForest loadFlattenedForestFile(const std::string& path);
+
+/// Lazy-load variant mirroring `tryLoadForestFile`: nullopt when `path`
+/// does not exist, loud std::runtime_error when it exists but is malformed.
+/// The `ModelRegistry` probes `<target>.fforest` before `<target>.forest`.
+std::optional<FlattenedForest> tryLoadFlattenedForestFile(
+    const std::string& path);
 
 }  // namespace vcaqoe::ml

@@ -1,8 +1,9 @@
 // Inference surface tests: typed PredictionSet results, the concrete
-// backends, the warm ModelRegistry (per-VCA selection, lazy disk loading,
-// fallback, concurrency), and the engine integration — backends resolved at
-// flow admission, re-resolved after eviction, deterministic across worker
-// counts.
+// backends (scalar and batched entry points), the warm ModelRegistry
+// (per-VCA selection, lazy disk loading, fallback, concurrency, counter
+// deltas across flow eviction), and the engine integration — backends
+// resolved at flow admission, re-resolved after eviction, deterministic
+// across worker counts with and without cross-flow inference batching.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -12,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/time.hpp"
 #include "core/media_classifier.hpp"
 #include "core/streaming.hpp"
@@ -147,6 +149,104 @@ TEST(Backend, CompositeMergesChildrenLaterWins) {
   composite.predict(features, out);
   EXPECT_EQ(out.get(QoeTarget::kFrameRate), std::optional<double>(15.0));
   EXPECT_EQ(out.get(QoeTarget::kBitrateKbps), std::optional<double>(900.0));
+}
+
+TEST(Backend, ForestBackendBatchedMatchesScalarBitExactly) {
+  // A real trained forest (not a constant stub), so batched evaluation has
+  // actual tree structure to disagree on if it were wrong.
+  ml::Dataset data;
+  data.featureNames.assign(14, "f");
+  common::Rng rng(77);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> row(14);
+    for (auto& v : row) v = rng.uniform(0.0, 1100.0);
+    data.addRow(row, row[0] * 0.05 + (row[3] > 500.0 ? 12.0 : 3.0));
+  }
+  ml::RandomForest forest;
+  ml::ForestOptions options;
+  options.numTrees = 9;
+  forest.fit(data, ml::TreeTask::kRegression, options, 5);
+  const ForestBackend backend(std::move(forest), QoeTarget::kFrameRate,
+                              "forest:test/frame_rate");
+
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<double> row(14);
+    for (auto& v : row) v = rng.uniform(0.0, 1100.0);
+    rows.push_back(std::move(row));
+  }
+  const std::vector<FeatureRow> views(rows.begin(), rows.end());
+  std::vector<PredictionSet> batched(views.size());
+  backend.predictBatch(views, batched);
+
+  std::vector<WindowContext> contexts(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    contexts[i].features = views[i];
+  }
+  std::vector<PredictionSet> windowBatched(views.size());
+  backend.predictWindowBatch(contexts, windowBatched);
+
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    PredictionSet scalar;
+    backend.predict(views[i], scalar);
+    EXPECT_TRUE(batched[i] == scalar) << "row " << i;
+    EXPECT_TRUE(windowBatched[i] == scalar) << "row " << i;
+  }
+
+  std::vector<PredictionSet> wrong(views.size() + 1);
+  EXPECT_THROW(backend.predictBatch(views, wrong), std::invalid_argument);
+}
+
+TEST(Backend, CompositeBatchedMatchesScalarBitExactly) {
+  // Forest children on two targets plus the heuristic adapter: the batched
+  // path must reproduce the scalar merge (later children win, heuristic
+  // values re-attached from the window context) to the last bit.
+  auto fps = constantForestBackend(30.0, QoeTarget::kFrameRate, "fps");
+  auto bitrate =
+      constantForestBackend(900.0, QoeTarget::kBitrateKbps, "bitrate");
+  auto heuristic = std::make_shared<HeuristicBackend>();
+  auto fpsOverride = constantForestBackend(15.0, QoeTarget::kFrameRate, "ovr");
+  const CompositeBackend composite({heuristic, fps, bitrate, fpsOverride});
+
+  common::Rng rng(91);
+  std::vector<std::vector<double>> rows;
+  std::vector<WindowContext> contexts;
+  for (int i = 0; i < 48; ++i) {
+    std::vector<double> row(14);
+    for (auto& v : row) v = rng.uniform(0.0, 1000.0);
+    rows.push_back(std::move(row));
+  }
+  for (int i = 0; i < 48; ++i) {
+    WindowContext context;
+    context.features = rows[static_cast<std::size_t>(i)];
+    context.hasHeuristic = i % 3 != 0;  // exercise both adapter branches
+    context.heuristicFps = 20.0 + i;
+    context.heuristicBitrateKbps = 800.0 + 3.0 * i;
+    context.heuristicFrameJitterMs = 1.0 + 0.25 * i;
+    contexts.push_back(context);
+  }
+
+  std::vector<PredictionSet> batched(contexts.size());
+  composite.predictWindowBatch(contexts, batched);
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    PredictionSet scalar;
+    composite.predictWindow(contexts[i], scalar);
+    EXPECT_TRUE(batched[i] == scalar) << "window " << i;
+    // The real models still win their targets over the heuristic.
+    EXPECT_EQ(batched[i].get(QoeTarget::kFrameRate),
+              std::optional<double>(15.0));
+    EXPECT_EQ(batched[i].get(QoeTarget::kBitrateKbps),
+              std::optional<double>(900.0));
+  }
+
+  const std::vector<FeatureRow> views(rows.begin(), rows.end());
+  std::vector<PredictionSet> featureBatched(views.size());
+  composite.predictBatch(views, featureBatched);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    PredictionSet scalar;
+    composite.predict(views[i], scalar);
+    EXPECT_TRUE(featureBatched[i] == scalar) << "row " << i;
+  }
 }
 
 TEST(ModelRegistry, PerVcaSelectionAndHitCounters) {
@@ -294,6 +394,48 @@ TEST_F(ModelRegistryDisk, LazyLoadsFromRegistryLayout) {
   stats = registry.stats();
   EXPECT_EQ(stats.misses, 2u);
   EXPECT_EQ(stats.loads, 1u);
+}
+
+TEST_F(ModelRegistryDisk, LazyLoadsFlattenedLayoutFirst) {
+  // A deployed `.fforest` is served directly (no node tree on disk at
+  // all), and when both layouts exist the flat one wins the probe.
+  const auto teamsDir = std::filesystem::path(dir_) / "teams";
+  std::filesystem::create_directories(teamsDir);
+  ml::saveFlattenedForestFile(
+      ml::FlattenedForest(engine::syntheticForest(1, 0, 33.0)),
+      (teamsDir / (std::string(toString(QoeTarget::kFrameRate)) +
+                   ml::kFlatForestFileExtension))
+          .string());
+  saveModel("teams", QoeTarget::kFrameRate, 11.0);  // node-tree sibling
+
+  ModelRegistryOptions options;
+  options.modelDir = dir_;
+  ModelRegistry registry(options);
+  const auto loaded = registry.resolve("teams", QoeTarget::kFrameRate);
+  EXPECT_EQ(loaded->name(), "forest:teams/frame_rate");
+  PredictionSet out;
+  loaded->predict(std::vector<double>(14, 0.0), out);
+  EXPECT_EQ(out.get(QoeTarget::kFrameRate), std::optional<double>(33.0));
+  EXPECT_EQ(registry.stats().loads, 1u);
+
+  // A malformed flat file is loud (counted) but does not suppress a
+  // loadable node-tree sibling — a crash mid-write of the .fforest must
+  // not take a still-good deployed model out of service.
+  const auto meetDir = std::filesystem::path(dir_) / "meet";
+  std::filesystem::create_directories(meetDir);
+  {
+    std::ofstream bad(meetDir / "frame_rate.fforest");
+    bad << "vcaqoe-forest-flat 1\ntask regression\ntruncated";
+  }
+  saveModel("meet", QoeTarget::kFrameRate, 21.0);
+  const auto recovered = registry.resolve("meet", QoeTarget::kFrameRate);
+  EXPECT_NE(recovered, registry.fallback());
+  PredictionSet fromSibling;
+  recovered->predict(std::vector<double>(14, 0.0), fromSibling);
+  EXPECT_EQ(fromSibling.get(QoeTarget::kFrameRate),
+            std::optional<double>(21.0));
+  EXPECT_EQ(registry.stats().loadFailures, 1u);
+  EXPECT_EQ(registry.stats().loads, 2u);
 }
 
 TEST_F(ModelRegistryDisk, MalformedModelFileCountsLoadFailure) {
@@ -574,6 +716,231 @@ TEST(EngineInference, EvictedThenReturningFlowReResolvesItsBackend) {
   }
   EXPECT_GT(gen0, 0u);
   EXPECT_GT(gen1, 0u);
+}
+
+/// Registry counters across flow eviction + re-admission, asserted as
+/// per-phase deltas (not end totals): every admission charges exactly one
+/// hit/miss/load per requested target, eviction charges nothing, and a
+/// returning generation re-resolves from cache (no disk re-probe).
+TEST_F(ModelRegistryDisk, CountersAcrossEvictionAndReadmissionDeltas) {
+  saveModel("meet", QoeTarget::kFrameRate, 30.0);
+
+  ModelRegistryOptions options;
+  options.modelDir = dir_;
+  auto registry = std::make_shared<ModelRegistry>(options);
+
+  engine::EngineOptions engineOptions;
+  engineOptions.numWorkers = 2;
+  engineOptions.dispatchBatch = 1;
+  engineOptions.idleTimeoutNs = 3 * common::kNanosPerSecond;
+  engineOptions.registry = registry;
+  engineOptions.targets = {QoeTarget::kFrameRate};
+  engine::MultiFlowEngine eng(engineOptions);
+
+  const auto meetKey = keyWithServicePort(1, 19305);
+  const auto webexKey = keyWithServicePort(2, 9000);
+
+  const auto delta = [&](const RegistryStats& before) {
+    const auto now = registry->stats();
+    return RegistryStats{now.hits - before.hits, now.misses - before.misses,
+                         now.loads - before.loads,
+                         now.loadFailures - before.loadFailures};
+  };
+
+  // Phase 1: meet admission — the first probe of the key lazy-loads from
+  // disk; exactly one load, no hit, no miss.
+  auto before = registry->stats();
+  for (const auto& p : steadyTrace(0, 100)) eng.onPacket(meetKey, p);
+  auto d = delta(before);
+  EXPECT_EQ(d.loads, 1u);
+  EXPECT_EQ(d.hits, 0u);
+  EXPECT_EQ(d.misses, 0u);
+
+  // Phase 2: webex admission (no model on disk) — exactly one miss; its
+  // traffic also advances the clock past meet's idle timeout.
+  before = registry->stats();
+  for (const auto& p : steadyTrace(2 * common::kNanosPerSecond, 600)) {
+    eng.onPacket(webexKey, p);
+  }
+  d = delta(before);
+  EXPECT_EQ(d.misses, 1u);
+  EXPECT_EQ(d.hits, 0u);
+  EXPECT_EQ(d.loads, 0u);
+  ASSERT_TRUE(eng.flowStats()[0].evicted);
+
+  // Phase 3: eviction itself charged nothing further; the returning meet
+  // generation re-resolves as exactly one cache hit — the disk is not
+  // re-probed.
+  before = registry->stats();
+  for (const auto& p : steadyTrace(60 * common::kNanosPerSecond, 100)) {
+    eng.onPacket(meetKey, p);
+  }
+  d = delta(before);
+  EXPECT_EQ(d.hits, 1u);
+  EXPECT_EQ(d.misses, 0u);
+  EXPECT_EQ(d.loads, 0u);
+  EXPECT_EQ(d.loadFailures, 0u);
+
+  const auto meetId = eng.flows().find(meetKey);
+  ASSERT_TRUE(meetId.has_value());
+  EXPECT_EQ(*meetId, 2u);
+  EXPECT_EQ(eng.flowStats()[2].backendName(), "forest:meet/frame_rate");
+  (void)eng.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-flow batched inference.
+// ---------------------------------------------------------------------------
+
+/// The batching acceptance gate: a multi-VCA stream (two forest-backed
+/// flows, one unknown flow served by a predicting heuristic fallback) run
+/// with cross-flow batching enabled — across batch sizes, flush deadlines,
+/// and worker counts — produces results bit-identical to the unbatched
+/// engine, while the batching counters prove the batched path actually ran.
+TEST(EngineInference, BatchedEngineBitIdenticalToUnbatched) {
+  const std::vector<netflow::FlowKey> keys = {
+      keyWithServicePort(0, 19305),  // meet  -> forest
+      keyWithServicePort(1, 3478),   // teams -> forest
+      keyWithServicePort(2, 443),    // unknown -> heuristic fallback
+  };
+  std::vector<ingest::SourcePacket> stream;
+  for (std::size_t f = 0; f < keys.size(); ++f) {
+    const auto trace = engine::syntheticFlowTrace(
+        300 + f, 1200, static_cast<common::TimeNs>(f) * 53'000);
+    for (const auto& packet : trace) stream.push_back({keys[f], packet});
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const ingest::SourcePacket& a,
+                      const ingest::SourcePacket& b) {
+                     return a.packet.arrivalNs < b.packet.arrivalNs;
+                   });
+
+  const auto makeRegistry = [] {
+    ModelRegistryOptions options;
+    options.fallback = std::make_shared<HeuristicBackend>();
+    auto registry = std::make_shared<ModelRegistry>(options);
+    registry->registerBackend("meet", QoeTarget::kFrameRate,
+                              constantForestBackend(
+                                  30.0, QoeTarget::kFrameRate, "meet/fps"));
+    registry->registerBackend("teams", QoeTarget::kFrameRate,
+                              constantForestBackend(
+                                  15.0, QoeTarget::kFrameRate, "teams/fps"));
+    return registry;
+  };
+
+  struct Config {
+    int workers;
+    std::size_t batch;
+    common::DurationNs flushNs;
+  };
+  const auto run = [&](const Config& config) {
+    engine::EngineOptions options;
+    options.numWorkers = config.workers;
+    options.dispatchBatch = 32;
+    options.inferenceBatch = config.batch;
+    options.inferenceFlushNs = config.flushNs;
+    options.registry = makeRegistry();
+    options.targets = {QoeTarget::kFrameRate, QoeTarget::kBitrateKbps};
+    engine::MultiFlowEngine eng(options);
+    for (const auto& sp : stream) eng.onPacket(sp.flow, sp.packet);
+    auto results = eng.finish();
+    return std::make_pair(std::move(results), eng.stats());
+  };
+
+  const auto [reference, referenceStats] = run({1, 1, 0});
+  ASSERT_GT(reference.size(), 0u);
+  EXPECT_EQ(referenceStats.batchedWindows, 0u);
+  EXPECT_EQ(referenceStats.inferenceBatches, 0u);
+  // The heuristic fallback must be predicting (unknown flow included), so
+  // batching has heuristic re-attachment to get wrong.
+  bool sawHeuristic = false;
+  for (const auto& result : reference) {
+    sawHeuristic =
+        sawHeuristic || result.output.predictions.has(QoeTarget::kBitrateKbps);
+  }
+  EXPECT_TRUE(sawHeuristic);
+
+  for (const Config& config :
+       {Config{1, 8, 0}, Config{4, 8, 0}, Config{4, 4096, 0},
+        Config{4, 16, 2 * common::kNanosPerSecond}}) {
+    const auto [results, stats] = run(config);
+    ASSERT_EQ(results.size(), reference.size())
+        << config.workers << "w batch " << config.batch;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& a = reference[i];
+      const auto& b = results[i];
+      EXPECT_EQ(a.flow, b.flow);
+      EXPECT_EQ(a.output.window, b.output.window);
+      EXPECT_EQ(a.output.features, b.output.features);
+      EXPECT_EQ(a.output.heuristic.fps, b.output.heuristic.fps);
+      EXPECT_EQ(a.output.heuristic.bitrateKbps,
+                b.output.heuristic.bitrateKbps);
+      EXPECT_EQ(a.output.heuristic.frameJitterMs,
+                b.output.heuristic.frameJitterMs);
+      EXPECT_TRUE(a.output.predictions == b.output.predictions)
+          << "window " << i << " at " << config.workers << "w batch "
+          << config.batch;
+    }
+    // Every window went through the batcher, in real batches.
+    EXPECT_EQ(stats.batchedWindows, results.size());
+    EXPECT_GT(stats.inferenceBatches, 0u);
+    EXPECT_LE(stats.inferenceBatches, stats.batchedWindows);
+  }
+}
+
+TEST(EngineInference, BatchedEvictionFlushesTrailingWindows) {
+  // Finalize-on-evict inside the batched path: the evicted flow's trailing
+  // windows ride the batcher and still come out predicted.
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->registerBackend("meet", QoeTarget::kFrameRate,
+                            constantForestBackend(30.0, QoeTarget::kFrameRate,
+                                                  "forest:meet/v1"));
+
+  engine::EngineOptions options;
+  options.numWorkers = 2;
+  options.dispatchBatch = 1;
+  options.idleTimeoutNs = 3 * common::kNanosPerSecond;
+  options.inferenceBatch = 64;
+  options.inferenceFlushNs = 100 * common::kNanosPerSecond;  // size/finalize only
+  options.registry = registry;
+  options.targets = {QoeTarget::kFrameRate};
+  engine::MultiFlowEngine eng(options);
+
+  const auto meetKey = keyWithServicePort(1, 19305);
+  const auto teamsKey = keyWithServicePort(2, 3478);
+  for (const auto& p : steadyTrace(0, 200)) eng.onPacket(meetKey, p);
+  for (const auto& p : steadyTrace(2 * common::kNanosPerSecond, 800)) {
+    eng.onPacket(teamsKey, p);
+  }
+  EXPECT_TRUE(eng.flowStats()[0].evicted);
+
+  // Eviction drains the batcher: the evicted flow's trailing windows must
+  // become poll()-visible without finish(), even though the batch is far
+  // from full and the deadline is far away (the shard could stay quiet
+  // forever in a live capture). The worker processes the evict control
+  // item asynchronously, so poll until it lands.
+  std::vector<engine::EngineResult> polled;
+  const auto meetPolled = [&polled] {
+    std::size_t n = 0;
+    for (const auto& result : polled) n += result.flow == 0 ? 1 : 0;
+    return n;
+  };
+  while (meetPolled() == 0) {
+    eng.poll(polled);
+    std::this_thread::yield();
+  }
+
+  auto results = eng.finish();
+  results.insert(results.end(), polled.begin(), polled.end());
+  std::size_t meetWindows = 0;
+  for (const auto& result : results) {
+    if (result.flow != 0) continue;
+    ++meetWindows;
+    EXPECT_EQ(result.output.predictions.get(QoeTarget::kFrameRate),
+              std::optional<double>(30.0));
+  }
+  EXPECT_GT(meetWindows, 0u);
+  EXPECT_EQ(eng.stats().batchedWindows, results.size());
 }
 
 }  // namespace

@@ -1,13 +1,18 @@
-// Tests for model persistence (ml/serialize) and the classical baseline
-// models (ml/baselines) that back the §4.3 model comparison.
+// Tests for model persistence (ml/serialize), the flattened forest layout
+// (ml/flattened_forest), and the classical baseline models (ml/baselines)
+// that back the §4.3 model comparison.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "ml/baselines.hpp"
+#include "ml/flattened_forest.hpp"
 #include "ml/serialize.hpp"
 
 namespace vcaqoe::ml {
@@ -145,6 +150,310 @@ TEST(Serialize, RejectsOutOfRangeNodeReferences) {
       "tree 1\n"
       "0 0.5 5 6 0.0\n");  // children out of range
   EXPECT_THROW(loadForest(bad), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTrailingPayloadPastDeclaredCounts) {
+  // A file whose declared tree count undershoots the payload must fail
+  // loudly instead of silently constructing a truncated forest.
+  const Dataset d = linearDataset(150, 21);
+  RandomForest forest;
+  ForestOptions options;
+  options.numTrees = 2;
+  forest.fit(d, TreeTask::kRegression, options, 3);
+  std::stringstream buffer;
+  saveForest(forest, buffer);
+  std::string text = buffer.str();
+
+  // Understate the tree count: the second tree becomes trailing payload.
+  const auto pos = text.find("trees 2");
+  ASSERT_NE(pos, std::string::npos);
+  std::string understated = text;
+  understated.replace(pos, 7, "trees 1");
+  std::stringstream bad(understated);
+  EXPECT_THROW(loadForest(bad), std::runtime_error);
+
+  // Appending an extra node row past the last declared tree also fails.
+  std::stringstream appended(text + "0 0.5 1 2 0.0\n");
+  EXPECT_THROW(loadForest(appended), std::runtime_error);
+
+  // The untouched stream still loads.
+  std::stringstream good(text);
+  EXPECT_EQ(loadForest(good).treeCount(), 2u);
+}
+
+TEST(Serialize, CorruptedFileFixtureFailsLoudly) {
+  // Regression fixture for the deployment path: a model file corrupted
+  // in place (count/payload mismatch) must throw out of the file loaders,
+  // not yield a smaller forest.
+  const Dataset d = linearDataset(120, 22);
+  RandomForest forest;
+  ForestOptions options;
+  options.numTrees = 3;
+  forest.fit(d, TreeTask::kRegression, options, 5);
+  const std::string path = "/tmp/vcaqoe_corrupt_fixture.forest";
+  saveForestFile(forest, path);
+
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::stringstream whole;
+    whole << in.rdbuf();
+    text = whole.str();
+  }
+  const auto pos = text.find("trees 3");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "trees 2");
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  EXPECT_THROW(loadForestFile(path), std::runtime_error);
+  // The registry's lazy path must be equally loud for an existing file.
+  EXPECT_THROW(tryLoadForestFile(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- flattened forest
+
+TEST(FlattenedForest, BitExactOnTrainedRegressionForests) {
+  // Property over random forests and random rows: the SoA arena must agree
+  // with the node-tree form to the last bit, scalar and batched.
+  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+    const Dataset d = linearDataset(350, seed);
+    RandomForest forest;
+    ForestOptions options;
+    options.numTrees = static_cast<int>(3 + seed % 9);
+    forest.fit(d, TreeTask::kRegression, options, seed * 7);
+    const FlattenedForest flat(forest);
+    EXPECT_TRUE(flat.trained());
+    EXPECT_EQ(flat.treeCount(), forest.treeCount());
+
+    common::Rng rng(seed + 100);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 200; ++i) {
+      rows.push_back({rng.uniform(-6.0, 6.0), rng.uniform(-6.0, 6.0),
+                      rng.uniform(0.0, 1.0)});
+    }
+    std::vector<FeatureRow> views(rows.begin(), rows.end());
+    std::vector<double> batched(rows.size());
+    flat.predictBatch(views, batched);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double reference = forest.predict(rows[i]);
+      EXPECT_EQ(flat.predict(rows[i]), reference) << "seed " << seed;
+      EXPECT_EQ(batched[i], reference) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FlattenedForest, BitExactOnClassificationForests) {
+  const Dataset d = classDataset(400, 41);
+  RandomForest forest;
+  ForestOptions options;
+  options.numTrees = 11;
+  forest.fit(d, TreeTask::kClassification, options, 17);
+  const FlattenedForest flat(forest);
+  EXPECT_EQ(flat.task(), TreeTask::kClassification);
+
+  std::vector<std::vector<double>> rows;
+  for (double x = 0.005; x < 1.0; x += 0.01) rows.push_back({x});
+  std::vector<FeatureRow> views(rows.begin(), rows.end());
+  std::vector<double> batched(rows.size());
+  flat.predictBatch(views, batched);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double reference = forest.predict(rows[i]);
+    EXPECT_EQ(flat.predict(rows[i]), reference);
+    EXPECT_EQ(batched[i], reference);
+  }
+}
+
+TEST(FlattenedForest, NanFeaturesFollowTheNodeTreePath) {
+  // `v <= t` is false for NaN, so the node tree sends NaN features right;
+  // the flat layout's index-math comparison must agree (regression: the
+  // negated `v > t` form sent them left).
+  const Dataset d = linearDataset(250, 81);
+  RandomForest forest;
+  ForestOptions options;
+  options.numTrees = 6;
+  forest.fit(d, TreeTask::kRegression, options, 23);
+  const FlattenedForest flat(forest);
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  common::Rng rng(82);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> x = {rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0),
+                             rng.uniform(0.0, 1.0)};
+    x[static_cast<std::size_t>(i % 3)] = nan;
+    EXPECT_EQ(flat.predict(x), forest.predict(x)) << "row " << i;
+  }
+}
+
+TEST(FlattenedForest, RejectsUntrainedShortRowsAndShapeMismatch) {
+  EXPECT_THROW(FlattenedForest(RandomForest{}), std::invalid_argument);
+
+  const Dataset d = linearDataset(150, 51);
+  RandomForest forest;
+  ForestOptions options;
+  options.numTrees = 4;
+  forest.fit(d, TreeTask::kRegression, options, 2);
+  const FlattenedForest flat(forest);
+  EXPECT_THROW(flat.predict(std::vector<double>{1.0}),
+               std::invalid_argument);
+  const std::vector<double> row(3, 0.0);
+  const std::vector<FeatureRow> views = {row, row};
+  std::vector<double> wrongSize(3);
+  EXPECT_THROW(flat.predictBatch(views, wrongSize), std::invalid_argument);
+
+  FlattenedForest empty;
+  EXPECT_FALSE(empty.trained());
+  EXPECT_THROW(empty.predict(row), std::logic_error);
+}
+
+TEST(FlattenedForest, FromPartsValidatesReferences) {
+  // One split over feature 0 with two leaves: the smallest valid arena.
+  const auto valid = FlattenedForest::fromParts(
+      TreeTask::kRegression, 1, {0}, {0}, {0.5}, {-1}, {-2}, {1.0, 2.0});
+  EXPECT_EQ(valid.predict(std::vector<double>{0.0}), 1.0);
+  EXPECT_EQ(valid.predict(std::vector<double>{1.0}), 2.0);
+
+  // Child reference past the arena.
+  EXPECT_THROW(FlattenedForest::fromParts(TreeTask::kRegression, 1, {0}, {0},
+                                          {0.5}, {7}, {-2}, {1.0, 2.0}),
+               std::invalid_argument);
+  // Leaf reference past the leaf array.
+  EXPECT_THROW(FlattenedForest::fromParts(TreeTask::kRegression, 1, {0}, {0},
+                                          {0.5}, {-1}, {-9}, {1.0, 2.0}),
+               std::invalid_argument);
+  // Self-cycle: node 0's left child is node 0.
+  EXPECT_THROW(FlattenedForest::fromParts(TreeTask::kRegression, 1, {0}, {0},
+                                          {0.5}, {0}, {-1}, {1.0}),
+               std::invalid_argument);
+  // Unreferenced leaf (declared payload exceeds what the trees reach).
+  EXPECT_THROW(
+      FlattenedForest::fromParts(TreeTask::kRegression, 1, {0}, {0}, {0.5},
+                                 {-1}, {-2}, {1.0, 2.0, 3.0}),
+      std::invalid_argument);
+}
+
+TEST(Serialize, FlatRoundTripBitExact) {
+  const Dataset d = linearDataset(300, 61);
+  RandomForest forest;
+  ForestOptions options;
+  options.numTrees = 7;
+  forest.fit(d, TreeTask::kRegression, options, 13);
+  const FlattenedForest flat(forest);
+
+  std::stringstream buffer;
+  saveFlattenedForest(flat, buffer);
+  const FlattenedForest loaded = loadFlattenedForest(buffer);
+  EXPECT_EQ(loaded.task(), flat.task());
+  EXPECT_EQ(loaded.treeCount(), flat.treeCount());
+  EXPECT_EQ(loaded.internalNodeCount(), flat.internalNodeCount());
+  EXPECT_EQ(loaded.leafCount(), flat.leafCount());
+
+  common::Rng rng(62);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> x = {rng.uniform(-5.0, 5.0),
+                                   rng.uniform(-5.0, 5.0),
+                                   rng.uniform(0.0, 1.0)};
+    // Loaded flat == in-memory flat == the original node-tree form.
+    EXPECT_EQ(loaded.predict(x), flat.predict(x));
+    EXPECT_EQ(loaded.predict(x), forest.predict(x));
+  }
+
+  const std::string path = "/tmp/vcaqoe_flat_test.fforest";
+  saveFlattenedForestFile(flat, path);
+  const FlattenedForest fromFile = loadFlattenedForestFile(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(fromFile.treeCount(), flat.treeCount());
+
+  FlattenedForest untrained;
+  std::stringstream sink;
+  EXPECT_THROW(saveFlattenedForest(untrained, sink), std::logic_error);
+}
+
+TEST(Serialize, FlatRejectsCountPayloadMismatches) {
+  const Dataset d = linearDataset(200, 71);
+  RandomForest forest;
+  ForestOptions options;
+  options.numTrees = 3;
+  forest.fit(d, TreeTask::kRegression, options, 19);
+  std::stringstream buffer;
+  saveFlattenedForest(FlattenedForest(forest), buffer);
+  const std::string text = buffer.str();
+
+  {
+    std::stringstream junk("not-a-flat-forest 1");
+    EXPECT_THROW(loadFlattenedForest(junk), std::runtime_error);
+  }
+  {
+    // Node-tree magic is not a flat forest.
+    std::stringstream wrong("vcaqoe-forest 1\ntask regression\n");
+    EXPECT_THROW(loadFlattenedForest(wrong), std::runtime_error);
+  }
+  {
+    std::string truncated = text;
+    truncated.resize(truncated.size() / 2);
+    std::stringstream bad(truncated);
+    EXPECT_THROW(loadFlattenedForest(bad), std::runtime_error);
+  }
+  {
+    // Trailing payload past the `end` terminator.
+    std::stringstream bad(text + "0 0.5 -1 -2\n");
+    EXPECT_THROW(loadFlattenedForest(bad), std::runtime_error);
+  }
+  {
+    // Understate the node count: payload disagrees with the declaration.
+    const auto pos = text.find("nodes ");
+    ASSERT_NE(pos, std::string::npos);
+    const auto lineEnd = text.find('\n', pos);
+    std::string bad = text;
+    bad.replace(pos, lineEnd - pos, "nodes 1");
+    std::stringstream stream(bad);
+    EXPECT_THROW(loadFlattenedForest(stream), std::runtime_error);
+  }
+  {
+    // Untouched stream still round-trips.
+    std::stringstream good(text);
+    EXPECT_EQ(loadFlattenedForest(good).treeCount(), 3u);
+  }
+}
+
+TEST(Serialize, RejectsAbsurdDeclaredCounts) {
+  // A corrupt count must be a loud malformed-file error before any
+  // payload-sized allocation happens — not an OOM or std::length_error.
+  {
+    std::stringstream bad(
+        "vcaqoe-forest-flat 1\ntask regression\nfeatures 1\n"
+        "roots 4000000000\n");
+    EXPECT_THROW(loadFlattenedForest(bad), std::runtime_error);
+  }
+  {
+    // Negative count wraps through unsigned extraction to an absurd value.
+    std::stringstream bad(
+        "vcaqoe-forest-flat 1\ntask regression\nfeatures 1\n"
+        "roots 1 0\nnodes -7\n");
+    EXPECT_THROW(loadFlattenedForest(bad), std::runtime_error);
+  }
+  {
+    std::stringstream bad("vcaqoe-forest 1\ntask regression\n"
+                          "features 9999999999999\n");
+    EXPECT_THROW(loadForest(bad), std::runtime_error);
+  }
+  {
+    // Flat header feature count is guarded too: an absurd value must fail
+    // at load, not later as a short-feature-row throw inside a worker.
+    std::stringstream bad(
+        "vcaqoe-forest-flat 1\ntask regression\nfeatures 9999999999999\n");
+    EXPECT_THROW(loadFlattenedForest(bad), std::runtime_error);
+  }
+  {
+    // INT32_MIN child reference: must be rejected (leaf index out of
+    // range), not negated as a signed int (UB regression guard).
+    EXPECT_THROW(
+        FlattenedForest::fromParts(TreeTask::kRegression, 1, {0}, {0}, {0.5},
+                                   {-2147483648}, {-1}, {1.0, 2.0}),
+        std::invalid_argument);
+  }
 }
 
 // ---------------------------------------------------------------- ridge
