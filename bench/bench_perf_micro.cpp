@@ -12,10 +12,15 @@
 #include <benchmark/benchmark.h>
 #endif
 
+#include <deque>
+#include <utility>
+
 #include "core/evaluation.hpp"
 #include "core/frame_heuristic.hpp"
+#include "core/lookback_ring.hpp"
 #include "core/media_classifier.hpp"
 #include "core/session.hpp"
+#include "features/columns.hpp"
 #include "datasets/generators.hpp"
 #include "datasets/vca_profiles.hpp"
 #include "features/extractors.hpp"
@@ -61,6 +66,64 @@ void BM_Algorithm1FrameAssembly(benchmark::State& state) {
 }
 BENCHMARK(BM_Algorithm1FrameAssembly);
 
+// --- Algorithm-1 lookback matching: deque-of-pairs (the pre-columnar
+// streaming layout, replicated here as the baseline column) vs the
+// LookbackRing's SoA sweep. Same inputs, same frame-id outputs; the only
+// difference is the memory layout of the match scan.
+
+void BM_Algorithm1LookbackDeque(benchmark::State& state) {
+  const core::MediaClassifier classifier;
+  const auto video = classifier.filterVideo(sampleSession().packets);
+  const auto lookback = static_cast<std::size_t>(state.range(0));
+  constexpr std::int64_t kDelta = 2;
+  for (auto _ : state) {
+    std::deque<std::pair<std::uint32_t, std::uint64_t>> recent;
+    std::uint64_t nextFrame = 0;
+    std::uint64_t acc = 0;
+    for (const auto& pkt : video) {
+      const auto size = static_cast<std::int64_t>(pkt.sizeBytes);
+      std::int64_t matched = -1;
+      for (const auto& [prevSize, frameId] : recent) {
+        if (std::llabs(size - static_cast<std::int64_t>(prevSize)) <= kDelta) {
+          matched = static_cast<std::int64_t>(frameId);
+          break;
+        }
+      }
+      const std::uint64_t frameId =
+          matched < 0 ? nextFrame++ : static_cast<std::uint64_t>(matched);
+      recent.emplace_front(pkt.sizeBytes, frameId);
+      while (recent.size() > lookback) recent.pop_back();
+      acc += frameId;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(video.size()));
+}
+BENCHMARK(BM_Algorithm1LookbackDeque)->Arg(2)->Arg(32);
+
+void BM_Algorithm1LookbackRing(benchmark::State& state) {
+  const core::MediaClassifier classifier;
+  const auto video = classifier.filterVideo(sampleSession().packets);
+  const auto lookback = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::LookbackRing recent(lookback);
+    std::uint64_t nextFrame = 0;
+    std::uint64_t acc = 0;
+    for (const auto& pkt : video) {
+      const std::int64_t matched = recent.matchMostRecent(pkt.sizeBytes, 2);
+      const std::uint64_t frameId =
+          matched < 0 ? nextFrame++ : static_cast<std::uint64_t>(matched);
+      recent.push(pkt.sizeBytes, frameId);
+      acc += frameId;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(video.size()));
+}
+BENCHMARK(BM_Algorithm1LookbackRing)->Arg(2)->Arg(32);
+
 void BM_RtpHeaderParse(benchmark::State& state) {
   const auto& trace = sampleSession().packets;
   for (auto _ : state) {
@@ -92,6 +155,34 @@ void BM_IpUdpFeatureExtraction(benchmark::State& state) {
                           static_cast<std::int64_t>(windows.size()));
 }
 BENCHMARK(BM_IpUdpFeatureExtraction);
+
+// Columnar counterpart of BM_IpUdpFeatureExtraction: per window, gather
+// the video columns (the filter step, mirroring what the streaming
+// estimator does incrementally) and extract from the spans — no
+// full-Packet copies, no head bytes touched.
+void BM_IpUdpFeatureExtractionColumnar(benchmark::State& state) {
+  const auto& session = sampleSession();
+  const auto windows =
+      features::sliceWindows(session.packets, common::kNanosPerSecond);
+  const core::MediaClassifier classifier;
+  features::ExtractionParams params;
+  const features::WindowColumns kEmpty;
+  features::WindowColumns video;  // recycled, like the estimator's pool
+  for (auto _ : state) {
+    for (const auto& window : windows) {
+      video.clear();
+      for (const auto& pkt : window.packets) {
+        if (classifier.isVideo(pkt)) video.append(pkt);
+      }
+      benchmark::DoNotOptimize(features::extractFeatures(
+          kEmpty, video, window.durationNs, features::FeatureSet::kIpUdp,
+          params));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(windows.size()));
+}
+BENCHMARK(BM_IpUdpFeatureExtractionColumnar);
 
 void BM_WindowRecordPipeline(benchmark::State& state) {
   const auto& session = sampleSession();

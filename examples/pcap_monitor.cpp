@@ -17,6 +17,12 @@
 //     --idle-timeout-s S   evict flows idle > S seconds, 0 = never (default 30)
 //     --pace X             replay speed: 0 = as fast as possible (default),
 //                          1 = real time, 2 = twice real time, ...
+//     --pump-s S           live-mode idle kick: every S seconds of stream
+//                          time (checked at packet boundaries), flush
+//                          pending dispatch buffers and run the shards'
+//                          inference-batcher deadline checks so results
+//                          keep surfacing while packets flow (default:
+//                          1 s when paced, off otherwise; 0 disables)
 //     --synth-flows K      no capture file: synthesize K flows (default 6)
 //     --model-dir DIR      warm-model registry root; per-VCA forests are
 //                          lazy-loaded from DIR/<vca>/<target>.fforest or
@@ -62,6 +68,7 @@ struct Args {
   int batch = 1;
   double idleTimeoutS = 30.0;
   double pace = 0.0;
+  double pumpS = -1.0;  // -1 = auto: 1 s of stream time when paced, else off
   int synthFlows = 6;
   std::string modelDir;
   bool synthModel = false;
@@ -91,6 +98,8 @@ bool parseArgs(int argc, char** argv, Args& args) {
       args.idleTimeoutS = v;
     } else if (arg == "--pace" && value(v)) {
       args.pace = v;
+    } else if (arg == "--pump-s" && value(v)) {
+      args.pumpS = v;
     } else if (arg == "--synth-flows" && value(v)) {
       args.synthFlows = static_cast<int>(v);
     } else if (arg == "--model-dir" && text(s)) {
@@ -208,6 +217,10 @@ int main(int argc, char** argv) {
 
   ingest::ReplayOptions replayOptions;
   replayOptions.paceMultiplier = args.pace;
+  // Paced (live-shaped) mode defaults the idle kick on: stream time tracks
+  // wall time, so pumping each second bounds wall-clock result latency.
+  const double pumpS = args.pumpS >= 0 ? args.pumpS : (args.pace > 0 ? 1.0 : 0);
+  const common::DurationNs pumpIntervalNs = common::secondsToNs(pumpS);
 
   // The engine ignores inferenceBatch without a registry (nothing to
   // predict); the banner must reflect what actually runs.
@@ -219,13 +232,15 @@ int main(int argc, char** argv) {
                  "note: --batch has no effect without --model-dir or "
                  "--synth-model (no models to predict with)\n");
   }
+  const std::string pumpLabel =
+      pumpIntervalNs > 0 ? common::TextTable::num(pumpS, 1) + " s" : "off";
   std::printf(
       "replaying %s (%d workers, batch %s, idle timeout %.0f s, pace "
-      "%s%s%s)\n\n",
+      "%s, pump %s%s%s)\n\n",
       args.capturePath.c_str(), eng.numWorkers(), batchLabel.c_str(),
       args.idleTimeoutS,
       args.pace > 0 ? std::to_string(args.pace).c_str() : "off",
-      withModels ? ", models from " : "",
+      pumpLabel.c_str(), withModels ? ", models from " : "",
       withModels ? (args.synthModel ? "synthetic" : args.modelDir.c_str())
                  : "");
 
@@ -233,7 +248,7 @@ int main(int argc, char** argv) {
   netflow::PcapParseStats parse;
   try {
     ingest::PcapReplaySource source(args.capturePath, replayOptions);
-    report = ingest::replay(source, eng);
+    report = ingest::replay(source, eng, /*pollEvery=*/1024, pumpIntervalNs);
     parse = source.parseStats();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: cannot replay %s: %s\n",

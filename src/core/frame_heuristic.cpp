@@ -16,7 +16,7 @@ HeuristicAssembly assembleFramesIpUdp(std::span<const netflow::Packet> video,
     // (Algorithm 1). A match assigns this packet to the matching packet's
     // frame; no match starts a new frame.
     std::int64_t matchedFrame = -1;
-    const int lookback = std::max(params.lookback, 1);
+    const int lookback = params.effectiveLookback();
     for (int back = 1; back <= lookback && back <= static_cast<int>(i);
          ++back) {
       const auto& prev = video[i - static_cast<std::size_t>(back)];

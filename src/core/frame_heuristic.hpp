@@ -23,6 +23,13 @@ struct HeuristicParams {
   /// Nmax: how many previous packets to compare against (Meet 3, Teams 2,
   /// Webex 1, §4.3; sensitivity in Fig A.10).
   int lookback = 1;
+
+  /// The validated Nmax every Algorithm-1 implementation scans with: the
+  /// configured `lookback` clamped to at least 1 (comparing against zero
+  /// previous packets would make every packet its own frame). The single
+  /// source of truth for the clamp — batch assembly, the streaming ring,
+  /// and frame-close horizons all go through it.
+  int effectiveLookback() const { return lookback > 1 ? lookback : 1; }
 };
 
 /// One frame estimated from IP/UDP headers only.

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+/// Fixed-capacity SoA ring over the last Nmax video packets — the
+/// Algorithm-1 lookback state of the streaming estimator.
+///
+/// The batch estimator scans backwards over the trace it already holds; the
+/// streaming estimator must carry the lookback itself. A deque of
+/// (size, frame id) pairs does that with node-hopping and a 12-byte stride;
+/// this ring keeps the two columns in parallel flat arrays so the size-match
+/// scan is a branch-light reverse sweep over contiguous `uint32_t`
+/// (auto-vectorizable) and pushes never allocate after construction.
+namespace vcaqoe::core {
+
+class LookbackRing {
+ public:
+  /// Throws std::invalid_argument on a zero capacity — use
+  /// `HeuristicParams::effectiveLookback()`, which is always >= 1.
+  explicit LookbackRing(std::size_t capacity)
+      : sizes_(capacity), frameIds_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("LookbackRing: zero capacity");
+    }
+  }
+
+  /// Records one video packet; the oldest entry falls off once full.
+  void push(std::uint32_t sizeBytes, std::uint64_t frameId) {
+    sizes_[next_] = sizeBytes;
+    frameIds_[next_] = frameId;
+    next_ = next_ + 1 == sizes_.size() ? 0 : next_ + 1;
+    if (count_ < sizes_.size()) ++count_;
+  }
+
+  /// Algorithm 1's matching rule: the frame id of the most recent entry
+  /// whose size is within `deltaMaxBytes` of `sizeBytes`, or -1 when none
+  /// matches. Most-recent-first over at most two contiguous segments (the
+  /// slots below the write cursor, then the wrapped tail).
+  std::int64_t matchMostRecent(std::uint32_t sizeBytes,
+                               std::uint32_t deltaMaxBytes) const {
+    const std::int64_t hit = scanReverse(0, next_, sizeBytes, deltaMaxBytes);
+    if (hit >= 0 || count_ < sizes_.size()) return hit;
+    return scanReverse(next_, sizes_.size(), sizeBytes, deltaMaxBytes);
+  }
+
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return sizes_.size(); }
+
+  void clear() {
+    next_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  /// Reverse sweep over the contiguous slot range [lo, hi).
+  std::int64_t scanReverse(std::size_t lo, std::size_t hi,
+                           std::uint32_t sizeBytes,
+                           std::uint32_t deltaMaxBytes) const {
+    const std::uint32_t* sizes = sizes_.data();
+    for (std::size_t i = hi; i-- > lo;) {
+      const std::uint32_t prev = sizes[i];
+      const std::uint32_t diff = prev > sizeBytes ? prev - sizeBytes
+                                                  : sizeBytes - prev;
+      if (diff <= deltaMaxBytes) return static_cast<std::int64_t>(frameIds_[i]);
+    }
+    return -1;
+  }
+
+  std::vector<std::uint32_t> sizes_;
+  std::vector<std::uint64_t> frameIds_;
+  std::size_t next_ = 0;   // next write slot (newest entry is at next_ - 1)
+  std::size_t count_ = 0;  // live entries, <= capacity
+};
+
+}  // namespace vcaqoe::core

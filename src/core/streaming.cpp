@@ -13,12 +13,14 @@ StreamingIpUdpEstimator::StreamingIpUdpEstimator(StreamingOptions options,
     : options_(std::move(options)),
       callback_(std::move(callback)),
       backend_(std::move(backend)),
-      classifier_(options_.classifier) {
+      classifier_(options_.classifier),
+      recent_(static_cast<std::size_t>(options_.heuristic.effectiveLookback())) {
   if (!callback_) {
     throw std::invalid_argument("StreamingIpUdpEstimator: null callback");
   }
   if (options_.windowNs <= 0) {
-    throw std::invalid_argument("StreamingIpUdpEstimator: bad window");
+    throw std::invalid_argument(
+        "StreamingIpUdpEstimator: windowNs must be positive");
   }
 }
 
@@ -39,89 +41,111 @@ void StreamingIpUdpEstimator::onPacket(const netflow::Packet& packet) {
   lastArrival_ = packet.arrivalNs;
 
   const auto window = common::windowIndex(packet.arrivalNs, options_.windowNs);
-  if (window >= nextWindowToEmit_) {
-    windowPackets_[window].push_back(packet);
-  }
+  if (window > lastSeenWindow_) lastSeenWindow_ = window;
 
   if (classifier_.isVideo(packet)) {
+    if (window >= nextWindowToEmit_) bufferVideoPacket(window, packet);
     ingestVideoPacket(packet);
     closeStaleFrames();
   }
   emitReadyWindows(packet.arrivalNs);
 }
 
+void StreamingIpUdpEstimator::bufferVideoPacket(std::int64_t window,
+                                                const netflow::Packet& packet) {
+  if (bufferedHead_ == bufferedWindows_.size() ||
+      bufferedWindows_.back() != window) {
+    // Arrival order makes window indices non-decreasing, so a window not at
+    // the back is a new back entry.
+    features::WindowColumns columns;
+    if (!columnsPool_.empty()) {
+      columns = std::move(columnsPool_.back());
+      columnsPool_.pop_back();
+    }
+    bufferedWindows_.push_back(window);
+    bufferedColumns_.push_back(std::move(columns));
+  }
+  bufferedColumns_.back().append(packet);
+}
+
 void StreamingIpUdpEstimator::ingestVideoPacket(
     const netflow::Packet& packet) {
   // Algorithm 1, incremental: match against the previous Nmax video packets,
-  // most recent first.
-  const auto size = static_cast<std::int64_t>(packet.sizeBytes);
-  std::int64_t matched = -1;
-  for (const auto& [prevSize, frameId] : recent_) {
-    const auto diff = std::llabs(size - static_cast<std::int64_t>(prevSize));
-    if (diff <= static_cast<std::int64_t>(options_.heuristic.deltaMaxBytes)) {
-      matched = static_cast<std::int64_t>(frameId);
-      break;
-    }
-  }
+  // most recent first — one contiguous sweep over the lookback ring.
+  const std::int64_t matched = recent_.matchMostRecent(
+      packet.sizeBytes, options_.heuristic.deltaMaxBytes);
 
   std::uint64_t frameId;
   if (matched < 0) {
     frameId = nextFrameId_++;
     OpenFrame open;
+    open.id = frameId;
     open.frame.firstNs = packet.arrivalNs;
     open.frame.endNs = packet.arrivalNs;
     open.frame.bytes = packet.sizeBytes;
     open.frame.packetCount = 1;
     open.lastTouchedPacket = videoPacketIndex_;
-    openFrames_.emplace(frameId, open);
+    // Ids are assigned in increasing order, so appending keeps the vector
+    // sorted by id.
+    openFrames_.push_back(open);
   } else {
     frameId = static_cast<std::uint64_t>(matched);
-    auto it = openFrames_.find(frameId);
-    if (it != openFrames_.end()) {
-      it->second.frame.endNs =
-          std::max(it->second.frame.endNs, packet.arrivalNs);
-      it->second.frame.firstNs =
-          std::min(it->second.frame.firstNs, packet.arrivalNs);
-      it->second.frame.bytes += packet.sizeBytes;
-      ++it->second.frame.packetCount;
-      it->second.lastTouchedPacket = videoPacketIndex_;
+    const auto it = std::lower_bound(
+        openFrames_.begin(), openFrames_.end(), frameId,
+        [](const OpenFrame& open, std::uint64_t id) { return open.id < id; });
+    if (it != openFrames_.end() && it->id == frameId) {
+      it->frame.endNs = std::max(it->frame.endNs, packet.arrivalNs);
+      it->frame.firstNs = std::min(it->frame.firstNs, packet.arrivalNs);
+      it->frame.bytes += packet.sizeBytes;
+      ++it->frame.packetCount;
+      it->lastTouchedPacket = videoPacketIndex_;
     }
   }
 
-  recent_.emplace_front(packet.sizeBytes, frameId);
-  const auto lookback =
-      static_cast<std::size_t>(std::max(options_.heuristic.lookback, 1));
-  while (recent_.size() > lookback) recent_.pop_back();
+  recent_.push(packet.sizeBytes, frameId);
   ++videoPacketIndex_;
+}
+
+void StreamingIpUdpEstimator::insertClosedFrame(const HeuristicFrame& frame) {
+  // Keep (endNs, close order): insert after every pending frame with an
+  // equal or earlier end — the flat equivalent of multimap::emplace.
+  const auto at = std::upper_bound(
+      closedFrames_.begin(), closedFrames_.end(), frame.endNs,
+      [](common::TimeNs end, const HeuristicFrame& pending) {
+        return end < pending.endNs;
+      });
+  closedFrames_.insert(at, frame);
 }
 
 void StreamingIpUdpEstimator::closeStaleFrames() {
   // A frame can only be extended through the lookback horizon; once its
-  // newest packet is more than Nmax video packets old, it is final.
+  // newest packet is more than Nmax video packets old, it is final. One
+  // stable in-place pass keeps the survivors in id order.
   const auto lookback =
-      static_cast<std::uint64_t>(std::max(options_.heuristic.lookback, 1));
-  for (auto it = openFrames_.begin(); it != openFrames_.end();) {
-    if (videoPacketIndex_ - it->second.lastTouchedPacket > lookback) {
-      closedFrames_.emplace(it->second.frame.endNs, it->second.frame);
-      it = openFrames_.erase(it);
+      static_cast<std::uint64_t>(options_.heuristic.effectiveLookback());
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < openFrames_.size(); ++i) {
+    if (videoPacketIndex_ - openFrames_[i].lastTouchedPacket > lookback) {
+      insertClosedFrame(openFrames_[i].frame);
     } else {
-      ++it;
+      if (keep != i) openFrames_[keep] = openFrames_[i];
+      ++keep;
     }
   }
+  openFrames_.resize(keep);
 }
 
 void StreamingIpUdpEstimator::emitReadyWindows(
     std::optional<common::TimeNs> now) {
   // Latest window that can possibly still be emitted.
-  std::int64_t lastWindow = nextWindowToEmit_ - 1;
-  if (!windowPackets_.empty()) {
-    lastWindow = std::max(lastWindow, windowPackets_.rbegin()->first);
-  }
+  std::int64_t lastWindow = std::max(nextWindowToEmit_ - 1, lastSeenWindow_);
   if (!closedFrames_.empty()) {
     lastWindow = std::max(
         lastWindow,
-        common::windowIndex(closedFrames_.rbegin()->first, options_.windowNs));
+        common::windowIndex(closedFrames_.back().endNs, options_.windowNs));
   }
+
+  std::size_t consumedFrames = 0;  // emitted prefix of closedFrames_
 
   while (nextWindowToEmit_ <= lastWindow) {
     const std::int64_t w = nextWindowToEmit_;
@@ -132,7 +156,7 @@ void StreamingIpUdpEstimator::emitReadyWindows(
       // An open frame whose current end is inside window w could still be
       // extended (moving it into a later window): not final yet.
       bool blocked = false;
-      for (const auto& [id, open] : openFrames_) {
+      for (const auto& open : openFrames_) {
         if (open.frame.endNs < windowEnd) {
           blocked = true;
           break;
@@ -148,9 +172,9 @@ void StreamingIpUdpEstimator::emitReadyWindows(
     // consumed in global end order (gap chain mirrors the batch estimator).
     const double seconds = common::nsToSeconds(options_.windowNs);
     std::vector<double> gaps;
-    auto it = closedFrames_.begin();
-    while (it != closedFrames_.end() && it->first < windowEnd) {
-      const HeuristicFrame& frame = it->second;
+    while (consumedFrames < closedFrames_.size() &&
+           closedFrames_[consumedFrames].endNs < windowEnd) {
+      const HeuristicFrame& frame = closedFrames_[consumedFrames];
       ++out.heuristic.frameCount;
       out.heuristic.bitrateKbps +=
           (static_cast<double>(frame.bytes) -
@@ -160,40 +184,61 @@ void StreamingIpUdpEstimator::emitReadyWindows(
         gaps.push_back(common::nsToMillis(frame.endNs - lastEmittedFrameEnd_));
       }
       lastEmittedFrameEnd_ = frame.endNs;
-      it = closedFrames_.erase(it);
+      ++consumedFrames;
     }
     out.heuristic.window = w;
     out.heuristic.fps = static_cast<double>(out.heuristic.frameCount) / seconds;
     out.heuristic.frameJitterMs =
         gaps.size() >= 2 ? common::sampleStdev(gaps) : 0.0;
 
-    // Features over the buffered window packets.
-    features::Window window;
-    window.index = w;
-    window.startNs = w * options_.windowNs;
-    window.durationNs = options_.windowNs;
-    const auto bufferIt = windowPackets_.find(w);
-    static const std::vector<netflow::Packet> kEmpty;
-    const auto& packets =
-        bufferIt != windowPackets_.end() ? bufferIt->second : kEmpty;
-    window.packets = packets;
-    const auto video = classifier_.filterVideo(window.packets);
-    out.features = features::extractFeatures(
-        window, video, features::FeatureSet::kIpUdp, options_.extraction);
+    // Features over the window's buffered video columns — the IP/UDP set
+    // reads nothing but video arrival/size, so nothing else was stored.
+    static const features::WindowColumns kEmptyColumns;
+    const bool haveColumns = bufferedHead_ < bufferedWindows_.size() &&
+                             bufferedWindows_[bufferedHead_] == w;
+    const features::WindowColumns& video =
+        haveColumns ? bufferedColumns_[bufferedHead_] : kEmptyColumns;
+    out.features =
+        features::extractFeatures(kEmptyColumns, video, options_.windowNs,
+                                  features::FeatureSet::kIpUdp,
+                                  options_.extraction);
     if (backend_ != nullptr) {
       backend_->predictWindow(makeWindowContext(out), out.predictions);
     }
 
     callback_(out);
-    if (bufferIt != windowPackets_.end()) windowPackets_.erase(bufferIt);
+    if (haveColumns) {
+      // Recycle the drained record: steady state allocates nothing.
+      bufferedColumns_[bufferedHead_].clear();
+      columnsPool_.push_back(std::move(bufferedColumns_[bufferedHead_]));
+      ++bufferedHead_;
+    }
     ++nextWindowToEmit_;
+  }
+
+  if (consumedFrames > 0) {
+    closedFrames_.erase(closedFrames_.begin(),
+                        closedFrames_.begin() +
+                            static_cast<std::ptrdiff_t>(consumedFrames));
+  }
+  // Compact the drained prefix: fully drained resets for free; otherwise a
+  // bounded prefix erase keeps the queues from growing with flow lifetime.
+  if (bufferedHead_ == bufferedWindows_.size()) {
+    bufferedWindows_.clear();
+    bufferedColumns_.clear();
+    bufferedHead_ = 0;
+  } else if (bufferedHead_ >= 16) {
+    const auto head = static_cast<std::ptrdiff_t>(bufferedHead_);
+    bufferedWindows_.erase(bufferedWindows_.begin(),
+                           bufferedWindows_.begin() + head);
+    bufferedColumns_.erase(bufferedColumns_.begin(),
+                           bufferedColumns_.begin() + head);
+    bufferedHead_ = 0;
   }
 }
 
 void StreamingIpUdpEstimator::finish() {
-  for (auto& [id, open] : openFrames_) {
-    closedFrames_.emplace(open.frame.endNs, open.frame);
-  }
+  for (const auto& open : openFrames_) insertClosedFrame(open.frame);
   openFrames_.clear();
   emitReadyWindows(std::nullopt);
 }

@@ -1,15 +1,16 @@
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/frame_heuristic.hpp"
 #include "core/heuristic_estimators.hpp"
+#include "core/lookback_ring.hpp"
 #include "core/media_classifier.hpp"
+#include "features/columns.hpp"
 #include "features/extractors.hpp"
 #include "inference/backend.hpp"
 #include "netflow/packet.hpp"
@@ -28,6 +29,20 @@
 /// Windows are finalized one window behind the stream head so that frames
 /// whose packets straddle a boundary are attributed to the window of their
 /// true end time, matching the batch estimator exactly (tested property).
+///
+/// Per-flow state is columnar and flat — no node-based container is touched
+/// on the packet path:
+///  * the Algorithm-1 lookback is a fixed-capacity `LookbackRing` (parallel
+///    size[]/frameId[] arrays; the size-match scan sweeps contiguous
+///    uint32_t),
+///  * open frames live in a small id-sorted vector (append-only ids keep it
+///    sorted; at most Nmax+1 frames are ever open),
+///  * closed frames pending window attribution sit in an endNs-sorted flat
+///    vector consumed from the front,
+///  * per-window packets are buffered as `features::WindowColumns` — video
+///    arrival/size columns only, since the IP/UDP feature set reads nothing
+///    else — and drained records are recycled through a pool, so steady
+///    state does not allocate.
 namespace vcaqoe::core {
 
 struct StreamingOptions {
@@ -69,6 +84,9 @@ class StreamingIpUdpEstimator {
 
   /// `backend` may be null (no inference); it is shared and immutable, so
   /// any number of estimators across any number of threads may hold it.
+  /// Throws std::invalid_argument on a null callback or a non-positive
+  /// `windowNs` — a bad window size must fail loudly at construction, not
+  /// misbucket every packet.
   StreamingIpUdpEstimator(StreamingOptions options, Callback callback,
                           BackendPtr backend = nullptr);
 
@@ -97,12 +115,18 @@ class StreamingIpUdpEstimator {
 
  private:
   struct OpenFrame {
+    std::uint64_t id = 0;
     HeuristicFrame frame;
     std::uint64_t lastTouchedPacket = 0;  // global video-packet index
   };
 
   void ingestVideoPacket(const netflow::Packet& packet);
   void closeStaleFrames();
+  /// Inserts into `closedFrames_` keeping (endNs, close order) — the flat
+  /// equivalent of the old multimap emplace.
+  void insertClosedFrame(const HeuristicFrame& frame);
+  /// Appends one video packet to the columnar buffer of `window`.
+  void bufferVideoPacket(std::int64_t window, const netflow::Packet& packet);
   /// Emits every window whose content can no longer change given the
   /// current stream head (`now`); pass nullopt to flush everything.
   void emitReadyWindows(std::optional<common::TimeNs> now);
@@ -114,18 +138,30 @@ class StreamingIpUdpEstimator {
 
   common::TimeNs lastArrival_ = -1;
 
-  // Incremental Algorithm-1 state.
-  std::deque<std::pair<std::uint32_t, std::uint64_t>> recent_;  // size, frame id
-  std::map<std::uint64_t, OpenFrame> openFrames_;
+  // Incremental Algorithm-1 state (SoA ring + flat id-sorted open set).
+  LookbackRing recent_;
+  std::vector<OpenFrame> openFrames_;
   std::uint64_t nextFrameId_ = 0;
   std::uint64_t videoPacketIndex_ = 0;
 
-  // Closed frames not yet attributed to an emitted window, keyed by end.
-  std::multimap<common::TimeNs, HeuristicFrame> closedFrames_;
+  // Closed frames not yet attributed to an emitted window, sorted by
+  // (endNs, close order); fully pending (consumed prefixes are compacted
+  // away before emitReadyWindows returns).
+  std::vector<HeuristicFrame> closedFrames_;
   common::TimeNs lastEmittedFrameEnd_ = -1;
 
-  // Per-window packet buffer for feature extraction.
-  std::map<std::int64_t, std::vector<netflow::Packet>> windowPackets_;
+  // Columnar per-window buffer of video-classified packets (the only
+  // packets the IP/UDP feature set reads): parallel (window index, columns)
+  // queues appended in non-decreasing window order, consumed from
+  // `bufferedHead_`. Drained records recycle through `columnsPool_`.
+  std::vector<std::int64_t> bufferedWindows_;
+  std::vector<features::WindowColumns> bufferedColumns_;
+  std::size_t bufferedHead_ = 0;
+  std::vector<features::WindowColumns> columnsPool_;
+
+  /// Highest window index any packet (video or not) has been seen in —
+  /// empty trailing windows are still prediction intervals and must emit.
+  std::int64_t lastSeenWindow_ = -1;
 
   std::int64_t nextWindowToEmit_ = 0;
 };

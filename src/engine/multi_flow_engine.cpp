@@ -8,6 +8,11 @@ namespace vcaqoe::engine {
 MultiFlowEngine::MultiFlowEngine(EngineOptions options)
     : options_(std::move(options)),
       classifier_(options_.streaming.classifier) {
+  if (options_.streaming.windowNs <= 0) {
+    // Estimators are created lazily on the workers; a bad window size must
+    // fail here, at engine construction, not as a worker error mid-stream.
+    throw std::invalid_argument("MultiFlowEngine: windowNs must be positive");
+  }
   int workers = options_.numWorkers;
   if (workers <= 0) {
     workers = static_cast<int>(std::thread::hardware_concurrency());
@@ -85,8 +90,8 @@ void MultiFlowEngine::onPacket(const netflow::FlowKey& key,
   // so per-flow packet order survives the fan-out. (A re-interned generation
   // may land on a different shard; its id is fresh, so no state aliases.)
   Shard& shard = *shards_[flow % shards_.size()];
-  shard.pending.push_back(
-      Item{flow, /*evict=*/false, packet, std::move(admissionBackend)});
+  shard.pending.push_back(Item{flow, /*evict=*/false, /*kick=*/false, packet,
+                               std::move(admissionBackend)});
   ++packetsIngested_;
   if (packet.arrivalNs > clock_) clock_ = packet.arrivalNs;
   if (options_.idleTimeoutNs > 0) evictIdleFlows();
@@ -159,8 +164,26 @@ void MultiFlowEngine::evictFlow(FlowId flow) {
   // this generation has been processed.
   Shard& shard = *shards_[flow % shards_.size()];
   shard.pending.push_back(
-      Item{flow, /*evict=*/true, netflow::Packet{}, nullptr});
+      Item{flow, /*evict=*/true, /*kick=*/false, netflow::Packet{}, nullptr});
   if (shard.pending.size() >= options_.dispatchBatch) flushPending(shard);
+}
+
+void MultiFlowEngine::pump(common::TimeNs nowNs) {
+  if (finished_) {
+    throw std::logic_error("MultiFlowEngine: pump after finish");
+  }
+  if (nowNs > clock_) clock_ = nowNs;
+  if (options_.idleTimeoutNs > 0) evictIdleFlows();
+  netflow::Packet kick;
+  kick.arrivalNs = clock_;  // the shard clock is monotone like the engine's
+  for (auto& shard : shards_) {
+    // The kick rides the same FIFO as packets, so the worker observes it —
+    // and runs the batcher deadline check — only after everything
+    // dispatched before the pump.
+    shard->pending.push_back(
+        Item{kNoFlow, /*evict=*/false, /*kick=*/true, kick, nullptr});
+    flushPending(*shard);
+  }
 }
 
 void MultiFlowEngine::flushPending(Shard& shard) {
@@ -218,6 +241,14 @@ void MultiFlowEngine::processBatch(Shard& shard,
                                    const std::vector<Item>& batch) {
   bool evicted = false;
   for (const Item& item : batch) {
+    if (item.kick) {
+      // Pump control item: advance the shard's stream clock so the
+      // batcher's deadline check below sees the pumped time.
+      if (item.packet.arrivalNs > shard.streamClock) {
+        shard.streamClock = item.packet.arrivalNs;
+      }
+      continue;
+    }
     if (item.evict) {
       const auto evictee = shard.estimators.find(item.flow);
       if (evictee != shard.estimators.end()) {

@@ -170,6 +170,18 @@ class MultiFlowEngine {
   /// reflects completion order. Must be called from the dispatcher thread.
   std::size_t poll(std::vector<EngineResult>& out);
 
+  /// Live-mode idle kick: advances the engine clock to `nowNs` (monotone —
+  /// an older time is ignored), runs idle-flow eviction against it, flushes
+  /// every dispatcher-side pending buffer, and has each shard advance its
+  /// stream clock and run the inference batcher's deadline check — all
+  /// without requiring a new packet or `finish()`. On a quiet stream this
+  /// is what bounds result latency: completed windows held by the per-shard
+  /// batcher (and packets parked in `pending`) otherwise wait for the next
+  /// dispatch batch. Call it periodically from the dispatcher thread (a
+  /// paced replay or a live capture's timer); results surface via `poll`.
+  /// Throws std::logic_error after `finish()`.
+  void pump(common::TimeNs nowNs);
+
   /// Flushes all pending batches, finalizes every per-flow estimator, joins
   /// the pool, and returns all not-yet-polled results ordered by
   /// (flow id, window). Idempotent; the engine accepts no packets afterwards.
@@ -188,6 +200,10 @@ class MultiFlowEngine {
     FlowId flow = 0;
     /// Control item: finalize and drop the flow's estimator (idle eviction).
     bool evict = false;
+    /// Control item: advance the shard's stream clock to `packet.arrivalNs`
+    /// (the pump's `nowNs` rides the packet field) so the batcher deadline
+    /// check that follows the batch sees the pumped time.
+    bool kick = false;
     netflow::Packet packet;
     /// Set only on a flow generation's first packet: the backend the
     /// dispatcher resolved at admission, attached when the worker creates

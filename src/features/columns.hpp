@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netflow/packet.hpp"
+
+/// Columnar (structure-of-arrays) packet storage for the per-window hot
+/// path.
+///
+/// Feature extraction reads a window's packets column-wise: the flow and
+/// semantic features touch only arrival times and sizes, the RTP features
+/// additionally parse the captured payload heads. Buffering full
+/// `netflow::Packet` records (48 bytes each, mostly head bytes the IP/UDP
+/// feature set never reads) wastes cache and memory bandwidth; a
+/// `WindowColumns` keeps each column contiguous and captures the head
+/// columns only when the consumer's feature set needs them.
+namespace vcaqoe::features {
+
+struct WindowColumns {
+  std::vector<common::TimeNs> arrivalNs;
+  std::vector<std::uint32_t> sizeBytes;
+
+  /// When set, `append` also fills the RTP head columns below; when clear
+  /// (the IP/UDP feature path) no payload byte is ever stored or touched.
+  bool captureHeads = false;
+  std::vector<std::uint8_t> headLen;
+  /// Payload prefixes, `netflow::kHeadCapacity`-strided (packet i's head
+  /// occupies bytes [i*kHeadCapacity, i*kHeadCapacity + headLen[i])).
+  std::vector<std::uint8_t> headBytes;
+
+  std::size_t size() const { return arrivalNs.size(); }
+  bool empty() const { return arrivalNs.empty(); }
+
+  /// Drops the rows but keeps the capacity (and `captureHeads`), so a
+  /// recycled record appends without reallocating.
+  void clear() {
+    arrivalNs.clear();
+    sizeBytes.clear();
+    headLen.clear();
+    headBytes.clear();
+  }
+
+  void reserve(std::size_t rows) {
+    arrivalNs.reserve(rows);
+    sizeBytes.reserve(rows);
+    if (captureHeads) {
+      headLen.reserve(rows);
+      headBytes.reserve(rows * netflow::kHeadCapacity);
+    }
+  }
+
+  /// Appends one packet's columns (head columns only under `captureHeads`).
+  void append(const netflow::Packet& packet) {
+    arrivalNs.push_back(packet.arrivalNs);
+    sizeBytes.push_back(packet.sizeBytes);
+    if (captureHeads) {
+      headLen.push_back(packet.headLen);
+      headBytes.insert(headBytes.end(), packet.head.begin(), packet.head.end());
+    }
+  }
+
+  /// Packet i's captured payload prefix (empty unless heads were captured).
+  std::span<const std::uint8_t> headAt(std::size_t i) const {
+    if (!captureHeads) return {};
+    return {headBytes.data() + i * netflow::kHeadCapacity, headLen[i]};
+  }
+
+  /// Re-gathers this record from an AoS packet span: rows replaced,
+  /// capacity kept — the one gather implementation shared by `fromPackets`
+  /// and reusable scratch records.
+  void assignFrom(std::span<const netflow::Packet> packets, bool heads) {
+    captureHeads = heads;
+    clear();
+    reserve(packets.size());
+    for (const auto& packet : packets) append(packet);
+  }
+
+  /// Gathers an AoS packet span into columns — the bridge the span-of-Packet
+  /// extraction entry points delegate through.
+  static WindowColumns fromPackets(std::span<const netflow::Packet> packets,
+                                   bool captureHeads) {
+    WindowColumns columns;
+    columns.assignFrom(packets, captureHeads);
+    return columns;
+  }
+};
+
+}  // namespace vcaqoe::features

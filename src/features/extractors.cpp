@@ -21,43 +21,68 @@ void appendFive(std::vector<double>& out, const common::FiveNumber& f) {
   out.push_back(f.max);
 }
 
+/// Gather scratch for the span-of-Packet entry points: delegating through
+/// the columnar kernels keeps one implementation per feature, and the
+/// reused thread-local record keeps the batch path allocation-free in
+/// steady state (capacity survives clear()). `Slot` separates the two
+/// records extractFeatures needs live at once.
+template <int Slot>
+const WindowColumns& gatherColumns(std::span<const netflow::Packet> packets,
+                                   bool captureHeads) {
+  thread_local WindowColumns columns;
+  columns.assignFrom(packets, captureHeads);
+  return columns;
+}
+
 }  // namespace
 
-std::vector<double> flowStatistics(std::span<const netflow::Packet> video,
-                                   common::DurationNs windowNs) {
+std::vector<double> flowStatistics(
+    std::span<const common::TimeNs> videoArrivalNs,
+    std::span<const std::uint32_t> videoSizeBytes,
+    common::DurationNs windowNs) {
   const double seconds = common::nsToSeconds(windowNs);
+  const std::size_t n = videoSizeBytes.size();
 
   double totalBytes = 0.0;
   std::vector<double> sizes;
-  sizes.reserve(video.size());
+  sizes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    totalBytes += videoSizeBytes[i];
+    sizes.push_back(static_cast<double>(videoSizeBytes[i]));
+  }
   std::vector<double> iats;
-  iats.reserve(video.size());
-  for (std::size_t i = 0; i < video.size(); ++i) {
-    totalBytes += video[i].sizeBytes;
-    sizes.push_back(static_cast<double>(video[i].sizeBytes));
-    if (i > 0) {
-      iats.push_back(
-          common::nsToMillis(video[i].arrivalNs - video[i - 1].arrivalNs));
-    }
+  iats.reserve(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    iats.push_back(
+        common::nsToMillis(videoArrivalNs[i] - videoArrivalNs[i - 1]));
   }
 
   std::vector<double> out;
   out.reserve(12);
   out.push_back(totalBytes / seconds);
-  out.push_back(static_cast<double>(video.size()) / seconds);
+  out.push_back(static_cast<double>(n) / seconds);
   appendFive(out, common::fiveNumber(sizes));
   appendFive(out, common::fiveNumber(iats));
   return out;
 }
 
-std::vector<double> semanticFeatures(std::span<const netflow::Packet> video,
-                                     const ExtractionParams& params) {
+std::vector<double> flowStatistics(std::span<const netflow::Packet> video,
+                                   common::DurationNs windowNs) {
+  const auto& columns = gatherColumns<0>(video, /*captureHeads=*/false);
+  return flowStatistics(columns.arrivalNs, columns.sizeBytes, windowNs);
+}
+
+std::vector<double> semanticFeatures(
+    std::span<const common::TimeNs> videoArrivalNs,
+    std::span<const std::uint32_t> videoSizeBytes,
+    const ExtractionParams& params) {
+  const std::size_t n = videoSizeBytes.size();
   std::unordered_set<std::uint32_t> uniqueSizes;
-  uniqueSizes.reserve(video.size());
+  uniqueSizes.reserve(n);
   std::size_t burstBoundaries = 0;
-  for (std::size_t i = 0; i < video.size(); ++i) {
-    uniqueSizes.insert(video[i].sizeBytes);
-    if (i > 0 && video[i].arrivalNs - video[i - 1].arrivalNs >=
+  for (std::size_t i = 0; i < n; ++i) {
+    uniqueSizes.insert(videoSizeBytes[i]);
+    if (i > 0 && videoArrivalNs[i] - videoArrivalNs[i - 1] >=
                      params.microburstIatNs) {
       ++burstBoundaries;
     }
@@ -65,11 +90,17 @@ std::vector<double> semanticFeatures(std::span<const netflow::Packet> video,
   // Microburst count: bursts are separated by gaps >= θ_IAT, so the number
   // of bursts is boundaries + 1 for a non-empty window.
   const double microbursts =
-      video.empty() ? 0.0 : static_cast<double>(burstBoundaries + 1);
+      n == 0 ? 0.0 : static_cast<double>(burstBoundaries + 1);
   return {static_cast<double>(uniqueSizes.size()), microbursts};
 }
 
-std::vector<double> rtpFeatures(const Window& window,
+std::vector<double> semanticFeatures(std::span<const netflow::Packet> video,
+                                     const ExtractionParams& params) {
+  const auto& columns = gatherColumns<0>(video, /*captureHeads=*/false);
+  return semanticFeatures(columns.arrivalNs, columns.sizeBytes, params);
+}
+
+std::vector<double> rtpFeatures(const WindowColumns& window,
                                 const ExtractionParams& params) {
   std::set<std::uint32_t> videoTs;
   std::set<std::uint32_t> rtxTs;
@@ -85,8 +116,8 @@ std::vector<double> rtpFeatures(const Window& window,
   // packets), then delay versus the timestamp-implied transmission time.
   std::map<std::uint32_t, common::TimeNs> frameCompletion;
 
-  for (const auto& pkt : window.packets) {
-    const auto header = rtp::decode(pkt.headBytes());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const auto header = rtp::decode(window.headAt(i));
     if (!header) continue;
     if (header->payloadType == params.videoPt) {
       videoTs.insert(header->timestamp);
@@ -98,8 +129,8 @@ std::vector<double> rtpFeatures(const Window& window,
       lastSeq = header->sequenceNumber;
       haveLastSeq = true;
       auto [it, inserted] =
-          frameCompletion.try_emplace(header->timestamp, pkt.arrivalNs);
-      if (!inserted) it->second = std::max(it->second, pkt.arrivalNs);
+          frameCompletion.try_emplace(header->timestamp, window.arrivalNs[i]);
+      if (!inserted) it->second = std::max(it->second, window.arrivalNs[i]);
     } else if (params.rtxPt != 0 && header->payloadType == params.rtxPt) {
       rtxTs.insert(header->timestamp);
       if (header->marker) markerRtx += 1.0;
@@ -137,16 +168,41 @@ std::vector<double> rtpFeatures(const Window& window,
   return out;
 }
 
+std::vector<double> rtpFeatures(const Window& window,
+                                const ExtractionParams& params) {
+  return rtpFeatures(gatherColumns<0>(window.packets, /*captureHeads=*/true),
+                     params);
+}
+
+std::vector<double> extractFeatures(const WindowColumns& window,
+                                    const WindowColumns& video,
+                                    common::DurationNs durationNs,
+                                    FeatureSet set,
+                                    const ExtractionParams& params) {
+  std::vector<double> out =
+      flowStatistics(video.arrivalNs, video.sizeBytes, durationNs);
+  const std::vector<double> extra =
+      set == FeatureSet::kIpUdp
+          ? semanticFeatures(video.arrivalNs, video.sizeBytes, params)
+          : rtpFeatures(window, params);
+  out.insert(out.end(), extra.begin(), extra.end());
+  return out;
+}
+
 std::vector<double> extractFeatures(const Window& window,
                                     std::span<const netflow::Packet> video,
                                     FeatureSet set,
                                     const ExtractionParams& params) {
-  std::vector<double> out = flowStatistics(video, window.durationNs);
-  const std::vector<double> extra = set == FeatureSet::kIpUdp
-                                        ? semanticFeatures(video, params)
-                                        : rtpFeatures(window, params);
-  out.insert(out.end(), extra.begin(), extra.end());
-  return out;
+  static const WindowColumns kNoWindow;
+  const auto& videoColumns = gatherColumns<0>(video, /*captureHeads=*/false);
+  // The window's full packet set (heads included) is only gathered when the
+  // RTP features will actually read it.
+  const auto& windowColumns =
+      set == FeatureSet::kRtp
+          ? gatherColumns<1>(window.packets, /*captureHeads=*/true)
+          : kNoWindow;
+  return extractFeatures(windowColumns, videoColumns, window.durationNs, set,
+                         params);
 }
 
 }  // namespace vcaqoe::features

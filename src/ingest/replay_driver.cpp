@@ -5,13 +5,25 @@
 namespace vcaqoe::ingest {
 
 ReplayReport replay(PacketSource& source, engine::MultiFlowEngine& engine,
-                    std::size_t pollEvery) {
+                    std::size_t pollEvery, common::DurationNs pumpIntervalNs) {
   if (pollEvery == 0) pollEvery = 1;
   ReplayReport report;
   SourcePacket sp;
+  bool pumped = false;
+  common::TimeNs lastPumpNs = 0;
   while (source.next(sp)) {
     engine.onPacket(sp.flow, sp.packet);
     if (++report.packets % pollEvery == 0) engine.poll(report.results);
+    if (pumpIntervalNs > 0 &&
+        (!pumped || sp.packet.arrivalNs - lastPumpNs >= pumpIntervalNs)) {
+      // Live-mode idle kick at a stream-time cadence: flush pending
+      // dispatch buffers and run the shard batchers' deadline checks even
+      // when a flow (or the whole stream) goes quiet between windows.
+      engine.pump(sp.packet.arrivalNs);
+      engine.poll(report.results);
+      pumped = true;
+      lastPumpNs = sp.packet.arrivalNs;
+    }
   }
   auto rest = engine.finish();
   report.results.insert(report.results.end(),

@@ -23,11 +23,24 @@ struct ReplayReport {
 /// finalizes the engine and returns everything in canonical
 /// (flow id, window) order.
 ///
+/// With `pumpIntervalNs > 0` the driver additionally calls
+/// `engine.pump(now)` whenever stream time advances by that much — the
+/// live-mode idle kick: dispatcher-side pending buffers are flushed and
+/// each shard runs its inference-batcher deadline check at a bounded
+/// stream-time cadence instead of waiting for dispatch-batch boundaries.
+/// The cadence is checked at packet boundaries, so under a real-time paced
+/// source this bounds wall-clock result latency *while packets flow*;
+/// across a long capture gap the next pump fires with the packet that ends
+/// the gap (a true live source would drive `pump` from a wall-clock timer —
+/// see ROADMAP). Pumping changes only *when* results surface, never their
+/// values or canonical order.
+///
 /// Canonical ordering makes the output a pure function of the packet stream:
 /// replaying a written capture yields results bit-identical to feeding the
 /// same packets to `onPacket` directly, for any worker count (tested
 /// property — the acceptance gate of the ingest path).
 ReplayReport replay(PacketSource& source, engine::MultiFlowEngine& engine,
-                    std::size_t pollEvery = 1024);
+                    std::size_t pollEvery = 1024,
+                    common::DurationNs pumpIntervalNs = 0);
 
 }  // namespace vcaqoe::ingest

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -11,6 +13,8 @@
 #include "engine/multi_flow_engine.hpp"
 #include "engine/spsc_ring.hpp"
 #include "engine/synthetic.hpp"
+#include "inference/backends.hpp"
+#include "inference/model_registry.hpp"
 #include "netflow/packet.hpp"
 
 namespace vcaqoe::engine {
@@ -411,6 +415,131 @@ TEST(MultiFlowEngine, EvictionBoundsResidentFlowsOnLongRuns) {
     windowsAccounted += fs.windowsEmitted;
   }
   EXPECT_EQ(windowsAccounted, drained.size() + results.size());
+}
+
+// ------------------------------------------------- live-mode pump (PR 5)
+
+TEST(MultiFlowEngine, RejectsNonPositiveWindowAtConstruction) {
+  EngineOptions options;
+  options.streaming.windowNs = 0;
+  EXPECT_THROW(MultiFlowEngine{options}, std::invalid_argument);
+  options.streaming.windowNs = -1;
+  EXPECT_THROW(MultiFlowEngine{options}, std::invalid_argument);
+}
+
+/// Drains `engine` until `atLeast` results arrived or ~5 s of wall time
+/// passed (the workers process pump control items asynchronously).
+std::size_t pollUntil(MultiFlowEngine& engine,
+                      std::vector<EngineResult>& results,
+                      std::size_t atLeast) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (results.size() < atLeast &&
+         std::chrono::steady_clock::now() < deadline) {
+    engine.poll(results);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  engine.poll(results);
+  return results.size();
+}
+
+TEST(MultiFlowEngine, PumpEvictsIdleFlowsAndFlushesPendingWithoutPackets) {
+  EngineOptions options;
+  options.numWorkers = 2;
+  // Large dispatch batch: without the pump, everything would sit in the
+  // dispatcher-side pending buffer until finish().
+  options.dispatchBatch = 100'000;
+  options.idleTimeoutNs = 3 * common::kNanosPerSecond;
+  MultiFlowEngine engine(options);
+
+  const auto burst = steadyTrace(0, 300);  // ~3 s of traffic, then silence
+  for (const auto& p : burst) engine.onPacket(makeKey(1), p);
+
+  // Reference: a standalone estimator over the same burst, finalized.
+  std::vector<core::StreamingOutput> want;
+  core::StreamingIpUdpEstimator reference(
+      options.streaming,
+      [&want](const core::StreamingOutput& out) { want.push_back(out); });
+  for (const auto& p : burst) reference.onPacket(p);
+  reference.finish();
+  ASSERT_GE(want.size(), 2u);
+
+  // No packet will ever arrive again; the pump alone must evict, finalize,
+  // and surface the flow's windows.
+  engine.pump(burst.back().arrivalNs + options.idleTimeoutNs + 1);
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.flowsEvicted, 1u);
+  EXPECT_EQ(stats.activeFlows, 0u);
+  EXPECT_TRUE(engine.flowStats()[0].evicted);
+
+  std::vector<EngineResult> results;
+  ASSERT_EQ(pollUntil(engine, results, want.size()), want.size());
+  for (std::size_t w = 0; w < want.size(); ++w) {
+    EXPECT_EQ(results[w].flow, 0u);
+    expectSameOutput(results[w].output, want[w]);
+  }
+
+  // finish() has nothing left for the evicted generation.
+  EXPECT_TRUE(engine.finish().empty());
+}
+
+TEST(MultiFlowEngine, PumpFlushesBatcherDeadlineOnQuietStream) {
+  auto registry = std::make_shared<inference::ModelRegistry>();
+  registry->registerBackend(
+      "teams", inference::QoeTarget::kFrameRate,
+      std::make_shared<inference::ForestBackend>(
+          syntheticForest(4, 4, 30.0), inference::QoeTarget::kFrameRate,
+          "forest:teams/frame_rate"));
+
+  EngineOptions options;
+  options.numWorkers = 1;
+  options.dispatchBatch = 1;  // windows reach the shard batcher immediately
+  options.registry = registry;
+  options.targets = {inference::QoeTarget::kFrameRate};
+  options.inferenceBatch = 64;  // far more than the trace produces
+  options.inferenceFlushNs = 60 * common::kNanosPerSecond;  // never mid-trace
+  MultiFlowEngine engine(options);
+
+  const auto burst = steadyTrace(0, 500);  // ~5 s of traffic
+  for (const auto& p : burst) engine.onPacket(makeKey(1), p);
+
+  std::vector<core::StreamingOutput> want;
+  core::StreamingIpUdpEstimator reference(
+      options.streaming,
+      [&want](const core::StreamingOutput& out) { want.push_back(out); },
+      registry->resolve("teams", inference::QoeTarget::kFrameRate));
+  for (const auto& p : burst) reference.onPacket(p);
+  // No finish(): only windows already emitted mid-stream are expected —
+  // those are exactly what the batcher is holding hostage.
+  ASSERT_GE(want.size(), 3u);
+
+  // The stream is quiet and the deadline far away: pumping a stream time
+  // past the deadline is the only way these windows can surface.
+  engine.pump(burst.back().arrivalNs + options.inferenceFlushNs + 1);
+  std::vector<EngineResult> results;
+  ASSERT_EQ(pollUntil(engine, results, want.size()), want.size());
+  for (std::size_t w = 0; w < want.size(); ++w) {
+    EXPECT_EQ(results[w].flow, 0u);
+    expectSameOutput(results[w].output, want[w]);
+    EXPECT_TRUE(results[w].output.predictions.has(
+        inference::QoeTarget::kFrameRate));
+  }
+  EXPECT_GT(engine.stats().inferenceBatches, 0u);
+  engine.finish();
+}
+
+TEST(MultiFlowEngine, PumpIsMonotoneAndRejectedAfterFinish) {
+  EngineOptions options;
+  options.numWorkers = 1;
+  MultiFlowEngine engine(options);
+  for (const auto& p : steadyTrace(0, 50)) engine.onPacket(makeKey(1), p);
+  // An old timestamp must not rewind the engine clock (no spurious
+  // evictions, no clock regressions on the shards).
+  engine.pump(-100);
+  engine.pump(common::kNanosPerSecond);
+  const auto results = engine.finish();
+  EXPECT_FALSE(results.empty());
+  EXPECT_THROW(engine.pump(2 * common::kNanosPerSecond), std::logic_error);
 }
 
 TEST(MultiFlowEngine, StatsCountPacketsFlowsAndResults) {

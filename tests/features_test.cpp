@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/stats.hpp"
 #include "features/extractors.hpp"
 #include "features/feature_vector.hpp"
@@ -266,6 +268,116 @@ TEST(Extract, RtpVectorWidth) {
   const auto w = windowOver(trace);
   const auto f = extractFeatures(w, trace, FeatureSet::kRtp, params);
   EXPECT_EQ(f.size(), featureCount(FeatureSet::kRtp));
+}
+
+// ------------------------------------------------- columnar layout (PR 5)
+
+/// A mixed trace exercising every column: RTP video, RTX, out-of-order
+/// sequence numbers, non-RTP payloads, and size/IAT variety.
+netflow::PacketTrace mixedTrace() {
+  netflow::PacketTrace trace;
+  trace.push_back(rtpPacket(1'000'000, 1200, 102, 9000, false, 10));
+  trace.push_back(rtpPacket(2'500'000, 1201, 102, 9000, true, 11));
+  trace.push_back(rtpPacket(9'000'000, 640, 103, 9000, false, 3));  // RTX
+  trace.push_back(plainPacket(12'000'000, 1100));                   // non-RTP
+  trace.push_back(rtpPacket(15'000'000, 900, 102, 12000, false, 13));
+  trace.push_back(rtpPacket(15'400'000, 905, 102, 12000, true, 12));  // ooo
+  trace.push_back(plainPacket(22'000'000, 130));  // audio-sized
+  trace.push_back(rtpPacket(40'000'000, 980, 102, 15000, true, 14));
+  return trace;
+}
+
+TEST(Columnar, AppendMatchesFromPackets) {
+  const auto trace = mixedTrace();
+  WindowColumns incremental;
+  incremental.captureHeads = true;
+  for (const auto& pkt : trace) incremental.append(pkt);
+  const auto gathered = WindowColumns::fromPackets(trace, true);
+  EXPECT_EQ(incremental.arrivalNs, gathered.arrivalNs);
+  EXPECT_EQ(incremental.sizeBytes, gathered.sizeBytes);
+  EXPECT_EQ(incremental.headLen, gathered.headLen);
+  EXPECT_EQ(incremental.headBytes, gathered.headBytes);
+}
+
+TEST(Columnar, HeadColumnsOnlyWhenCaptured) {
+  const auto trace = mixedTrace();
+  const auto noHeads = WindowColumns::fromPackets(trace, false);
+  EXPECT_EQ(noHeads.size(), trace.size());
+  EXPECT_TRUE(noHeads.headLen.empty());
+  EXPECT_TRUE(noHeads.headBytes.empty());
+  EXPECT_TRUE(noHeads.headAt(0).empty());
+
+  const auto withHeads = WindowColumns::fromPackets(trace, true);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto head = withHeads.headAt(i);
+    const auto want = trace[i].headBytes();
+    ASSERT_EQ(head.size(), want.size());
+    EXPECT_TRUE(std::equal(head.begin(), head.end(), want.begin()));
+  }
+}
+
+TEST(Columnar, ClearKeepsCaptureFlagAndDropsRows) {
+  auto columns = WindowColumns::fromPackets(mixedTrace(), true);
+  columns.clear();
+  EXPECT_TRUE(columns.empty());
+  EXPECT_TRUE(columns.captureHeads);
+  EXPECT_TRUE(columns.headBytes.empty());
+}
+
+TEST(Columnar, FlowStatisticsBitExactVsAoS) {
+  const auto trace = mixedTrace();
+  const auto columns = WindowColumns::fromPackets(trace, false);
+  EXPECT_EQ(flowStatistics(trace, common::kNanosPerSecond),
+            flowStatistics(columns.arrivalNs, columns.sizeBytes,
+                           common::kNanosPerSecond));
+  // Empty and single-row inputs.
+  const WindowColumns empty;
+  EXPECT_EQ(flowStatistics(netflow::PacketTrace{}, common::kNanosPerSecond),
+            flowStatistics(empty.arrivalNs, empty.sizeBytes,
+                           common::kNanosPerSecond));
+}
+
+TEST(Columnar, SemanticFeaturesBitExactVsAoS) {
+  ExtractionParams params;
+  const auto trace = mixedTrace();
+  const auto columns = WindowColumns::fromPackets(trace, false);
+  EXPECT_EQ(semanticFeatures(trace, params),
+            semanticFeatures(columns.arrivalNs, columns.sizeBytes, params));
+}
+
+TEST(Columnar, RtpFeaturesBitExactVsAoS) {
+  ExtractionParams params;
+  params.videoPt = 102;
+  params.rtxPt = 103;
+  const auto trace = mixedTrace();
+  const auto columns = WindowColumns::fromPackets(trace, true);
+  EXPECT_EQ(rtpFeatures(windowOver(trace), params),
+            rtpFeatures(columns, params));
+}
+
+TEST(Columnar, ExtractFeaturesBitExactBothSets) {
+  ExtractionParams params;
+  params.videoPt = 102;
+  params.rtxPt = 103;
+  const auto trace = mixedTrace();
+  const auto w = windowOver(trace);
+
+  // IP/UDP: video = size-classified subset; heads are never consulted, so
+  // an empty window record suffices on the columnar side.
+  netflow::PacketTrace video;
+  for (const auto& pkt : trace) {
+    if (pkt.sizeBytes >= 450) video.push_back(pkt);
+  }
+  const auto videoColumns = WindowColumns::fromPackets(video, false);
+  EXPECT_EQ(extractFeatures(w, video, FeatureSet::kIpUdp, params),
+            extractFeatures(WindowColumns{}, videoColumns,
+                            w.durationNs, FeatureSet::kIpUdp, params));
+
+  // RTP: full window columns with heads.
+  const auto windowColumns = WindowColumns::fromPackets(trace, true);
+  EXPECT_EQ(extractFeatures(w, video, FeatureSet::kRtp, params),
+            extractFeatures(windowColumns, videoColumns, w.durationNs,
+                            FeatureSet::kRtp, params));
 }
 
 }  // namespace

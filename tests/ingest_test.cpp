@@ -12,6 +12,8 @@
 #include "core/streaming.hpp"
 #include "engine/multi_flow_engine.hpp"
 #include "engine/synthetic.hpp"
+#include "inference/backends.hpp"
+#include "inference/model_registry.hpp"
 #include "ingest/live_capture.hpp"
 #include "ingest/packet_source.hpp"
 #include "ingest/pcap_replay.hpp"
@@ -98,6 +100,41 @@ TEST_P(ReplayDeterminism, ReplayedCaptureMatchesDirectFeed) {
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, ReplayDeterminism,
                          ::testing::Values(1, 4));
+
+/// The live-mode idle kick must change only *when* results surface, never
+/// their values or canonical order — including through the cross-flow
+/// inference batcher whose deadline flushes it forces.
+TEST(Replay, PumpedReplayBitIdenticalToDirectFeed) {
+  auto registry = std::make_shared<inference::ModelRegistry>();
+  registry->registerBackend(
+      "teams", inference::QoeTarget::kFrameRate,
+      std::make_shared<inference::ForestBackend>(
+          engine::syntheticForest(4, 4, 30.0),
+          inference::QoeTarget::kFrameRate, "forest:teams/frame_rate"));
+
+  engine::EngineOptions options;
+  options.numWorkers = 4;
+  options.dispatchBatch = 64;
+  options.registry = registry;
+  options.targets = {inference::QoeTarget::kFrameRate};
+  options.inferenceBatch = 16;
+  options.inferenceFlushNs = 2 * common::kNanosPerSecond;
+
+  const auto stream = makeStream(6, 600);
+  const auto want = directFeed(stream, options);
+
+  const auto capture = writeCapture(stream);
+  engine::MultiFlowEngine eng(options);
+  PcapReplaySource source{std::span<const std::uint8_t>(capture)};
+  const auto report = replay(source, eng, /*pollEvery=*/128,
+                             /*pumpIntervalNs=*/common::kNanosPerSecond / 2);
+
+  ASSERT_EQ(report.results.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(report.results[i].flow, want[i].flow);
+    expectSameOutput(report.results[i].output, want[i].output);
+  }
+}
 
 TEST(PcapReplaySource, FileConstructorStreamsFromDisk) {
   const auto stream = makeStream(3, 150);

@@ -1,12 +1,21 @@
 // Streaming estimator tests: single-pass results must match the batch
-// pipeline (the §7 "streaming versions of the methods" requirement).
+// pipeline (the §7 "streaming versions of the methods" requirement), and
+// the columnar/SoA per-flow layout must be bit-identical to the node-based
+// one it replaced.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "core/evaluation.hpp"
+#include "core/lookback_ring.hpp"
 #include "core/session.hpp"
 #include "core/streaming.hpp"
 #include "datasets/generators.hpp"
 #include "datasets/vca_profiles.hpp"
+#include "features/windows.hpp"
 #include "inference/backends.hpp"
 #include "netem/conditions.hpp"
 
@@ -199,6 +208,438 @@ TEST(Streaming, EmptyStreamFinishIsNoop) {
   streaming.finish();
   EXPECT_EQ(calls, 0);
   EXPECT_EQ(streaming.emittedWindows(), 0);
+}
+
+// ------------------------------------------------------------ lookback ring
+
+TEST(LookbackRing, ZeroCapacityThrows) {
+  EXPECT_THROW(LookbackRing(0), std::invalid_argument);
+}
+
+TEST(LookbackRing, MostRecentMatchWins) {
+  LookbackRing ring(4);
+  ring.push(100, 7);
+  ring.push(200, 8);
+  ring.push(102, 9);
+  EXPECT_EQ(ring.size(), 3u);
+  // 101 is within delta 2 of both 100 (id 7) and 102 (id 9); Algorithm 1
+  // takes the most recent.
+  EXPECT_EQ(ring.matchMostRecent(101, 2), 9);
+  EXPECT_EQ(ring.matchMostRecent(199, 2), 8);
+  EXPECT_EQ(ring.matchMostRecent(500, 2), -1);
+  // Exact boundary: diff == deltaMax matches.
+  EXPECT_EQ(ring.matchMostRecent(98, 2), 7);
+  EXPECT_EQ(ring.matchMostRecent(97, 2), -1);
+}
+
+TEST(LookbackRing, OldEntriesFallOffAfterWrap) {
+  LookbackRing ring(2);
+  ring.push(100, 0);
+  ring.push(200, 1);
+  ring.push(300, 2);  // evicts (100, 0)
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.matchMostRecent(100, 0), -1);
+  EXPECT_EQ(ring.matchMostRecent(200, 0), 1);
+  EXPECT_EQ(ring.matchMostRecent(300, 0), 2);
+  // Most-recent-first across the wrap boundary: a fresh 200 beats id 1.
+  ring.push(200, 3);
+  EXPECT_EQ(ring.matchMostRecent(200, 0), 3);
+}
+
+TEST(LookbackRing, ClearForgetsEntriesButKeepsCapacity) {
+  LookbackRing ring(3);
+  ring.push(100, 1);
+  ring.push(200, 2);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_EQ(ring.matchMostRecent(100, 2), -1);
+  // Reusable after clear: pushes and wrap behave like a fresh ring.
+  for (std::uint64_t id = 7; id < 11; ++id) {
+    ring.push(300 + static_cast<std::uint32_t>(id), id);
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.matchMostRecent(310, 0), 10);
+  EXPECT_EQ(ring.matchMostRecent(307, 0), -1);  // fell off
+}
+
+TEST(LookbackRing, CapacityOneSeesOnlyThePreviousPacket) {
+  LookbackRing ring(1);
+  ring.push(1000, 4);
+  EXPECT_EQ(ring.matchMostRecent(1000, 2), 4);
+  ring.push(1200, 5);
+  EXPECT_EQ(ring.matchMostRecent(1000, 2), -1);
+  EXPECT_EQ(ring.matchMostRecent(1201, 2), 5);
+}
+
+TEST(HeuristicParams, EffectiveLookbackClampsToOne) {
+  HeuristicParams params;
+  params.lookback = 0;
+  EXPECT_EQ(params.effectiveLookback(), 1);
+  params.lookback = -5;
+  EXPECT_EQ(params.effectiveLookback(), 1);
+  params.lookback = 3;
+  EXPECT_EQ(params.effectiveLookback(), 3);
+}
+
+TEST(Streaming, RejectsNonPositiveWindowAtConstruction) {
+  StreamingOptions bad;
+  bad.windowNs = 0;
+  EXPECT_THROW(StreamingIpUdpEstimator(bad, [](const StreamingOutput&) {}),
+               std::invalid_argument);
+  bad.windowNs = -common::kNanosPerSecond;
+  EXPECT_THROW(StreamingIpUdpEstimator(bad, [](const StreamingOutput&) {}),
+               std::invalid_argument);
+}
+
+// --------------------------------------- columnar-layout equivalence (PR 5)
+
+/// The pre-refactor streaming estimator, verbatim: deque lookback,
+/// map/multimap frame bookkeeping, full-Packet window buffers, AoS feature
+/// extraction. Kept here as the bit-exactness reference for the columnar
+/// layout (the same pattern bench_engine_throughput uses for the node-tree
+/// forest baseline).
+class LegacyStreamingEstimator {
+ public:
+  using Callback = std::function<void(const StreamingOutput&)>;
+
+  LegacyStreamingEstimator(StreamingOptions options, Callback callback)
+      : options_(std::move(options)),
+        callback_(std::move(callback)),
+        classifier_(options_.classifier) {}
+
+  void onPacket(const netflow::Packet& packet) {
+    lastArrival_ = packet.arrivalNs;
+    const auto window =
+        common::windowIndex(packet.arrivalNs, options_.windowNs);
+    if (window >= nextWindowToEmit_) windowPackets_[window].push_back(packet);
+    if (classifier_.isVideo(packet)) {
+      ingestVideoPacket(packet);
+      closeStaleFrames();
+    }
+    emitReadyWindows(packet.arrivalNs);
+  }
+
+  void finish() {
+    for (auto& [id, open] : openFrames_) {
+      closedFrames_.emplace(open.frame.endNs, open.frame);
+    }
+    openFrames_.clear();
+    emitReadyWindows(std::nullopt);
+  }
+
+ private:
+  struct OpenFrame {
+    HeuristicFrame frame;
+    std::uint64_t lastTouchedPacket = 0;
+  };
+
+  void ingestVideoPacket(const netflow::Packet& packet) {
+    const auto size = static_cast<std::int64_t>(packet.sizeBytes);
+    std::int64_t matched = -1;
+    for (const auto& [prevSize, frameId] : recent_) {
+      const auto diff = std::llabs(size - static_cast<std::int64_t>(prevSize));
+      if (diff <= static_cast<std::int64_t>(options_.heuristic.deltaMaxBytes)) {
+        matched = static_cast<std::int64_t>(frameId);
+        break;
+      }
+    }
+    std::uint64_t frameId;
+    if (matched < 0) {
+      frameId = nextFrameId_++;
+      OpenFrame open;
+      open.frame.firstNs = packet.arrivalNs;
+      open.frame.endNs = packet.arrivalNs;
+      open.frame.bytes = packet.sizeBytes;
+      open.frame.packetCount = 1;
+      open.lastTouchedPacket = videoPacketIndex_;
+      openFrames_.emplace(frameId, open);
+    } else {
+      frameId = static_cast<std::uint64_t>(matched);
+      auto it = openFrames_.find(frameId);
+      if (it != openFrames_.end()) {
+        it->second.frame.endNs =
+            std::max(it->second.frame.endNs, packet.arrivalNs);
+        it->second.frame.firstNs =
+            std::min(it->second.frame.firstNs, packet.arrivalNs);
+        it->second.frame.bytes += packet.sizeBytes;
+        ++it->second.frame.packetCount;
+        it->second.lastTouchedPacket = videoPacketIndex_;
+      }
+    }
+    recent_.emplace_front(packet.sizeBytes, frameId);
+    const auto lookback =
+        static_cast<std::size_t>(std::max(options_.heuristic.lookback, 1));
+    while (recent_.size() > lookback) recent_.pop_back();
+    ++videoPacketIndex_;
+  }
+
+  void closeStaleFrames() {
+    const auto lookback =
+        static_cast<std::uint64_t>(std::max(options_.heuristic.lookback, 1));
+    for (auto it = openFrames_.begin(); it != openFrames_.end();) {
+      if (videoPacketIndex_ - it->second.lastTouchedPacket > lookback) {
+        closedFrames_.emplace(it->second.frame.endNs, it->second.frame);
+        it = openFrames_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void emitReadyWindows(std::optional<common::TimeNs> now) {
+    std::int64_t lastWindow = nextWindowToEmit_ - 1;
+    if (!windowPackets_.empty()) {
+      lastWindow = std::max(lastWindow, windowPackets_.rbegin()->first);
+    }
+    if (!closedFrames_.empty()) {
+      lastWindow = std::max(lastWindow,
+                            common::windowIndex(closedFrames_.rbegin()->first,
+                                                options_.windowNs));
+    }
+    while (nextWindowToEmit_ <= lastWindow) {
+      const std::int64_t w = nextWindowToEmit_;
+      const common::TimeNs windowEnd = (w + 1) * options_.windowNs;
+      if (now.has_value()) {
+        if (*now < windowEnd) break;
+        bool blocked = false;
+        for (const auto& [id, open] : openFrames_) {
+          if (open.frame.endNs < windowEnd) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) break;
+      }
+      StreamingOutput out;
+      out.window = w;
+      const double seconds = common::nsToSeconds(options_.windowNs);
+      std::vector<double> gaps;
+      auto it = closedFrames_.begin();
+      while (it != closedFrames_.end() && it->first < windowEnd) {
+        const HeuristicFrame& frame = it->second;
+        ++out.heuristic.frameCount;
+        out.heuristic.bitrateKbps +=
+            (static_cast<double>(frame.bytes) -
+             12.0 * static_cast<double>(frame.packetCount)) *
+            8.0 / seconds / 1e3;
+        if (lastEmittedFrameEnd_ >= 0) {
+          gaps.push_back(
+              common::nsToMillis(frame.endNs - lastEmittedFrameEnd_));
+        }
+        lastEmittedFrameEnd_ = frame.endNs;
+        it = closedFrames_.erase(it);
+      }
+      out.heuristic.window = w;
+      out.heuristic.fps =
+          static_cast<double>(out.heuristic.frameCount) / seconds;
+      out.heuristic.frameJitterMs =
+          gaps.size() >= 2 ? common::sampleStdev(gaps) : 0.0;
+
+      features::Window window;
+      window.index = w;
+      window.startNs = w * options_.windowNs;
+      window.durationNs = options_.windowNs;
+      const auto bufferIt = windowPackets_.find(w);
+      static const std::vector<netflow::Packet> kEmpty;
+      window.packets =
+          bufferIt != windowPackets_.end() ? bufferIt->second : kEmpty;
+      const auto video = classifier_.filterVideo(window.packets);
+      out.features = features::extractFeatures(
+          window, video, features::FeatureSet::kIpUdp, options_.extraction);
+      callback_(out);
+      if (bufferIt != windowPackets_.end()) windowPackets_.erase(bufferIt);
+      ++nextWindowToEmit_;
+    }
+  }
+
+  StreamingOptions options_;
+  Callback callback_;
+  MediaClassifier classifier_;
+  common::TimeNs lastArrival_ = -1;
+  std::deque<std::pair<std::uint32_t, std::uint64_t>> recent_;
+  std::map<std::uint64_t, OpenFrame> openFrames_;
+  std::uint64_t nextFrameId_ = 0;
+  std::uint64_t videoPacketIndex_ = 0;
+  std::multimap<common::TimeNs, HeuristicFrame> closedFrames_;
+  common::TimeNs lastEmittedFrameEnd_ = -1;
+  std::map<std::int64_t, std::vector<netflow::Packet>> windowPackets_;
+  std::int64_t nextWindowToEmit_ = 0;
+};
+
+/// Random VCA-shaped stream: frames of similar-sized packets, sub-V_min
+/// audio sprinkled in, silences producing empty windows, single-packet
+/// frames, and (when `rtx`) late duplicates of earlier frame sizes that
+/// exercise deep lookback matches. Arrivals strictly increase.
+netflow::PacketTrace randomStream(common::Rng& rng, bool rtx, int frames) {
+  netflow::PacketTrace trace;
+  common::TimeNs t = rng.uniformInt(0, 5'000'000);
+  std::vector<std::uint32_t> frameSizes;
+  for (int f = 0; f < frames; ++f) {
+    if (rng.bernoulli(0.05)) {
+      // Stalled call: one to four whole windows with no packet at all.
+      t += rng.uniformInt(1, 4) * common::kNanosPerSecond;
+    }
+    const auto base = static_cast<std::uint32_t>(rng.uniformInt(500, 1400));
+    const int packets = static_cast<int>(rng.uniformInt(1, 6));
+    for (int p = 0; p < packets; ++p) {
+      t += rng.uniformInt(50'000, 2'000'000);
+      netflow::Packet pkt;
+      pkt.arrivalNs = t;
+      pkt.sizeBytes = base + static_cast<std::uint32_t>(rng.uniformInt(0, 2));
+      trace.push_back(pkt);
+    }
+    frameSizes.push_back(base);
+    if (rng.bernoulli(0.3)) {
+      t += rng.uniformInt(50'000, 1'000'000);
+      netflow::Packet pkt;
+      pkt.arrivalNs = t;
+      pkt.sizeBytes = static_cast<std::uint32_t>(rng.uniformInt(80, 380));
+      trace.push_back(pkt);
+    }
+    if (rtx && frameSizes.size() > 4 && rng.bernoulli(0.25)) {
+      // Retransmission-shaped: an old frame's size shows up again late.
+      t += rng.uniformInt(100'000, 3'000'000);
+      netflow::Packet pkt;
+      pkt.arrivalNs = t;
+      pkt.sizeBytes =
+          frameSizes[frameSizes.size() - 2 -
+                     static_cast<std::size_t>(rng.uniformInt(0, 2))];
+      trace.push_back(pkt);
+    }
+    t += rng.uniformInt(5'000'000, 40'000'000);
+  }
+  return trace;
+}
+
+std::vector<StreamingOutput> runStreaming(const netflow::PacketTrace& trace,
+                                          const StreamingOptions& options) {
+  std::vector<StreamingOutput> outputs;
+  StreamingIpUdpEstimator streaming(
+      options, [&](const StreamingOutput& out) { outputs.push_back(out); });
+  for (const auto& pkt : trace) streaming.onPacket(pkt);
+  streaming.finish();
+  return outputs;
+}
+
+/// The tentpole acceptance property: across lookbacks, window sizes, and
+/// RTX-like traffic, the columnar estimator is bit-identical to the
+/// node-based pre-refactor implementation and matches the seed batch path.
+TEST(StreamingColumnarEquivalence, RandomizedAcrossLookbacksAndWindows) {
+  for (const int lookback : {1, 4, 32}) {
+    for (const common::DurationNs windowNs :
+         {common::kNanosPerSecond / 2, common::kNanosPerSecond,
+          2 * common::kNanosPerSecond}) {
+      for (const bool rtx : {false, true}) {
+        SCOPED_TRACE("lookback=" + std::to_string(lookback) +
+                     " windowNs=" + std::to_string(windowNs) +
+                     " rtx=" + std::to_string(rtx));
+        common::Rng rng(0x5EEDu ^
+                        (static_cast<std::uint64_t>(lookback) * 1000003u) ^
+                        (static_cast<std::uint64_t>(windowNs) >> 8) ^
+                        (rtx ? 1u : 0u));
+        const auto trace = randomStream(rng, rtx, 120);
+        ASSERT_FALSE(trace.empty());
+
+        StreamingOptions options;
+        options.windowNs = windowNs;
+        options.heuristic.lookback = lookback;
+
+        const auto outputs = runStreaming(trace, options);
+
+        // (a) Bit-identical to the pre-refactor node-based layout.
+        std::vector<StreamingOutput> legacy;
+        LegacyStreamingEstimator legacyEstimator(
+            options,
+            [&](const StreamingOutput& out) { legacy.push_back(out); });
+        for (const auto& pkt : trace) legacyEstimator.onPacket(pkt);
+        legacyEstimator.finish();
+
+        ASSERT_EQ(outputs.size(), legacy.size());
+        for (std::size_t w = 0; w < outputs.size(); ++w) {
+          EXPECT_EQ(outputs[w].window, legacy[w].window);
+          EXPECT_EQ(outputs[w].features, legacy[w].features);
+          EXPECT_EQ(outputs[w].heuristic.fps, legacy[w].heuristic.fps);
+          EXPECT_EQ(outputs[w].heuristic.bitrateKbps,
+                    legacy[w].heuristic.bitrateKbps);
+          EXPECT_EQ(outputs[w].heuristic.frameJitterMs,
+                    legacy[w].heuristic.frameJitterMs);
+          EXPECT_EQ(outputs[w].heuristic.frameCount,
+                    legacy[w].heuristic.frameCount);
+        }
+
+        // (b) Matches the seed batch path (heuristic + features).
+        const MediaClassifier classifier(options.classifier);
+        const auto video = classifier.filterVideo(trace);
+        const auto assembly = assembleFramesIpUdp(video, options.heuristic);
+        const auto timeline =
+            qoeFromFrames(assembly.frames, windowNs,
+                          static_cast<std::int64_t>(outputs.size()));
+        const auto windows = features::sliceWindows(trace, windowNs);
+        ASSERT_EQ(windows.size(), outputs.size());
+        for (std::size_t w = 0; w < outputs.size(); ++w) {
+          const auto windowVideo = classifier.filterVideo(windows[w].packets);
+          const auto batchFeatures = features::extractFeatures(
+              windows[w], windowVideo, features::FeatureSet::kIpUdp,
+              options.extraction);
+          EXPECT_EQ(outputs[w].features, batchFeatures) << "window " << w;
+          EXPECT_EQ(outputs[w].heuristic.frameCount, timeline[w].frameCount)
+              << "window " << w;
+          EXPECT_DOUBLE_EQ(outputs[w].heuristic.fps, timeline[w].fps)
+              << "window " << w;
+          EXPECT_NEAR(outputs[w].heuristic.bitrateKbps,
+                      timeline[w].bitrateKbps, 1e-6)
+              << "window " << w;
+          EXPECT_NEAR(outputs[w].heuristic.frameJitterMs,
+                      timeline[w].frameJitterMs, 1e-6)
+              << "window " << w;
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamingColumnarEquivalence, SinglePacketStream) {
+  StreamingOptions options;
+  netflow::Packet pkt;
+  pkt.arrivalNs = 250'000'000;
+  pkt.sizeBytes = 1100;
+  const netflow::PacketTrace trace = {pkt};
+  const auto outputs = runStreaming(trace, options);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].window, 0);
+  EXPECT_EQ(outputs[0].heuristic.frameCount, 1u);
+  EXPECT_DOUBLE_EQ(outputs[0].heuristic.fps, 1.0);
+  // Features equal the batch extraction of the same single-packet window.
+  const auto windows = features::sliceWindows(trace, options.windowNs);
+  ASSERT_EQ(windows.size(), 1u);
+  const MediaClassifier classifier(options.classifier);
+  const auto video = classifier.filterVideo(windows[0].packets);
+  EXPECT_EQ(outputs[0].features,
+            features::extractFeatures(windows[0], video,
+                                      features::FeatureSet::kIpUdp,
+                                      options.extraction));
+}
+
+TEST(StreamingColumnarEquivalence, TrailingAudioOnlyWindowsStillEmit) {
+  // Sub-V_min packets carry no features but still define prediction
+  // intervals: the trailing windows they occupy must emit (empty-video),
+  // exactly as the packet-buffering layout did.
+  StreamingOptions options;
+  netflow::PacketTrace trace;
+  netflow::Packet video;
+  video.arrivalNs = 100'000'000;
+  video.sizeBytes = 1200;
+  trace.push_back(video);
+  netflow::Packet audio;
+  audio.arrivalNs = 5 * common::kNanosPerSecond + 1;
+  audio.sizeBytes = 120;  // below V_min
+  trace.push_back(audio);
+  const auto outputs = runStreaming(trace, options);
+  ASSERT_EQ(outputs.size(), 6u);  // windows 0..5
+  for (std::size_t w = 1; w < outputs.size(); ++w) {
+    EXPECT_EQ(outputs[w].heuristic.frameCount, 0u);
+  }
 }
 
 TEST(Streaming, LargerWindowSizes) {
