@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/evaluation.hpp"
@@ -24,17 +25,11 @@
 #include "ml/metrics.hpp"
 #include "ml/random_forest.hpp"
 
+// envInt/envDouble (validated parsing, stderr warning + fallback on a
+// garbled value) live in bench_report.hpp — one shared definition for every
+// bench binary.
+
 namespace vcaqoe::bench {
-
-inline int envInt(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  return value ? std::atoi(value) : fallback;
-}
-
-inline double envDouble(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  return value ? std::atof(value) : fallback;
-}
 
 inline const std::vector<std::string>& vcaNames() {
   static const std::vector<std::string> kNames = {"meet", "teams", "webex"};
@@ -158,9 +153,11 @@ class State {
   State(std::int64_t iterations, std::int64_t arg)
       : iterations_(iterations), arg_(arg) {}
 
-  /// Non-trivial so `for (auto _ : state)` never trips -Wunused-variable.
+  /// Non-trivial ctor and dtor so `for (auto _ : state)` trips neither
+  /// -Wunused-variable nor -Wunused-but-set-variable.
   struct IterationToken {
     IterationToken() {}
+    ~IterationToken() {}
   };
   struct Iterator {
     std::int64_t remaining;
@@ -220,8 +217,21 @@ inline void DoNotOptimize(T const& value) {
 #endif
 }
 
-inline int runAll() {
+inline int runAll(int argc = 0, char** argv = nullptr) {
+  // --json-out DIR / VCAQOE_BENCH_JSON_DIR: persist the rows as
+  // BENCH_perf_micro.json next to the human table. (The system-Google-
+  // Benchmark build of bench_perf_micro uses GB's own --benchmark_out
+  // instead; this path covers the vendored harness CI runs.)
+  std::string argError;
+  const auto jsonDir = jsonOutDir(argc, argv, argError);
+  if (!argError.empty()) {
+    std::fprintf(stderr, "%s\n", argError.c_str());
+    return 2;
+  }
+  BenchReport report("perf_micro");
+
   const double minSeconds = envDouble("VCAQOE_MINIBENCH_MIN_TIME", 0.25);
+  report.config().set("min_time_s", minSeconds);
   std::printf("%-34s %12s %14s %14s\n", "benchmark (vendored harness)",
               "iterations", "ns/iter", "items/s");
   for (auto* reg : registrations()) {
@@ -250,7 +260,10 @@ inline int runAll() {
             static_cast<std::int64_t>(static_cast<double>(iterations) * scale));
       }
       std::string label = reg->name;
-      if (!reg->args.empty()) label += "/" + std::to_string(arg);
+      if (!reg->args.empty()) {
+        label += '/';
+        label += std::to_string(arg);
+      }
       const double nsPerIter =
           seconds * 1e9 / static_cast<double>(iterations);
       std::printf("%-34s %12lld %14.1f ", label.c_str(),
@@ -260,8 +273,17 @@ inline int runAll() {
       } else {
         std::printf("%14s\n", "-");
       }
+      auto& row = report.addScenario(label);
+      auto& throughput = row.set("throughput", common::JsonValue::object());
+      throughput.set("ns_per_iter", nsPerIter);
+      if (items > 0 && seconds > 0.0) {
+        throughput.set("items_per_s",
+                       static_cast<double>(items) / seconds);
+      }
+      row.set("iterations", iterations);
     }
   }
+  if (jsonDir && !report.writeTo(*jsonDir)) return 1;
   return 0;
 }
 
@@ -278,6 +300,8 @@ using ::vcaqoe::bench::mini::DoNotOptimize;
   static ::vcaqoe::bench::mini::Registration* fn##_minibench \
       [[maybe_unused]] = ::vcaqoe::bench::mini::registerBenchmark(#fn, fn)
 
-#define BENCHMARK_MAIN() \
-  int main() { return ::vcaqoe::bench::mini::runAll(); }
+#define BENCHMARK_MAIN()                                 \
+  int main(int argc, char** argv) {                      \
+    return ::vcaqoe::bench::mini::runAll(argc, argv);    \
+  }
 #endif  // VCAQOE_USE_MINIBENCH

@@ -13,7 +13,15 @@
 //             predictWindowBatch per shard batch
 // All engine digests are checked bit-identical to the matching sequential
 // reference before any number is trusted. A model-eval micro section also
-// reports raw rows/s for tree vs flat vs flat-batched predict.
+// reports raw rows/s for tree vs flat vs flat-batched predict, and a
+// worker-count sweep (1/2/4/8, pinned vs unpinned shard workers) measures
+// the scale-out curve at a fixed flow count.
+//
+// With `--json-out DIR` (or VCAQOE_BENCH_JSON_DIR) the whole run — every
+// scenario's pkts/s, the model micro rows/s, the worker sweep, and p50/p99
+// per-window dispatch latency — is persisted as BENCH_engine_throughput.json
+// (see bench/bench_report.hpp for the schema); bench/trajectory/ keeps the
+// checked-in points.
 //
 // Scale knobs (environment):
 //   VCAQOE_BENCH_ENGINE_PACKETS — total packets per scenario (default 1.5M)
@@ -21,19 +29,24 @@
 //   VCAQOE_BENCH_ENGINE_TREES   — synthetic-forest size (default 40)
 //   VCAQOE_BENCH_ENGINE_BATCH   — cross-flow inference batch size for the
 //     batch+m column (default 32)
+//   VCAQOE_BENCH_ENGINE_SWEEP_FLOWS — flow count for the worker sweep
+//     (default 64)
 //   VCAQOE_BENCH_ENGINE_REQUIRE_SPEEDUP — when 1, also fail the exit code
 //     unless the 64-flow no-model speedup reaches 2x (off by default:
 //     wall-clock speedup on shared/loaded runners is not a correctness
 //     property)
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_report.hpp"
 #include "common/time.hpp"
 #include "core/streaming.hpp"
 #include "engine/flow_table.hpp"
@@ -45,11 +58,6 @@
 
 namespace vcaqoe {
 namespace {
-
-int envInt(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  return value ? std::atoi(value) : fallback;
-}
 
 /// The pre-flattening baseline: a backend that walks the AoS node tree of
 /// `ml::RandomForest` per window, exactly what ForestBackend did before the
@@ -106,10 +114,14 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 /// Digest of an output sequence; equal digests + equal counts stand in for
-/// field-by-field comparison at bench scale.
+/// field-by-field comparison at bench scale. Each result reduces to one
+/// deterministic double, and the digests combine their *bit patterns* with
+/// wrapping integer addition — commutative and associative exactly, so the
+/// digest is independent of cross-flow drain interleaving (a float sum
+/// would not be: FP addition re-rounds per order).
 struct Digest {
   std::size_t outputs = 0;
-  double sum = 0.0;
+  std::uint64_t hash = 0;
 
   void add(engine::FlowId flow, const core::StreamingOutput& out) {
     ++outputs;
@@ -123,11 +135,11 @@ struct Digest {
         s += *value * (1.0 + static_cast<double>(target));
       }
     }
-    sum += s;
+    hash += std::bit_cast<std::uint64_t>(s);
   }
 
   bool operator==(const Digest& other) const {
-    return outputs == other.outputs && sum == other.sum;
+    return outputs == other.outputs && hash == other.hash;
   }
 };
 
@@ -171,11 +183,13 @@ RunResult runSequential(const Scenario& scenario,
 RunResult runEngine(const Scenario& scenario,
                     const core::StreamingOptions& streaming, int workers,
                     std::shared_ptr<inference::ModelRegistry> registry,
-                    std::size_t inferenceBatch = 1) {
+                    std::size_t inferenceBatch = 1, bool pinWorkers = false,
+                    bench::WindowLatencyProbe* probe = nullptr) {
   const auto start = std::chrono::steady_clock::now();
   engine::EngineOptions options;
   options.streaming = streaming;
   options.numWorkers = workers;
+  options.pinWorkers = pinWorkers;
   options.registry = std::move(registry);
   options.targets = {inference::QoeTarget::kFrameRate};
   options.inferenceBatch = inferenceBatch;
@@ -183,29 +197,70 @@ RunResult runEngine(const Scenario& scenario,
   // the dispatch-boundary flush capping the effective batch.
   options.inferenceFlushNs = engine::scaledInferenceFlushNs(inferenceBatch);
   engine::MultiFlowEngine eng(options);
+  RunResult result;
+  // Drain results while feeding, like a deployment would: the workers never
+  // park on a full ring, and the latency probe sees each window's actual
+  // drain time.
+  std::vector<engine::EngineResult> drained;
+  std::size_t fed = 0;
   for (const auto& [keyIndex, packet] : scenario.stream) {
+    if (probe) probe->noteFeed(packet.arrivalNs);
     eng.onPacket(scenario.keys[keyIndex], packet);
+    if (++fed % 4096 == 0) {
+      drained.clear();
+      eng.poll(drained);
+      for (const auto& r : drained) {
+        if (probe) probe->noteResult(r.output.window);
+        result.digest.add(r.flow, r.output);
+      }
+    }
   }
   const auto rest = eng.finish();
-  RunResult result;
   result.pps = static_cast<double>(scenario.stream.size()) /
                secondsSince(start);
   for (const auto& r : rest) result.digest.add(r.flow, r.output);
   return result;
 }
 
+common::JsonValue throughputJson(
+    std::initializer_list<std::pair<const char*, double>> entries) {
+  auto value = common::JsonValue::object();
+  for (const auto& [key, pps] : entries) value.set(key, pps);
+  return value;
+}
+
 }  // namespace
 }  // namespace vcaqoe
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcaqoe;
-  const int totalPackets = envInt("VCAQOE_BENCH_ENGINE_PACKETS", 1'500'000);
-  const int workers = envInt("VCAQOE_BENCH_ENGINE_WORKERS", 4);
-  const int trees = envInt("VCAQOE_BENCH_ENGINE_TREES", 40);
+  std::string argError;
+  const auto jsonDir = bench::jsonOutDir(argc, argv, argError);
+  if (!argError.empty()) {
+    std::fprintf(stderr, "bench_engine_throughput: %s\n", argError.c_str());
+    return 2;
+  }
+
+  const int totalPackets =
+      bench::envInt("VCAQOE_BENCH_ENGINE_PACKETS", 1'500'000);
+  const int workers = bench::envInt("VCAQOE_BENCH_ENGINE_WORKERS", 4);
+  const int trees = bench::envInt("VCAQOE_BENCH_ENGINE_TREES", 40);
   const std::size_t batch = static_cast<std::size_t>(
-      std::max(envInt("VCAQOE_BENCH_ENGINE_BATCH", 32), 2));
+      std::max(bench::envInt("VCAQOE_BENCH_ENGINE_BATCH", 32), 2));
+  const int sweepFlows =
+      std::max(bench::envInt("VCAQOE_BENCH_ENGINE_SWEEP_FLOWS", 64), 1);
   const unsigned cores = std::thread::hardware_concurrency();
   core::StreamingOptions streaming;
+
+  bench::BenchReport report("engine_throughput");
+  auto& cfg = report.config();
+  cfg.set("packets", totalPackets);
+  cfg.set("workers", workers);
+  cfg.set("trees", trees);
+  cfg.set("batch", static_cast<std::int64_t>(batch));
+  cfg.set("sweep_flows", sweepFlows);
+  cfg.set("window_s", static_cast<double>(streaming.windowNs) / 1e9);
+  cfg.set("pin_supported", engine::kWorkerPinningSupported);
 
   // One trained per-VCA frame-rate model, served in both layouts: the
   // synthetic 5-tuples carry the Teams media port, so each flow admission
@@ -285,6 +340,13 @@ int main() {
         trees, kRows, treeRps, flatRps, flatRps / treeRps, batch, batchRps,
         batchRps / treeRps, exact ? "yes" : "NO");
     if (!exact) return 1;
+    auto& micro = report.addScenario("model_eval_micro");
+    micro.set("throughput",
+              throughputJson({{"tree_rows_per_s", treeRps},
+                              {"flat_rows_per_s", flatRps},
+                              {"batch_rows_per_s", batchRps}}));
+    micro.set("rows", static_cast<std::int64_t>(kRows));
+    micro.set("bit_exact", exact);
   }
 
   std::printf(
@@ -302,7 +364,10 @@ int main() {
     const auto scenario = makeScenario(flows, totalPackets);
     // Without a model.
     const auto seq = runSequential(scenario, streaming, nullptr);
-    const auto eng = runEngine(scenario, streaming, workers, nullptr);
+    bench::WindowLatencyProbe probe(streaming.windowNs);
+    const auto eng = runEngine(scenario, streaming, workers, nullptr,
+                               /*inferenceBatch=*/1, /*pinWorkers=*/false,
+                               &probe);
     // With the per-VCA forest (fresh registry per run: resolution counters
     // and shard state start cold, like a monitor restart): node-tree
     // unbatched baseline, flat unbatched, flat batched.
@@ -318,7 +383,7 @@ int main() {
         seqModel.digest == engFlat.digest &&
         seqModel.digest == engBatch.digest &&
         seqModel.digest.outputs == seq.digest.outputs &&
-        seqModel.digest.sum != seq.digest.sum;  // model actually predicted
+        seqModel.digest.hash != seq.digest.hash;  // model actually predicted
     allIdentical = allIdentical && identical;
     const double speedup = eng.pps / seq.pps;
     if (flows == 64 && speedup >= 2.0) met2xAt64 = true;
@@ -328,21 +393,70 @@ int main() {
         flows, scenario.stream.size(), seq.pps, eng.pps, speedup, engTree.pps,
         engFlat.pps, engBatch.pps, engFlat.pps / engTree.pps,
         engBatch.pps / engTree.pps, identical ? "yes" : "NO");
+
+    auto& row = report.addScenario("flows_" + std::to_string(flows));
+    row.set("flows", flows);
+    row.set("packets", static_cast<std::int64_t>(scenario.stream.size()));
+    row.set("throughput",
+            throughputJson({{"seq_pkts_per_s", seq.pps},
+                            {"eng_pkts_per_s", eng.pps},
+                            {"eng_tree_model_pkts_per_s", engTree.pps},
+                            {"eng_flat_model_pkts_per_s", engFlat.pps},
+                            {"eng_batch_model_pkts_per_s", engBatch.pps}}));
+    row.set("latency_ms", probe.toJson());
+    row.set("identical", identical);
+  }
+
+  // ---- worker-count sweep: the scale-out curve. Fixed flow count, workers
+  // 1/2/4/8, pinned vs unpinned shard threads, no model (the scaling
+  // property under measurement is the shard fan-out itself). Every run is
+  // digest-checked against the sequential reference like the main table.
+  std::printf("\nworker sweep — %d flows, pinning %s\n", sweepFlows,
+              engine::kWorkerPinningSupported ? "supported"
+                                              : "unsupported (no-op)");
+  std::printf("%8s %7s | %11s %7s | %9s %9s | %9s\n", "workers", "pinned",
+              "eng pkts/s", "spd", "p50 ms", "p99 ms", "identical");
+  auto& sweep =
+      report.addSection("worker_sweep", common::JsonValue::array());
+  {
+    const auto scenario = makeScenario(sweepFlows, totalPackets);
+    const auto seq = runSequential(scenario, streaming, nullptr);
+    for (const bool pinned : {false, true}) {
+      for (const int w : {1, 2, 4, 8}) {
+        bench::WindowLatencyProbe probe(streaming.windowNs);
+        const auto run = runEngine(scenario, streaming, w, nullptr,
+                                   /*inferenceBatch=*/1, pinned, &probe);
+        const bool identical = run.digest == seq.digest;
+        allIdentical = allIdentical && identical;
+        std::printf("%8d %7s | %11.0f %6.2fx | %9.2f %9.2f | %9s\n", w,
+                    pinned ? "yes" : "no", run.pps, run.pps / seq.pps,
+                    probe.p50Ms(), probe.p99Ms(), identical ? "yes" : "NO");
+        auto entry = common::JsonValue::object();
+        entry.set("workers", w);
+        entry.set("pinned", pinned);
+        entry.set("flows", sweepFlows);
+        entry.set("throughput", throughputJson({{"pkts_per_s", run.pps}}));
+        entry.set("latency_ms", probe.toJson());
+        entry.set("identical", identical);
+        sweep.push(std::move(entry));
+      }
+    }
   }
 
   std::printf(
-      "\nsharded output identical to sequential (tree, flat, and batched-"
-      "flat models): %s\n",
+      "\nsharded output identical to sequential (tree, flat, batched-flat "
+      "models, and the worker sweep): %s\n",
       allIdentical ? "yes" : "NO");
   std::printf("≥2x no-model speedup at 64 flows: %s\n",
               met2xAt64 ? "yes" : "NO");
   if (cores < 2) {
     std::printf("(single-core host: parallel speedup not measurable)\n");
   }
+  if (jsonDir && !report.writeTo(*jsonDir)) return 1;
   // The exit code gates on the correctness half of the contract only,
   // unless the caller opts in to the perf assertion: wall-clock speedup on
   // a shared or single-core host says nothing about the code.
-  if (envInt("VCAQOE_BENCH_ENGINE_REQUIRE_SPEEDUP", 0) != 0) {
+  if (bench::envInt("VCAQOE_BENCH_ENGINE_REQUIRE_SPEEDUP", 0) != 0) {
     return (allIdentical && met2xAt64) ? 0 : 1;
   }
   return allIdentical ? 0 : 1;

@@ -12,6 +12,11 @@
 // number is trusted; a mismatch fails the exit code, as does a with-model
 // run whose windows carry no predictions.
 //
+// With `--json-out DIR` (or VCAQOE_BENCH_JSON_DIR) every row — records/s,
+// pkts/s, and p50/p99 per-window dispatch latency observed through the
+// replay driver's hooks — is persisted as BENCH_replay_throughput.json
+// (schema in bench/bench_report.hpp).
+//
 // Scale knobs (environment):
 //   VCAQOE_BENCH_REPLAY_PACKETS — total packets in the capture (default 1M)
 //   VCAQOE_BENCH_REPLAY_FLOWS   — concurrent flows (default 64)
@@ -29,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.hpp"
 #include "common/time.hpp"
 #include "engine/multi_flow_engine.hpp"
 #include "engine/synthetic.hpp"
@@ -39,11 +45,6 @@
 
 namespace vcaqoe {
 namespace {
-
-int envInt(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  return value ? std::atoi(value) : fallback;
-}
 
 double secondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -77,12 +78,30 @@ std::string writeCapture(int flows, int totalPackets) {
 }  // namespace
 }  // namespace vcaqoe
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcaqoe;
-  const int totalPackets = envInt("VCAQOE_BENCH_REPLAY_PACKETS", 1'000'000);
-  const int flows = std::max(envInt("VCAQOE_BENCH_REPLAY_FLOWS", 64), 1);
-  const int workers = std::max(envInt("VCAQOE_BENCH_REPLAY_WORKERS", 4), 1);
-  const int trees = envInt("VCAQOE_BENCH_REPLAY_TREES", 40);
+  std::string argError;
+  const auto jsonDir = bench::jsonOutDir(argc, argv, argError);
+  if (!argError.empty()) {
+    std::fprintf(stderr, "bench_replay_throughput: %s\n", argError.c_str());
+    return 2;
+  }
+
+  const int totalPackets =
+      bench::envInt("VCAQOE_BENCH_REPLAY_PACKETS", 1'000'000);
+  const int flows = std::max(bench::envInt("VCAQOE_BENCH_REPLAY_FLOWS", 64), 1);
+  const int workers =
+      std::max(bench::envInt("VCAQOE_BENCH_REPLAY_WORKERS", 4), 1);
+  const int trees = bench::envInt("VCAQOE_BENCH_REPLAY_TREES", 40);
+  const int batch = std::max(bench::envInt("VCAQOE_BENCH_REPLAY_BATCH", 32), 2);
+
+  bench::BenchReport report("replay_throughput");
+  auto& cfg = report.config();
+  cfg.set("packets", totalPackets);
+  cfg.set("flows", flows);
+  cfg.set("workers", workers);
+  cfg.set("trees", trees);
+  cfg.set("batch", batch);
 
   std::printf("writing %d-flow / ~%d-packet capture...\n", flows,
               totalPackets);
@@ -90,6 +109,8 @@ int main() {
   const auto fileBytes = std::filesystem::file_size(path);
   std::printf("capture: %s (%.1f MB)\n\n", path.c_str(),
               static_cast<double>(fileBytes) / (1024.0 * 1024.0));
+  cfg.set("capture_mb",
+          static_cast<double>(fileBytes) / (1024.0 * 1024.0));
 
   bool ok = true;
   std::uint64_t written = 0;
@@ -103,22 +124,28 @@ int main() {
     std::printf("%-28s %12llu records %12.0f rec/s\n", "parse (stream decode)",
                 static_cast<unsigned long long>(written),
                 static_cast<double>(written) / s);
+    auto& row = report.addScenario("parse");
+    auto tp = common::JsonValue::object();
+    tp.set("records_per_s", static_cast<double>(written) / s);
+    row.set("throughput", std::move(tp));
+    row.set("records", static_cast<std::int64_t>(written));
   }
 
   // ---- replay through the engine, without and with model inference
   // (per-window and cross-flow batched). The synthetic 5-tuples carry the
   // Teams media port, so with a registry every flow admission resolves the
   // shared per-VCA frame-rate forest.
-  const int batch = std::max(envInt("VCAQOE_BENCH_REPLAY_BATCH", 32), 2);
   struct Mode {
     const char* label;
+    const char* slug;  // scenario-name stem in the JSON document
     bool withModel;
     std::size_t inferenceBatch;
   };
   const Mode modes[] = {
-      {"replay -> engine", false, 1},
-      {"replay+model -> eng", true, 1},
-      {"replay+batch -> eng", true, static_cast<std::size_t>(batch)},
+      {"replay -> engine", "replay_engine", false, 1},
+      {"replay+model -> eng", "replay_model", true, 1},
+      {"replay+batch -> eng", "replay_batch", true,
+       static_cast<std::size_t>(batch)},
   };
   for (const auto& mode : modes) {
     for (const int w : {1, workers}) {
@@ -141,27 +168,54 @@ int main() {
       }
       engine::MultiFlowEngine eng(options);
       ingest::PcapReplaySource source(path);
+      // Latency probe riding the driver's passive hooks: ready times from
+      // the fed stream head, samples from the in-flight drains (the
+      // finish() tail is excluded by the hook contract).
+      bench::WindowLatencyProbe probe(options.streaming.windowNs);
+      ingest::ReplayHooks hooks;
+      hooks.onPacket = [&probe](const ingest::SourcePacket& sp) {
+        probe.noteFeed(sp.packet.arrivalNs);
+      };
+      hooks.onDrained =
+          [&probe](std::span<const engine::EngineResult> drained) {
+            for (const auto& r : drained) probe.noteResult(r.output.window);
+          };
       const auto start = std::chrono::steady_clock::now();
-      const auto report = ingest::replay(source, eng);
+      const auto replayReport =
+          ingest::replay(source, eng, /*pollEvery=*/1024,
+                         /*pumpIntervalNs=*/0, hooks);
       const double s = secondsSince(start);
-      ok = ok && report.packets == written;
+      ok = ok && replayReport.packets == written;
       std::size_t predicted = 0;
-      for (const auto& result : report.results) {
+      for (const auto& result : replayReport.results) {
         if (!result.output.predictions.empty()) ++predicted;
       }
       // With a model every window must carry a prediction; without, none.
-      ok = ok && predicted == (mode.withModel ? report.results.size() : 0u);
+      ok = ok &&
+           predicted == (mode.withModel ? replayReport.results.size() : 0u);
+      const double pps = static_cast<double>(replayReport.packets) / s;
       std::printf(
           "%-20s %d wrk %12llu packets %12.0f pkt/s  (%zu windows, %zu "
           "predicted)\n",
-          mode.label, w, static_cast<unsigned long long>(report.packets),
-          static_cast<double>(report.packets) / s, report.results.size(),
-          predicted);
-      const auto stats = report.engineStats;
+          mode.label, w, static_cast<unsigned long long>(replayReport.packets),
+          pps, replayReport.results.size(), predicted);
+      auto& row = report.addScenario(std::string(mode.slug) + "_w" +
+                                     std::to_string(w));
+      row.set("workers", w);
+      row.set("with_model", mode.withModel);
+      row.set("inference_batch",
+              static_cast<std::int64_t>(mode.inferenceBatch));
+      auto tp = common::JsonValue::object();
+      tp.set("pkts_per_s", pps);
+      row.set("throughput", std::move(tp));
+      row.set("latency_ms", probe.toJson());
+      row.set("windows",
+              static_cast<std::int64_t>(replayReport.results.size()));
+      const auto stats = replayReport.engineStats;
       if (mode.inferenceBatch > 1 && w == workers) {
         // Batched rows must actually batch: every window through the
         // batcher, several windows per predictWindowBatch call.
-        ok = ok && stats.batchedWindows == report.results.size();
+        ok = ok && stats.batchedWindows == replayReport.results.size();
         std::printf(
             "%-20s       %llu batches, %llu windows batched (~%.1f "
             "windows/batch)\n",
@@ -189,5 +243,6 @@ int main() {
   std::filesystem::remove(path);
   std::printf("\nreplayed counts and prediction coverage match: %s\n",
               ok ? "yes" : "NO");
+  if (jsonDir && !report.writeTo(*jsonDir)) return 1;
   return ok ? 0 : 1;
 }

@@ -1,0 +1,273 @@
+#pragma once
+
+// Machine-readable benchmark reporting: the persisted perf trajectory.
+//
+// Every perf bench prints a human table *and* can emit a `BENCH_<name>.json`
+// document through `BenchReport`, so throughput and latency numbers live in
+// version control / CI artifacts instead of commit messages. The document
+// stamps host metadata (hardware threads, build type, git describe) next to
+// the numbers — a regression is only interpretable when you know what it
+// ran on.
+//
+// Emission is opt-in per run:
+//   --json-out DIR            on the bench command line, or
+//   VCAQOE_BENCH_JSON_DIR=DIR in the environment (flag wins)
+// writes DIR/BENCH_<name>.json (DIR is created if missing).
+//
+// Document shape (validated by bench_schema_check and the gtest schema
+// suite; bump kBenchSchemaVersion on breaking changes):
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "generated_unix_s": <int>,
+//     "host": {"hardware_threads": N, "build_type": "...",
+//              "git_describe": "..."},
+//     "config": {...bench-specific knobs...},
+//     "scenarios": [{"name": "...", "throughput": {"<unit>": <num>, ...},
+//                    ...optional "latency_ms": {"p50": .., "p99": ..,
+//                    "samples": N}...}, ...]
+//   }
+// plus bench-specific top-level sections (e.g. engine_throughput's
+// "worker_sweep").
+//
+// This header is also the one shared home of the validated environment
+// knob parsers (`envInt`/`envDouble`) — previously duplicated across
+// bench_common.hpp and the throughput benches with `atoi`/`atof`, where a
+// typo'd value silently became 0.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_writer.hpp"
+#include "common/parse.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+namespace vcaqoe::bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Integer environment knob with validated parsing: unset uses the
+/// fallback silently; a set-but-garbled value (or one out of int range)
+/// warns on stderr and uses the fallback — never a silent zero.
+inline int envInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  const auto parsed = common::parseInt(value);
+  if (!parsed || *parsed < std::numeric_limits<int>::min() ||
+      *parsed > std::numeric_limits<int>::max()) {
+    std::fprintf(stderr,
+                 "[bench] ignoring %s='%s' (not an integer); using default "
+                 "%d\n",
+                 name, value, fallback);
+    return fallback;
+  }
+  return static_cast<int>(*parsed);
+}
+
+/// Double environment knob, same contract as envInt.
+inline double envDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  const auto parsed = common::parseDouble(value);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "[bench] ignoring %s='%s' (not a number); using default "
+                 "%g\n",
+                 name, value, fallback);
+    return fallback;
+  }
+  return *parsed;
+}
+
+/// Resolves the JSON output directory for a bench run: `--json-out DIR` on
+/// the command line, else $VCAQOE_BENCH_JSON_DIR, else nullopt (no JSON).
+/// Unknown arguments (or a missing DIR operand) set `error`; benches treat
+/// that as a usage error and exit 2 instead of guessing.
+inline std::optional<std::string> jsonOutDir(int argc, char** argv,
+                                             std::string& error) {
+  std::optional<std::string> dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json-out") {
+      if (i + 1 >= argc) {
+        error = "--json-out requires a directory operand";
+        return std::nullopt;
+      }
+      dir = argv[++i];
+    } else {
+      error = "unknown argument: " + std::string(arg) +
+              " (benches take only --json-out DIR; scale knobs are "
+              "environment variables)";
+      return std::nullopt;
+    }
+  }
+  if (!dir) {
+    if (const char* env = std::getenv("VCAQOE_BENCH_JSON_DIR")) {
+      if (*env != '\0') dir = env;
+    }
+  }
+  return dir;
+}
+
+/// One bench run's JSON document: host/config metadata stamped up front,
+/// scenario rows appended as the bench measures them, written at the end.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    doc_ = common::JsonValue::object();
+    doc_.set("schema_version", kBenchSchemaVersion);
+    doc_.set("bench", name_);
+    doc_.set("generated_unix_s",
+             static_cast<std::int64_t>(std::time(nullptr)));
+    auto& host = doc_.set("host", common::JsonValue::object());
+    host.set("hardware_threads",
+             static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+#ifdef VCAQOE_BUILD_TYPE
+    host.set("build_type", VCAQOE_BUILD_TYPE);
+#else
+    host.set("build_type", "unknown");
+#endif
+#ifdef VCAQOE_GIT_DESCRIBE
+    host.set("git_describe", VCAQOE_GIT_DESCRIBE);
+#else
+    host.set("git_describe", "unknown");
+#endif
+    config_ = &doc_.set("config", common::JsonValue::object());
+    scenarios_ = &doc_.set("scenarios", common::JsonValue::array());
+  }
+
+  const std::string& name() const { return name_; }
+  std::string fileName() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Bench-specific knobs ({"packets": ..., "workers": ...}).
+  common::JsonValue& config() { return *config_; }
+
+  /// Appends a scenario row ({"name": name}) and returns it for in-place
+  /// population (stable reference — JsonValue children are deque-backed).
+  common::JsonValue& addScenario(std::string name) {
+    auto& row = scenarios_->push(common::JsonValue::object());
+    row.set("name", std::move(name));
+    return row;
+  }
+
+  /// Bench-specific top-level sections beyond "scenarios" (e.g. the engine
+  /// bench's "worker_sweep" array).
+  common::JsonValue& addSection(std::string key, common::JsonValue value) {
+    return doc_.set(std::move(key), std::move(value));
+  }
+
+  const common::JsonValue& doc() const { return doc_; }
+
+  /// Writes `<dir>/BENCH_<name>.json` (creating `dir` if needed). Returns
+  /// the written path, or nullopt after printing the failure to stderr —
+  /// a bench whose numbers cannot be persisted should fail its exit code.
+  std::optional<std::string> writeTo(const std::string& dir) const {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "[bench] cannot create %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return std::nullopt;
+    }
+    const std::string path =
+        (std::filesystem::path(dir) / fileName()).string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "[bench] cannot open %s for writing\n",
+                   path.c_str());
+      return std::nullopt;
+    }
+    out << doc_.dump(2) << '\n';
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "[bench] write to %s failed\n", path.c_str());
+      return std::nullopt;
+    }
+    std::printf("[bench] wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  common::JsonValue doc_;
+  common::JsonValue* config_ = nullptr;
+  common::JsonValue* scenarios_ = nullptr;
+};
+
+/// Wall-clock dispatch latency of completed windows, measured while a bench
+/// feeds the engine and polls results.
+///
+/// Definition: a window `w` (absolute index on the `windowNs` grid, see
+/// common::windowIndex) becomes *emittable* when the stream head first
+/// reaches `(w + 1) * windowNs` — record the wall clock then; its latency
+/// sample is the wall-clock delay until the result is drained from the
+/// engine by poll(). The sample therefore prices dispatch batching, worker
+/// queueing, batched inference, and ring draining — everything between "the
+/// stream made this window computable" and "the caller holds the result".
+/// Trailing windows surfaced only by finish() have no crossing and are not
+/// sampled.
+class WindowLatencyProbe {
+ public:
+  explicit WindowLatencyProbe(common::DurationNs windowNs)
+      : windowNs_(windowNs), nextBoundaryNs_(windowNs) {}
+
+  /// Note a fed packet (stream head at `arrivalNs`); cheap: one compare
+  /// unless a window boundary was just crossed.
+  void noteFeed(common::TimeNs arrivalNs) {
+    while (arrivalNs >= nextBoundaryNs_) {
+      readyWall_.push_back(now());
+      nextBoundaryNs_ += windowNs_;
+    }
+  }
+
+  /// Note a drained result for window `window`.
+  void noteResult(std::int64_t window) {
+    if (window >= 0 &&
+        static_cast<std::size_t>(window) < readyWall_.size()) {
+      samplesMs_.push_back(
+          (now() - readyWall_[static_cast<std::size_t>(window)]) * 1e3);
+    }
+  }
+
+  std::size_t samples() const { return samplesMs_.size(); }
+  double p50Ms() const { return common::percentile(samplesMs_, 50.0); }
+  double p99Ms() const { return common::percentile(samplesMs_, 99.0); }
+
+  /// {"p50": .., "p99": .., "max": .., "samples": N} — zeros when no
+  /// window was drained while feeding (e.g. a sub-window-length run).
+  common::JsonValue toJson() const {
+    auto value = common::JsonValue::object();
+    value.set("p50", p50Ms());
+    value.set("p99", p99Ms());
+    double maxMs = 0.0;
+    for (const double s : samplesMs_) maxMs = std::max(maxMs, s);
+    value.set("max", maxMs);
+    value.set("samples", static_cast<std::int64_t>(samplesMs_.size()));
+    return value;
+  }
+
+ private:
+  static double now() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  common::DurationNs windowNs_;
+  common::TimeNs nextBoundaryNs_;
+  std::vector<double> readyWall_;  // wall seconds, indexed by window
+  std::vector<double> samplesMs_;
+};
+
+}  // namespace vcaqoe::bench

@@ -1,0 +1,219 @@
+// Schema validator for persisted bench documents (BENCH_*.json).
+//
+// Usage: bench_schema_check FILE [FILE...]
+//
+// Parses each file with the strict common::JsonValue reader and checks the
+// BenchReport document contract (bench/bench_report.hpp): schema_version,
+// bench name, host metadata, config object, and a non-empty scenarios array
+// whose rows each carry a name and a non-empty numeric throughput object.
+// For bench == "engine_throughput" it additionally requires the
+// worker_sweep section to cover workers {1,2,4,8} for both pinned=false and
+// pinned=true, each entry with pkts_per_s and p50/p99 latency — the shape
+// the checked-in scaling curve and CI artifact promise.
+//
+// Exit code 0 only when every file validates; failures are printed with the
+// file and the violated rule. CI runs this on the bench-smoke artifacts so
+// a malformed document fails the build instead of landing in the
+// trajectory.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.hpp"
+
+namespace {
+
+using vcaqoe::common::JsonValue;
+
+struct Checker {
+  const std::string& file;
+  std::vector<std::string> errors;
+
+  void fail(std::string message) { errors.push_back(std::move(message)); }
+
+  const JsonValue* requireMember(const JsonValue& object, const char* key,
+                                 bool (JsonValue::*is)() const,
+                                 const char* type,
+                                 const std::string& where) {
+    const JsonValue* value = object.find(key);
+    if (!value) {
+      fail(where + ": missing \"" + key + "\"");
+      return nullptr;
+    }
+    if (!((*value).*is)()) {
+      fail(where + ": \"" + key + "\" is not " + type);
+      return nullptr;
+    }
+    return value;
+  }
+
+  void checkLatency(const JsonValue& row, const std::string& where) {
+    const auto* latency = requireMember(row, "latency_ms", &JsonValue::isObject,
+                                        "an object", where);
+    if (!latency) return;
+    for (const char* key : {"p50", "p99", "max"}) {
+      requireMember(*latency, key, &JsonValue::isNumber, "a number",
+                    where + ".latency_ms");
+    }
+    requireMember(*latency, "samples", &JsonValue::isNumber, "a number",
+                  where + ".latency_ms");
+  }
+
+  void checkThroughput(const JsonValue& row, const std::string& where) {
+    const auto* throughput = requireMember(
+        row, "throughput", &JsonValue::isObject, "an object", where);
+    if (!throughput) return;
+    if (throughput->size() == 0) {
+      fail(where + ".throughput: empty object (no rates recorded)");
+      return;
+    }
+    for (std::size_t i = 0; i < throughput->size(); ++i) {
+      const auto& [key, value] = throughput->entry(i);
+      if (!value.isNumber()) {
+        fail(where + ".throughput." + key + ": not a number");
+      }
+    }
+  }
+
+  void checkDocument(const JsonValue& doc) {
+    if (!doc.isObject()) {
+      fail("top level: not an object");
+      return;
+    }
+    const auto* version = requireMember(doc, "schema_version",
+                                        &JsonValue::isNumber, "a number",
+                                        "top level");
+    if (version && version->asInt() != 1) {
+      fail("top level: schema_version " + std::to_string(version->asInt()) +
+           " (this checker knows version 1)");
+    }
+    const auto* bench = requireMember(doc, "bench", &JsonValue::isString,
+                                      "a string", "top level");
+    requireMember(doc, "generated_unix_s", &JsonValue::isNumber, "a number",
+                  "top level");
+    if (const auto* host = requireMember(doc, "host", &JsonValue::isObject,
+                                         "an object", "top level")) {
+      requireMember(*host, "hardware_threads", &JsonValue::isNumber,
+                    "a number", "host");
+      requireMember(*host, "build_type", &JsonValue::isString, "a string",
+                    "host");
+      requireMember(*host, "git_describe", &JsonValue::isString, "a string",
+                    "host");
+    }
+    requireMember(doc, "config", &JsonValue::isObject, "an object",
+                  "top level");
+    const auto* scenarios = requireMember(doc, "scenarios",
+                                          &JsonValue::isArray, "an array",
+                                          "top level");
+    if (scenarios) {
+      if (scenarios->size() == 0) fail("scenarios: empty array");
+      for (std::size_t i = 0; i < scenarios->size(); ++i) {
+        const auto& row = scenarios->at(i);
+        const std::string where = "scenarios[" + std::to_string(i) + "]";
+        if (!row.isObject()) {
+          fail(where + ": not an object");
+          continue;
+        }
+        requireMember(row, "name", &JsonValue::isString, "a string", where);
+        checkThroughput(row, where);
+      }
+    }
+    if (bench && bench->asString() == "engine_throughput") {
+      checkWorkerSweep(doc);
+    }
+  }
+
+  /// The engine bench's scaling-curve contract: workers {1,2,4,8} for both
+  /// pinned values, each with a pkts_per_s rate and a latency block.
+  void checkWorkerSweep(const JsonValue& doc) {
+    const auto* sweep = requireMember(doc, "worker_sweep", &JsonValue::isArray,
+                                      "an array", "top level");
+    if (!sweep) return;
+    std::set<std::pair<std::int64_t, bool>> seen;
+    for (std::size_t i = 0; i < sweep->size(); ++i) {
+      const auto& entry = sweep->at(i);
+      const std::string where = "worker_sweep[" + std::to_string(i) + "]";
+      if (!entry.isObject()) {
+        fail(where + ": not an object");
+        continue;
+      }
+      const auto* workers = requireMember(entry, "workers",
+                                          &JsonValue::isNumber, "a number",
+                                          where);
+      const auto* pinned = requireMember(entry, "pinned", &JsonValue::isBool,
+                                         "a bool", where);
+      if (const auto* identical =
+              requireMember(entry, "identical", &JsonValue::isBool, "a bool",
+                            where)) {
+        if (!identical->asBool()) {
+          fail(where + ": identical=false (digest mismatch persisted)");
+        }
+      }
+      const auto* throughput = requireMember(
+          entry, "throughput", &JsonValue::isObject, "an object", where);
+      if (throughput) {
+        requireMember(*throughput, "pkts_per_s", &JsonValue::isNumber,
+                      "a number", where + ".throughput");
+      }
+      checkLatency(entry, where);
+      if (workers && pinned) {
+        seen.emplace(workers->asInt(), pinned->asBool());
+      }
+    }
+    for (const bool pin : {false, true}) {
+      for (const std::int64_t w : {1, 2, 4, 8}) {
+        if (!seen.count({w, pin})) {
+          fail("worker_sweep: missing workers=" + std::to_string(w) +
+               " pinned=" + (pin ? "true" : "false"));
+        }
+      }
+    }
+  }
+};
+
+bool checkFile(const std::string& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", file.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string parseError;
+  const auto doc = JsonValue::parse(buffer.str(), &parseError);
+  if (!doc) {
+    std::fprintf(stderr, "%s: parse error: %s\n", file.c_str(),
+                 parseError.c_str());
+    return false;
+  }
+  Checker checker{file, {}};
+  checker.checkDocument(*doc);
+  for (const auto& error : checker.errors) {
+    std::fprintf(stderr, "%s: %s\n", file.c_str(), error.c_str());
+  }
+  if (checker.errors.empty()) {
+    std::printf("%s: ok (bench=%s, %zu scenarios)\n", file.c_str(),
+                doc->find("bench") ? doc->find("bench")->asString().c_str()
+                                   : "?",
+                doc->find("scenarios") ? doc->find("scenarios")->size() : 0);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_schema_check FILE [FILE...]\n");
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = checkFile(argv[i]) && ok;
+  return ok ? 0 : 1;
+}

@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "common/time.hpp"
 #include "engine/multi_flow_engine.hpp"
@@ -75,12 +76,51 @@ struct Args {
   std::vector<inference::QoeTarget> targets;
 };
 
+void usage(const char* flag, const char* expected, const char* got) {
+  std::fprintf(stderr,
+               "pcap_monitor: %s expects %s, got '%s'\n"
+               "usage: pcap_monitor [capture.pcap] [--workers N] [--batch N] "
+               "[--idle-timeout-s S] [--pace X] [--pump-s S] "
+               "[--synth-flows K] [--model-dir DIR] [--synth-model] "
+               "[--target LIST]\n",
+               flag, expected, got);
+}
+
 bool parseArgs(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto value = [&](double& out) {
-      if (i + 1 >= argc) return false;
-      out = std::atof(argv[++i]);
+    // Strict numeric operands: the whole token must parse (from_chars with
+    // full consumption) and sit in the flag's valid range. `--workers abc`
+    // or `--pace 1x` is a usage error with a non-zero exit, never a silent
+    // 0 the way atof would have it.
+    auto intValue = [&](int& out, int min) {
+      if (i + 1 >= argc) {
+        usage(arg.c_str(), "an integer operand", "(nothing)");
+        return false;
+      }
+      const char* token = argv[++i];
+      const auto parsed = common::parseInt(token);
+      if (!parsed || *parsed < min || *parsed > 1'000'000) {
+        usage(arg.c_str(),
+              min > 0 ? "a positive integer" : "a non-negative integer",
+              token);
+        return false;
+      }
+      out = static_cast<int>(*parsed);
+      return true;
+    };
+    auto doubleValue = [&](double& out, double min) {
+      if (i + 1 >= argc) {
+        usage(arg.c_str(), "a numeric operand", "(nothing)");
+        return false;
+      }
+      const char* token = argv[++i];
+      const auto parsed = common::parseDouble(token);
+      if (!parsed || *parsed < min) {
+        usage(arg.c_str(), "a non-negative number", token);
+        return false;
+      }
+      out = *parsed;
       return true;
     };
     auto text = [&](std::string& out) {
@@ -88,20 +128,19 @@ bool parseArgs(int argc, char** argv, Args& args) {
       out = argv[++i];
       return true;
     };
-    double v = 0;
     std::string s;
-    if (arg == "--workers" && value(v)) {
-      args.workers = static_cast<int>(v);
-    } else if (arg == "--batch" && value(v)) {
-      args.batch = static_cast<int>(v);
-    } else if (arg == "--idle-timeout-s" && value(v)) {
-      args.idleTimeoutS = v;
-    } else if (arg == "--pace" && value(v)) {
-      args.pace = v;
-    } else if (arg == "--pump-s" && value(v)) {
-      args.pumpS = v;
-    } else if (arg == "--synth-flows" && value(v)) {
-      args.synthFlows = static_cast<int>(v);
+    if (arg == "--workers") {
+      if (!intValue(args.workers, 1)) return false;
+    } else if (arg == "--batch") {
+      if (!intValue(args.batch, 1)) return false;
+    } else if (arg == "--idle-timeout-s") {
+      if (!doubleValue(args.idleTimeoutS, 0.0)) return false;
+    } else if (arg == "--pace") {
+      if (!doubleValue(args.pace, 0.0)) return false;
+    } else if (arg == "--pump-s") {
+      if (!doubleValue(args.pumpS, 0.0)) return false;
+    } else if (arg == "--synth-flows") {
+      if (!intValue(args.synthFlows, 1)) return false;
     } else if (arg == "--model-dir" && text(s)) {
       args.modelDir = s;
     } else if (arg == "--synth-model") {

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// Dependency-free JSON document building, serialization, and (strict)
+/// parsing.
+///
+/// The benchmark trajectory (`BENCH_*.json`, see bench/bench_report.hpp)
+/// needs machine-readable output with exact numeric round-trips, and the
+/// monitord stats endpoint on the roadmap will need the same; neither
+/// justifies vendoring a JSON library. `JsonValue` is a small ordered DOM:
+/// objects keep insertion order (so emitted files diff cleanly across
+/// runs), numbers remember whether they were integers (counters serialize
+/// exactly, doubles serialize with the shortest representation that parses
+/// back bit-identical), and `parse` is a strict reader used by the schema
+/// checks and the golden tests — no trailing garbage, no NaN/Infinity, no
+/// comments.
+///
+/// Child storage is deque-backed, so references returned by `set`/`push`
+/// stay valid while more children are appended (replacing an existing key
+/// reuses its slot). That is what lets callers build a scenario in place:
+///
+///   JsonValue doc = JsonValue::object();
+///   auto& rows = doc.set("scenarios", JsonValue::array());
+///   auto& row = rows.push(JsonValue::object());
+///   row.set("name", "flows_64");
+///   row.set("pkts_per_s", 5.27e6);
+namespace vcaqoe::common {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kObject, kArray };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  JsonValue(double value) : type_(Type::kDouble), double_(value) {}
+  JsonValue(std::int64_t value) : type_(Type::kInt), int_(value) {}
+  JsonValue(int value) : JsonValue(static_cast<std::int64_t>(value)) {}
+  JsonValue(unsigned value) : JsonValue(static_cast<std::int64_t>(value)) {}
+  JsonValue(std::uint64_t value);  ///< becomes kDouble above INT64_MAX
+  JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(std::string_view value)
+      : type_(Type::kString), string_(value) {}
+  JsonValue(const char* value) : type_(Type::kString), string_(value) {}
+
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isBool() const { return type_ == Type::kBool; }
+  bool isNumber() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool isString() const { return type_ == Type::kString; }
+  bool isObject() const { return type_ == Type::kObject; }
+  bool isArray() const { return type_ == Type::kArray; }
+
+  bool asBool() const { return bool_; }
+  /// Numeric value as double (exact for kInt up to 2^53).
+  double asDouble() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  std::int64_t asInt() const {
+    return type_ == Type::kDouble ? static_cast<std::int64_t>(double_) : int_;
+  }
+  const std::string& asString() const { return string_; }
+
+  // ---- object interface (no-ops / empty on other types)
+
+  /// Inserts or replaces `key`; returns the stored value so nested
+  /// objects/arrays can be built in place. Insertion order is preserved.
+  JsonValue& set(std::string key, JsonValue value);
+  /// The value under `key`, or nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  // ---- array interface
+
+  /// Appends and returns the stored element (stable reference, see above).
+  JsonValue& push(JsonValue value);
+
+  /// Object/array child count (0 for scalars).
+  std::size_t size() const;
+  /// Array element access; `index` must be < size().
+  const JsonValue& at(std::size_t index) const { return items_[index]; }
+  /// Object entry access in insertion order; `index` must be < size().
+  const std::pair<std::string, JsonValue>& entry(std::size_t index) const {
+    return members_[index];
+  }
+
+  // ---- serialization / parsing
+
+  /// Serializes the document. `indent > 0` pretty-prints with that many
+  /// spaces per level; `indent == 0` emits the compact form. Non-finite
+  /// doubles serialize as `null` (JSON has no NaN/Infinity).
+  std::string dump(int indent = 2) const;
+
+  /// Strict parse of exactly one JSON document (trailing non-whitespace is
+  /// an error). On failure returns nullopt and, when `error` is non-null,
+  /// stores a message with the byte offset.
+  static std::optional<JsonValue> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  // Deques so child references survive appends (documented guarantee).
+  std::deque<std::pair<std::string, JsonValue>> members_;  // objects
+  std::deque<JsonValue> items_;                            // arrays
+};
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included): `"`, `\`, and control characters; everything else (including
+/// UTF-8 multibyte sequences) passes through.
+std::string jsonEscape(std::string_view text);
+
+/// Shortest decimal representation of `value` that strtod parses back to
+/// the same bits ("1.5", not "1.5000000000000000"). Non-finite values
+/// yield "null". Always locale-independent, always contains a '.' or an
+/// exponent so readers keep the double-ness.
+std::string jsonNumber(double value);
+
+}  // namespace vcaqoe::common

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <optional>
+#include <string_view>
+
+/// Strict numeric parsing for CLI flags and environment knobs.
+///
+/// `std::atoi`/`std::atof` turn garbage into silent zeros — `--workers abc`
+/// became 0 workers and `VCAQOE_BENCH_TREES=forty` trained a 0-tree forest.
+/// These helpers parse with `std::from_chars` and succeed only when the
+/// whole input is consumed and the value is in range, so callers can tell
+/// "0" from "not a number" and reject the latter loudly.
+namespace vcaqoe::common {
+
+/// Full-consume integer parse (decimal, optional leading '-'; no leading
+/// whitespace, no trailing characters, no overflow). nullopt on anything
+/// else.
+inline std::optional<long long> parseInt(std::string_view text) {
+  long long value = 0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Full-consume finite-double parse (decimal or scientific; no leading
+/// whitespace or '+', no trailing characters, no "inf"/"nan", no
+/// overflow-to-infinity). nullopt on anything else.
+inline std::optional<double> parseDouble(std::string_view text) {
+  double value = 0.0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size() ||
+      !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace vcaqoe::common

@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace vcaqoe::engine {
+
+namespace {
+
+/// Best-effort round-robin core pinning for shard worker `index`. Failure
+/// (e.g. a cpuset restricting the process below hardware_concurrency) is
+/// ignored: pinning is a throughput hint, never a correctness dependency.
+void pinThreadRoundRobin([[maybe_unused]] std::thread& thread,
+                         [[maybe_unused]] std::size_t index) {
+#if defined(__linux__)
+  const unsigned cpus = std::thread::hardware_concurrency();
+  if (cpus == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(index % cpus), &set);
+  (void)pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#endif
+}
+
+}  // namespace
 
 MultiFlowEngine::MultiFlowEngine(EngineOptions options)
     : options_(std::move(options)),
@@ -45,6 +69,11 @@ MultiFlowEngine::MultiFlowEngine(EngineOptions options)
   runningWorkers_.store(workers, std::memory_order_relaxed);
   for (auto& shard : shards_) {
     shard->thread = std::thread([this, raw = shard.get()] { workerLoop(*raw); });
+  }
+  if (options_.pinWorkers) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      pinThreadRoundRobin(shards_[i]->thread, i);
+    }
   }
 }
 

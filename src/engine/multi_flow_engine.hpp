@@ -48,12 +48,28 @@
 /// flow is a fresh generation with a fresh id and estimator.
 namespace vcaqoe::engine {
 
+/// Whether `EngineOptions::pinWorkers` can take effect on this platform
+/// (pthread_setaffinity_np). The flag is accepted everywhere; off-platform
+/// it is a no-op.
+#if defined(__linux__)
+inline constexpr bool kWorkerPinningSupported = true;
+#else
+inline constexpr bool kWorkerPinningSupported = false;
+#endif
+
 struct EngineOptions {
   /// Per-flow streaming estimator configuration (window size, Algorithm 1
   /// parameters, feature extraction).
   core::StreamingOptions streaming;
   /// Worker threads (= shards). 0 or negative means hardware_concurrency.
   int numWorkers = 4;
+  /// Pin each shard's worker thread to one CPU, round-robin over the
+  /// online CPUs (shard i -> CPU i mod N). Best effort and Linux-only
+  /// (`kWorkerPinningSupported`); elsewhere, and on affinity errors, the
+  /// engine runs unpinned. Purely a placement hint for the scheduler:
+  /// output is bit-identical pinned or unpinned at any worker count
+  /// (covered by the determinism suites).
+  bool pinWorkers = false;
   /// Packets buffered per shard on the dispatcher side before the batch is
   /// handed to the worker; amortizes queue synchronization.
   std::size_t dispatchBatch = 256;

@@ -1,9 +1,14 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstddef>
+#include <limits>
 #include <new>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 /// Bounded single-producer / single-consumer ring buffer.
@@ -22,10 +27,23 @@ inline constexpr std::size_t kCacheLineSize = 64;
 template <typename T>
 class SpscRing {
  public:
-  /// Capacity is rounded up to a power of two (minimum 2).
+  /// Largest accepted capacity: the highest power of two a std::size_t can
+  /// hold. Above it there is no power-of-two to round up to (the old
+  /// round-up loop shifted past the top bit and spun forever).
+  static constexpr std::size_t kMaxCapacity =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+
+  /// Capacity is rounded up to a power of two; 0 and 1 clamp to the
+  /// minimum of 2 (full/empty are distinguished by indices, not a spare
+  /// slot, but a 1-slot ring serializes producer and consumer). Throws
+  /// std::length_error above kMaxCapacity.
   explicit SpscRing(std::size_t capacity) {
-    std::size_t rounded = 2;
-    while (rounded < capacity) rounded <<= 1;
+    if (capacity > kMaxCapacity) {
+      throw std::length_error(
+          "SpscRing: capacity " + std::to_string(capacity) +
+          " exceeds the largest representable power of two");
+    }
+    const std::size_t rounded = std::max<std::size_t>(std::bit_ceil(capacity), 2);
     slots_.resize(rounded);
     mask_ = rounded - 1;
   }

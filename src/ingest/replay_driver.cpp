@@ -6,21 +6,36 @@ namespace vcaqoe::ingest {
 
 ReplayReport replay(PacketSource& source, engine::MultiFlowEngine& engine,
                     std::size_t pollEvery, common::DurationNs pumpIntervalNs) {
+  return replay(source, engine, pollEvery, pumpIntervalNs, ReplayHooks{});
+}
+
+ReplayReport replay(PacketSource& source, engine::MultiFlowEngine& engine,
+                    std::size_t pollEvery, common::DurationNs pumpIntervalNs,
+                    const ReplayHooks& hooks) {
   if (pollEvery == 0) pollEvery = 1;
   ReplayReport report;
   SourcePacket sp;
   bool pumped = false;
   common::TimeNs lastPumpNs = 0;
+  const auto poll = [&] {
+    const std::size_t before = report.results.size();
+    engine.poll(report.results);
+    if (hooks.onDrained && report.results.size() > before) {
+      hooks.onDrained(std::span<const engine::EngineResult>(report.results)
+                          .subspan(before));
+    }
+  };
   while (source.next(sp)) {
+    if (hooks.onPacket) hooks.onPacket(sp);
     engine.onPacket(sp.flow, sp.packet);
-    if (++report.packets % pollEvery == 0) engine.poll(report.results);
+    if (++report.packets % pollEvery == 0) poll();
     if (pumpIntervalNs > 0 &&
         (!pumped || sp.packet.arrivalNs - lastPumpNs >= pumpIntervalNs)) {
       // Live-mode idle kick at a stream-time cadence: flush pending
       // dispatch buffers and run the shard batchers' deadline checks even
       // when a flow (or the whole stream) goes quiet between windows.
       engine.pump(sp.packet.arrivalNs);
-      engine.poll(report.results);
+      poll();
       pumped = true;
       lastPumpNs = sp.packet.arrivalNs;
     }

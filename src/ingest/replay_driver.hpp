@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "engine/multi_flow_engine.hpp"
@@ -42,5 +44,22 @@ struct ReplayReport {
 ReplayReport replay(PacketSource& source, engine::MultiFlowEngine& engine,
                     std::size_t pollEvery = 1024,
                     common::DurationNs pumpIntervalNs = 0);
+
+/// Observation hooks for instrumented replays (latency probes in the
+/// benches). Purely passive: they never change what is fed or drained.
+struct ReplayHooks {
+  /// Called for every packet just before it is fed to the engine.
+  std::function<void(const SourcePacket&)> onPacket;
+  /// Called with each batch of results drained *while feeding* (poll and
+  /// pump drains). The finish() tail is not reported — those windows
+  /// surface only because the stream ended, so they have no meaningful
+  /// dispatch latency.
+  std::function<void(std::span<const engine::EngineResult>)> onDrained;
+};
+
+/// As above, with hooks (null members are skipped).
+ReplayReport replay(PacketSource& source, engine::MultiFlowEngine& engine,
+                    std::size_t pollEvery, common::DurationNs pumpIntervalNs,
+                    const ReplayHooks& hooks);
 
 }  // namespace vcaqoe::ingest

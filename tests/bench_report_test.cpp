@@ -1,0 +1,201 @@
+// The persisted-bench-trajectory contract: BenchReport documents must be
+// parseable by the strict JSON reader and carry the schema the checked-in
+// BENCH_*.json files and CI's bench_schema_check promise; the env knob
+// parsers must never turn garbage into a silent zero; the latency probe
+// must sample what its definition says.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.hpp"
+#include "common/json_writer.hpp"
+
+namespace vcaqoe::bench {
+namespace {
+
+using common::JsonValue;
+
+/// setenv/unsetenv scope guard so a failing assertion cannot leak state
+/// into the next test.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvKnobs, UnsetUsesFallbackSilently) {
+  ::unsetenv("VCAQOE_TEST_KNOB");
+  EXPECT_EQ(envInt("VCAQOE_TEST_KNOB", 7), 7);
+  EXPECT_EQ(envDouble("VCAQOE_TEST_KNOB", 2.5), 2.5);
+}
+
+TEST(EnvKnobs, ValidValuesParse) {
+  {
+    ScopedEnv env("VCAQOE_TEST_KNOB", "42");
+    EXPECT_EQ(envInt("VCAQOE_TEST_KNOB", 7), 42);
+    EXPECT_EQ(envDouble("VCAQOE_TEST_KNOB", 2.5), 42.0);
+  }
+  {
+    ScopedEnv env("VCAQOE_TEST_KNOB", "-3");
+    EXPECT_EQ(envInt("VCAQOE_TEST_KNOB", 7), -3);
+  }
+  {
+    ScopedEnv env("VCAQOE_TEST_KNOB", "0.125");
+    EXPECT_EQ(envDouble("VCAQOE_TEST_KNOB", 2.5), 0.125);
+  }
+}
+
+TEST(EnvKnobs, GarbageFallsBackInsteadOfZero) {
+  // The atoi/atof bug this replaces: "forty" became 0 trees and "1x" a 1.0
+  // pace. Now garbage keeps the documented default.
+  for (const char* bad : {"forty", "12abc", "", " 3", "1e999"}) {
+    ScopedEnv env("VCAQOE_TEST_KNOB", bad);
+    EXPECT_EQ(envInt("VCAQOE_TEST_KNOB", 7), 7) << "'" << bad << "'";
+    EXPECT_EQ(envDouble("VCAQOE_TEST_KNOB", 2.5), 2.5) << "'" << bad << "'";
+  }
+  {
+    // Out of int range is garbage for envInt, fine for envDouble.
+    ScopedEnv env("VCAQOE_TEST_KNOB", "3000000000");
+    EXPECT_EQ(envInt("VCAQOE_TEST_KNOB", 7), 7);
+    EXPECT_EQ(envDouble("VCAQOE_TEST_KNOB", 2.5), 3e9);
+  }
+}
+
+TEST(JsonOutDir, FlagEnvAndErrors) {
+  ::unsetenv("VCAQOE_BENCH_JSON_DIR");
+  std::string error;
+  {
+    const char* argv[] = {"bench"};
+    EXPECT_FALSE(jsonOutDir(1, const_cast<char**>(argv), error).has_value());
+    EXPECT_TRUE(error.empty());
+  }
+  {
+    const char* argv[] = {"bench", "--json-out", "/tmp/x"};
+    const auto dir = jsonOutDir(3, const_cast<char**>(argv), error);
+    ASSERT_TRUE(dir.has_value());
+    EXPECT_EQ(*dir, "/tmp/x");
+    EXPECT_TRUE(error.empty());
+  }
+  {
+    // Flag wins over the environment.
+    ScopedEnv env("VCAQOE_BENCH_JSON_DIR", "/tmp/env");
+    const char* argv[] = {"bench", "--json-out", "/tmp/flag"};
+    EXPECT_EQ(jsonOutDir(3, const_cast<char**>(argv), error).value(),
+              "/tmp/flag");
+    const char* bare[] = {"bench"};
+    EXPECT_EQ(jsonOutDir(1, const_cast<char**>(bare), error).value(),
+              "/tmp/env");
+  }
+  {
+    const char* argv[] = {"bench", "--json-out"};
+    EXPECT_FALSE(jsonOutDir(2, const_cast<char**>(argv), error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+  error.clear();
+  {
+    const char* argv[] = {"bench", "--bogus"};
+    EXPECT_FALSE(jsonOutDir(2, const_cast<char**>(argv), error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(BenchReport, DocumentCarriesSchemaAndMetadata) {
+  BenchReport report("unit");
+  report.config().set("packets", 1000);
+  auto& row = report.addScenario("flows_8");
+  auto throughput = JsonValue::object();
+  throughput.set("pkts_per_s", 123456.5);
+  row.set("throughput", std::move(throughput));
+
+  const auto& doc = report.doc();
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_EQ(doc.find("schema_version")->asInt(), kBenchSchemaVersion);
+  EXPECT_EQ(doc.find("bench")->asString(), "unit");
+  EXPECT_GT(doc.find("generated_unix_s")->asInt(), 0);
+  const auto* host = doc.find("host");
+  ASSERT_NE(host, nullptr);
+  EXPECT_GE(host->find("hardware_threads")->asInt(), 1);
+  EXPECT_TRUE(host->find("build_type")->isString());
+  EXPECT_TRUE(host->find("git_describe")->isString());
+  EXPECT_EQ(doc.find("config")->find("packets")->asInt(), 1000);
+  const auto* scenarios = doc.find("scenarios");
+  ASSERT_NE(scenarios, nullptr);
+  ASSERT_EQ(scenarios->size(), 1u);
+  EXPECT_EQ(scenarios->at(0).find("name")->asString(), "flows_8");
+  EXPECT_EQ(scenarios->at(0).find("throughput")->find("pkts_per_s")
+                ->asDouble(),
+            123456.5);
+}
+
+TEST(BenchReport, WrittenFileParsesBackIdentically) {
+  BenchReport report("roundtrip");
+  report.config().set("knob", 0.1);
+  auto& row = report.addScenario("s");
+  auto throughput = JsonValue::object();
+  throughput.set("rows_per_s", 2.5e6);
+  row.set("throughput", std::move(throughput));
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "vcaqoe_bench_report_test";
+  const auto path = report.writeTo(dir.string());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(std::filesystem::path(*path).filename().string(),
+            "BENCH_roundtrip.json");
+
+  std::ifstream in(*path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string parseError;
+  const auto parsed = JsonValue::parse(buffer.str(), &parseError);
+  ASSERT_TRUE(parsed.has_value()) << parseError;
+  EXPECT_EQ(parsed->dump(2), report.doc().dump(2));
+  // Doubles survive the disk round-trip bit-identically.
+  EXPECT_EQ(parsed->find("config")->find("knob")->asDouble(), 0.1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchReport, WriteToUnwritablePathFails) {
+  BenchReport report("unwritable");
+  // A regular file where the directory should be.
+  const auto clash = std::filesystem::temp_directory_path() /
+                     "vcaqoe_bench_report_clash";
+  { std::ofstream(clash.string()) << "occupied"; }
+  EXPECT_FALSE(report.writeTo((clash / "sub").string()).has_value());
+  std::filesystem::remove(clash);
+}
+
+TEST(WindowLatencyProbe, SamplesDrainDelayPerReadyWindow) {
+  WindowLatencyProbe probe(/*windowNs=*/1000);
+  probe.noteFeed(0);     // inside window 0: nothing ready yet
+  probe.noteResult(0);   // not ready — must not sample
+  EXPECT_EQ(probe.samples(), 0u);
+  probe.noteFeed(1000);  // crosses the end of window 0
+  probe.noteResult(0);
+  EXPECT_EQ(probe.samples(), 1u);
+  probe.noteFeed(3500);  // crosses windows 1 and 2 at once
+  probe.noteResult(1);
+  probe.noteResult(2);
+  probe.noteResult(7);   // never ready (finish-tail shape) — ignored
+  probe.noteResult(-1);  // nonsense window — ignored
+  EXPECT_EQ(probe.samples(), 3u);
+  EXPECT_GE(probe.p50Ms(), 0.0);
+  EXPECT_GE(probe.p99Ms(), probe.p50Ms());
+  const auto json = probe.toJson();
+  EXPECT_EQ(json.find("samples")->asInt(), 3);
+  EXPECT_GE(json.find("max")->asDouble(), json.find("p50")->asDouble());
+}
+
+}  // namespace
+}  // namespace vcaqoe::bench

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
+#include "common/json_writer.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -276,6 +281,159 @@ TEST_P(PercentileProperty, MonotoneAndBounded) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty,
                          ::testing::Range(1, 21));
+
+// ---------------------------------------------------------------- parse
+
+TEST(Parse, IntAcceptsOnlyFullDecimalTokens) {
+  EXPECT_EQ(parseInt("0"), std::optional<long long>(0));
+  EXPECT_EQ(parseInt("42"), std::optional<long long>(42));
+  EXPECT_EQ(parseInt("-7"), std::optional<long long>(-7));
+  EXPECT_EQ(parseInt("9223372036854775807"),
+            std::optional<long long>(9223372036854775807LL));
+  // The atoi failure modes this replaces: partial consumes and garbage
+  // must be errors, not silent zeros or truncations.
+  EXPECT_FALSE(parseInt("").has_value());
+  EXPECT_FALSE(parseInt("abc").has_value());
+  EXPECT_FALSE(parseInt("12abc").has_value());
+  EXPECT_FALSE(parseInt("1.5").has_value());
+  EXPECT_FALSE(parseInt(" 3").has_value());
+  EXPECT_FALSE(parseInt("3 ").has_value());
+  EXPECT_FALSE(parseInt("+3").has_value());
+  EXPECT_FALSE(parseInt("9223372036854775808").has_value());  // overflow
+}
+
+TEST(Parse, DoubleAcceptsOnlyFullFiniteTokens) {
+  EXPECT_EQ(parseDouble("0"), std::optional<double>(0.0));
+  EXPECT_EQ(parseDouble("1.5"), std::optional<double>(1.5));
+  EXPECT_EQ(parseDouble("-2.25e3"), std::optional<double>(-2250.0));
+  EXPECT_FALSE(parseDouble("").has_value());
+  EXPECT_FALSE(parseDouble("abc").has_value());
+  EXPECT_FALSE(parseDouble("1.5x").has_value());
+  EXPECT_FALSE(parseDouble(" 1").has_value());
+  EXPECT_FALSE(parseDouble("inf").has_value());
+  EXPECT_FALSE(parseDouble("nan").has_value());
+  EXPECT_FALSE(parseDouble("1e999").has_value());  // overflows to infinity
+}
+
+// ----------------------------------------------------------- json_writer
+
+TEST(JsonWriter, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(jsonEscape("héllo"), "héllo");  // UTF-8 passes through
+}
+
+TEST(JsonWriter, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(jsonNumber(1.5), "1.5");
+  EXPECT_EQ(jsonNumber(0.1), "0.1");  // not 0.1000000000000000055511...
+  // Doubles stay visibly doubles so parsers keep the type.
+  EXPECT_TRUE(jsonNumber(3.0).find('.') != std::string::npos ||
+              jsonNumber(3.0).find('e') != std::string::npos);
+  EXPECT_EQ(jsonNumber(std::nan("")), "null");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, GoldenNestedDocument) {
+  auto doc = JsonValue::object();
+  doc.set("name", "flows_64");
+  doc.set("count", 3);
+  doc.set("ok", true);
+  doc.set("note", JsonValue());
+  auto& nested = doc.set("throughput", JsonValue::object());
+  nested.set("pkts_per_s", 1.5);
+  auto& list = doc.set("tags", JsonValue::array());
+  list.push("a\nb");
+  list.push(2);
+  EXPECT_EQ(doc.dump(0),
+            "{\"name\":\"flows_64\",\"count\":3,\"ok\":true,\"note\":null,"
+            "\"throughput\":{\"pkts_per_s\":1.5},\"tags\":[\"a\\nb\",2]}");
+  EXPECT_EQ(doc.dump(2),
+            "{\n"
+            "  \"name\": \"flows_64\",\n"
+            "  \"count\": 3,\n"
+            "  \"ok\": true,\n"
+            "  \"note\": null,\n"
+            "  \"throughput\": {\n"
+            "    \"pkts_per_s\": 1.5\n"
+            "  },\n"
+            "  \"tags\": [\n"
+            "    \"a\\nb\",\n"
+            "    2\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(JsonWriter, SetReturnsStableReferencesAndReplacesInPlace) {
+  auto doc = JsonValue::object();
+  auto& rows = doc.set("rows", JsonValue::array());
+  auto& first = rows.push(JsonValue::object());
+  // Keep appending children — earlier references must stay valid
+  // (deque-backed storage, the documented guarantee).
+  for (int i = 0; i < 100; ++i) rows.push(i);
+  first.set("name", "zeroth");
+  EXPECT_EQ(rows.size(), 101u);
+  EXPECT_TRUE(rows.at(0).find("name") != nullptr);
+  doc.set("rows", "replaced");  // same key reuses the slot
+  EXPECT_EQ(doc.size(), 1u);
+  ASSERT_NE(doc.find("rows"), nullptr);
+  EXPECT_TRUE(doc.find("rows")->isString());
+}
+
+TEST(JsonWriter, ParseRoundTripsTypesExactly) {
+  const char* text =
+      "{\"i\": -42, \"big\": 9007199254740993, \"d\": 0.1, \"s\": "
+      "\"a\\u0041\\n\", \"b\": false, \"n\": null, \"list\": [1, 2.5]}";
+  std::string error;
+  const auto doc = JsonValue::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("i")->type(), JsonValue::Type::kInt);
+  EXPECT_EQ(doc->find("i")->asInt(), -42);
+  // Integers survive beyond double's 2^53 exact range.
+  EXPECT_EQ(doc->find("big")->asInt(), 9007199254740993LL);
+  EXPECT_EQ(doc->find("d")->type(), JsonValue::Type::kDouble);
+  EXPECT_EQ(doc->find("d")->asDouble(), 0.1);
+  EXPECT_EQ(doc->find("s")->asString(), "aA\n");
+  EXPECT_FALSE(doc->find("b")->asBool());
+  EXPECT_TRUE(doc->find("n")->isNull());
+  EXPECT_EQ(doc->find("list")->size(), 2u);
+}
+
+TEST(JsonWriter, DumpParsesBackBitIdentical) {
+  auto doc = JsonValue::object();
+  doc.set("pi", 3.141592653589793);
+  doc.set("tenth", 0.1);
+  doc.set("tiny", 5e-324);
+  doc.set("huge", 1.7976931348623157e308);
+  doc.set("count", std::int64_t{123456789012345});
+  const auto reparsed = JsonValue::parse(doc.dump(0));
+  ASSERT_TRUE(reparsed.has_value());
+  for (const char* key : {"pi", "tenth", "tiny", "huge"}) {
+    EXPECT_EQ(reparsed->find(key)->asDouble(), doc.find(key)->asDouble())
+        << key;
+  }
+  EXPECT_EQ(reparsed->find("count")->asInt(), 123456789012345LL);
+}
+
+TEST(JsonWriter, ParseRejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "01", "+1", "1.", ".5",
+        "nul", "tru", "NaN", "Infinity", "\"unterminated", "\"bad\\q\"",
+        "{\"a\":1} trailing", "[1] 2", "'single'", "{a:1}", "[1 2]",
+        "\"\\u12\""}) {
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonWriter, ParseRejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::parse(deep).has_value());
+}
 
 }  // namespace
 }  // namespace vcaqoe::common

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <map>
+#include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -129,13 +132,44 @@ TEST(SpscRing, WrapsAroundManyTimes) {
   }
 }
 
-class EngineDeterminism : public ::testing::TestWithParam<int> {};
+/// Capacity edges: 0 and 1 clamp to the minimum of 2, non-powers round up,
+/// and a capacity with no power-of-two above it throws instead of spinning
+/// the old round-up loop forever (or silently wrapping to 0 slots).
+TEST(SpscRing, CapacityEdgesClampRoundAndReject) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_THROW(SpscRing<int>(SpscRing<int>::kMaxCapacity + 1),
+               std::length_error);
+  EXPECT_THROW(SpscRing<int>(std::numeric_limits<std::size_t>::max()),
+               std::length_error);
+}
+
+TEST(SpscRing, MinimumCapacityRingStillMovesData) {
+  SpscRing<int> ring(0);  // clamps to 2 usable slots
+  ASSERT_TRUE(ring.tryPush(1));
+  ASSERT_TRUE(ring.tryPush(2));
+  EXPECT_FALSE(ring.tryPush(3));  // full at the clamped capacity
+  EXPECT_EQ(ring.tryPop(), std::optional<int>(1));
+  EXPECT_EQ(ring.tryPop(), std::optional<int>(2));
+  EXPECT_FALSE(ring.tryPop().has_value());
+}
+
+/// Worker count x pinning: pinning is a placement hint and must never
+/// change output.
+class EngineDeterminism
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
 
 /// The tentpole property: sharded output must equal the sequential
 /// per-flow streaming estimator, window for window, bit for bit, for any
-/// worker count.
+/// worker count — pinned or not (on platforms without affinity support
+/// pinWorkers is an accepted no-op, so the matrix still runs everywhere).
 TEST_P(EngineDeterminism, ShardedEqualsSequential) {
-  const int workers = GetParam();
+  const int workers = std::get<0>(GetParam());
+  const bool pinned = std::get<1>(GetParam());
   const int flows = 13;  // coprime with worker counts: shards get uneven load
   const auto in = makeInterleaved(flows, 900);
 
@@ -146,6 +180,7 @@ TEST_P(EngineDeterminism, ShardedEqualsSequential) {
   options.streaming = streaming;
   options.numWorkers = workers;
   options.dispatchBatch = 64;
+  options.pinWorkers = pinned;
   MultiFlowEngine engine(options);
   for (const auto& [flow, packet] : in.stream) {
     engine.onPacket(in.keys[flow], packet);
@@ -189,7 +224,8 @@ TEST_P(EngineDeterminism, ShardedEqualsSequential) {
 }
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, EngineDeterminism,
-                         ::testing::Values(1, 2, 4, 7));
+                         ::testing::Combine(::testing::Values(1, 2, 4, 7, 8),
+                                            ::testing::Bool()));
 
 TEST(MultiFlowEngine, PollPreservesPerFlowOrder) {
   const auto in = makeInterleaved(5, 600);
