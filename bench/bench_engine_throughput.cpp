@@ -13,9 +13,12 @@
 //             predictWindowBatch per shard batch
 // All engine digests are checked bit-identical to the matching sequential
 // reference before any number is trusted. A model-eval micro section also
-// reports raw rows/s for tree vs flat vs flat-batched predict, and a
+// reports raw rows/s for tree vs flat vs flat-batched predict, a kRtp
+// section replays RTP-headed flows through the native kRtp hot path
+// (payload-type classification, 24-wide features and model), and a
 // worker-count sweep (1/2/4/8, pinned vs unpinned shard workers) measures
-// the scale-out curve at a fixed flow count.
+// the scale-out curve at a fixed flow count. Scenario rows carry a
+// feature_set field ("ipudp" / "rtp") in the persisted JSON.
 //
 // With `--json-out DIR` (or VCAQOE_BENCH_JSON_DIR) the whole run — every
 // scenario's pkts/s, the model micro rows/s, the worker sweep, and p50/p99
@@ -52,6 +55,8 @@
 #include "engine/flow_table.hpp"
 #include "engine/multi_flow_engine.hpp"
 #include "engine/synthetic.hpp"
+#include "features/feature_vector.hpp"
+#include "inference/backends.hpp"
 #include "inference/model_registry.hpp"
 #include "ml/flattened_forest.hpp"
 #include "netflow/packet.hpp"
@@ -89,15 +94,17 @@ struct Scenario {
   std::vector<std::pair<std::uint32_t, netflow::Packet>> stream;
 };
 
-Scenario makeScenario(int flows, int totalPackets) {
+Scenario makeScenario(int flows, int totalPackets, bool rtpHeads = false) {
   Scenario scenario;
   const int perFlow = std::max(totalPackets / flows, 64);
   for (int f = 0; f < flows; ++f) {
     const auto flow = static_cast<std::uint32_t>(f);
     scenario.keys.push_back(engine::syntheticFlowKey(flow));
-    const auto trace = engine::syntheticFlowTrace(
-        1000 + static_cast<std::uint64_t>(f), perFlow,
-        /*startNs=*/static_cast<common::TimeNs>(flow) * 41'000);
+    const auto seed = 1000 + static_cast<std::uint64_t>(f);
+    const auto startNs = static_cast<common::TimeNs>(flow) * 41'000;
+    const auto trace =
+        rtpHeads ? engine::syntheticRtpFlowTrace(seed, perFlow, startNs)
+                 : engine::syntheticFlowTrace(seed, perFlow, startNs);
     for (const auto& packet : trace) scenario.stream.emplace_back(flow, packet);
   }
   std::stable_sort(scenario.stream.begin(), scenario.stream.end(),
@@ -396,11 +403,77 @@ int main(int argc, char** argv) {
 
     auto& row = report.addScenario("flows_" + std::to_string(flows));
     row.set("flows", flows);
+    row.set("feature_set",
+            std::string(features::toString(features::FeatureSet::kIpUdp)));
     row.set("packets", static_cast<std::int64_t>(scenario.stream.size()));
     row.set("throughput",
             throughputJson({{"seq_pkts_per_s", seq.pps},
                             {"eng_pkts_per_s", eng.pps},
                             {"eng_tree_model_pkts_per_s", engTree.pps},
+                            {"eng_flat_model_pkts_per_s", engFlat.pps},
+                            {"eng_batch_model_pkts_per_s", engBatch.pps}}));
+    row.set("latency_ms", probe.toJson());
+    row.set("identical", identical);
+  }
+
+  // ---- kRtp rows: the same engine over RTP-headed traffic in native kRtp
+  // mode — payload-type classification, captured heads, 24-wide features, a
+  // 24-wide model resolved under the kRtp registry key. Digest-checked
+  // against the sequential kRtp reference exactly like the kIpUdp table.
+  core::StreamingOptions streamingRtp;
+  streamingRtp.featureSet = features::FeatureSet::kRtp;
+  streamingRtp.extraction.videoPt = engine::kSyntheticVideoPt;
+  streamingRtp.extraction.rtxPt = engine::kSyntheticRtxPt;
+  const auto rtpModel = engine::syntheticForest(trees, 10, 24.0, 24);
+  const auto makeRtpRegistry = [&rtpModel] {
+    auto registry = std::make_shared<inference::ModelRegistry>();
+    registry->registerBackend(
+        "teams", inference::QoeTarget::kFrameRate,
+        std::make_shared<inference::ForestBackend>(
+            rtpModel, inference::QoeTarget::kFrameRate,
+            "forest:teams/rtp/frame_rate", /*expectedFeatureCount=*/24),
+        features::FeatureSet::kRtp);
+    return registry;
+  };
+  const auto rtpModelBackend = makeRtpRegistry()->resolve(
+      "teams", inference::QoeTarget::kFrameRate, features::FeatureSet::kRtp);
+
+  std::printf("\nrtp feature set — native kRtp hot path, 24-wide model\n");
+  std::printf("%6s %10s | %11s %11s %7s | %11s %11s | %9s\n", "flows",
+              "packets", "seq pkts/s", "eng pkts/s", "spd", "flat+m",
+              "batch+m", "identical");
+  for (int flows : {8, 64}) {
+    const auto scenario = makeScenario(flows, totalPackets, /*rtpHeads=*/true);
+    const auto seq = runSequential(scenario, streamingRtp, nullptr);
+    bench::WindowLatencyProbe probe(streamingRtp.windowNs);
+    const auto eng = runEngine(scenario, streamingRtp, workers, nullptr,
+                               /*inferenceBatch=*/1, /*pinWorkers=*/false,
+                               &probe);
+    const auto seqModel = runSequential(scenario, streamingRtp,
+                                        rtpModelBackend);
+    const auto engFlat = runEngine(scenario, streamingRtp, workers,
+                                   makeRtpRegistry());
+    const auto engBatch = runEngine(scenario, streamingRtp, workers,
+                                    makeRtpRegistry(), batch);
+    const bool identical =
+        seq.digest == eng.digest && seqModel.digest == engFlat.digest &&
+        seqModel.digest == engBatch.digest &&
+        seqModel.digest.outputs == seq.digest.outputs &&
+        seqModel.digest.hash != seq.digest.hash;  // model actually predicted
+    allIdentical = allIdentical && identical;
+    std::printf("%6d %10zu | %11.0f %11.0f %6.2fx | %11.0f %11.0f | %9s\n",
+                flows, scenario.stream.size(), seq.pps, eng.pps,
+                eng.pps / seq.pps, engFlat.pps, engBatch.pps,
+                identical ? "yes" : "NO");
+
+    auto& row = report.addScenario("rtp_flows_" + std::to_string(flows));
+    row.set("flows", flows);
+    row.set("feature_set",
+            std::string(features::toString(features::FeatureSet::kRtp)));
+    row.set("packets", static_cast<std::int64_t>(scenario.stream.size()));
+    row.set("throughput",
+            throughputJson({{"seq_pkts_per_s", seq.pps},
+                            {"eng_pkts_per_s", eng.pps},
                             {"eng_flat_model_pkts_per_s", engFlat.pps},
                             {"eng_batch_model_pkts_per_s", engBatch.pps}}));
     row.set("latency_ms", probe.toJson());

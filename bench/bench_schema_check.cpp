@@ -9,7 +9,10 @@
 // For bench == "engine_throughput" it additionally requires the
 // worker_sweep section to cover workers {1,2,4,8} for both pinned=false and
 // pinned=true, each entry with pkts_per_s and p50/p99 latency — the shape
-// the checked-in scaling curve and CI artifact promise.
+// the checked-in scaling curve and CI artifact promise — and that every
+// flow-table row declares its feature_set ("ipudp" or "rtp") with both
+// families present in the document (the kRtp hot path is benchmarked, not
+// just the seed kIpUdp one).
 //
 // Exit code 0 only when every file validates; failures are printed with the
 // file and the violated rule. CI runs this on the bench-smoke artifacts so
@@ -125,6 +128,37 @@ struct Checker {
     }
     if (bench && bench->asString() == "engine_throughput") {
       checkWorkerSweep(doc);
+      checkFeatureSets(doc);
+    }
+  }
+
+  /// Engine-bench feature-set contract: every scenario row with a "flows"
+  /// count carries feature_set "ipudp" or "rtp", and both families appear
+  /// in the document.
+  void checkFeatureSets(const JsonValue& doc) {
+    const auto* scenarios = doc.find("scenarios");
+    if (!scenarios || !scenarios->isArray()) return;  // reported already
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < scenarios->size(); ++i) {
+      const auto& row = scenarios->at(i);
+      if (!row.isObject() || !row.find("flows")) continue;
+      const std::string where = "scenarios[" + std::to_string(i) + "]";
+      const auto* set = requireMember(row, "feature_set", &JsonValue::isString,
+                                      "a string", where);
+      if (!set) continue;
+      const auto name = set->asString();
+      if (name != "ipudp" && name != "rtp") {
+        fail(where + ": feature_set \"" + name +
+             "\" (expected \"ipudp\" or \"rtp\")");
+        continue;
+      }
+      seen.insert(name);
+    }
+    for (const char* required : {"ipudp", "rtp"}) {
+      if (!seen.count(required)) {
+        fail(std::string("scenarios: no flow row with feature_set \"") +
+             required + "\"");
+      }
     }
   }
 

@@ -24,12 +24,20 @@
 //                          keep surfacing while packets flow (default:
 //                          1 s when paced, off otherwise; 0 disables)
 //     --synth-flows K      no capture file: synthesize K flows (default 6)
+//     --feature-set S      feature family every flow's estimator computes:
+//                          ipudp (14-wide, default) or rtp (24-wide; packet
+//                          heads are parsed as RTP, video classified by
+//                          payload type). Synthesized captures carry real
+//                          RTP headers when rtp is selected. Anything else
+//                          exits 2 with usage.
 //     --model-dir DIR      warm-model registry root; per-VCA forests are
-//                          lazy-loaded from DIR/<vca>/<target>.fforest or
-//                          .forest at flow admission (see README
-//                          "Inference backends")
+//                          lazy-loaded from DIR/<vca>/<set>/<target>.fforest
+//                          or .forest at flow admission (kIpUdp also probes
+//                          the legacy DIR/<vca>/<target>.* layout; see
+//                          README "Feature sets")
 //     --synth-model        instead of --model-dir: register a synthetic
-//                          teams frame-rate forest so the inference (and
+//                          teams frame-rate forest (sized to the selected
+//                          feature set) so the inference (and
 //                          batched-inference) path runs out of the box
 //     --target LIST        comma-separated prediction targets to resolve
 //                          (frame_rate,bitrate_kbps,frame_jitter_ms,
@@ -53,6 +61,7 @@
 #include "common/table.hpp"
 #include "common/time.hpp"
 #include "engine/multi_flow_engine.hpp"
+#include "features/feature_vector.hpp"
 #include "engine/synthetic.hpp"
 #include "inference/model_registry.hpp"
 #include "ingest/pcap_replay.hpp"
@@ -71,6 +80,7 @@ struct Args {
   double pace = 0.0;
   double pumpS = -1.0;  // -1 = auto: 1 s of stream time when paced, else off
   int synthFlows = 6;
+  features::FeatureSet featureSet = features::FeatureSet::kIpUdp;
   std::string modelDir;
   bool synthModel = false;
   std::vector<inference::QoeTarget> targets;
@@ -81,8 +91,8 @@ void usage(const char* flag, const char* expected, const char* got) {
                "pcap_monitor: %s expects %s, got '%s'\n"
                "usage: pcap_monitor [capture.pcap] [--workers N] [--batch N] "
                "[--idle-timeout-s S] [--pace X] [--pump-s S] "
-               "[--synth-flows K] [--model-dir DIR] [--synth-model] "
-               "[--target LIST]\n",
+               "[--synth-flows K] [--feature-set rtp|ipudp] "
+               "[--model-dir DIR] [--synth-model] [--target LIST]\n",
                flag, expected, got);
 }
 
@@ -141,6 +151,19 @@ bool parseArgs(int argc, char** argv, Args& args) {
       if (!doubleValue(args.pumpS, 0.0)) return false;
     } else if (arg == "--synth-flows") {
       if (!intValue(args.synthFlows, 1)) return false;
+    } else if (arg == "--feature-set") {
+      // Strict enum operand, same contract as the numeric flags: an unknown
+      // value is a usage error (exit 2), never a silent default.
+      if (!text(s)) {
+        usage(arg.c_str(), "rtp or ipudp", "(nothing)");
+        return false;
+      }
+      const auto set = features::featureSetFromString(s);
+      if (!set.has_value()) {
+        usage(arg.c_str(), "rtp or ipudp", s.c_str());
+        return false;
+      }
+      args.featureSet = *set;
     } else if (arg == "--model-dir" && text(s)) {
       args.modelDir = s;
     } else if (arg == "--synth-model") {
@@ -178,14 +201,21 @@ bool parseArgs(int argc, char** argv, Args& args) {
 
 /// Synthesizes a staggered multi-flow capture: sessions start (and end) at
 /// different times so idle eviction has something to reclaim mid-replay.
-std::string synthesizeCapture(int flows) {
+/// With kRtp the packets carry real encoded RTP headers (the pcap writer
+/// persists payload heads, so they survive the round trip).
+std::string synthesizeCapture(int flows, features::FeatureSet set) {
+  const bool rtp = set == features::FeatureSet::kRtp;
   std::vector<ingest::SourcePacket> stream;
   for (int f = 0; f < flows; ++f) {
     const auto key = engine::syntheticFlowKey(static_cast<std::uint32_t>(f));
-    const auto trace = engine::syntheticFlowTrace(
-        0xC0FFEE + static_cast<std::uint64_t>(f), 2500 + 500 * (f % 3),
-        /*startNs=*/static_cast<common::TimeNs>(f) * 2 *
-            common::kNanosPerSecond);
+    const auto seed = 0xC0FFEE + static_cast<std::uint64_t>(f);
+    const int packets = 2500 + 500 * (f % 3);
+    const auto startNs =
+        static_cast<common::TimeNs>(f) * 2 * common::kNanosPerSecond;
+    const auto trace = rtp
+                           ? engine::syntheticRtpFlowTrace(seed, packets,
+                                                           startNs)
+                           : engine::syntheticFlowTrace(seed, packets, startNs);
     for (const auto& packet : trace) stream.push_back({key, packet});
   }
   std::stable_sort(stream.begin(), stream.end(),
@@ -217,9 +247,19 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, args)) return 2;
 
   const bool synthesized = args.capturePath.empty();
-  if (synthesized) args.capturePath = synthesizeCapture(args.synthFlows);
+  if (synthesized) {
+    args.capturePath = synthesizeCapture(args.synthFlows, args.featureSet);
+  }
 
   engine::EngineOptions options;
+  options.streaming.featureSet = args.featureSet;
+  if (args.featureSet == features::FeatureSet::kRtp) {
+    // The RTP estimator classifies video by payload type; wire the
+    // synthetic traffic's PTs (a real deployment would set these from the
+    // VCA profile under observation).
+    options.streaming.extraction.videoPt = engine::kSyntheticVideoPt;
+    options.streaming.extraction.rtxPt = engine::kSyntheticRtxPt;
+  }
   options.numWorkers = args.workers;
   options.inferenceBatch =
       args.batch > 1 ? static_cast<std::size_t>(args.batch) : 1;
@@ -240,12 +280,20 @@ int main(int argc, char** argv) {
         std::make_shared<inference::ModelRegistry>(registryOptions);
     if (args.synthModel) {
       // The synthesized flows carry the Teams media port, so every flow
-      // admission resolves this shared backend.
+      // admission resolves this shared backend. The forest is sized (and
+      // the registry keyed) to the selected feature set.
+      const auto width =
+          static_cast<int>(features::featureCount(args.featureSet));
+      const std::string name =
+          "forest:teams/" + std::string(features::toString(args.featureSet)) +
+          "/frame_rate";
       options.registry->registerBackend(
           "teams", inference::QoeTarget::kFrameRate,
           std::make_shared<inference::ForestBackend>(
-              engine::syntheticForest(10, 6, 30.0),
-              inference::QoeTarget::kFrameRate, "forest:teams/frame_rate"));
+              engine::syntheticForest(10, 6, 30.0, width),
+              inference::QoeTarget::kFrameRate, name,
+              features::featureCount(args.featureSet)),
+          args.featureSet);
     }
     options.targets = args.targets;  // empty = all targets
   } else if (!args.targets.empty()) {
@@ -274,10 +322,11 @@ int main(int argc, char** argv) {
   const std::string pumpLabel =
       pumpIntervalNs > 0 ? common::TextTable::num(pumpS, 1) + " s" : "off";
   std::printf(
-      "replaying %s (%d workers, batch %s, idle timeout %.0f s, pace "
-      "%s, pump %s%s%s)\n\n",
-      args.capturePath.c_str(), eng.numWorkers(), batchLabel.c_str(),
-      args.idleTimeoutS,
+      "replaying %s (%d workers, feature set %s, batch %s, idle timeout "
+      "%.0f s, pace %s, pump %s%s%s)\n\n",
+      args.capturePath.c_str(), eng.numWorkers(),
+      std::string(features::toString(args.featureSet)).c_str(),
+      batchLabel.c_str(), args.idleTimeoutS,
       args.pace > 0 ? std::to_string(args.pace).c_str() : "off",
       pumpLabel.c_str(), withModels ? ", models from " : "",
       withModels ? (args.synthModel ? "synthetic" : args.modelDir.c_str())
@@ -341,7 +390,10 @@ int main(int argc, char** argv) {
   }
   std::printf("packets replayed   %llu\n",
               static_cast<unsigned long long>(report.packets));
-  std::printf("window results     %zu\n", report.results.size());
+  std::printf("window results     %zu (ipudp %llu, rtp %llu)\n",
+              report.results.size(),
+              static_cast<unsigned long long>(stats.windowsIpUdp),
+              static_cast<unsigned long long>(stats.windowsRtp));
   if (withModels) {
     std::printf("windows predicted  %zu\n", predictedWindows);
     if (options.inferenceBatch > 1) {

@@ -4,55 +4,71 @@
 #include <stdexcept>
 
 #include "common/stats.hpp"
+#include "rtp/rtp.hpp"
 
 namespace vcaqoe::core {
 
-StreamingIpUdpEstimator::StreamingIpUdpEstimator(StreamingOptions options,
-                                                 Callback callback,
-                                                 BackendPtr backend)
+StreamingEstimator::StreamingEstimator(StreamingOptions options,
+                                       Callback callback, BackendPtr backend)
     : options_(std::move(options)),
       callback_(std::move(callback)),
       backend_(std::move(backend)),
       classifier_(options_.classifier),
+      rtpMode_(options_.featureSet == features::FeatureSet::kRtp),
       recent_(static_cast<std::size_t>(options_.heuristic.effectiveLookback())) {
   if (!callback_) {
-    throw std::invalid_argument("StreamingIpUdpEstimator: null callback");
+    throw std::invalid_argument("StreamingEstimator: null callback");
   }
   if (options_.windowNs <= 0) {
     throw std::invalid_argument(
-        "StreamingIpUdpEstimator: windowNs must be positive");
+        "StreamingEstimator: windowNs must be positive");
   }
 }
 
-void StreamingIpUdpEstimator::attachBackend(BackendPtr backend) {
+void StreamingEstimator::attachBackend(BackendPtr backend) {
   if (nextWindowToEmit_ > 0) {
     throw std::logic_error(
-        "StreamingIpUdpEstimator: attachBackend after a window was emitted — "
+        "StreamingEstimator: attachBackend after a window was emitted — "
         "resolve the backend at flow admission");
   }
   backend_ = std::move(backend);
 }
 
-void StreamingIpUdpEstimator::onPacket(const netflow::Packet& packet) {
+bool StreamingEstimator::isVideoPacket(const netflow::Packet& packet) const {
+  if (!rtpMode_) return classifier_.isVideo(packet);
+  // The offline session path's rule: a packet is video iff its head parses
+  // as RTP and the payload type matches the profile's video PT.
+  const auto header = rtp::decode(packet.headBytes());
+  return header.has_value() &&
+         header->payloadType == options_.extraction.videoPt;
+}
+
+void StreamingEstimator::onPacket(const netflow::Packet& packet) {
   if (packet.arrivalNs < lastArrival_) {
     throw std::invalid_argument(
-        "StreamingIpUdpEstimator: packets must be fed in arrival order");
+        "StreamingEstimator: packets must be fed in arrival order");
   }
   lastArrival_ = packet.arrivalNs;
 
   const auto window = common::windowIndex(packet.arrivalNs, options_.windowNs);
   if (window > lastSeenWindow_) lastSeenWindow_ = window;
 
-  if (classifier_.isVideo(packet)) {
-    if (window >= nextWindowToEmit_) bufferVideoPacket(window, packet);
+  const bool video = isVideoPacket(packet);
+  // kIpUdp buffers only video packets (its features read nothing else);
+  // kRtp buffers every packet — the RTP features parse the whole window.
+  if ((video || rtpMode_) && window >= nextWindowToEmit_) {
+    bufferPacket(window, packet, video);
+  }
+  if (video) {
     ingestVideoPacket(packet);
     closeStaleFrames();
   }
   emitReadyWindows(packet.arrivalNs);
 }
 
-void StreamingIpUdpEstimator::bufferVideoPacket(std::int64_t window,
-                                                const netflow::Packet& packet) {
+void StreamingEstimator::bufferPacket(std::int64_t window,
+                                      const netflow::Packet& packet,
+                                      bool video) {
   if (bufferedHead_ == bufferedWindows_.size() ||
       bufferedWindows_.back() != window) {
     // Arrival order makes window indices non-decreasing, so a window not at
@@ -64,12 +80,21 @@ void StreamingIpUdpEstimator::bufferVideoPacket(std::int64_t window,
     }
     bufferedWindows_.push_back(window);
     bufferedColumns_.push_back(std::move(columns));
+    if (rtpMode_) {
+      features::WindowColumns whole;
+      if (!wholeColumnsPool_.empty()) {
+        whole = std::move(wholeColumnsPool_.back());
+        wholeColumnsPool_.pop_back();
+      }
+      whole.captureHeads = true;
+      bufferedWholeColumns_.push_back(std::move(whole));
+    }
   }
-  bufferedColumns_.back().append(packet);
+  if (rtpMode_) bufferedWholeColumns_.back().append(packet);
+  if (video) bufferedColumns_.back().append(packet);
 }
 
-void StreamingIpUdpEstimator::ingestVideoPacket(
-    const netflow::Packet& packet) {
+void StreamingEstimator::ingestVideoPacket(const netflow::Packet& packet) {
   // Algorithm 1, incremental: match against the previous Nmax video packets,
   // most recent first — one contiguous sweep over the lookback ring.
   const std::int64_t matched = recent_.matchMostRecent(
@@ -106,7 +131,7 @@ void StreamingIpUdpEstimator::ingestVideoPacket(
   ++videoPacketIndex_;
 }
 
-void StreamingIpUdpEstimator::insertClosedFrame(const HeuristicFrame& frame) {
+void StreamingEstimator::insertClosedFrame(const HeuristicFrame& frame) {
   // Keep (endNs, close order): insert after every pending frame with an
   // equal or earlier end — the flat equivalent of multimap::emplace.
   const auto at = std::upper_bound(
@@ -117,7 +142,7 @@ void StreamingIpUdpEstimator::insertClosedFrame(const HeuristicFrame& frame) {
   closedFrames_.insert(at, frame);
 }
 
-void StreamingIpUdpEstimator::closeStaleFrames() {
+void StreamingEstimator::closeStaleFrames() {
   // A frame can only be extended through the lookback horizon; once its
   // newest packet is more than Nmax video packets old, it is final. One
   // stable in-place pass keeps the survivors in id order.
@@ -135,8 +160,7 @@ void StreamingIpUdpEstimator::closeStaleFrames() {
   openFrames_.resize(keep);
 }
 
-void StreamingIpUdpEstimator::emitReadyWindows(
-    std::optional<common::TimeNs> now) {
+void StreamingEstimator::emitReadyWindows(std::optional<common::TimeNs> now) {
   // Latest window that can possibly still be emitted.
   std::int64_t lastWindow = std::max(nextWindowToEmit_ - 1, lastSeenWindow_);
   if (!closedFrames_.empty()) {
@@ -191,26 +215,34 @@ void StreamingIpUdpEstimator::emitReadyWindows(
     out.heuristic.frameJitterMs =
         gaps.size() >= 2 ? common::sampleStdev(gaps) : 0.0;
 
-    // Features over the window's buffered video columns — the IP/UDP set
-    // reads nothing but video arrival/size, so nothing else was stored.
+    // Features over the window's buffered columns. The IP/UDP set reads
+    // only video arrival/size; the RTP set additionally gets the
+    // head-capturing whole-window columns.
     static const features::WindowColumns kEmptyColumns;
     const bool haveColumns = bufferedHead_ < bufferedWindows_.size() &&
                              bufferedWindows_[bufferedHead_] == w;
     const features::WindowColumns& video =
         haveColumns ? bufferedColumns_[bufferedHead_] : kEmptyColumns;
+    const features::WindowColumns& whole =
+        (rtpMode_ && haveColumns) ? bufferedWholeColumns_[bufferedHead_]
+                                  : kEmptyColumns;
     out.features =
-        features::extractFeatures(kEmptyColumns, video, options_.windowNs,
-                                  features::FeatureSet::kIpUdp,
-                                  options_.extraction);
+        features::extractFeatures(whole, video, options_.windowNs,
+                                  options_.featureSet, options_.extraction);
     if (backend_ != nullptr) {
       backend_->predictWindow(makeWindowContext(out), out.predictions);
     }
 
     callback_(out);
     if (haveColumns) {
-      // Recycle the drained record: steady state allocates nothing.
+      // Recycle the drained records: steady state allocates nothing.
       bufferedColumns_[bufferedHead_].clear();
       columnsPool_.push_back(std::move(bufferedColumns_[bufferedHead_]));
+      if (rtpMode_) {
+        bufferedWholeColumns_[bufferedHead_].clear();
+        wholeColumnsPool_.push_back(
+            std::move(bufferedWholeColumns_[bufferedHead_]));
+      }
       ++bufferedHead_;
     }
     ++nextWindowToEmit_;
@@ -226,6 +258,7 @@ void StreamingIpUdpEstimator::emitReadyWindows(
   if (bufferedHead_ == bufferedWindows_.size()) {
     bufferedWindows_.clear();
     bufferedColumns_.clear();
+    if (rtpMode_) bufferedWholeColumns_.clear();
     bufferedHead_ = 0;
   } else if (bufferedHead_ >= 16) {
     const auto head = static_cast<std::ptrdiff_t>(bufferedHead_);
@@ -233,11 +266,15 @@ void StreamingIpUdpEstimator::emitReadyWindows(
                            bufferedWindows_.begin() + head);
     bufferedColumns_.erase(bufferedColumns_.begin(),
                            bufferedColumns_.begin() + head);
+    if (rtpMode_) {
+      bufferedWholeColumns_.erase(bufferedWholeColumns_.begin(),
+                                  bufferedWholeColumns_.begin() + head);
+    }
     bufferedHead_ = 0;
   }
 }
 
-void StreamingIpUdpEstimator::finish() {
+void StreamingEstimator::finish() {
   for (const auto& open : openFrames_) insertClosedFrame(open.frame);
   openFrames_.clear();
   emitReadyWindows(std::nullopt);

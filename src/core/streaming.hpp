@@ -12,23 +12,36 @@
 #include "core/media_classifier.hpp"
 #include "features/columns.hpp"
 #include "features/extractors.hpp"
+#include "features/feature_vector.hpp"
 #include "inference/backend.hpp"
 #include "netflow/packet.hpp"
 
-/// Streaming (single-pass, bounded-memory) IP/UDP estimation.
+/// Streaming (single-pass, bounded-memory) per-window estimation.
 ///
 /// §7 of the paper flags deployment at network scale as future work and
 /// calls for "streaming versions of the methods". This module processes
 /// packets one at a time in arrival order and emits one result per
 /// completed prediction window:
-///  * the 14 IP/UDP ML features,
-///  * the IP/UDP Heuristic estimates (Algorithm 1 run incrementally), and
+///  * the ML feature vector of the configured `FeatureSet` — 14 IP/UDP
+///    features or the 24-wide RTP row,
+///  * the Heuristic estimates (Algorithm 1 run incrementally), and
 ///  * typed model predictions, when an inference backend is attached.
 ///
 /// Memory is O(packets per window + Nmax); no trace is ever materialized.
 /// Windows are finalized one window behind the stream head so that frames
 /// whose packets straddle a boundary are attributed to the window of their
 /// true end time, matching the batch estimator exactly (tested property).
+///
+/// Feature-set dispatch (`StreamingOptions::featureSet`):
+///  * kIpUdp (default): video is classified by the size threshold
+///    (`MediaClassifier::isVideo`) and only video arrival/size columns are
+///    buffered — byte-for-byte the historical `StreamingIpUdpEstimator`
+///    behavior.
+///  * kRtp: video is classified by RTP payload type
+///    (`ExtractionParams::videoPt`, matching the offline session path), a
+///    second head-capturing `WindowColumns` record buffers *every* packet of
+///    the window (RTP features read the whole window's headers), and the
+///    emitted features come from `features::rtpFeatures` columnar.
 ///
 /// Per-flow state is columnar and flat — no node-based container is touched
 /// on the packet path:
@@ -39,14 +52,15 @@
 ///    sorted; at most Nmax+1 frames are ever open),
 ///  * closed frames pending window attribution sit in an endNs-sorted flat
 ///    vector consumed from the front,
-///  * per-window packets are buffered as `features::WindowColumns` — video
-///    arrival/size columns only, since the IP/UDP feature set reads nothing
-///    else — and drained records are recycled through a pool, so steady
-///    state does not allocate.
+///  * per-window packets are buffered as `features::WindowColumns` records
+///    recycled through a pool, so steady state does not allocate.
 namespace vcaqoe::core {
 
 struct StreamingOptions {
   common::DurationNs windowNs = common::kNanosPerSecond;
+  /// Which feature family the emitted rows carry. kRtp requires
+  /// `extraction.videoPt` to be set (and `rtxPt` when the VCA retransmits).
+  features::FeatureSet featureSet = features::FeatureSet::kIpUdp;
   MediaClassifierOptions classifier;
   HeuristicParams heuristic;
   features::ExtractionParams extraction;
@@ -55,7 +69,7 @@ struct StreamingOptions {
 /// One completed window.
 struct StreamingOutput {
   std::int64_t window = 0;
-  std::vector<double> features;  // IP/UDP feature vector (14)
+  std::vector<double> features;  // featureCount(options.featureSet) wide
   EstimatedQoe heuristic;
   /// Typed predictions of the attached backend; empty when none attached
   /// (or when the backend declined, e.g. the registry fallback).
@@ -77,7 +91,7 @@ inline inference::WindowContext makeWindowContext(const StreamingOutput& out) {
   return context;
 }
 
-class StreamingIpUdpEstimator {
+class StreamingEstimator {
  public:
   using Callback = std::function<void(const StreamingOutput&)>;
   using BackendPtr = std::shared_ptr<const inference::InferenceBackend>;
@@ -87,8 +101,8 @@ class StreamingIpUdpEstimator {
   /// Throws std::invalid_argument on a null callback or a non-positive
   /// `windowNs` — a bad window size must fail loudly at construction, not
   /// misbucket every packet.
-  StreamingIpUdpEstimator(StreamingOptions options, Callback callback,
-                          BackendPtr backend = nullptr);
+  StreamingEstimator(StreamingOptions options, Callback callback,
+                     BackendPtr backend = nullptr);
 
   /// Attaches the inference backend whose input is the completed window;
   /// every window emitted afterwards carries its `predictions`.
@@ -102,6 +116,9 @@ class StreamingIpUdpEstimator {
 
   /// The attached backend; null when none.
   const inference::InferenceBackend* backend() const { return backend_.get(); }
+
+  /// The feature set this estimator emits.
+  features::FeatureSet featureSet() const { return options_.featureSet; }
 
   /// Feeds one packet; packets must arrive in non-decreasing arrival order
   /// (out-of-order feeding throws std::invalid_argument).
@@ -120,13 +137,19 @@ class StreamingIpUdpEstimator {
     std::uint64_t lastTouchedPacket = 0;  // global video-packet index
   };
 
+  /// kIpUdp: size-threshold classifier; kRtp: RTP header decodes and its
+  /// payload type equals `extraction.videoPt` (the offline session rule).
+  bool isVideoPacket(const netflow::Packet& packet) const;
   void ingestVideoPacket(const netflow::Packet& packet);
   void closeStaleFrames();
   /// Inserts into `closedFrames_` keeping (endNs, close order) — the flat
   /// equivalent of the old multimap emplace.
   void insertClosedFrame(const HeuristicFrame& frame);
-  /// Appends one video packet to the columnar buffer of `window`.
-  void bufferVideoPacket(std::int64_t window, const netflow::Packet& packet);
+  /// Appends one packet to the columnar buffer of `window`. kIpUdp callers
+  /// only pass video packets; kRtp passes every packet (whole-window
+  /// columns) with `video` flagging membership in the video columns too.
+  void bufferPacket(std::int64_t window, const netflow::Packet& packet,
+                    bool video);
   /// Emits every window whose content can no longer change given the
   /// current stream head (`now`); pass nullopt to flush everything.
   void emitReadyWindows(std::optional<common::TimeNs> now);
@@ -135,6 +158,7 @@ class StreamingIpUdpEstimator {
   Callback callback_;
   BackendPtr backend_;
   MediaClassifier classifier_;
+  bool rtpMode_ = false;
 
   common::TimeNs lastArrival_ = -1;
 
@@ -150,14 +174,17 @@ class StreamingIpUdpEstimator {
   std::vector<HeuristicFrame> closedFrames_;
   common::TimeNs lastEmittedFrameEnd_ = -1;
 
-  // Columnar per-window buffer of video-classified packets (the only
-  // packets the IP/UDP feature set reads): parallel (window index, columns)
+  // Columnar per-window buffers: parallel (window index, video columns)
   // queues appended in non-decreasing window order, consumed from
-  // `bufferedHead_`. Drained records recycle through `columnsPool_`.
+  // `bufferedHead_`. In kRtp mode a third parallel queue holds
+  // head-capturing whole-window columns (every packet, not just video).
+  // Drained records recycle through the pools.
   std::vector<std::int64_t> bufferedWindows_;
   std::vector<features::WindowColumns> bufferedColumns_;
+  std::vector<features::WindowColumns> bufferedWholeColumns_;  // kRtp only
   std::size_t bufferedHead_ = 0;
   std::vector<features::WindowColumns> columnsPool_;
+  std::vector<features::WindowColumns> wholeColumnsPool_;
 
   /// Highest window index any packet (video or not) has been seen in —
   /// empty trailing windows are still prediction intervals and must emit.
@@ -165,5 +192,10 @@ class StreamingIpUdpEstimator {
 
   std::int64_t nextWindowToEmit_ = 0;
 };
+
+/// Historical name from when the streaming path could only compute the
+/// IP/UDP feature set; `StreamingOptions::featureSet` now selects the
+/// family and the default (kIpUdp) keeps old call sites bit-identical.
+using StreamingIpUdpEstimator = StreamingEstimator;
 
 }  // namespace vcaqoe::core

@@ -39,22 +39,31 @@ void InferenceBatcher::onClock(common::TimeNs clockNs) {
 void InferenceBatcher::flush() {
   if (entries_.empty()) return;
 
-  // One predictWindowBatch per distinct backend, groups formed in first-
-  // appearance order. A shard hosts flows of a handful of distinct backends
-  // (one per VCA model set), so the scan is short.
+  // One predictWindowBatch per distinct (backend, feature width) group,
+  // groups formed in first-appearance order. The width leg keeps mixed
+  // feature sets apart — the shared fallback backend can serve kIpUdp and
+  // kRtp flows at once, and one call must not mix 14- and 24-wide rows. A
+  // shard hosts flows of a handful of distinct groups (one per VCA model
+  // set per feature family), so the scan is short.
   seen_.clear();
   for (const auto& entry : entries_) {
     const auto* backend = entry.backend.get();
     if (backend == nullptr) continue;
+    const std::size_t width = entry.output.features.size();
     bool known = false;
-    for (const auto* s : seen_) known = known || s == backend;
+    for (const auto& s : seen_) {
+      known = known || (s.first == backend && s.second == width);
+    }
     if (known) continue;
-    seen_.push_back(backend);
+    seen_.emplace_back(backend, width);
 
     groupIndex_.clear();
     contexts_.clear();
     for (std::size_t i = 0; i < entries_.size(); ++i) {
-      if (entries_[i].backend.get() != backend) continue;
+      if (entries_[i].backend.get() != backend ||
+          entries_[i].output.features.size() != width) {
+        continue;
+      }
       groupIndex_.push_back(i);
       // core::makeWindowContext is the same builder the unbatched
       // estimator path uses — identical inference inputs by construction.

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -20,9 +21,12 @@
 /// one `InferenceBatcher`: per-flow estimators emit windows *without*
 /// predictions, the batcher collects them — across every flow on the shard
 /// — into a bounded batch, runs one `predictWindowBatch` per distinct
-/// backend when the batch flushes, re-attaches the results, and forwards
-/// the completed windows to the result ring in their original emission
-/// order.
+/// (backend, feature width) group when the batch flushes, re-attaches the
+/// results, and forwards the completed windows to the result ring in their
+/// original emission order. Grouping by feature width as well as backend
+/// matters with mixed feature sets: the shared fallback backend can serve
+/// both kIpUdp and kRtp flows, and a single batch must not hand a backend
+/// 14- and 24-wide rows in one call.
 ///
 /// Flush policy (all deterministic functions of the input stream):
 ///  * size        — the batch reached `batchSize` windows;
@@ -99,7 +103,8 @@ class InferenceBatcher {
   std::vector<inference::WindowContext> contexts_;
   std::vector<inference::PredictionSet> results_;
   std::vector<std::size_t> groupIndex_;
-  std::vector<const inference::InferenceBackend*> seen_;
+  std::vector<std::pair<const inference::InferenceBackend*, std::size_t>>
+      seen_;  // (backend, feature row width) groups already flushed
 
   // Relaxed atomics: bumped on the worker thread, read by stats() on the
   // dispatcher.

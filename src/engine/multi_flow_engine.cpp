@@ -92,16 +92,22 @@ void MultiFlowEngine::onPacket(const netflow::FlowKey& key,
     throw std::logic_error("MultiFlowEngine: onPacket after finish");
   }
   const FlowId flow = flowTable_.intern(key);
-  core::StreamingIpUdpEstimator::BackendPtr admissionBackend;
+  core::StreamingEstimator::BackendPtr admissionBackend;
+  features::FeatureSet admissionSet = options_.streaming.featureSet;
   const bool admitted = flow >= flowStats_.size();
   if (admitted) {
-    // First packet of a fresh flow generation: resolve the flow's inference
-    // backend now, while the 5-tuple is at hand — a returning (evicted)
-    // flow is a fresh generation and re-resolves here too.
+    // First packet of a fresh flow generation: resolve the flow's feature
+    // set and inference backend now, while the 5-tuple is at hand — a
+    // returning (evicted) flow is a fresh generation and re-resolves here
+    // too.
     FlowStats stats;
     stats.key = key;
     stats.firstArrivalNs = packet.arrivalNs;
-    admissionBackend = resolveBackend(key, stats);
+    if (options_.featureSetResolver) {
+      admissionSet = options_.featureSetResolver(key);
+    }
+    stats.featureSet = admissionSet;
+    admissionBackend = resolveBackend(key, stats, admissionSet);
     flowStats_.push_back(std::move(stats));
     lruPrev_.push_back(kNoFlow);
     lruNext_.push_back(kNoFlow);
@@ -120,15 +126,16 @@ void MultiFlowEngine::onPacket(const netflow::FlowKey& key,
   // may land on a different shard; its id is fresh, so no state aliases.)
   Shard& shard = *shards_[flow % shards_.size()];
   shard.pending.push_back(Item{flow, /*evict=*/false, /*kick=*/false, packet,
-                               std::move(admissionBackend)});
+                               std::move(admissionBackend), admissionSet});
   ++packetsIngested_;
   if (packet.arrivalNs > clock_) clock_ = packet.arrivalNs;
   if (options_.idleTimeoutNs > 0) evictIdleFlows();
   if (shard.pending.size() >= options_.dispatchBatch) flushPending(shard);
 }
 
-core::StreamingIpUdpEstimator::BackendPtr MultiFlowEngine::resolveBackend(
-    const netflow::FlowKey& key, FlowStats& stats) const {
+core::StreamingEstimator::BackendPtr MultiFlowEngine::resolveBackend(
+    const netflow::FlowKey& key, FlowStats& stats,
+    features::FeatureSet set) const {
   if (!options_.registry) return nullptr;
   std::string vca;
   if (options_.vcaResolver) {
@@ -137,9 +144,11 @@ core::StreamingIpUdpEstimator::BackendPtr MultiFlowEngine::resolveBackend(
     vca = std::string(core::toString(classifier_.classifyVca(key)));
   }
   auto backend = options_.registry->resolveSet(
-      vca, options_.targets.empty()
-               ? std::span<const inference::QoeTarget>(inference::kAllTargets)
-               : std::span<const inference::QoeTarget>(options_.targets));
+      vca,
+      options_.targets.empty()
+          ? std::span<const inference::QoeTarget>(inference::kAllTargets)
+          : std::span<const inference::QoeTarget>(options_.targets),
+      set);
   stats.vca = std::move(vca);
   stats.backend = backend;
   return backend;
@@ -295,15 +304,18 @@ void MultiFlowEngine::processBatch(Shard& shard,
     auto it = shard.estimators.find(item.flow);
     if (it == shard.estimators.end()) {
       const FlowId flow = item.flow;
-      // item.backend was resolved at admission and rides the generation's
-      // first packet; the FIFO guarantees that packet creates the estimator.
+      // item.backend and item.featureSet were resolved at admission and
+      // ride the generation's first packet; the FIFO guarantees that packet
+      // creates the estimator.
+      core::StreamingOptions streaming = options_.streaming;
+      streaming.featureSet = item.featureSet;
       if (shard.batcher) {
         // Batched inference: the estimator emits prediction-less windows
         // (no backend attached) and the admission backend rides the
         // batcher callback instead, which re-attaches batched predictions.
         it = shard.estimators
                  .try_emplace(
-                     flow, options_.streaming,
+                     flow, std::move(streaming),
                      [&shard, flow, backend = item.backend](
                          const core::StreamingOutput& out) {
                        shard.batcher->add(flow, out, backend,
@@ -313,7 +325,7 @@ void MultiFlowEngine::processBatch(Shard& shard,
                  .first;
       } else {
         it = shard.estimators
-                 .try_emplace(flow, options_.streaming,
+                 .try_emplace(flow, std::move(streaming),
                               [this, &shard, flow](
                                   const core::StreamingOutput& out) {
                                 pushResult(shard, EngineResult{flow, out});
@@ -359,6 +371,11 @@ void MultiFlowEngine::drainInto(std::vector<EngineResult>& out) {
   for (auto& shard : shards_) {
     while (auto result = shard->results->tryPop()) {
       ++flowStats_[result->flow].windowsEmitted;
+      if (flowStats_[result->flow].featureSet == features::FeatureSet::kRtp) {
+        ++windowsRtp_;
+      } else {
+        ++windowsIpUdp_;
+      }
       out.push_back(std::move(*result));
     }
   }
@@ -422,6 +439,8 @@ EngineStats MultiFlowEngine::stats() const {
   stats.flows = flowTable_.size();
   stats.activeFlows = flowTable_.activeSize();
   stats.flowsEvicted = flowsEvicted_;
+  stats.windowsIpUdp = windowsIpUdp_;
+  stats.windowsRtp = windowsRtp_;
   for (const auto& shard : shards_) {
     if (!shard->batcher) continue;
     stats.batchedWindows += shard->batcher->batchedWindows();

@@ -27,14 +27,18 @@
 /// methods. `MultiFlowEngine` is that step: it takes the interleaved packet
 /// stream of many concurrent VCA sessions, demultiplexes it by 5-tuple with a
 /// `FlowTable`, and shards the flows across a fixed pool of worker threads.
-/// Each shard owns one `core::StreamingIpUdpEstimator` per flow and an SPSC
+/// Each shard owns one `core::StreamingEstimator` per flow and an SPSC
 /// result ring; the caller thread merges the rings into one result stream.
+/// Flows may run different feature sets side by side
+/// (`EngineOptions::featureSetResolver`); each flow's set is fixed at
+/// admission for its whole generation.
 ///
 /// Determinism contract (tested property): for every flow, the sequence of
 /// `StreamingOutput`s produced by the engine is bit-identical to feeding that
-/// flow's packets through a standalone `StreamingIpUdpEstimator`, regardless
-/// of worker count or thread timing. `finish()` additionally orders the
-/// merged stream by (flow id, window), which is a pure function of the input.
+/// flow's packets through a standalone `StreamingEstimator` configured with
+/// the flow's resolved feature set, regardless of worker count or thread
+/// timing. `finish()` additionally orders the merged stream by
+/// (flow id, window), which is a pure function of the input.
 ///
 /// Flow lifecycle: with `idleTimeoutNs` set, a flow whose last packet is
 /// older than the timeout (against the engine clock — the max arrival seen)
@@ -58,9 +62,17 @@ inline constexpr bool kWorkerPinningSupported = false;
 #endif
 
 struct EngineOptions {
-  /// Per-flow streaming estimator configuration (window size, Algorithm 1
-  /// parameters, feature extraction).
+  /// Per-flow streaming estimator configuration (window size, feature set,
+  /// Algorithm 1 parameters, feature extraction).
   core::StreamingOptions streaming;
+  /// Per-flow feature-set resolution at admission: returns the feature
+  /// family the flow's estimator computes (and the registry key leg its
+  /// models resolve under). Null means every flow runs
+  /// `streaming.featureSet`. Like `vcaResolver`, it sees the 5-tuple —
+  /// e.g. route flows of an RTP-speaking VCA's media port to kRtp and
+  /// everything else to kIpUdp.
+  std::function<features::FeatureSet(const netflow::FlowKey&)>
+      featureSetResolver;
   /// Worker threads (= shards). 0 or negative means hardware_concurrency.
   int numWorkers = 4;
   /// Pin each shard's worker thread to one CPU, round-robin over the
@@ -133,6 +145,9 @@ struct FlowStats {
   common::TimeNs firstArrivalNs = 0;
   common::TimeNs lastArrivalNs = 0;
   bool evicted = false;
+  /// Feature family this flow generation's estimator computed (resolved at
+  /// admission; also the registry key leg its models resolved under).
+  features::FeatureSet featureSet = features::FeatureSet::kIpUdp;
   /// VCA classification that keyed the registry at admission ("" without a
   /// registry; the built-in verdicts are SSO-short, so no per-flow heap).
   std::string vca;
@@ -162,6 +177,10 @@ struct EngineStats {
   /// calls issued (one per distinct backend per flush).
   std::uint64_t batchedWindows = 0;
   std::uint64_t inferenceBatches = 0;
+  /// Windows drained per feature family (split of `resultsMerged` by the
+  /// emitting flow's resolved set).
+  std::uint64_t windowsIpUdp = 0;
+  std::uint64_t windowsRtp = 0;
   /// Model-registry resolution counters (all zero without a registry).
   inference::RegistryStats registry;
 };
@@ -224,7 +243,10 @@ class MultiFlowEngine {
     /// Set only on a flow generation's first packet: the backend the
     /// dispatcher resolved at admission, attached when the worker creates
     /// the estimator. A returning (re-interned) flow re-resolves.
-    core::StreamingIpUdpEstimator::BackendPtr backend;
+    core::StreamingEstimator::BackendPtr backend;
+    /// Meaningful on the admission packet only (the item that creates the
+    /// estimator): the flow's resolved feature set.
+    features::FeatureSet featureSet = features::FeatureSet::kIpUdp;
   };
 
   struct Shard {
@@ -242,7 +264,7 @@ class MultiFlowEngine {
 
     // Worker-owned per-flow estimators (keyed by FlowId for deterministic
     // finalization order).
-    std::map<FlowId, core::StreamingIpUdpEstimator> estimators;
+    std::map<FlowId, core::StreamingEstimator> estimators;
 
     // Worker-owned cross-flow inference batcher (null when
     // `inferenceBatch <= 1`): estimators emit prediction-less windows into
@@ -259,8 +281,9 @@ class MultiFlowEngine {
   static constexpr FlowId kNoFlow = std::numeric_limits<FlowId>::max();
 
   /// Registry resolution for a newly admitted flow (dispatcher side).
-  core::StreamingIpUdpEstimator::BackendPtr resolveBackend(
-      const netflow::FlowKey& key, FlowStats& stats) const;
+  core::StreamingEstimator::BackendPtr resolveBackend(
+      const netflow::FlowKey& key, FlowStats& stats,
+      features::FeatureSet set) const;
 
   void workerLoop(Shard& shard);
   void processBatch(Shard& shard, const std::vector<Item>& batch);
@@ -287,6 +310,8 @@ class MultiFlowEngine {
   std::uint64_t batchesDispatched_ = 0;
   std::uint64_t resultsMerged_ = 0;
   std::uint64_t flowsEvicted_ = 0;
+  std::uint64_t windowsIpUdp_ = 0;
+  std::uint64_t windowsRtp_ = 0;
 
   // Per-flow accounting plus an intrusive LRU over live flows, both indexed
   // by FlowId. `clock_` is the engine's notion of "now": the max arrival

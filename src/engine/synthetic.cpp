@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/rng.hpp"
+#include "rtp/rtp.hpp"
 
 namespace vcaqoe::engine {
 
@@ -43,8 +44,77 @@ netflow::PacketTrace syntheticFlowTrace(std::uint64_t seed, int packets,
   return trace;
 }
 
-ml::RandomForest syntheticForest(int trees, int depth, double leafBase) {
-  constexpr int kFeatures = 14;
+netflow::PacketTrace syntheticRtpFlowTrace(std::uint64_t seed, int packets,
+                                           common::TimeNs startNs,
+                                           std::uint16_t videoSeqStart) {
+  common::Rng rng(seed);
+  netflow::PacketTrace trace;
+  trace.reserve(static_cast<std::size_t>(std::max(packets, 0)));
+  common::TimeNs t = startNs;
+  std::uint32_t frameSize = 1100;
+  int inFrame = 0;
+
+  // Independent RTP streams sharing the flow, like a real WebRTC transport.
+  std::uint16_t videoSeq = videoSeqStart;
+  std::uint32_t videoTs = 90'000;  // one frame in; advanced per frame
+  std::uint16_t rtxSeq = 7;
+  std::uint32_t rtxTs = videoTs;
+  std::uint16_t audioSeq = 501;
+  std::uint32_t audioTs = 48'000;
+
+  std::vector<std::uint8_t> head;
+  const auto stamp = [&](netflow::Packet& packet, const rtp::RtpHeader& h) {
+    head.clear();
+    rtp::encode(h, head);
+    packet.setHead(head);
+  };
+
+  for (int i = 0; i < packets; ++i) {
+    t += common::microsToNs(rng.uniform(200.0, 2500.0));
+    netflow::Packet packet;
+    packet.arrivalNs = t;
+    rtp::RtpHeader h;
+    if (rng.bernoulli(0.15)) {
+      packet.sizeBytes = static_cast<std::uint32_t>(rng.uniformInt(90, 380));
+      h.payloadType = kSyntheticAudioPt;
+      h.sequenceNumber = audioSeq++;
+      audioTs += 960;  // 20 ms of 48 kHz audio
+      h.timestamp = audioTs;
+      h.ssrc = 0xAAAA0001u;
+    } else if (rng.bernoulli(0.05)) {
+      // Retransmission of a recent video frame on the RTX stream.
+      packet.sizeBytes = static_cast<std::uint32_t>(
+          std::max<std::int64_t>(500, frameSize + rng.uniformInt(-20, 20)));
+      h.payloadType = kSyntheticRtxPt;
+      h.sequenceNumber = rtxSeq++;
+      h.timestamp = rtxTs;
+      h.ssrc = 0xBBBB0001u;
+    } else {
+      if (inFrame == 0) {
+        frameSize = static_cast<std::uint32_t>(rng.uniformInt(600, 1300));
+        inFrame = static_cast<int>(rng.uniformInt(1, 4));
+        rtxTs = videoTs;  // RTX replays the frame before this one
+        videoTs += static_cast<std::uint32_t>(
+            rtp::kVideoClockHz / 30 + rng.uniformInt(-60, 60));
+      }
+      packet.sizeBytes = static_cast<std::uint32_t>(
+          std::max<std::int64_t>(500, frameSize + rng.uniformInt(-20, 20)));
+      h.payloadType = kSyntheticVideoPt;
+      h.sequenceNumber = videoSeq++;  // uint16 wraps naturally
+      h.timestamp = videoTs;
+      h.ssrc = 0xCCCC0001u;
+      --inFrame;
+      h.marker = inFrame == 0;  // last packet of the frame
+    }
+    stamp(packet, h);
+    trace.push_back(packet);
+  }
+  return trace;
+}
+
+ml::RandomForest syntheticForest(int trees, int depth, double leafBase,
+                                 int featureCount) {
+  const int kFeatures = std::max(featureCount, 1);
   trees = std::max(trees, 1);
   depth = std::max(depth, 0);
 

@@ -21,13 +21,34 @@ netflow::FlowKey syntheticFlowKey(std::uint32_t index);
 netflow::PacketTrace syntheticFlowTrace(std::uint64_t seed, int packets,
                                         common::TimeNs startNs);
 
-/// A deterministic hand-built regression forest over the 14 IP/UDP
-/// features — no training, exact reproducibility: `trees` complete binary
-/// trees of `depth` levels, splits cycling through the features with
-/// thresholds varied per node, leaf values spread deterministically around
-/// `leafBase`. With `trees == 1 && depth == 0` the forest predicts exactly
-/// `leafBase` for every input — handy for per-VCA selection tests; deeper
-/// shapes give benches realistic per-window inference cost.
-ml::RandomForest syntheticForest(int trees, int depth, double leafBase);
+/// RTP payload types stamped by `syntheticRtpFlowTrace` — the constants a
+/// kRtp consumer (bench, monitor demo) feeds into
+/// `features::ExtractionParams::videoPt`/`rtxPt`.
+inline constexpr std::uint8_t kSyntheticVideoPt = 96;
+inline constexpr std::uint8_t kSyntheticRtxPt = 97;
+inline constexpr std::uint8_t kSyntheticAudioPt = 111;
+
+/// The RTP-headed variant of `syntheticFlowTrace`: the same call shape, but
+/// every packet carries a real encoded RTP fixed header in its payload
+/// head. Video packets (pt `kSyntheticVideoPt`) share one timestamp per
+/// frame with the marker bit on the frame's last packet; a sprinkle of
+/// retransmissions (pt `kSyntheticRtxPt`) replays recent video timestamps
+/// on their own sequence stream; audio packets use `kSyntheticAudioPt`.
+/// `videoSeqStart` seeds the video sequence counter — start near 65535 to
+/// exercise wraparound windows.
+netflow::PacketTrace syntheticRtpFlowTrace(std::uint64_t seed, int packets,
+                                           common::TimeNs startNs,
+                                           std::uint16_t videoSeqStart = 1);
+
+/// A deterministic hand-built regression forest over `featureCount`-wide
+/// rows (default: the 14 IP/UDP features; pass 24 for the RTP set) — no
+/// training, exact reproducibility: `trees` complete binary trees of
+/// `depth` levels, splits cycling through the features with thresholds
+/// varied per node, leaf values spread deterministically around `leafBase`.
+/// With `trees == 1 && depth == 0` the forest predicts exactly `leafBase`
+/// for every input — handy for per-VCA selection tests; deeper shapes give
+/// benches realistic per-window inference cost.
+ml::RandomForest syntheticForest(int trees, int depth, double leafBase,
+                                 int featureCount = 14);
 
 }  // namespace vcaqoe::engine

@@ -58,4 +58,14 @@ const std::vector<std::string>& featureNames(FeatureSet set) {
 
 std::size_t featureCount(FeatureSet set) { return featureNames(set).size(); }
 
+std::string_view toString(FeatureSet set) {
+  return set == FeatureSet::kIpUdp ? "ipudp" : "rtp";
+}
+
+std::optional<FeatureSet> featureSetFromString(std::string_view text) {
+  if (text == "ipudp") return FeatureSet::kIpUdp;
+  if (text == "rtp") return FeatureSet::kRtp;
+  return std::nullopt;
+}
+
 }  // namespace vcaqoe::features

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 /// Named feature vectors shared by the ML estimators, the importance
@@ -22,5 +24,12 @@ const std::vector<std::string>& featureNames(FeatureSet set);
 
 /// Number of features in a set.
 std::size_t featureCount(FeatureSet set);
+
+/// Stable lowercase identifier for a set ("ipudp" / "rtp"). Used for
+/// model-registry directory names and CLI flags.
+std::string_view toString(FeatureSet set);
+
+/// Inverse of `toString`; nullopt for unknown identifiers.
+std::optional<FeatureSet> featureSetFromString(std::string_view text);
 
 }  // namespace vcaqoe::features

@@ -32,8 +32,34 @@ void InferenceBackend::checkBatchShape(std::size_t rows, std::size_t outs) {
   }
 }
 
+namespace {
+
+/// Load-time row-width validation: the forest's declared feature count and
+/// every node's split feature index must fit the `expected`-wide rows this
+/// backend will be fed. `expected == 0` skips the check (caller vouches).
+void checkFeatureWidth(const ml::FlattenedForest& flat, std::size_t expected,
+                       const std::string& name) {
+  if (expected == 0) return;
+  std::int32_t maxIndex = -1;
+  for (const auto index : flat.feature()) {
+    if (index > maxIndex) maxIndex = index;
+  }
+  if (flat.featureCount() > expected ||
+      maxIndex >= static_cast<std::int32_t>(expected)) {
+    throw std::invalid_argument(
+        "ForestBackend: model '" + name + "' declares " +
+        std::to_string(flat.featureCount()) +
+        " features (max split index " + std::to_string(maxIndex) +
+        ") but the target feature set rows are " + std::to_string(expected) +
+        " wide");
+  }
+}
+
+}  // namespace
+
 ForestBackend::ForestBackend(const ml::RandomForest& forest, QoeTarget target,
-                             std::string name)
+                             std::string name,
+                             std::size_t expectedFeatureCount)
     : target_(target), name_(std::move(name)) {
   if (!forest.trained()) {
     throw std::invalid_argument("ForestBackend: forest is untrained");
@@ -42,10 +68,12 @@ ForestBackend::ForestBackend(const ml::RandomForest& forest, QoeTarget target,
   if (name_.empty()) {
     name_ = "forest:" + std::string(toString(target_));
   }
+  checkFeatureWidth(flat_, expectedFeatureCount, name_);
 }
 
 ForestBackend::ForestBackend(ml::FlattenedForest forest, QoeTarget target,
-                             std::string name)
+                             std::string name,
+                             std::size_t expectedFeatureCount)
     : flat_(std::move(forest)), target_(target), name_(std::move(name)) {
   if (!flat_.trained()) {
     throw std::invalid_argument("ForestBackend: forest is untrained");
@@ -53,6 +81,7 @@ ForestBackend::ForestBackend(ml::FlattenedForest forest, QoeTarget target,
   if (name_.empty()) {
     name_ = "forest:" + std::string(toString(target_));
   }
+  checkFeatureWidth(flat_, expectedFeatureCount, name_);
 }
 
 void ForestBackend::predict(std::span<const double> features,

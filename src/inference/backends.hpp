@@ -11,24 +11,32 @@
 /// The concrete backends every layer now shares.
 namespace vcaqoe::inference {
 
-/// One trained forest predicting one target from the IP/UDP feature
-/// vector, held only as a `ml::FlattenedForest` — the contiguous SoA arena
-/// the hot path scans instead of chasing the node tree — so every registry
-/// resolution hands out the flat layout and the warm cache stores exactly
-/// one representation per model. A node-tree `ml::RandomForest` passed in
-/// is flattened at construction and discarded; both layouts produce
+/// One trained forest predicting one target from a feature-set row, held
+/// only as a `ml::FlattenedForest` — the contiguous SoA arena the hot path
+/// scans instead of chasing the node tree — so every registry resolution
+/// hands out the flat layout and the warm cache stores exactly one
+/// representation per model. A node-tree `ml::RandomForest` passed in is
+/// flattened at construction and discarded; both layouts produce
 /// bit-identical predictions (tested property). The backend is never
 /// mutated after construction, so one instance serves any number of flows.
+///
+/// Row-width contract: pass `expectedFeatureCount` (the
+/// `features::featureCount` of the set this model will be fed) to reject a
+/// mismatched model at load time — the forest's declared feature count and
+/// every node's split feature index must fit the row. Without the check a
+/// too-wide model would throw "short feature row" on the first window
+/// mid-stream (or, with a corrupted declared count, misindex); 0 skips it.
 class ForestBackend final : public InferenceBackend {
  public:
   /// Flattens and discards the node-tree form. Throws std::invalid_argument
-  /// if the forest is untrained.
+  /// if the forest is untrained or does not fit `expectedFeatureCount`.
   ForestBackend(const ml::RandomForest& forest, QoeTarget target,
-                std::string name);
+                std::string name, std::size_t expectedFeatureCount = 0);
   /// Adopts an already-flattened forest (the `.fforest` lazy-load path).
-  /// Throws std::invalid_argument if it is untrained.
+  /// Throws std::invalid_argument if it is untrained or does not fit
+  /// `expectedFeatureCount`.
   ForestBackend(ml::FlattenedForest forest, QoeTarget target,
-                std::string name);
+                std::string name, std::size_t expectedFeatureCount = 0);
 
   void predict(std::span<const double> features,
                PredictionSet& out) const override;

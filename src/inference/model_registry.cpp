@@ -14,15 +14,16 @@ ModelRegistry::ModelRegistry(ModelRegistryOptions options)
 
 void ModelRegistry::registerBackend(
     const std::string& vca, QoeTarget target,
-    std::shared_ptr<const InferenceBackend> backend) {
+    std::shared_ptr<const InferenceBackend> backend,
+    features::FeatureSet set) {
   std::unique_lock lock(mutex_);
-  backends_[Key{vca, target}] = std::move(backend);
+  backends_[Key{vca, target, set}] = std::move(backend);
   composites_.clear();  // memoized sets may now compose differently
 }
 
 std::shared_ptr<const InferenceBackend> ModelRegistry::lookupOrLoad(
-    const std::string& vca, QoeTarget target) {
-  const Key key{vca, target};
+    const std::string& vca, QoeTarget target, features::FeatureSet set) {
+  const Key key{vca, target, set};
   {
     std::shared_lock lock(mutex_);
     const auto it = backends_.find(key);
@@ -52,33 +53,49 @@ std::shared_ptr<const InferenceBackend> ModelRegistry::lookupOrLoad(
   std::shared_ptr<const InferenceBackend> loaded;
   if (!options_.modelDir.empty()) {
     const std::string slug(toString(target));
-    const std::string stem = options_.modelDir + "/" + vca + "/" + slug;
-    const std::string name = "forest:" + vca + "/" + slug;
+    // Loaded forests must fit the feature set's row width — a mismatched
+    // model is a load failure (fallback served), not a mid-stream
+    // "short feature row" throw or a silent misindex.
+    const std::size_t rowWidth = features::featureCount(set);
     // Flat layout first (what the hot path evaluates anyway), node-tree
     // second (flattened on load). The probes fail independently: a
     // malformed file is counted loudly but must neither take the monitor
     // down nor suppress a loadable sibling in the other layout (e.g. a
     // crash mid-write leaving a truncated .fforest beside a good .forest).
-    try {
-      if (auto flat = ml::tryLoadFlattenedForestFile(
-              stem + ml::kFlatForestFileExtension)) {
-        loaded =
-            std::make_shared<ForestBackend>(std::move(*flat), target, name);
-        loads_.fetch_add(1, std::memory_order_relaxed);
-      }
-    } catch (const std::exception&) {
-      loadFailures_.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (!loaded) {
+    const auto probeStem = [&](const std::string& stem,
+                               const std::string& name) {
       try {
-        if (auto forest =
-                ml::tryLoadForestFile(stem + ml::kForestFileExtension)) {
-          loaded = std::make_shared<ForestBackend>(*forest, target, name);
+        if (auto flat = ml::tryLoadFlattenedForestFile(
+                stem + ml::kFlatForestFileExtension)) {
+          loaded = std::make_shared<ForestBackend>(std::move(*flat), target,
+                                                   name, rowWidth);
           loads_.fetch_add(1, std::memory_order_relaxed);
         }
       } catch (const std::exception&) {
         loadFailures_.fetch_add(1, std::memory_order_relaxed);
       }
+      if (!loaded) {
+        try {
+          if (auto forest =
+                  ml::tryLoadForestFile(stem + ml::kForestFileExtension)) {
+            loaded = std::make_shared<ForestBackend>(*forest, target, name,
+                                                     rowWidth);
+            loads_.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::exception&) {
+          loadFailures_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    };
+    // Feature-set layout: <modelDir>/<vca>/<set>/<target>.*
+    const std::string setName(features::toString(set));
+    probeStem(options_.modelDir + "/" + vca + "/" + setName + "/" + slug,
+              "forest:" + vca + "/" + setName + "/" + slug);
+    // Pre-feature-set trees stored IP/UDP models directly under the VCA
+    // directory; keep serving them for kIpUdp.
+    if (!loaded && set == features::FeatureSet::kIpUdp) {
+      probeStem(options_.modelDir + "/" + vca + "/" + slug,
+                "forest:" + vca + "/" + slug);
     }
   }
   if (!loaded) misses_.fetch_add(1, std::memory_order_relaxed);
@@ -88,30 +105,33 @@ std::shared_ptr<const InferenceBackend> ModelRegistry::lookupOrLoad(
 }
 
 std::shared_ptr<const InferenceBackend> ModelRegistry::resolve(
-    const std::string& vca, QoeTarget target) {
-  auto backend = lookupOrLoad(vca, target);
+    const std::string& vca, QoeTarget target, features::FeatureSet set) {
+  auto backend = lookupOrLoad(vca, target, set);
   return backend ? backend : fallback_;
 }
 
 std::shared_ptr<const InferenceBackend> ModelRegistry::resolveSet(
-    const std::string& vca, std::span<const QoeTarget> targets) {
+    const std::string& vca, std::span<const QoeTarget> targets,
+    features::FeatureSet set) {
   // Per-target probes always run, so the hit/miss/load counters see exactly
   // one resolution per (admission, target) and lazy loads happen here; the
   // composition itself is memoized below.
   std::uint32_t mask = 0;
   for (const auto target : targets) {
     mask |= 1u << static_cast<std::uint32_t>(target);
-    lookupOrLoad(vca, target);
+    lookupOrLoad(vca, target, set);
   }
   if (mask == 0) return fallback_;
 
   // Steady state (millions of admissions, a handful of model sets) must not
-  // allocate a fresh composite per flow: memoize per (vca, target set). The
-  // cache is cleared whenever `backends_` changes, and children are built
-  // from the map under the write lock in canonical target order — never
-  // from the probe results — so neither a racing mutation nor the caller's
-  // target ordering can pin a different composition.
-  const std::pair<std::string, std::uint32_t> cacheKey{vca, mask};
+  // allocate a fresh composite per flow: memoize per (vca, target set,
+  // feature set). The cache is cleared whenever `backends_` changes, and
+  // children are built from the map under the write lock in canonical
+  // target order — never from the probe results — so neither a racing
+  // mutation nor the caller's target ordering can pin a different
+  // composition.
+  const std::tuple<std::string, std::uint32_t, features::FeatureSet> cacheKey{
+      vca, mask, set};
   {
     std::shared_lock lock(mutex_);
     const auto it = composites_.find(cacheKey);
@@ -125,7 +145,7 @@ std::shared_ptr<const InferenceBackend> ModelRegistry::resolveSet(
   bool missing = false;
   for (const auto target : kAllTargets) {
     if ((mask & (1u << static_cast<std::uint32_t>(target))) == 0) continue;
-    const auto entry = backends_.find(Key{vca, target});
+    const auto entry = backends_.find(Key{vca, target, set});
     if (entry == backends_.end() || !entry->second) {
       missing = true;
       continue;

@@ -227,6 +227,140 @@ INSTANTIATE_TEST_SUITE_P(WorkerCounts, EngineDeterminism,
                          ::testing::Combine(::testing::Values(1, 2, 4, 7, 8),
                                             ::testing::Bool()));
 
+/// Mixed feature sets in one engine: odd flows resolve kRtp at admission
+/// (RTP-headed traffic, payload-type classification, 24-wide features),
+/// even flows stay kIpUdp. Output must be bit-identical across worker
+/// counts and with cross-flow batching on — the batcher may never mix 14-
+/// and 24-wide rows in one backend call, and the per-set window counters
+/// must agree with the resolver split on every configuration.
+TEST(EngineDeterminismMixedSets, WorkersAndBatchingBitExact) {
+  const int flows = 9;
+  const int packetsPerFlow = 700;
+  Interleaved in;
+  for (int f = 0; f < flows; ++f) {
+    in.keys.push_back(makeKey(static_cast<std::uint32_t>(f)));
+    const auto seed = 400 + static_cast<std::uint64_t>(f);
+    in.perFlow.push_back(
+        f % 2 == 1
+            ? syntheticRtpFlowTrace(seed, packetsPerFlow, f * 37'000)
+            : syntheticFlowTrace(seed, packetsPerFlow, f * 37'000));
+  }
+  for (int f = 0; f < flows; ++f) {
+    for (const auto& packet : in.perFlow[static_cast<std::size_t>(f)]) {
+      in.stream.emplace_back(static_cast<std::uint32_t>(f), packet);
+    }
+  }
+  std::stable_sort(in.stream.begin(), in.stream.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.arrivalNs < b.second.arrivalNs;
+                   });
+
+  // Synthetic keys are 10.0.0.0/8 + index, so key parity == flow parity.
+  const auto setOf = [](const netflow::FlowKey& key) {
+    return (key.srcIp & 1u) != 0 ? features::FeatureSet::kRtp
+                                 : features::FeatureSet::kIpUdp;
+  };
+
+  // One registry serving both widths for the same (vca, target).
+  auto registry = std::make_shared<inference::ModelRegistry>();
+  registry->registerBackend(
+      "teams", inference::QoeTarget::kFrameRate,
+      std::make_shared<inference::ForestBackend>(
+          syntheticForest(6, 5, 30.0, 14), inference::QoeTarget::kFrameRate,
+          "forest:teams/ipudp/frame_rate", 14));
+  registry->registerBackend(
+      "teams", inference::QoeTarget::kFrameRate,
+      std::make_shared<inference::ForestBackend>(
+          syntheticForest(6, 5, 24.0, 24), inference::QoeTarget::kFrameRate,
+          "forest:teams/rtp/frame_rate", 24),
+      features::FeatureSet::kRtp);
+
+  core::StreamingOptions streaming;
+  streaming.extraction.videoPt = kSyntheticVideoPt;
+  streaming.extraction.rtxPt = kSyntheticRtxPt;
+
+  struct Run {
+    std::vector<std::vector<core::StreamingOutput>> byKey;
+    EngineStats stats;
+  };
+  const auto run = [&](int workers, std::size_t batch) {
+    EngineOptions options;
+    options.streaming = streaming;
+    options.numWorkers = workers;
+    options.dispatchBatch = 64;
+    options.registry = registry;
+    options.targets = {inference::QoeTarget::kFrameRate};
+    options.featureSetResolver = setOf;
+    options.inferenceBatch = batch;
+    options.inferenceFlushNs = scaledInferenceFlushNs(batch);
+    MultiFlowEngine engine(options);
+    for (const auto& [flow, packet] : in.stream) {
+      engine.onPacket(in.keys[flow], packet);
+    }
+    const auto got = engine.finish();
+    Run result;
+    result.byKey.resize(static_cast<std::size_t>(flows));
+    std::vector<std::vector<core::StreamingOutput>> byId(
+        engine.flows().size());
+    for (const auto& r : got) byId[r.flow].push_back(r.output);
+    for (int f = 0; f < flows; ++f) {
+      const auto id =
+          engine.flows().find(in.keys[static_cast<std::size_t>(f)]);
+      EXPECT_TRUE(id.has_value()) << "flow " << f;
+      if (id.has_value()) {
+        result.byKey[static_cast<std::size_t>(f)] = std::move(byId[*id]);
+      }
+    }
+    result.stats = engine.stats();
+    return result;
+  };
+
+  const auto baseline = run(1, 1);
+
+  // Shape of the baseline: both families present, widths per resolver, a
+  // frame-rate prediction on every window, counters matching the split.
+  std::uint64_t wantIpUdp = 0;
+  std::uint64_t wantRtp = 0;
+  for (int f = 0; f < flows; ++f) {
+    const auto& outputs = baseline.byKey[static_cast<std::size_t>(f)];
+    ASSERT_FALSE(outputs.empty()) << "flow " << f;
+    const std::size_t width = f % 2 == 1 ? 24u : 14u;
+    for (const auto& out : outputs) {
+      ASSERT_EQ(out.features.size(), width) << "flow " << f;
+      EXPECT_TRUE(out.predictions.has(inference::QoeTarget::kFrameRate))
+          << "flow " << f << " window " << out.window;
+    }
+    (f % 2 == 1 ? wantRtp : wantIpUdp) +=
+        static_cast<std::uint64_t>(outputs.size());
+  }
+  EXPECT_GT(wantIpUdp, 0u);
+  EXPECT_GT(wantRtp, 0u);
+  EXPECT_EQ(baseline.stats.windowsIpUdp, wantIpUdp);
+  EXPECT_EQ(baseline.stats.windowsRtp, wantRtp);
+
+  for (const int workers : {1, 4}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{8}}) {
+      if (workers == 1 && batch == 1) continue;
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " batch=" + std::to_string(batch));
+      const auto got = run(workers, batch);
+      EXPECT_EQ(got.stats.windowsIpUdp, wantIpUdp);
+      EXPECT_EQ(got.stats.windowsRtp, wantRtp);
+      if (batch > 1) {
+        EXPECT_GT(got.stats.inferenceBatches, 0u);
+      }
+      for (int f = 0; f < flows; ++f) {
+        const auto& gotFlow = got.byKey[static_cast<std::size_t>(f)];
+        const auto& wantFlow = baseline.byKey[static_cast<std::size_t>(f)];
+        ASSERT_EQ(gotFlow.size(), wantFlow.size()) << "flow " << f;
+        for (std::size_t w = 0; w < wantFlow.size(); ++w) {
+          expectSameOutput(gotFlow[w], wantFlow[w]);
+        }
+      }
+    }
+  }
+}
+
 TEST(MultiFlowEngine, PollPreservesPerFlowOrder) {
   const auto in = makeInterleaved(5, 600);
   EngineOptions options;

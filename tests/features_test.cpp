@@ -33,6 +33,26 @@ netflow::Packet rtpPacket(common::TimeNs arrival, std::uint32_t size,
   return p;
 }
 
+// ------------------------------------------------------------- feature set
+
+TEST(FeatureSet, NamesRoundTrip) {
+  EXPECT_EQ(toString(FeatureSet::kIpUdp), "ipudp");
+  EXPECT_EQ(toString(FeatureSet::kRtp), "rtp");
+  EXPECT_EQ(featureSetFromString("ipudp"), FeatureSet::kIpUdp);
+  EXPECT_EQ(featureSetFromString("rtp"), FeatureSet::kRtp);
+  for (const auto set : {FeatureSet::kIpUdp, FeatureSet::kRtp}) {
+    EXPECT_EQ(featureSetFromString(toString(set)), set);
+  }
+  EXPECT_FALSE(featureSetFromString("").has_value());
+  EXPECT_FALSE(featureSetFromString("RTP").has_value());
+  EXPECT_FALSE(featureSetFromString("ip_udp").has_value());
+}
+
+TEST(FeatureSet, WidthsMatchTheCatalog) {
+  EXPECT_EQ(featureCount(FeatureSet::kIpUdp), 14u);
+  EXPECT_EQ(featureCount(FeatureSet::kRtp), 24u);
+}
+
 // ---------------------------------------------------------------- windows
 
 TEST(Windows, EmptyTraceNoWindows) {

@@ -360,6 +360,21 @@ class ModelRegistryDisk : public ::testing::Test {
     ml::saveForestFile(engine::syntheticForest(1, 0, constant), path.string());
   }
 
+  /// A model in the feature-set-keyed layout `<vca>/<set>/<target>.fforest`,
+  /// declaring `featureCount`-wide rows.
+  void saveSetModel(const std::string& vca, features::FeatureSet set,
+                    QoeTarget target, double constant, int featureCount) {
+    const auto setDir = std::filesystem::path(dir_) / vca /
+                        std::string(features::toString(set));
+    std::filesystem::create_directories(setDir);
+    ml::saveFlattenedForestFile(
+        ml::FlattenedForest(
+            engine::syntheticForest(1, 0, constant, featureCount)),
+        (setDir / (std::string(toString(target)) +
+                   ml::kFlatForestFileExtension))
+            .string());
+  }
+
   std::string dir_;
 };
 
@@ -501,6 +516,102 @@ TEST_F(ModelRegistryDisk, ConcurrentResolveFromManyWorkers) {
             static_cast<std::uint64_t>(kThreads) * kResolvesPerThread * 3);
   EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kThreads) *
                               kResolvesPerThread);
+}
+
+TEST_F(ModelRegistryDisk, FeatureSetLayoutAndLegacyCompatibility) {
+  // A 24-wide kRtp model in the set-keyed layout and a legacy flat-layout
+  // kIpUdp model for the same (vca, target).
+  saveSetModel("teams", features::FeatureSet::kRtp, QoeTarget::kFrameRate,
+               24.0, 24);
+  saveModel("teams", QoeTarget::kFrameRate, 14.0);
+
+  ModelRegistryOptions options;
+  options.modelDir = dir_;
+  ModelRegistry registry(options);
+
+  const auto rtp = registry.resolve("teams", QoeTarget::kFrameRate,
+                                    features::FeatureSet::kRtp);
+  EXPECT_EQ(rtp->name(), "forest:teams/rtp/frame_rate");
+  PredictionSet out;
+  rtp->predict(std::vector<double>(24, 0.0), out);
+  EXPECT_EQ(out.get(QoeTarget::kFrameRate), std::optional<double>(24.0));
+
+  // With no ipudp/ directory the kIpUdp probe falls back to the legacy
+  // layout — pre-refactor model directories keep serving unchanged.
+  const auto ipudp = registry.resolve("teams", QoeTarget::kFrameRate);
+  EXPECT_EQ(ipudp->name(), "forest:teams/frame_rate");
+  PredictionSet legacy;
+  ipudp->predict(std::vector<double>(14, 0.0), legacy);
+  EXPECT_EQ(legacy.get(QoeTarget::kFrameRate), std::optional<double>(14.0));
+
+  // When both layouts exist, the set-keyed directory wins for kIpUdp too.
+  saveSetModel("meet", features::FeatureSet::kIpUdp, QoeTarget::kFrameRate,
+               31.0, 14);
+  saveModel("meet", QoeTarget::kFrameRate, 11.0);
+  const auto meet = registry.resolve("meet", QoeTarget::kFrameRate);
+  EXPECT_EQ(meet->name(), "forest:meet/ipudp/frame_rate");
+  PredictionSet preferred;
+  meet->predict(std::vector<double>(14, 0.0), preferred);
+  EXPECT_EQ(preferred.get(QoeTarget::kFrameRate),
+            std::optional<double>(31.0));
+
+  // The legacy layout is never probed for kRtp: a 14-wide legacy model
+  // cannot leak into the 24-wide row path.
+  saveModel("webex", QoeTarget::kFrameRate, 9.0);
+  EXPECT_EQ(registry.resolve("webex", QoeTarget::kFrameRate,
+                             features::FeatureSet::kRtp),
+            registry.fallback());
+  EXPECT_EQ(registry.stats().loadFailures, 0u);
+}
+
+TEST_F(ModelRegistryDisk, MismatchedWidthModelFailsLoadAndServesFallback) {
+  // A 24-wide model parked in the ipudp/ directory: it parses fine, but
+  // its declared width exceeds the 14-wide rows the set produces, so the
+  // load must fail loudly instead of serving a backend that reads past
+  // every feature row.
+  saveSetModel("teams", features::FeatureSet::kIpUdp, QoeTarget::kFrameRate,
+               24.0, 24);
+
+  ModelRegistryOptions options;
+  options.modelDir = dir_;
+  ModelRegistry registry(options);
+  EXPECT_EQ(registry.resolve("teams", QoeTarget::kFrameRate),
+            registry.fallback());
+  auto stats = registry.stats();
+  EXPECT_EQ(stats.loadFailures, 1u);
+  EXPECT_EQ(stats.loads, 0u);
+  // Negative-cached like any other failed probe.
+  EXPECT_EQ(registry.resolve("teams", QoeTarget::kFrameRate),
+            registry.fallback());
+  EXPECT_EQ(registry.stats().loadFailures, 1u);
+
+  // A *narrower* model is legal: declared over 14 features, it evaluates
+  // the prefix of the 24-wide kRtp rows.
+  saveSetModel("meet", features::FeatureSet::kRtp, QoeTarget::kFrameRate,
+               19.0, 14);
+  const auto narrow = registry.resolve("meet", QoeTarget::kFrameRate,
+                                       features::FeatureSet::kRtp);
+  ASSERT_NE(narrow, registry.fallback());
+  PredictionSet out;
+  narrow->predict(std::vector<double>(24, 0.0), out);
+  EXPECT_EQ(out.get(QoeTarget::kFrameRate), std::optional<double>(19.0));
+}
+
+TEST(Backend, ForestBackendValidatesDeclaredWidthAgainstRows) {
+  const auto wide = engine::syntheticForest(2, 2, 10.0, 24);
+  EXPECT_THROW(
+      ForestBackend(wide, QoeTarget::kFrameRate, "forest:x", 14),
+      std::invalid_argument);
+  EXPECT_THROW(ForestBackend(ml::FlattenedForest(wide),
+                             QoeTarget::kFrameRate, "forest:x", 14),
+               std::invalid_argument);
+  // Matching or omitted expected width passes.
+  EXPECT_NO_THROW(ForestBackend(wide, QoeTarget::kFrameRate, "forest:x", 24));
+  EXPECT_NO_THROW(ForestBackend(wide, QoeTarget::kFrameRate, "forest:x"));
+  // Narrower than the rows is allowed — prefix evaluation.
+  const auto narrow = engine::syntheticForest(2, 2, 10.0, 14);
+  EXPECT_NO_THROW(
+      ForestBackend(narrow, QoeTarget::kFrameRate, "forest:x", 24));
 }
 
 TEST(MediaClassifierVca, PortPriorVerdictOnEitherEndpoint) {

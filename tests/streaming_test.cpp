@@ -15,17 +15,20 @@
 #include "core/streaming.hpp"
 #include "datasets/generators.hpp"
 #include "datasets/vca_profiles.hpp"
+#include "engine/synthetic.hpp"
 #include "features/windows.hpp"
 #include "inference/backends.hpp"
 #include "netem/conditions.hpp"
+#include "rtp/rtp.hpp"
 
 namespace vcaqoe::core {
 namespace {
 
 core::LabeledSession makeSession(const std::string& vca, std::uint64_t seed,
-                                 double durationSec = 30.0) {
-  const auto profile =
-      datasets::profileByName(vca, datasets::Deployment::kLab);
+                                 double durationSec = 30.0,
+                                 datasets::Deployment deployment =
+                                     datasets::Deployment::kLab) {
+  const auto profile = datasets::profileByName(vca, deployment);
   netem::NdtTraceSynthesizer synth(seed);
   return datasets::simulateSession(
       profile, synth.synthesize(static_cast<std::size_t>(durationSec) + 1),
@@ -640,6 +643,168 @@ TEST(StreamingColumnarEquivalence, TrailingAudioOnlyWindowsStillEmit) {
   for (std::size_t w = 1; w < outputs.size(); ++w) {
     EXPECT_EQ(outputs[w].heuristic.frameCount, 0u);
   }
+}
+
+// ------------------------------------------------ kRtp feature set (PR 7)
+
+StreamingOptions rtpOptionsFor(const simcall::VcaProfile& profile) {
+  StreamingOptions options;
+  options.featureSet = features::FeatureSet::kRtp;
+  options.heuristic = defaultHeuristicParams(profile.name);
+  options.extraction.videoPt = profile.videoPt;
+  options.extraction.rtxPt = profile.rtxPt;
+  return options;
+}
+
+/// Payload-type video filter, exactly the offline session pipeline's rule.
+netflow::PacketTrace filterVideoByPt(std::span<const netflow::Packet> packets,
+                                     std::uint8_t videoPt) {
+  netflow::PacketTrace video;
+  for (const auto& pkt : packets) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (header && header->payloadType == videoPt) video.push_back(pkt);
+  }
+  return video;
+}
+
+/// Streaming kRtp vs the offline session pipeline: features must be
+/// bit-exact against `buildWindowRecords`' rtpFeatures, and the Algorithm-1
+/// heuristic — unchanged machinery, PT-based classification — must match
+/// the batch assembly over the PT-filtered trace. The deployment axis
+/// covers RTX on (lab profiles carry a distinct rtxPt) and RTX off (the
+/// real-world Webex profile has rtxPt == 0).
+class StreamingRtpParity
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, int, datasets::Deployment>> {};
+
+TEST_P(StreamingRtpParity, MatchesOfflineSessionPipeline) {
+  const auto [vca, seed, deployment] = GetParam();
+  const auto session =
+      makeSession(vca, static_cast<std::uint64_t>(seed), 30.0, deployment);
+
+  // The RTX-off axis is real: real-world Webex advertises no RTX stream.
+  if (vca == "webex" && deployment == datasets::Deployment::kRealWorld) {
+    ASSERT_EQ(session.profile.rtxPt, 0);
+  }
+
+  const auto records = buildWindowRecords(session);
+  const auto options = rtpOptionsFor(session.profile);
+  const auto outputs = runStreaming(session.packets, options);
+
+  const std::size_t n = std::min(outputs.size(), records.size());
+  ASSERT_GT(n, 20u);
+
+  // Heuristic reference: Algorithm 1 over the PT-classified video stream.
+  const auto video = filterVideoByPt(session.packets, session.profile.videoPt);
+  ASSERT_FALSE(video.empty());
+  const auto assembly = assembleFramesIpUdp(video, options.heuristic);
+  const auto timeline =
+      qoeFromFrames(assembly.frames, options.windowNs,
+                    static_cast<std::int64_t>(outputs.size()));
+
+  for (std::size_t w = 0; w < n; ++w) {
+    ASSERT_EQ(outputs[w].window, records[w].window);
+    ASSERT_EQ(outputs[w].features.size(),
+              features::featureCount(features::FeatureSet::kRtp));
+    EXPECT_EQ(outputs[w].features, records[w].rtpFeatures)
+        << vca << " window " << w;
+    EXPECT_EQ(outputs[w].heuristic.frameCount, timeline[w].frameCount)
+        << vca << " window " << w;
+    EXPECT_DOUBLE_EQ(outputs[w].heuristic.fps, timeline[w].fps)
+        << vca << " window " << w;
+    EXPECT_NEAR(outputs[w].heuristic.bitrateKbps, timeline[w].bitrateKbps,
+                1e-6)
+        << vca << " window " << w;
+    EXPECT_NEAR(outputs[w].heuristic.frameJitterMs, timeline[w].frameJitterMs,
+                1e-6)
+        << vca << " window " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VcasSeedsDeployments, StreamingRtpParity,
+    ::testing::Combine(::testing::Values("meet", "teams", "webex"),
+                       ::testing::Values(17, 28),
+                       ::testing::Values(datasets::Deployment::kLab,
+                                         datasets::Deployment::kRealWorld)));
+
+/// Sequence-number wraparound: a video stream whose 16-bit sequence counter
+/// wraps mid-trace must produce windows bit-exact with the batch extraction
+/// of the same trace (the RTP loss features straddle the wrap).
+TEST(StreamingRtpParity, SequenceWraparoundWindowsBitExact) {
+  const auto trace = engine::syntheticRtpFlowTrace(
+      91, 600, /*startNs=*/0, /*videoSeqStart=*/65500);
+
+  // The wrap actually happened: some video packet carries a low sequence
+  // number again.
+  bool wrapped = false;
+  for (const auto& pkt : trace) {
+    const auto header = rtp::decode(pkt.headBytes());
+    if (header && header->payloadType == engine::kSyntheticVideoPt &&
+        header->sequenceNumber < 100) {
+      wrapped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(wrapped);
+
+  StreamingOptions options;
+  options.featureSet = features::FeatureSet::kRtp;
+  options.extraction.videoPt = engine::kSyntheticVideoPt;
+  options.extraction.rtxPt = engine::kSyntheticRtxPt;
+  const auto outputs = runStreaming(trace, options);
+  ASSERT_FALSE(outputs.empty());
+
+  const auto windows = features::sliceWindows(trace, options.windowNs);
+  ASSERT_EQ(windows.size(), outputs.size());
+  for (std::size_t w = 0; w < outputs.size(); ++w) {
+    const auto video =
+        filterVideoByPt(windows[w].packets, engine::kSyntheticVideoPt);
+    const auto batch =
+        features::extractFeatures(windows[w], video, features::FeatureSet::kRtp,
+                                  options.extraction);
+    EXPECT_EQ(outputs[w].features, batch) << "window " << w;
+  }
+}
+
+/// RTX on/off over the synthetic RTP source: declaring the RTX payload type
+/// vs declaring none (rtxPt = 0) must change the RTX-aware features and
+/// both must stay bit-exact with their batch extractions.
+TEST(StreamingRtpParity, RtxDeclarationTogglesRtxFeatures) {
+  const auto trace = engine::syntheticRtpFlowTrace(12, 800, /*startNs=*/0);
+
+  StreamingOptions rtxOn;
+  rtxOn.featureSet = features::FeatureSet::kRtp;
+  rtxOn.extraction.videoPt = engine::kSyntheticVideoPt;
+  rtxOn.extraction.rtxPt = engine::kSyntheticRtxPt;
+  StreamingOptions rtxOff = rtxOn;
+  rtxOff.extraction.rtxPt = 0;
+
+  const auto onOutputs = runStreaming(trace, rtxOn);
+  const auto offOutputs = runStreaming(trace, rtxOff);
+  ASSERT_EQ(onOutputs.size(), offOutputs.size());
+  ASSERT_FALSE(onOutputs.empty());
+
+  const auto windows = features::sliceWindows(trace, rtxOn.windowNs);
+  ASSERT_EQ(windows.size(), onOutputs.size());
+  bool differed = false;
+  for (std::size_t w = 0; w < onOutputs.size(); ++w) {
+    const auto video =
+        filterVideoByPt(windows[w].packets, engine::kSyntheticVideoPt);
+    EXPECT_EQ(onOutputs[w].features,
+              features::extractFeatures(windows[w], video,
+                                        features::FeatureSet::kRtp,
+                                        rtxOn.extraction))
+        << "window " << w;
+    EXPECT_EQ(offOutputs[w].features,
+              features::extractFeatures(windows[w], video,
+                                        features::FeatureSet::kRtp,
+                                        rtxOff.extraction))
+        << "window " << w;
+    differed = differed || onOutputs[w].features != offOutputs[w].features;
+  }
+  // The synthetic source does emit RTX packets, so the declaration matters.
+  EXPECT_TRUE(differed);
 }
 
 TEST(Streaming, LargerWindowSizes) {
