@@ -1,0 +1,59 @@
+// Standalone replay driver for toolchains without libFuzzer (GCC).
+//
+// Linked instead of -fsanitize=fuzzer when the compiler is not Clang: each
+// argv entry is a corpus file or a directory of corpus files, and every
+// input is run through LLVMFuzzerTestOneInput exactly once. That is enough
+// to replay the checked-in corpus (and any crash artifact) under
+// ASan/UBSan/TSan on any toolchain; actual mutation-based fuzzing needs the
+// Clang build.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int runFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz driver: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int failures = 0;
+  std::size_t inputs = 0;
+  for (int i = 1; i < argc; ++i) {
+    // Ignore libFuzzer-style -flag=value options so the same command line
+    // works against either driver.
+    if (argv[i][0] == '-') continue;
+    const std::filesystem::path path(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        failures += runFile(entry.path().string());
+        ++inputs;
+      }
+    } else {
+      failures += runFile(path.string());
+      ++inputs;
+    }
+  }
+  std::fprintf(stderr, "fuzz driver: replayed %zu input(s), %d unreadable\n",
+               inputs, failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Fuzz target: both model-file loaders (`vcaqoe-forest` node-tree text and
+// `vcaqoe-forest-flat` columnar text).
+//
+// A corrupt or hostile model file must produce a std::runtime_error — never
+// an out-of-bounds read, an unbounded allocation, or a hang (the corpus
+// keeps `cyclic-tree.forest`, a self-referencing node that used to loop
+// `DecisionTree::predict` forever). Anything that loads must be safely
+// evaluable.
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ml/flattened_forest.hpp"
+#include "ml/serialize.hpp"
+
+#define FUZZ_CHECK(cond) \
+  do {                   \
+    if (!(cond)) __builtin_trap(); \
+  } while (0)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  try {
+    std::istringstream in(text);
+    const auto forest = vcaqoe::ml::loadForest(in);
+    // Whatever loads must predict without hanging or reading out of
+    // bounds, and must survive flattening (the lazy-load serving path).
+    const std::vector<double> row(forest.featureNames().size(), 0.5);
+    (void)forest.predict(row);
+    const vcaqoe::ml::FlattenedForest flat(forest);
+    FUZZ_CHECK(flat.trained());
+    (void)flat.predict(row);
+  } catch (const std::runtime_error&) {
+    // "model load: ..." — the documented rejection path.
+  }
+
+  try {
+    std::istringstream in(text);
+    const auto flat = vcaqoe::ml::loadFlattenedForest(in);
+    const std::vector<double> row(flat.featureCount(), 0.5);
+    (void)flat.predict(row);
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Fuzz target: the strict JSON reader behind the bench-report schema
+// checks.
+//
+// `JsonValue::parse` must never read out of bounds, recurse past the depth
+// cap, or hang; any document it accepts must survive a dump/re-parse
+// round-trip (numbers re-serialize via the shortest-roundtrip writer, so a
+// second parse must succeed and agree on structure).
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json_writer.hpp"
+
+#define FUZZ_CHECK(cond) \
+  do {                   \
+    if (!(cond)) __builtin_trap(); \
+  } while (0)
+
+namespace {
+
+using vcaqoe::common::JsonValue;
+
+bool sameShape(const JsonValue& a, const JsonValue& b) {
+  if (a.type() != b.type()) {
+    // One exception: integral doubles may re-parse as kInt vs kDouble
+    // depending on how the writer formatted them. Numbers only need to
+    // agree numerically.
+    if (a.isNumber() && b.isNumber()) return a.asDouble() == b.asDouble();
+    return false;
+  }
+  switch (a.type()) {
+    case JsonValue::Type::kNull:
+      return true;
+    case JsonValue::Type::kBool:
+      return a.asBool() == b.asBool();
+    case JsonValue::Type::kInt:
+    case JsonValue::Type::kDouble:
+      return a.asDouble() == b.asDouble();
+    case JsonValue::Type::kString:
+      return a.asString() == b.asString();
+    case JsonValue::Type::kArray: {
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!sameShape(a.at(i), b.at(i))) return false;
+      }
+      return true;
+    }
+    case JsonValue::Type::kObject: {
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a.entry(i).first != b.entry(i).first) return false;
+        if (!sameShape(a.entry(i).second, b.entry(i).second)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Non-finite doubles dump as `null` by design, so a round-trip comparison
+/// only holds for documents without them.
+bool allFinite(const JsonValue& v) {
+  if (v.type() == JsonValue::Type::kDouble) {
+    const double d = v.asDouble();
+    return d == d && d <= 1.7976931348623157e308 &&
+           d >= -1.7976931348623157e308;
+  }
+  if (v.isArray()) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (!allFinite(v.at(i))) return false;
+    }
+  } else if (v.isObject()) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (!allFinite(v.entry(i).second)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const auto parsed = JsonValue::parse(text, &error);
+  if (!parsed) {
+    FUZZ_CHECK(!error.empty());  // failures always carry a diagnostic
+    return 0;
+  }
+  if (!allFinite(*parsed)) return 0;
+
+  for (const int indent : {0, 2}) {
+    const std::string dumped = parsed->dump(indent);
+    const auto again = JsonValue::parse(dumped, &error);
+    FUZZ_CHECK(again.has_value());  // our own writer must satisfy our reader
+    FUZZ_CHECK(sameShape(*parsed, *again));
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fuzz target: the binary pcap framing layer.
+//
+// `PcapReader` must never read out of bounds, loop forever, or throw
+// anything but the documented std::runtime_error on a bad global header —
+// per-record damage is forgiving-by-design (malformed records are skipped
+// and counted, not fatal).
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "netflow/pcap.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  try {
+    vcaqoe::netflow::PcapReader reader(bytes);
+    while (auto record = reader.next()) {
+      // Touch everything the reader handed out so sanitizers see every
+      // byte as in-bounds.
+      std::uint64_t checksum = record->packet.sizeBytes;
+      for (std::uint8_t i = 0; i < record->packet.headLen; ++i) {
+        checksum += record->packet.head[i];
+      }
+      checksum += record->flow.srcIp + record->flow.dstIp;
+      (void)checksum;
+    }
+    (void)reader.stats();
+  } catch (const std::runtime_error&) {
+    // Bad global header: the one documented failure mode.
+  }
+
+  try {
+    (void)vcaqoe::netflow::parsePcap(bytes);
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

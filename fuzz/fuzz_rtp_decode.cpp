@@ -1,0 +1,31 @@
+// Fuzz target: the RTP fixed-header decoder.
+//
+// `rtp::decode` must never read out of bounds and never throw; any input it
+// does accept must survive an encode/decode round-trip bit-identically
+// (the parsed header is the ground truth the feature extractors key on).
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rtp/rtp.hpp"
+
+// Round-trip violations must abort even in NDEBUG builds (Release fuzzing).
+#define FUZZ_CHECK(cond) \
+  do {                   \
+    if (!(cond)) __builtin_trap(); \
+  } while (0)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  const auto header = vcaqoe::rtp::decode(bytes);
+  if (!header) return 0;
+
+  std::vector<std::uint8_t> encoded;
+  vcaqoe::rtp::encode(*header, encoded);
+  FUZZ_CHECK(encoded.size() >= vcaqoe::rtp::kRtpHeaderSize);
+  const auto again = vcaqoe::rtp::decode(encoded);
+  FUZZ_CHECK(again.has_value());
+  FUZZ_CHECK(*again == *header);
+  return 0;
+}

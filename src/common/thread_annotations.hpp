@@ -1,0 +1,176 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// Clang thread-safety analysis wrappers.
+///
+/// The engine is genuinely concurrent (sharded workers, SPSC rings, a
+/// shared lazily-loading ModelRegistry), and the only dynamic check CI can
+/// run is TSan — which needs the buggy interleaving to actually happen.
+/// Clang's `-Wthread-safety` closes the other half: lock-protected state is
+/// annotated `GUARDED_BY` its lock, and any access outside the lock is a
+/// *compile error* on every clang build (the warning rides
+/// `vcaqoe_warnings`, promoted to an error in the TSan CI job).
+///
+/// The macros expand to nothing on compilers without the attributes (GCC,
+/// MSVC), so the annotated code builds everywhere; only clang enforces.
+/// Use the `Mutex`/`SharedMutex` wrappers below instead of the std types
+/// for any new lock — the std types carry no capability annotations on
+/// libstdc++, so the analysis cannot see them.
+///
+/// Thread *confinement* (state owned by exactly one thread, e.g. the
+/// engine dispatcher's flow table or a shard worker's estimators) has no
+/// annotation — the analysis only models locks. Confined state is
+/// documented at the member and covered dynamically by the TSan stress
+/// suites.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define VCAQOE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(VCAQOE_THREAD_ANNOTATION)
+#define VCAQOE_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+/// A type that acts as a lock (applies to the wrapper classes below).
+#define CAPABILITY(x) VCAQOE_THREAD_ANNOTATION(capability(x))
+/// RAII type that acquires in its constructor and releases in its destructor.
+#define SCOPED_CAPABILITY VCAQOE_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the given lock.
+#define GUARDED_BY(x) VCAQOE_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is protected by the given lock.
+#define PT_GUARDED_BY(x) VCAQOE_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function precondition: caller holds the lock(s) exclusively.
+#define REQUIRES(...) \
+  VCAQOE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function precondition: caller holds the lock(s) at least shared.
+#define REQUIRES_SHARED(...) \
+  VCAQOE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the lock(s) and returns holding them.
+#define ACQUIRE(...) VCAQOE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  VCAQOE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the lock(s) the caller held on entry.
+#define RELEASE(...) VCAQOE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  VCAQOE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Function acquires the lock only when returning the given value.
+#define TRY_ACQUIRE(...) \
+  VCAQOE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must be called *without* the lock held (deadlock guard).
+#define EXCLUDES(...) VCAQOE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the given lock.
+#define RETURN_CAPABILITY(x) VCAQOE_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch — document why at every use.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  VCAQOE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vcaqoe::common {
+
+/// `std::mutex` with a thread-safety capability. BasicLockable, so it works
+/// directly with `CondVar` below and with std scoped helpers (which the
+/// analysis cannot see — prefer `MutexLock`).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped exclusive lock over `Mutex`, visible to the analysis.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// `std::shared_mutex` with a thread-safety capability.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  void lock_shared() ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// Scoped exclusive (writer) lock over `SharedMutex`.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriterLock() RELEASE() { mutex_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Scoped shared (reader) lock over `SharedMutex`.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mutex) ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderLock() RELEASE() { mutex_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Condition variable for `Mutex` (`std::condition_variable_any`, which
+/// takes any BasicLockable — the annotated Mutex qualifies directly, no
+/// `unique_lock` adapter that would hide the lock from the analysis).
+/// Callers loop on their predicate with the mutex held, exactly like the
+/// raw std API:
+///
+///   MutexLock lock(mutex);
+///   while (!ready) cv.wait(mutex);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and reacquires before returning.
+  void wait(Mutex& mutex) REQUIRES(mutex) { cv_.wait(mutex); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace vcaqoe::common

@@ -230,7 +230,7 @@ void MultiFlowEngine::flushPending(Shard& shard) {
   batch.reserve(options_.dispatchBatch);
   batch.swap(shard.pending);
   {
-    std::lock_guard lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     shard.batches.push_back(std::move(batch));
   }
   shard.cv.notify_one();
@@ -241,8 +241,8 @@ void MultiFlowEngine::workerLoop(Shard& shard) {
   for (;;) {
     std::vector<Item> batch;
     {
-      std::unique_lock lock(shard.mutex);
-      shard.cv.wait(lock, [&] { return shard.done || !shard.batches.empty(); });
+      common::MutexLock lock(shard.mutex);
+      while (!shard.done && shard.batches.empty()) shard.cv.wait(shard.mutex);
       if (shard.batches.empty()) break;  // done and drained
       batch = std::move(shard.batches.front());
       shard.batches.pop_front();
@@ -388,7 +388,7 @@ std::vector<EngineResult> MultiFlowEngine::finish() {
   for (auto& shard : shards_) {
     flushPending(*shard);
     {
-      std::lock_guard lock(shard->mutex);
+      common::MutexLock lock(shard->mutex);
       shard->done = true;
     }
     shard->cv.notify_one();

@@ -1,19 +1,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/streaming.hpp"
 #include "engine/flow_table.hpp"
 #include "engine/inference_batcher.hpp"
@@ -249,12 +248,22 @@ class MultiFlowEngine {
     features::FeatureSet featureSet = features::FeatureSet::kIpUdp;
   };
 
+  /// Thread-ownership map (enforced by `-Wthread-safety` on the guarded
+  /// members, by the TSan stress suites on the confined ones):
+  ///  * `mutex`-guarded: `batches`, `done` — the dispatcher->worker handoff.
+  ///  * dispatcher-confined: `pending` (flushed into `batches` under the
+  ///    lock).
+  ///  * worker-confined after construction: `estimators`, `batcher`,
+  ///    `streamClock`.
+  ///  * `error` is written by the worker and read by the dispatcher only
+  ///    after the pool is joined (`finish`), so the join is the fence.
+  ///  * `results` is the SPSC ring: worker produces, dispatcher consumes.
   struct Shard {
     // Input side (mutex-guarded batch queue, dispatcher -> worker).
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<std::vector<Item>> batches;
-    bool done = false;
+    common::Mutex mutex;
+    common::CondVar cv;
+    std::deque<std::vector<Item>> batches GUARDED_BY(mutex);
+    bool done GUARDED_BY(mutex) = false;
 
     // Dispatcher-side buffer, flushed to `batches` when full.
     std::vector<Item> pending;

@@ -53,15 +53,14 @@ class SpscRing {
 
   std::size_t capacity() const { return slots_.size(); }
 
-  /// Producer side. Returns false when the ring is full.
-  bool tryPush(T value) {
-    const auto head = head_.load(std::memory_order_relaxed);
-    const auto tail = tail_.load(std::memory_order_acquire);
-    if (head - tail == slots_.size()) return false;
-    slots_[head & mask_] = std::move(value);
-    head_.store(head + 1, std::memory_order_release);
-    return true;
-  }
+  /// Producer side. Returns false when the ring is full, in which case
+  /// `value` is left untouched — a back-pressure loop may retry
+  /// `tryPush(std::move(v))` without losing the payload. (The previous
+  /// by-value signature moved the argument before the capacity check, so a
+  /// failed push on a full ring gutted the value and the retry delivered a
+  /// moved-from shell.)
+  bool tryPush(T&& value) { return pushImpl(std::move(value)); }
+  bool tryPush(const T& value) { return pushImpl(value); }
 
   /// Consumer side. Returns nullopt when the ring is empty.
   std::optional<T> tryPop() {
@@ -80,6 +79,16 @@ class SpscRing {
   }
 
  private:
+  template <typename U>
+  bool pushImpl(U&& value) {
+    const auto head = head_.load(std::memory_order_relaxed);
+    const auto tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == slots_.size()) return false;
+    slots_[head & mask_] = std::forward<U>(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
   std::vector<T> slots_;
   std::size_t mask_ = 0;
   alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};

@@ -1,6 +1,5 @@
 #include "inference/model_registry.hpp"
 
-#include <mutex>
 #include <utility>
 
 #include "ml/serialize.hpp"
@@ -16,7 +15,7 @@ void ModelRegistry::registerBackend(
     const std::string& vca, QoeTarget target,
     std::shared_ptr<const InferenceBackend> backend,
     features::FeatureSet set) {
-  std::unique_lock lock(mutex_);
+  common::WriterLock lock(mutex_);
   backends_[Key{vca, target, set}] = std::move(backend);
   composites_.clear();  // memoized sets may now compose differently
 }
@@ -25,7 +24,7 @@ std::shared_ptr<const InferenceBackend> ModelRegistry::lookupOrLoad(
     const std::string& vca, QoeTarget target, features::FeatureSet set) {
   const Key key{vca, target, set};
   {
-    std::shared_lock lock(mutex_);
+    common::ReaderLock lock(mutex_);
     const auto it = backends_.find(key);
     if (it != backends_.end()) {
       if (it->second) {
@@ -38,7 +37,7 @@ std::shared_ptr<const InferenceBackend> ModelRegistry::lookupOrLoad(
     }
   }
 
-  std::unique_lock lock(mutex_);
+  common::WriterLock lock(mutex_);
   // Double-check: another thread may have loaded while we upgraded.
   const auto it = backends_.find(key);
   if (it != backends_.end()) {
@@ -133,11 +132,11 @@ std::shared_ptr<const InferenceBackend> ModelRegistry::resolveSet(
   const std::tuple<std::string, std::uint32_t, features::FeatureSet> cacheKey{
       vca, mask, set};
   {
-    std::shared_lock lock(mutex_);
+    common::ReaderLock lock(mutex_);
     const auto it = composites_.find(cacheKey);
     if (it != composites_.end()) return it->second;
   }
-  std::unique_lock lock(mutex_);
+  common::WriterLock lock(mutex_);
   const auto cached = composites_.find(cacheKey);
   if (cached != composites_.end()) return cached->second;
 
@@ -169,7 +168,7 @@ std::shared_ptr<const InferenceBackend> ModelRegistry::resolveSet(
 }
 
 std::size_t ModelRegistry::size() const {
-  std::shared_lock lock(mutex_);
+  common::ReaderLock lock(mutex_);
   std::size_t positive = 0;
   for (const auto& [key, backend] : backends_) {
     if (backend) ++positive;

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "features/feature_vector.hpp"
 #include "inference/backends.hpp"
 
@@ -110,14 +110,15 @@ class ModelRegistry {
   ModelRegistryOptions options_;
   std::shared_ptr<const InferenceBackend> fallback_;
 
-  mutable std::shared_mutex mutex_;
-  std::map<Key, std::shared_ptr<const InferenceBackend>> backends_;
+  mutable common::SharedMutex mutex_;
+  std::map<Key, std::shared_ptr<const InferenceBackend>> backends_
+      GUARDED_BY(mutex_);
   /// Memoized `resolveSet` composites keyed by (vca, target bitmask,
   /// feature set), so steady-state flow admission allocates nothing.
   /// Invalidated whenever `backends_` changes (registration or lazy load).
   std::map<std::tuple<std::string, std::uint32_t, features::FeatureSet>,
            std::shared_ptr<const InferenceBackend>>
-      composites_;
+      composites_ GUARDED_BY(mutex_);
 
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

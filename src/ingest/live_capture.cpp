@@ -5,7 +5,7 @@ namespace vcaqoe::ingest {
 void LiveCaptureStub::push(const netflow::FlowKey& flow,
                            const netflow::Packet& packet) {
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (closed_) return;  // late capture callbacks after teardown are dropped
     queue_.push_back(SourcePacket{flow, packet});
   }
@@ -14,15 +14,15 @@ void LiveCaptureStub::push(const netflow::FlowKey& flow,
 
 void LiveCaptureStub::close() {
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool LiveCaptureStub::next(SourcePacket& out) {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  common::MutexLock lock(mutex_);
+  while (!closed_ && queue_.empty()) cv_.wait(mutex_);
   if (queue_.empty()) return false;
   out = std::move(queue_.front());
   queue_.pop_front();
@@ -30,7 +30,7 @@ bool LiveCaptureStub::next(SourcePacket& out) {
 }
 
 std::size_t LiveCaptureStub::queued() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return queue_.size();
 }
 

@@ -1,9 +1,8 @@
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "ingest/packet_source.hpp"
 
 namespace vcaqoe::ingest {
@@ -34,10 +33,10 @@ class LiveCaptureStub final : public PacketSource {
   std::size_t queued() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<SourcePacket> queue_;
-  bool closed_ = false;
+  mutable common::Mutex mutex_;
+  common::CondVar cv_;
+  std::deque<SourcePacket> queue_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vcaqoe::ingest

@@ -175,6 +175,18 @@ RandomForest loadForest(std::istream& in) {
         malformed("node references out of range");
       }
     }
+    // Children must point strictly forward (training emits parents before
+    // children, so every well-formed file satisfies this). Range checks
+    // alone admit cycles — e.g. node 0 with left == right == 0 — which
+    // would hang `DecisionTree::predict` and the flattening pass forever
+    // on a corrupt or hostile model file.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto& node = nodes[i];
+      const auto self = static_cast<std::int32_t>(i);
+      if (node.featureIndex >= 0 && (node.left <= self || node.right <= self)) {
+        malformed("node child references do not point forward (cycle)");
+      }
+    }
     trees.push_back(DecisionTree::fromNodes(std::move(nodes), task, {}));
   }
   rejectTrailingPayload(in);

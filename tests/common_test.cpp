@@ -435,5 +435,81 @@ TEST(JsonWriter, ParseRejectsExcessiveNesting) {
   EXPECT_FALSE(JsonValue::parse(deep).has_value());
 }
 
+TEST(JsonWriter, NestingDepthCapIsExact) {
+  // The cap is 64 levels of containers: the 65-bracket document's innermost
+  // value sits exactly at the cap and parses; one more level is rejected
+  // with a diagnostic instead of unbounded recursion.
+  const auto nested = [](int levels) {
+    return std::string(static_cast<std::size_t>(levels), '[') +
+           std::string(static_cast<std::size_t>(levels), ']');
+  };
+  EXPECT_TRUE(JsonValue::parse(nested(65)).has_value());
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse(nested(66), &error).has_value());
+  EXPECT_NE(error.find("nest"), std::string::npos) << error;
+}
+
+TEST(JsonWriter, ParseRejectsTruncatedAndInvalidSurrogates) {
+  const struct {
+    const char* text;
+    const char* expectedError;
+  } cases[] = {
+      // High surrogate with no `\u` escape following (end of string, raw
+      // characters, or a non-escape).
+      {R"("\ud800")", "unpaired surrogate"},
+      {R"("\ud800abc")", "unpaired surrogate"},
+      {R"("\ud800A")", "unpaired surrogate"},
+      // `\u` follows but its payload is truncated or not a low surrogate.
+      {R"("\ud800\u")", "invalid low surrogate"},
+      {R"("\ud800\ud8")", "invalid low surrogate"},
+      {R"("\ud800\ud800")", "invalid low surrogate"},
+      // Low surrogate with no preceding high.
+      {R"("\udc00")", "unpaired surrogate"},
+  };
+  for (const auto& c : cases) {
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse(c.text, &error).has_value()) << c.text;
+    EXPECT_NE(error.find(c.expectedError), std::string::npos)
+        << c.text << " -> " << error;
+  }
+  // The well-formed pair still decodes (U+1F600, 4-byte UTF-8).
+  const auto ok = JsonValue::parse(R"("😀")");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->asString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonWriter, OutOfRangeNumbersClampBySign) {
+  // Grammar-valid numbers beyond double's range must clamp like strtod —
+  // overflow to +/-inf, underflow to +/-0 — not silently parse as 0
+  // (from_chars leaves its output unmodified on result_out_of_range).
+  const auto parsed = JsonValue::parse(
+      "[1e999999, -1e999999, 1e-999999, -1e-999999, "
+      "123456789e999999999999999999, 1.5e-999999999999999999]");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 6u);
+  EXPECT_EQ(parsed->at(0).asDouble(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(parsed->at(1).asDouble(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(parsed->at(2).asDouble(), 0.0);
+  EXPECT_FALSE(std::signbit(parsed->at(2).asDouble()));
+  EXPECT_EQ(parsed->at(3).asDouble(), 0.0);
+  EXPECT_TRUE(std::signbit(parsed->at(3).asDouble()));
+  EXPECT_EQ(parsed->at(4).asDouble(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(parsed->at(5).asDouble(), 0.0);
+  // Values near the range edges still parse exactly, not clamped.
+  const auto edges = JsonValue::parse("[1.7976931348623157e308, 5e-324]");
+  ASSERT_TRUE(edges.has_value());
+  EXPECT_EQ(edges->at(0).asDouble(), 1.7976931348623157e308);
+  EXPECT_EQ(edges->at(1).asDouble(), 5e-324);
+}
+
+TEST(JsonWriter, ParseErrorsCarryByteOffsets) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("[1, 2, xyz]", &error).has_value());
+  EXPECT_NE(error.find("at byte 7"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace vcaqoe::common

@@ -152,6 +152,42 @@ TEST(Serialize, RejectsOutOfRangeNodeReferences) {
   EXPECT_THROW(loadForest(bad), std::runtime_error);
 }
 
+TEST(Serialize, RejectsCyclicNodeReferences) {
+  // Regression (found by the fuzz harness work): children that are
+  // in-range but point at or behind their parent form a cycle, which used
+  // to pass validation and hang DecisionTree::predict / flattening
+  // forever. Training emits parents strictly before children, so a
+  // well-formed file always points forward.
+  const auto load = [](const char* nodes) {
+    std::stringstream bad(std::string("vcaqoe-forest 1\n"
+                                      "task regression\n"
+                                      "features 1 x\n"
+                                      "importance 1 1.0\n"
+                                      "trees 1\n") +
+                          nodes);
+    return loadForest(bad);
+  };
+  // Node 0 pointing at itself: the tightest cycle.
+  EXPECT_THROW(load("tree 2\n"
+                    "0 0.5 0 1 0.0\n"
+                    "-1 0 0 0 3.0\n"),
+               std::runtime_error);
+  // Two-node loop: 0 -> 1 -> 0.
+  EXPECT_THROW(load("tree 3\n"
+                    "0 0.5 1 2 0.0\n"
+                    "0 0.5 0 2 0.0\n"
+                    "-1 0 0 0 3.0\n"),
+               std::runtime_error);
+  // The forward-pointing equivalent still loads and predicts.
+  const RandomForest ok = load(
+      "tree 3\n"
+      "0 0.5 1 2 0.0\n"
+      "-1 0 0 0 3.0\n"
+      "-1 0 0 0 7.0\n");
+  const std::vector<double> row{0.0};
+  EXPECT_EQ(ok.predict(row), 3.0);
+}
+
 TEST(Serialize, RejectsTrailingPayloadPastDeclaredCounts) {
   // A file whose declared tree count undershoots the payload must fail
   // loudly instead of silently constructing a truncated forest.
