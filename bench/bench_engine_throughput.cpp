@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "bench/bench_report.hpp"
+#include "common/simd.hpp"
 #include "common/time.hpp"
 #include "core/streaming.hpp"
 #include "engine/flow_table.hpp"
@@ -268,6 +269,11 @@ int main(int argc, char** argv) {
   cfg.set("sweep_flows", sweepFlows);
   cfg.set("window_s", static_cast<double>(streaming.windowNs) / 1e9);
   cfg.set("pin_supported", engine::kWorkerPinningSupported);
+  // The dispatch arm every hot-loop kernel ran on for this document
+  // (scalar when VCAQOE_FORCE_SCALAR pinned it) — required by the schema so
+  // trajectory points are comparable.
+  cfg.set("simd",
+          std::string(common::simd::toString(common::simd::activeLevel())));
 
   // One trained per-VCA frame-rate model, served in both layouts: the
   // synthetic 5-tuples carry the Teams media port, so each flow admission
@@ -354,6 +360,100 @@ int main(int argc, char** argv) {
                               {"batch_rows_per_s", batchRps}}));
     micro.set("rows", static_cast<std::int64_t>(kRows));
     micro.set("bit_exact", exact);
+  }
+
+  // ---- SIMD kernel micro: the three vectorized hot-loop kernels against
+  // their scalar reference arm, same best-of-3 discipline as the model
+  // micro. Same entry points the hot paths call; only the pinned dispatch
+  // arm differs between the columns.
+  {
+    const auto timeRate = [](std::size_t items, auto&& body) {
+      body();  // warmup
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        body();
+        best = std::max(best,
+                        static_cast<double>(items) / secondsSince(start));
+      }
+      return best;
+    };
+    constexpr std::size_t kRingLen = 256;
+    constexpr std::size_t kProbes = 65'536;
+    std::vector<std::uint32_t> ringSizes(kRingLen);
+    for (std::size_t i = 0; i < kRingLen; ++i) {
+      ringSizes[i] = 900 + static_cast<std::uint32_t>((i * 77 + 13) % 300);
+    }
+    const auto scanPass = [&] {
+      std::int64_t acc = 0;
+      for (std::size_t p = 0; p < kProbes; ++p) {
+        acc += common::simd::findLastMatchU32(
+            ringSizes.data(), kRingLen,
+            900 + static_cast<std::uint32_t>((p * 131) % 300), 2);
+      }
+      if (acc == -1) std::printf("?");  // keep the loop observable
+    };
+    constexpr std::size_t kWindowLen = 1024;
+    constexpr std::size_t kWindowPasses = 16'384;
+    std::vector<double> window(kWindowLen);
+    for (std::size_t i = 0; i < kWindowLen; ++i) {
+      window[i] = static_cast<double>((i * 31) % 1100);
+    }
+    const auto statsPass = [&] {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < kWindowPasses; ++p) {
+        const double mu =
+            common::simd::sumF64(window.data(), kWindowLen) / kWindowLen;
+        const auto mm = common::simd::minMaxF64(window.data(), kWindowLen);
+        acc += mu + mm.min + mm.max +
+               common::simd::centralMoment2F64(window.data(), kWindowLen, mu);
+      }
+      if (acc == -1.0) std::printf("?");
+    };
+    common::simd::forceLevel(common::simd::Level::kScalar);
+    const double scanScalar = timeRate(kRingLen * kProbes, scanPass);
+    const double statsScalar =
+        timeRate(kWindowLen * kWindowPasses, statsPass);
+    common::simd::clearForcedLevel();
+    const double scanSimd = timeRate(kRingLen * kProbes, scanPass);
+    const double statsSimd = timeRate(kWindowLen * kWindowPasses, statsPass);
+
+    const ml::FlattenedForest flat(model);
+    constexpr std::size_t kBatchRows = 4096;
+    std::vector<std::vector<double>> rows(kBatchRows,
+                                          std::vector<double>(14, 0.0));
+    for (std::size_t r = 0; r < kBatchRows; ++r) {
+      for (std::size_t f = 0; f < 14; ++f) {
+        rows[r][f] = static_cast<double>((r * 31 + f * 97) % 1100);
+      }
+    }
+    const std::vector<ml::FeatureRow> spans(rows.begin(), rows.end());
+    std::vector<double> out(kBatchRows);
+    const auto batchPass = [&](ml::FlattenedForest::BatchTraversal t) {
+      return [&, t] { flat.predictBatch(spans, out, t); };
+    };
+    const double rowsRps = timeRate(
+        kBatchRows, batchPass(ml::FlattenedForest::BatchTraversal::kRowWise));
+    const double blockedRps = timeRate(
+        kBatchRows, batchPass(ml::FlattenedForest::BatchTraversal::kBlocked));
+
+    std::printf(
+        "simd kernel micro (%s): lookback scan %.2fx (%.0f vs %.0f elems/s), "
+        "window stats %.2fx (%.0f vs %.0f elems/s), blocked batch %.2fx "
+        "(%.0f vs %.0f rows/s)\n\n",
+        common::simd::toString(common::simd::activeLevel()),
+        scanSimd / scanScalar, scanSimd, scanScalar,
+        statsSimd / statsScalar, statsSimd, statsScalar,
+        blockedRps / rowsRps, blockedRps, rowsRps);
+    auto& kernels = report.addScenario("kernel_micro");
+    kernels.set("throughput",
+                throughputJson(
+                    {{"lookback_scan_scalar_elems_per_s", scanScalar},
+                     {"lookback_scan_simd_elems_per_s", scanSimd},
+                     {"window_stats_scalar_elems_per_s", statsScalar},
+                     {"window_stats_simd_elems_per_s", statsSimd},
+                     {"predict_rowwise_rows_per_s", rowsRps},
+                     {"predict_blocked_rows_per_s", blockedRps}}));
   }
 
   std::printf(

@@ -13,9 +13,15 @@
 #endif
 
 #include <deque>
+#include <random>
 #include <utility>
+#include <vector>
 
+#include "common/simd.hpp"
+#include "common/stats.hpp"
 #include "core/evaluation.hpp"
+#include "engine/synthetic.hpp"
+#include "ml/flattened_forest.hpp"
 #include "core/frame_heuristic.hpp"
 #include "core/lookback_ring.hpp"
 #include "core/media_classifier.hpp"
@@ -123,6 +129,110 @@ void BM_Algorithm1LookbackRing(benchmark::State& state) {
                           static_cast<std::int64_t>(video.size()));
 }
 BENCHMARK(BM_Algorithm1LookbackRing)->Arg(2)->Arg(32);
+
+// --- SIMD kernels vs their scalar reference arm. Same kernel entry points,
+// same inputs; the scalar rows pin the dispatch with forceLevel so both
+// columns appear in every report and the speedup is read off directly.
+
+std::vector<std::uint32_t> lookbackSizes(std::size_t n) {
+  std::vector<std::uint32_t> sizes(n);
+  std::mt19937 rng(42);
+  for (auto& s : sizes) s = 900 + rng() % 300;
+  return sizes;
+}
+
+void runLookbackScan(benchmark::State& state,
+                     common::simd::Level forcedLevel) {
+  const auto sizes = lookbackSizes(static_cast<std::size_t>(state.range(0)));
+  common::simd::forceLevel(forcedLevel);
+  std::uint32_t probe = 900;
+  for (auto _ : state) {
+    // Rotate the probe so the match lands at varying depths (including
+    // misses), like Algorithm 1 sweeping a live ring.
+    probe = 900 + (probe * 77 + 13) % 300;
+    benchmark::DoNotOptimize(common::simd::findLastMatchU32(
+        sizes.data(), sizes.size(), probe, 2));
+  }
+  common::simd::clearForcedLevel();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sizes.size()));
+}
+
+void BM_LookbackScanScalar(benchmark::State& state) {
+  runLookbackScan(state, common::simd::Level::kScalar);
+}
+BENCHMARK(BM_LookbackScanScalar)->Arg(32)->Arg(256);
+
+void BM_LookbackScanSimd(benchmark::State& state) {
+  runLookbackScan(state, common::simd::activeLevel());
+}
+BENCHMARK(BM_LookbackScanSimd)->Arg(32)->Arg(256);
+
+std::vector<double> windowSamples(std::size_t n) {
+  std::vector<double> xs(n);
+  std::mt19937 rng(43);
+  std::uniform_real_distribution<double> value(0.0, 2000.0);
+  for (auto& x : xs) x = value(rng);
+  return xs;
+}
+
+void runFiveNumber(benchmark::State& state, common::simd::Level forcedLevel) {
+  const auto xs = windowSamples(static_cast<std::size_t>(state.range(0)));
+  common::simd::forceLevel(forcedLevel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::fiveNumber(xs));
+  }
+  common::simd::clearForcedLevel();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xs.size()));
+}
+
+void BM_FiveNumberScalar(benchmark::State& state) {
+  runFiveNumber(state, common::simd::Level::kScalar);
+}
+BENCHMARK(BM_FiveNumberScalar)->Arg(64)->Arg(1024);
+
+void BM_FiveNumberSimd(benchmark::State& state) {
+  runFiveNumber(state, common::simd::activeLevel());
+}
+BENCHMARK(BM_FiveNumberSimd)->Arg(64)->Arg(1024);
+
+// --- Batched forest traversal: row-wise tree-major walk vs the blocked
+// layout that advances a lane of 8 rows one level per round. Bit-identical
+// outputs (tests/simd_kernels_test.cpp); this is the latency comparison
+// that picked the default.
+
+void runPredictBatch(benchmark::State& state,
+                     ml::FlattenedForest::BatchTraversal traversal) {
+  static const auto forest =
+      ml::FlattenedForest(engine::syntheticForest(40, 8, 30.0));
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(44);
+  std::uniform_real_distribution<double> value(0.0, 100.0);
+  std::vector<std::vector<double>> rows(batch);
+  for (auto& row : rows) {
+    row.resize(forest.featureCount());
+    for (auto& v : row) v = value(rng);
+  }
+  const std::vector<ml::FeatureRow> spans(rows.begin(), rows.end());
+  std::vector<double> out(batch);
+  for (auto _ : state) {
+    forest.predictBatch(spans, out, traversal);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+
+void BM_PredictBatchRows(benchmark::State& state) {
+  runPredictBatch(state, ml::FlattenedForest::BatchTraversal::kRowWise);
+}
+BENCHMARK(BM_PredictBatchRows)->Arg(8)->Arg(64);
+
+void BM_PredictBatchBlocked(benchmark::State& state) {
+  runPredictBatch(state, ml::FlattenedForest::BatchTraversal::kBlocked);
+}
+BENCHMARK(BM_PredictBatchBlocked)->Arg(8)->Arg(64);
 
 void BM_RtpHeaderParse(benchmark::State& state) {
   const auto& trace = sampleSession().packets;

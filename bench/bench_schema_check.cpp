@@ -12,7 +12,9 @@
 // the checked-in scaling curve and CI artifact promise — and that every
 // flow-table row declares its feature_set ("ipudp" or "rtp") with both
 // families present in the document (the kRtp hot path is benchmarked, not
-// just the seed kIpUdp one).
+// just the seed kIpUdp one), that config.simd names the dispatch arm the
+// kernels ran on (scalar/sse2/avx2/neon), and that a kernel_micro scenario
+// carries both columns of the three SIMD kernel comparisons.
 //
 // Exit code 0 only when every file validates; failures are printed with the
 // file and the violated rule. CI runs this on the bench-smoke artifacts so
@@ -129,6 +131,54 @@ struct Checker {
     if (bench && bench->asString() == "engine_throughput") {
       checkWorkerSweep(doc);
       checkFeatureSets(doc);
+      checkSimd(doc);
+    }
+  }
+
+  /// Engine-bench SIMD contract: the config declares which dispatch arm the
+  /// kernels ran on (so trajectory points are comparable), and the document
+  /// carries the kernel_micro scenario with both columns of all three
+  /// kernel comparisons.
+  void checkSimd(const JsonValue& doc) {
+    if (const auto* config = doc.find("config");
+        config && config->isObject()) {
+      if (const auto* simd = requireMember(*config, "simd",
+                                           &JsonValue::isString, "a string",
+                                           "config")) {
+        const auto name = simd->asString();
+        if (name != "scalar" && name != "sse2" && name != "avx2" &&
+            name != "neon") {
+          fail("config: simd \"" + name +
+               "\" (expected scalar, sse2, avx2, or neon)");
+        }
+      }
+    }
+    const auto* scenarios = doc.find("scenarios");
+    if (!scenarios || !scenarios->isArray()) return;  // reported already
+    const JsonValue* kernels = nullptr;
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < scenarios->size(); ++i) {
+      const auto& row = scenarios->at(i);
+      if (!row.isObject()) continue;
+      if (const auto* name = row.find("name");
+          name && name->isString() && name->asString() == "kernel_micro") {
+        kernels = &row;
+        at = i;
+      }
+    }
+    if (!kernels) {
+      fail("scenarios: no \"kernel_micro\" row (SIMD kernel columns missing)");
+      return;
+    }
+    const std::string where = "scenarios[" + std::to_string(at) + "]";
+    const auto* throughput = kernels->find("throughput");
+    if (!throughput || !throughput->isObject()) return;  // reported already
+    for (const char* key :
+         {"lookback_scan_scalar_elems_per_s", "lookback_scan_simd_elems_per_s",
+          "window_stats_scalar_elems_per_s", "window_stats_simd_elems_per_s",
+          "predict_rowwise_rows_per_s", "predict_blocked_rows_per_s"}) {
+      requireMember(*throughput, key, &JsonValue::isNumber, "a number",
+                    where + ".throughput");
     }
   }
 

@@ -83,6 +83,7 @@ struct Args {
   features::FeatureSet featureSet = features::FeatureSet::kIpUdp;
   std::string modelDir;
   bool synthModel = false;
+  bool quantized = false;
   std::vector<inference::QoeTarget> targets;
 };
 
@@ -92,7 +93,8 @@ void usage(const char* flag, const char* expected, const char* got) {
                "usage: pcap_monitor [capture.pcap] [--workers N] [--batch N] "
                "[--idle-timeout-s S] [--pace X] [--pump-s S] "
                "[--synth-flows K] [--feature-set rtp|ipudp] "
-               "[--model-dir DIR] [--synth-model] [--target LIST]\n",
+               "[--model-dir DIR] [--synth-model] [--quantized] "
+               "[--target LIST]\n",
                flag, expected, got);
 }
 
@@ -168,6 +170,8 @@ bool parseArgs(int argc, char** argv, Args& args) {
       args.modelDir = s;
     } else if (arg == "--synth-model") {
       args.synthModel = true;
+    } else if (arg == "--quantized") {
+      args.quantized = true;
     } else if (arg == "--target" && text(s)) {
       // Comma-separated target slugs.
       std::size_t start = 0;
@@ -276,6 +280,9 @@ int main(int argc, char** argv) {
   if (withModels) {
     inference::ModelRegistryOptions registryOptions;
     registryOptions.modelDir = args.modelDir;
+    // Opt-in quantized model layout (float32 thresholds, int16 features);
+    // lazily loaded and synthetic forests alike go through it.
+    registryOptions.quantizeModels = args.quantized;
     options.registry =
         std::make_shared<inference::ModelRegistry>(registryOptions);
     if (args.synthModel) {
@@ -287,17 +294,20 @@ int main(int argc, char** argv) {
       const std::string name =
           "forest:teams/" + std::string(features::toString(args.featureSet)) +
           "/frame_rate";
+      ml::FlattenedForest flat(engine::syntheticForest(10, 6, 30.0, width));
+      if (args.quantized) flat.applyLayout({.quantizeThresholds = true});
       options.registry->registerBackend(
           "teams", inference::QoeTarget::kFrameRate,
           std::make_shared<inference::ForestBackend>(
-              engine::syntheticForest(10, 6, 30.0, width),
-              inference::QoeTarget::kFrameRate, name,
+              std::move(flat), inference::QoeTarget::kFrameRate, name,
               features::featureCount(args.featureSet)),
           args.featureSet);
     }
     options.targets = args.targets;  // empty = all targets
-  } else if (!args.targets.empty()) {
-    std::fprintf(stderr, "--target requires --model-dir or --synth-model\n");
+  } else if (!args.targets.empty() || args.quantized) {
+    std::fprintf(stderr,
+                 "--target and --quantized require --model-dir or "
+                 "--synth-model\n");
     return 2;
   }
   engine::MultiFlowEngine eng(options);

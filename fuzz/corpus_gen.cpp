@@ -99,6 +99,15 @@ void genForest(const fs::path& dir) {
   ml::saveForest(stump, stumpText);
   writeFile(dir / "stump.forest", stumpText.str());
 
+  // Quantized layout: the optional `layout quantized` line between the task
+  // and features lines. The loader must re-quantize after reconstruction,
+  // so this seed drives both the marker parse and applyLayout.
+  ml::FlattenedForest quantized(forest);
+  quantized.applyLayout({.quantizeThresholds = true});
+  std::ostringstream quantizedText;
+  ml::saveFlattenedForest(quantized, quantizedText);
+  writeFile(dir / "quantized.fforest", quantizedText.str());
+
   // Regression: node 0 pointing at itself passed the pure range checks and
   // hung DecisionTree::predict / flattening forever. loadForest must
   // reject it ("child references do not point forward").

@@ -1,0 +1,769 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define VCAQOE_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define VCAQOE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+// This translation unit must be compiled with FP contraction off (see
+// src/common/CMakeLists.txt): the scalar reference's `acc += d * d` would
+// otherwise fuse into an FMA under -march=native and drift a half-ulp from
+// the mul+add the vector arms issue, breaking the bit-identity contract.
+
+namespace vcaqoe::common::simd {
+
+namespace {
+
+/// Threshold below which every reduction kernel is a plain sequential
+/// fold — part of the public bit-identity contract (tiny windows keep
+/// their pre-SIMD values exactly).
+constexpr std::size_t kSequentialCutover = 8;
+
+/// MINPD semantics: the accumulator survives only an ordered win.
+inline double minOp(double acc, double x) { return acc < x ? acc : x; }
+/// MAXPD semantics.
+inline double maxOp(double acc, double x) { return acc > x ? acc : x; }
+
+bool envForceScalar() {
+  // Read once at first activeLevel() call, before workers spawn; nothing in
+  // this codebase mutates the environment.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* v = std::getenv("VCAQOE_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+Level detectLevel() {
+#if defined(VCAQOE_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  return Level::kSse2;  // baseline for x86-64
+#elif defined(VCAQOE_SIMD_NEON)
+  return Level::kNeon;  // baseline for aarch64
+#else
+  return Level::kScalar;
+#endif
+}
+
+/// -1 when no pin is active, otherwise the pinned Level.
+std::atomic<int> g_forcedLevel{-1};
+
+}  // namespace
+
+const char* toString(Level level) {
+  switch (level) {
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+    case Level::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+Level compiledLevel() {
+#if defined(VCAQOE_SIMD_X86)
+  return Level::kAvx2;  // built via target attributes, gated at runtime
+#elif defined(VCAQOE_SIMD_NEON)
+  return Level::kNeon;
+#else
+  return Level::kScalar;
+#endif
+}
+
+bool supported(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSse2:
+#if defined(VCAQOE_SIMD_X86)
+      return true;
+#else
+      return false;
+#endif
+    case Level::kAvx2:
+#if defined(VCAQOE_SIMD_X86)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kNeon:
+#if defined(VCAQOE_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Level activeLevel() {
+  const int forced = g_forcedLevel.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  static const Level detected =
+      envForceScalar() ? Level::kScalar : detectLevel();
+  return detected;
+}
+
+void forceLevel(Level level) {
+  g_forcedLevel.store(supported(level) ? static_cast<int>(level)
+                                       : static_cast<int>(Level::kScalar),
+                      std::memory_order_relaxed);
+}
+
+void clearForcedLevel() {
+  g_forcedLevel.store(-1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference arm. These definitions ARE the kernel contracts: every
+// vector arm below must reproduce them bit for bit.
+// ---------------------------------------------------------------------------
+
+namespace ref {
+
+std::ptrdiff_t findLastMatchU32(const std::uint32_t* sizes, std::size_t n,
+                                std::uint32_t sizeBytes,
+                                std::uint32_t deltaMaxBytes) {
+  for (std::size_t i = n; i > 0;) {
+    --i;
+    const std::uint32_t prev = sizes[i];
+    const std::uint32_t diff =
+        prev > sizeBytes ? prev - sizeBytes : sizeBytes - prev;
+    if (diff <= deltaMaxBytes) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+double sumF64(const double* xs, std::size_t n) {
+  if (n == 0) return 0.0;
+  if (n < kSequentialCutover) {
+    double s = xs[0];
+    for (std::size_t i = 1; i < n; ++i) s += xs[i];
+    return s;
+  }
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  double a0 = xs[0];
+  double a1 = xs[1];
+  double a2 = xs[2];
+  double a3 = xs[3];
+  for (std::size_t i = 4; i < n4; i += 4) {
+    a0 += xs[i];
+    a1 += xs[i + 1];
+    a2 += xs[i + 2];
+    a3 += xs[i + 3];
+  }
+  double s = (a0 + a2) + (a1 + a3);
+  for (std::size_t i = n4; i < n; ++i) s += xs[i];
+  return s;
+}
+
+MinMaxF64 minMaxF64(const double* xs, std::size_t n) {
+  if (n == 0) return {};
+  if (n < kSequentialCutover) {
+    double mn = xs[0];
+    double mx = xs[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      mn = minOp(mn, xs[i]);
+      mx = maxOp(mx, xs[i]);
+    }
+    return {mn, mx};
+  }
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  double mn0 = xs[0];
+  double mn1 = xs[1];
+  double mn2 = xs[2];
+  double mn3 = xs[3];
+  double mx0 = mn0;
+  double mx1 = mn1;
+  double mx2 = mn2;
+  double mx3 = mn3;
+  for (std::size_t i = 4; i < n4; i += 4) {
+    mn0 = minOp(mn0, xs[i]);
+    mn1 = minOp(mn1, xs[i + 1]);
+    mn2 = minOp(mn2, xs[i + 2]);
+    mn3 = minOp(mn3, xs[i + 3]);
+    mx0 = maxOp(mx0, xs[i]);
+    mx1 = maxOp(mx1, xs[i + 1]);
+    mx2 = maxOp(mx2, xs[i + 2]);
+    mx3 = maxOp(mx3, xs[i + 3]);
+  }
+  double mn = minOp(minOp(mn0, mn2), minOp(mn1, mn3));
+  double mx = maxOp(maxOp(mx0, mx2), maxOp(mx1, mx3));
+  for (std::size_t i = n4; i < n; ++i) {
+    mn = minOp(mn, xs[i]);
+    mx = maxOp(mx, xs[i]);
+  }
+  return {mn, mx};
+}
+
+double centralMoment2F64(const double* xs, std::size_t n, double mu) {
+  if (n == 0) return 0.0;
+  if (n < kSequentialCutover) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = xs[i] - mu;
+      s += d * d;
+    }
+    return s;
+  }
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  double a0 = 0.0;
+  double a1 = 0.0;
+  double a2 = 0.0;
+  double a3 = 0.0;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const double d0 = xs[i] - mu;
+    const double d1 = xs[i + 1] - mu;
+    const double d2 = xs[i + 2] - mu;
+    const double d3 = xs[i + 3] - mu;
+    a0 += d0 * d0;
+    a1 += d1 * d1;
+    a2 += d2 * d2;
+    a3 += d3 * d3;
+  }
+  double s = (a0 + a2) + (a1 + a3);
+  for (std::size_t i = n4; i < n; ++i) {
+    const double d = xs[i] - mu;
+    s += d * d;
+  }
+  return s;
+}
+
+void iatMillisF64(const std::int64_t* arrivalNs, std::size_t n,
+                  double* outMillis) {
+  for (std::size_t i = 1; i < n; ++i) {
+    outMillis[i - 1] =
+        static_cast<double>(arrivalNs[i] - arrivalNs[i - 1]) / 1e6;
+  }
+}
+
+void u32ToF64(const std::uint32_t* xs, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<double>(xs[i]);
+}
+
+}  // namespace ref
+
+// ---------------------------------------------------------------------------
+// x86-64 arms. SSE2 is the x86-64 baseline and compiles unconditionally;
+// AVX2 bodies carry a function-level target attribute so this file builds
+// without -mavx2 and the arm is only ever *called* after cpuid says yes.
+// ---------------------------------------------------------------------------
+
+#if defined(VCAQOE_SIMD_X86)
+
+namespace sse2 {
+
+/// Lane mask of |v - target| <= deltaMax over 4 uint32 lanes. SSE2 has no
+/// unsigned compares, so both orderings use the sign-bias trick
+/// (x ^ 0x80000000 maps unsigned order onto signed order).
+inline int matchMask4(__m128i v, __m128i target, __m128i biasedDelta,
+                      __m128i bias) {
+  const __m128i vb = _mm_xor_si128(v, bias);
+  const __m128i tb = _mm_xor_si128(target, bias);
+  // diff = |v - target| via a blend of the two subtraction orders.
+  const __m128i vGreater = _mm_cmpgt_epi32(vb, tb);
+  const __m128i vMinusT = _mm_sub_epi32(v, target);
+  const __m128i tMinusV = _mm_sub_epi32(target, v);
+  const __m128i diff = _mm_or_si128(_mm_and_si128(vGreater, vMinusT),
+                                    _mm_andnot_si128(vGreater, tMinusV));
+  // match lanes = NOT (diff > deltaMax), unsigned.
+  const __m128i over =
+      _mm_cmpgt_epi32(_mm_xor_si128(diff, bias), biasedDelta);
+  return _mm_movemask_ps(_mm_castsi128_ps(over)) ^ 0xF;
+}
+
+std::ptrdiff_t findLastMatchU32(const std::uint32_t* sizes, std::size_t n,
+                                std::uint32_t sizeBytes,
+                                std::uint32_t deltaMaxBytes) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i target = _mm_set1_epi32(static_cast<int>(sizeBytes));
+  const __m128i biasedDelta = _mm_xor_si128(
+      _mm_set1_epi32(static_cast<int>(deltaMaxBytes)), bias);
+  std::size_t i = n;
+  while (i >= 4) {
+    i -= 4;
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sizes + i));
+    const int mask = matchMask4(v, target, biasedDelta, bias);
+    if (mask != 0) {
+      return static_cast<std::ptrdiff_t>(i) + (31 - __builtin_clz(
+                                                        static_cast<unsigned>(
+                                                            mask)));
+    }
+  }
+  return ref::findLastMatchU32(sizes, i, sizeBytes, deltaMaxBytes);
+}
+
+double sumF64(const double* xs, std::size_t n) {
+  if (n < kSequentialCutover) return ref::sumF64(xs, n);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  __m128d accA = _mm_loadu_pd(xs);      // lanes {0, 1}
+  __m128d accB = _mm_loadu_pd(xs + 2);  // lanes {2, 3}
+  for (std::size_t i = 4; i < n4; i += 4) {
+    accA = _mm_add_pd(accA, _mm_loadu_pd(xs + i));
+    accB = _mm_add_pd(accB, _mm_loadu_pd(xs + i + 2));
+  }
+  const __m128d pair = _mm_add_pd(accA, accB);  // (a0+a2, a1+a3)
+  double s = _mm_cvtsd_f64(pair) +
+             _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+  for (std::size_t i = n4; i < n; ++i) s += xs[i];
+  return s;
+}
+
+MinMaxF64 minMaxF64(const double* xs, std::size_t n) {
+  if (n < kSequentialCutover) return ref::minMaxF64(xs, n);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  __m128d mnA = _mm_loadu_pd(xs);
+  __m128d mnB = _mm_loadu_pd(xs + 2);
+  __m128d mxA = mnA;
+  __m128d mxB = mnB;
+  for (std::size_t i = 4; i < n4; i += 4) {
+    const __m128d a = _mm_loadu_pd(xs + i);
+    const __m128d b = _mm_loadu_pd(xs + i + 2);
+    mnA = _mm_min_pd(mnA, a);
+    mnB = _mm_min_pd(mnB, b);
+    mxA = _mm_max_pd(mxA, a);
+    mxB = _mm_max_pd(mxB, b);
+  }
+  const __m128d mnPair = _mm_min_pd(mnA, mnB);
+  const __m128d mxPair = _mm_max_pd(mxA, mxB);
+  double mn = minOp(_mm_cvtsd_f64(mnPair),
+                    _mm_cvtsd_f64(_mm_unpackhi_pd(mnPair, mnPair)));
+  double mx = maxOp(_mm_cvtsd_f64(mxPair),
+                    _mm_cvtsd_f64(_mm_unpackhi_pd(mxPair, mxPair)));
+  for (std::size_t i = n4; i < n; ++i) {
+    mn = minOp(mn, xs[i]);
+    mx = maxOp(mx, xs[i]);
+  }
+  return {mn, mx};
+}
+
+double centralMoment2F64(const double* xs, std::size_t n, double mu) {
+  if (n < kSequentialCutover) return ref::centralMoment2F64(xs, n, mu);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  const __m128d mean2 = _mm_set1_pd(mu);
+  __m128d accA = _mm_setzero_pd();
+  __m128d accB = _mm_setzero_pd();
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m128d dA = _mm_sub_pd(_mm_loadu_pd(xs + i), mean2);
+    const __m128d dB = _mm_sub_pd(_mm_loadu_pd(xs + i + 2), mean2);
+    accA = _mm_add_pd(accA, _mm_mul_pd(dA, dA));
+    accB = _mm_add_pd(accB, _mm_mul_pd(dB, dB));
+  }
+  const __m128d pair = _mm_add_pd(accA, accB);
+  double s = _mm_cvtsd_f64(pair) +
+             _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+  for (std::size_t i = n4; i < n; ++i) {
+    const double d = xs[i] - mu;
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace sse2
+
+namespace avx2 {
+
+__attribute__((target("avx2"))) inline int matchMask8(
+    __m256i v, __m256i target, __m256i deltaMax) {
+  const __m256i hi = _mm256_max_epu32(v, target);
+  const __m256i lo = _mm256_min_epu32(v, target);
+  const __m256i diff = _mm256_sub_epi32(hi, lo);
+  // diff <= deltaMax  <=>  min(diff, deltaMax) == diff (unsigned).
+  const __m256i match =
+      _mm256_cmpeq_epi32(_mm256_min_epu32(diff, deltaMax), diff);
+  return _mm256_movemask_ps(_mm256_castsi256_ps(match));
+}
+
+__attribute__((target("avx2"))) std::ptrdiff_t findLastMatchU32(
+    const std::uint32_t* sizes, std::size_t n, std::uint32_t sizeBytes,
+    std::uint32_t deltaMaxBytes) {
+  const __m256i target = _mm256_set1_epi32(static_cast<int>(sizeBytes));
+  const __m256i deltaMax = _mm256_set1_epi32(static_cast<int>(deltaMaxBytes));
+  std::size_t i = n;
+  while (i >= 8) {
+    i -= 8;
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sizes + i));
+    const int mask = matchMask8(v, target, deltaMax);
+    if (mask != 0) {
+      return static_cast<std::ptrdiff_t>(i) + (31 - __builtin_clz(
+                                                        static_cast<unsigned>(
+                                                            mask)));
+    }
+  }
+  return ref::findLastMatchU32(sizes, i, sizeBytes, deltaMaxBytes);
+}
+
+__attribute__((target("avx2"))) double sumF64(const double* xs,
+                                              std::size_t n) {
+  if (n < kSequentialCutover) return ref::sumF64(xs, n);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  __m256d acc = _mm256_loadu_pd(xs);  // lanes {0, 1, 2, 3}
+  for (std::size_t i = 4; i < n4; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(xs + i));
+  }
+  const __m128d pair = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                                  _mm256_extractf128_pd(acc, 1));
+  double s = _mm_cvtsd_f64(pair) +
+             _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+  for (std::size_t i = n4; i < n; ++i) s += xs[i];
+  return s;
+}
+
+__attribute__((target("avx2"))) MinMaxF64 minMaxF64(const double* xs,
+                                                    std::size_t n) {
+  if (n < kSequentialCutover) return ref::minMaxF64(xs, n);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  __m256d mnAcc = _mm256_loadu_pd(xs);
+  __m256d mxAcc = mnAcc;
+  for (std::size_t i = 4; i < n4; i += 4) {
+    const __m256d v = _mm256_loadu_pd(xs + i);
+    mnAcc = _mm256_min_pd(mnAcc, v);
+    mxAcc = _mm256_max_pd(mxAcc, v);
+  }
+  const __m128d mnPair = _mm_min_pd(_mm256_castpd256_pd128(mnAcc),
+                                    _mm256_extractf128_pd(mnAcc, 1));
+  const __m128d mxPair = _mm_max_pd(_mm256_castpd256_pd128(mxAcc),
+                                    _mm256_extractf128_pd(mxAcc, 1));
+  double mn = minOp(_mm_cvtsd_f64(mnPair),
+                    _mm_cvtsd_f64(_mm_unpackhi_pd(mnPair, mnPair)));
+  double mx = maxOp(_mm_cvtsd_f64(mxPair),
+                    _mm_cvtsd_f64(_mm_unpackhi_pd(mxPair, mxPair)));
+  for (std::size_t i = n4; i < n; ++i) {
+    mn = minOp(mn, xs[i]);
+    mx = maxOp(mx, xs[i]);
+  }
+  return {mn, mx};
+}
+
+__attribute__((target("avx2"))) double centralMoment2F64(const double* xs,
+                                                         std::size_t n,
+                                                         double mu) {
+  if (n < kSequentialCutover) return ref::centralMoment2F64(xs, n, mu);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  const __m256d mean4 = _mm256_set1_pd(mu);
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(xs + i), mean4);
+    // Explicit mul + add (not FMA): the contract is the scalar mul/add.
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  const __m128d pair = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                                  _mm256_extractf128_pd(acc, 1));
+  double s = _mm_cvtsd_f64(pair) +
+             _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+  for (std::size_t i = n4; i < n; ++i) {
+    const double d = xs[i] - mu;
+    s += d * d;
+  }
+  return s;
+}
+
+/// int64 -> double via the 2^52 mantissa trick, exact for 0 <= v < 2^52.
+/// Out-of-range groups (a backwards or >52-day timestamp jump) fall back
+/// to the scalar cast, so every lane matches `static_cast<double>` bitwise.
+__attribute__((target("avx2"))) void iatMillisF64(
+    const std::int64_t* arrivalNs, std::size_t n, double* outMillis) {
+  if (n < 2) return;
+  const std::size_t deltas = n - 1;
+  const __m256d magicD = _mm256_set1_pd(4503599627370496.0);  // 2^52
+  const __m256i magicI = _mm256_castpd_si256(magicD);
+  const __m256d divisor = _mm256_set1_pd(1e6);
+  const __m256i limit = _mm256_set1_epi64x((INT64_C(1) << 52) - 1);
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= deltas; i += 4) {
+    const __m256i lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arrivalNs + i));
+    const __m256i hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(arrivalNs + i + 1));
+    const __m256i d = _mm256_sub_epi64(hi, lo);
+    const __m256i bad = _mm256_or_si256(_mm256_cmpgt_epi64(zero, d),
+                                        _mm256_cmpgt_epi64(d, limit));
+    if (_mm256_testz_si256(bad, bad) == 0) {
+      for (std::size_t j = i; j < i + 4; ++j) {
+        outMillis[j] =
+            static_cast<double>(arrivalNs[j + 1] - arrivalNs[j]) / 1e6;
+      }
+      continue;
+    }
+    const __m256d wide =
+        _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(d, magicI)),
+                      magicD);
+    _mm256_storeu_pd(outMillis + i, _mm256_div_pd(wide, divisor));
+  }
+  for (; i < deltas; ++i) {
+    outMillis[i] = static_cast<double>(arrivalNs[i + 1] - arrivalNs[i]) / 1e6;
+  }
+}
+
+/// uint32 -> double, exact via zero-extend + the 2^52 trick (a uint32 always
+/// fits the 52-bit mantissa window).
+__attribute__((target("avx2"))) void u32ToF64(const std::uint32_t* xs,
+                                              std::size_t n, double* out) {
+  const __m256d magicD = _mm256_set1_pd(4503599627370496.0);  // 2^52
+  const __m256i magicI = _mm256_castpd_si256(magicD);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i narrow =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(xs + i));
+    const __m256i wide = _mm256_cvtepu32_epi64(narrow);
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(wide, magicI)),
+                      magicD));
+  }
+  for (; i < n; ++i) out[i] = static_cast<double>(xs[i]);
+}
+
+}  // namespace avx2
+
+#endif  // VCAQOE_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// aarch64 NEON arm. Min/max use explicit compare+select (not FMIN/FMAX,
+// whose NaN rule differs) so unordered compares behave exactly like the
+// scalar reference / MINPD.
+// ---------------------------------------------------------------------------
+
+#if defined(VCAQOE_SIMD_NEON)
+
+namespace neon {
+
+inline float64x2_t minOp2(float64x2_t acc, float64x2_t x) {
+  return vbslq_f64(vcltq_f64(acc, x), acc, x);
+}
+
+inline float64x2_t maxOp2(float64x2_t acc, float64x2_t x) {
+  return vbslq_f64(vcgtq_f64(acc, x), acc, x);
+}
+
+std::ptrdiff_t findLastMatchU32(const std::uint32_t* sizes, std::size_t n,
+                                std::uint32_t sizeBytes,
+                                std::uint32_t deltaMaxBytes) {
+  const uint32x4_t target = vdupq_n_u32(sizeBytes);
+  const uint32x4_t deltaMax = vdupq_n_u32(deltaMaxBytes);
+  std::size_t i = n;
+  while (i >= 4) {
+    i -= 4;
+    const uint32x4_t v = vld1q_u32(sizes + i);
+    const uint32x4_t match = vcleq_u32(vabdq_u32(v, target), deltaMax);
+    // Narrow each 32-bit lane to 16 mask bits; a set lane shows up as a
+    // nibble-of-ones block in the 64-bit view.
+    const uint64_t bits = vget_lane_u64(
+        vreinterpret_u64_u16(vshrn_n_u32(match, 16)), 0);
+    if (bits != 0) {
+      const int lane = (63 - __builtin_clzll(bits)) / 16;
+      return static_cast<std::ptrdiff_t>(i) + lane;
+    }
+  }
+  return ref::findLastMatchU32(sizes, i, sizeBytes, deltaMaxBytes);
+}
+
+double sumF64(const double* xs, std::size_t n) {
+  if (n < kSequentialCutover) return ref::sumF64(xs, n);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  float64x2_t accA = vld1q_f64(xs);      // lanes {0, 1}
+  float64x2_t accB = vld1q_f64(xs + 2);  // lanes {2, 3}
+  for (std::size_t i = 4; i < n4; i += 4) {
+    accA = vaddq_f64(accA, vld1q_f64(xs + i));
+    accB = vaddq_f64(accB, vld1q_f64(xs + i + 2));
+  }
+  const float64x2_t pair = vaddq_f64(accA, accB);
+  double s = vgetq_lane_f64(pair, 0) + vgetq_lane_f64(pair, 1);
+  for (std::size_t i = n4; i < n; ++i) s += xs[i];
+  return s;
+}
+
+MinMaxF64 minMaxF64(const double* xs, std::size_t n) {
+  if (n < kSequentialCutover) return ref::minMaxF64(xs, n);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  float64x2_t mnA = vld1q_f64(xs);
+  float64x2_t mnB = vld1q_f64(xs + 2);
+  float64x2_t mxA = mnA;
+  float64x2_t mxB = mnB;
+  for (std::size_t i = 4; i < n4; i += 4) {
+    const float64x2_t a = vld1q_f64(xs + i);
+    const float64x2_t b = vld1q_f64(xs + i + 2);
+    mnA = minOp2(mnA, a);
+    mnB = minOp2(mnB, b);
+    mxA = maxOp2(mxA, a);
+    mxB = maxOp2(mxB, b);
+  }
+  const float64x2_t mnPair = minOp2(mnA, mnB);
+  const float64x2_t mxPair = maxOp2(mxA, mxB);
+  double mn = minOp(vgetq_lane_f64(mnPair, 0), vgetq_lane_f64(mnPair, 1));
+  double mx = maxOp(vgetq_lane_f64(mxPair, 0), vgetq_lane_f64(mxPair, 1));
+  for (std::size_t i = n4; i < n; ++i) {
+    mn = minOp(mn, xs[i]);
+    mx = maxOp(mx, xs[i]);
+  }
+  return {mn, mx};
+}
+
+double centralMoment2F64(const double* xs, std::size_t n, double mu) {
+  if (n < kSequentialCutover) return ref::centralMoment2F64(xs, n, mu);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  const float64x2_t mean2 = vdupq_n_f64(mu);
+  float64x2_t accA = vdupq_n_f64(0.0);
+  float64x2_t accB = vdupq_n_f64(0.0);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const float64x2_t dA = vsubq_f64(vld1q_f64(xs + i), mean2);
+    const float64x2_t dB = vsubq_f64(vld1q_f64(xs + i + 2), mean2);
+    accA = vaddq_f64(accA, vmulq_f64(dA, dA));
+    accB = vaddq_f64(accB, vmulq_f64(dB, dB));
+  }
+  const float64x2_t pair = vaddq_f64(accA, accB);
+  double s = vgetq_lane_f64(pair, 0) + vgetq_lane_f64(pair, 1);
+  for (std::size_t i = n4; i < n; ++i) {
+    const double d = xs[i] - mu;
+    s += d * d;
+  }
+  return s;
+}
+
+void iatMillisF64(const std::int64_t* arrivalNs, std::size_t n,
+                  double* outMillis) {
+  if (n < 2) return;
+  const std::size_t deltas = n - 1;
+  const float64x2_t divisor = vdupq_n_f64(1e6);
+  std::size_t i = 0;
+  for (; i + 2 <= deltas; i += 2) {
+    const int64x2_t lo = vld1q_s64(arrivalNs + i);
+    const int64x2_t hi = vld1q_s64(arrivalNs + i + 1);
+    // vcvtq rounds to nearest, matching static_cast<double> bitwise.
+    const float64x2_t wide = vcvtq_f64_s64(vsubq_s64(hi, lo));
+    vst1q_f64(outMillis + i, vdivq_f64(wide, divisor));
+  }
+  for (; i < deltas; ++i) {
+    outMillis[i] = static_cast<double>(arrivalNs[i + 1] - arrivalNs[i]) / 1e6;
+  }
+}
+
+void u32ToF64(const std::uint32_t* xs, std::size_t n, double* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t wide = vmovl_u32(vld1_u32(xs + i));
+    vst1q_f64(out + i, vcvtq_f64_u64(wide));  // exact: uint32 fits 52 bits
+  }
+  for (; i < n; ++i) out[i] = static_cast<double>(xs[i]);
+}
+
+}  // namespace neon
+
+#endif  // VCAQOE_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatchers.
+// ---------------------------------------------------------------------------
+
+std::ptrdiff_t findLastMatchU32(const std::uint32_t* sizes, std::size_t n,
+                                std::uint32_t sizeBytes,
+                                std::uint32_t deltaMaxBytes) {
+  const Level level = activeLevel();
+#if defined(VCAQOE_SIMD_X86)
+  if (level == Level::kAvx2) {
+    return avx2::findLastMatchU32(sizes, n, sizeBytes, deltaMaxBytes);
+  }
+  if (level == Level::kSse2) {
+    return sse2::findLastMatchU32(sizes, n, sizeBytes, deltaMaxBytes);
+  }
+#elif defined(VCAQOE_SIMD_NEON)
+  if (level == Level::kNeon) {
+    return neon::findLastMatchU32(sizes, n, sizeBytes, deltaMaxBytes);
+  }
+#else
+  (void)level;
+#endif
+  return ref::findLastMatchU32(sizes, n, sizeBytes, deltaMaxBytes);
+}
+
+double sumF64(const double* xs, std::size_t n) {
+  const Level level = activeLevel();
+#if defined(VCAQOE_SIMD_X86)
+  if (level == Level::kAvx2) return avx2::sumF64(xs, n);
+  if (level == Level::kSse2) return sse2::sumF64(xs, n);
+#elif defined(VCAQOE_SIMD_NEON)
+  if (level == Level::kNeon) return neon::sumF64(xs, n);
+#else
+  (void)level;
+#endif
+  return ref::sumF64(xs, n);
+}
+
+MinMaxF64 minMaxF64(const double* xs, std::size_t n) {
+  const Level level = activeLevel();
+#if defined(VCAQOE_SIMD_X86)
+  if (level == Level::kAvx2) return avx2::minMaxF64(xs, n);
+  if (level == Level::kSse2) return sse2::minMaxF64(xs, n);
+#elif defined(VCAQOE_SIMD_NEON)
+  if (level == Level::kNeon) return neon::minMaxF64(xs, n);
+#else
+  (void)level;
+#endif
+  return ref::minMaxF64(xs, n);
+}
+
+double centralMoment2F64(const double* xs, std::size_t n, double mu) {
+  const Level level = activeLevel();
+#if defined(VCAQOE_SIMD_X86)
+  if (level == Level::kAvx2) return avx2::centralMoment2F64(xs, n, mu);
+  if (level == Level::kSse2) return sse2::centralMoment2F64(xs, n, mu);
+#elif defined(VCAQOE_SIMD_NEON)
+  if (level == Level::kNeon) return neon::centralMoment2F64(xs, n, mu);
+#else
+  (void)level;
+#endif
+  return ref::centralMoment2F64(xs, n, mu);
+}
+
+void iatMillisF64(const std::int64_t* arrivalNs, std::size_t n,
+                  double* outMillis) {
+  const Level level = activeLevel();
+#if defined(VCAQOE_SIMD_X86)
+  if (level == Level::kAvx2) {
+    avx2::iatMillisF64(arrivalNs, n, outMillis);
+    return;
+  }
+  // SSE2 lacks the 64-bit compares the range guard needs; scalar is the
+  // honest arm there.
+#elif defined(VCAQOE_SIMD_NEON)
+  if (level == Level::kNeon) {
+    neon::iatMillisF64(arrivalNs, n, outMillis);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  ref::iatMillisF64(arrivalNs, n, outMillis);
+}
+
+void u32ToF64(const std::uint32_t* xs, std::size_t n, double* out) {
+  const Level level = activeLevel();
+#if defined(VCAQOE_SIMD_X86)
+  if (level == Level::kAvx2) {
+    avx2::u32ToF64(xs, n, out);
+    return;
+  }
+  // Zero-extending u32 loads predate SSE4.1; scalar converts exactly anyway.
+#elif defined(VCAQOE_SIMD_NEON)
+  if (level == Level::kNeon) {
+    neon::u32ToF64(xs, n, out);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  ref::u32ToF64(xs, n, out);
+}
+
+}  // namespace vcaqoe::common::simd

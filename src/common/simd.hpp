@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// Runtime-dispatched SIMD kernels for the SoA hot paths.
+///
+/// PRs 4/5 laid the estimator state out as contiguous columns —
+/// `LookbackRing`'s parallel `uint32 sizes[]`, `WindowColumns`'s
+/// `int64 arrivalNs[]` / `uint32 sizeBytes[]`, the `FlattenedForest`
+/// arena — precisely so these sweeps could go wide. This header is the
+/// one place that goes wide: a small set of kernels with an always-built
+/// scalar reference implementation and SSE2/AVX2 (x86-64) or NEON
+/// (aarch64) arms selected at runtime.
+///
+/// ## Dispatch
+///
+/// `activeLevel()` picks the best arm the CPU supports, once, at first
+/// use. Setting `VCAQOE_FORCE_SCALAR=1` in the environment pins every
+/// kernel to the scalar reference (the debugging/bisection escape
+/// hatch); tests pin arms explicitly with `forceLevel()`. AVX2 code is
+/// compiled via function-level target attributes, so the binary still
+/// runs on baseline x86-64 — the AVX2 arm is simply never selected
+/// there.
+///
+/// ## Bit-identity contract
+///
+/// Every kernel returns *bit-identical* results on every arm, including
+/// the scalar reference (tested by `tests/simd_kernels_test.cpp` across
+/// alignments, tail lengths, and NaN placement). Floating-point
+/// reductions achieve this by fixing the association order as part of
+/// the kernel's definition, independent of ISA:
+///
+///   * spans shorter than 8 elements use a plain sequential left fold
+///     (so tiny windows keep their historical values exactly);
+///   * longer spans accumulate into 4 logical lanes — lane j holds
+///     elements j, j+4, j+8, ... of the first floor(n/4)*4 elements —
+///     combined as `(lane0 + lane2) + (lane1 + lane3)`, then the
+///     remaining tail folds in sequentially.
+///
+/// The scalar reference implements that exact lane structure, a 128-bit
+/// arm runs lanes {0,1} and {2,3} in two registers, a 256-bit arm runs
+/// all four in one; all agree bitwise. Min/max kernels follow the x86
+/// MINPD/MAXPD rule on unordered compares (`acc = acc < x ? acc : x`,
+/// so a NaN input replaces the accumulator and a later number replaces
+/// a NaN accumulator) on every arm, scalar included.
+namespace vcaqoe::common::simd {
+
+/// Dispatch arms, poorest to richest. kSse2 and kAvx2 exist on x86-64
+/// only, kNeon on aarch64 only; kScalar exists everywhere and is the
+/// reference implementation.
+enum class Level : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+/// Stable lower-case name ("scalar", "sse2", "avx2", "neon") — the
+/// value benches persist under the `simd` config key.
+const char* toString(Level level);
+
+/// Richest arm this binary carries code for on this architecture
+/// (compile-time property; ignores the CPU and the environment).
+Level compiledLevel();
+
+/// The arm kernels dispatch to right now: runtime CPU detection,
+/// downgraded to kScalar when VCAQOE_FORCE_SCALAR is set to a non-empty
+/// value other than "0", overridden entirely while a forceLevel() pin
+/// is active.
+Level activeLevel();
+
+/// True when this CPU (and this binary) can execute `level`.
+bool supported(Level level);
+
+/// Test hook: pin dispatch to `level` until clearForcedLevel(). Unsupported
+/// levels pin to kScalar instead (never to an arm that would fault).
+void forceLevel(Level level);
+
+/// Drops the forceLevel() pin; environment + CPU detection rule again.
+void clearForcedLevel();
+
+/// Index of the most recent match in a contiguous span: the largest
+/// i in [0, n) with |sizes[i] - sizeBytes| <= deltaMaxBytes (exact
+/// unsigned arithmetic), or -1 when nothing matches. This is the
+/// Algorithm-1 size-match sweep of `core::LookbackRing`.
+std::ptrdiff_t findLastMatchU32(const std::uint32_t* sizes, std::size_t n,
+                                std::uint32_t sizeBytes,
+                                std::uint32_t deltaMaxBytes);
+
+/// Fixed-association sum (see the bit-identity contract above); 0.0 for
+/// an empty span.
+double sumF64(const double* xs, std::size_t n);
+
+struct MinMaxF64 {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Min/max in one pass under the MINPD/MAXPD unordered-compare rule;
+/// {0, 0} for an empty span.
+MinMaxF64 minMaxF64(const double* xs, std::size_t n);
+
+/// Fixed-association sum of (xs[i] - mu)^2 — the second central moment
+/// numerator shared by the stdev kernels; 0.0 for an empty span.
+double centralMoment2F64(const double* xs, std::size_t n, double mu);
+
+/// Interarrival deltas in milliseconds: writes n - 1 values,
+/// outMillis[i] = double(arrivalNs[i + 1] - arrivalNs[i]) / 1e6 —
+/// exactly `nsToMillis` applied to each delta (elementwise, so
+/// bit-identity needs no association contract). No-op for n < 2.
+void iatMillisF64(const std::int64_t* arrivalNs, std::size_t n,
+                  double* outMillis);
+
+/// Elementwise exact widening: out[i] = double(xs[i]).
+void u32ToF64(const std::uint32_t* xs, std::size_t n, double* out);
+
+}  // namespace vcaqoe::common::simd

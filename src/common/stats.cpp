@@ -4,20 +4,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace vcaqoe::common {
 
 double mean(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
-  double s = 0.0;
-  for (double x : xs) s += x;
-  return s / static_cast<double>(xs.size());
+  return simd::sumF64(xs.data(), xs.size()) / static_cast<double>(xs.size());
 }
 
 namespace {
 double centralMoment2(std::span<const double> xs, double mu) {
-  double s = 0.0;
-  for (double x : xs) s += (x - mu) * (x - mu);
-  return s;
+  return simd::centralMoment2F64(xs.data(), xs.size(), mu);
 }
 }  // namespace
 
@@ -54,9 +52,9 @@ FiveNumber fiveNumber(std::span<const double> xs) {
   f.mean = mean(xs);
   f.stdev = sampleStdev(xs);
   f.median = median(xs);
-  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
-  f.min = *lo;
-  f.max = *hi;
+  const auto [lo, hi] = simd::minMaxF64(xs.data(), xs.size());
+  f.min = lo;
+  f.max = hi;
   return f;
 }
 

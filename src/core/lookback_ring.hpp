@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/simd.hpp"
+
 /// Fixed-capacity SoA ring over the last Nmax video packets — the
 /// Algorithm-1 lookback state of the streaming estimator.
 ///
@@ -12,8 +14,8 @@
 /// streaming estimator must carry the lookback itself. A deque of
 /// (size, frame id) pairs does that with node-hopping and a 12-byte stride;
 /// this ring keeps the two columns in parallel flat arrays so the size-match
-/// scan is a branch-light reverse sweep over contiguous `uint32_t`
-/// (auto-vectorizable) and pushes never allocate after construction.
+/// scan runs 8/16 sizes per step through `common::simd::findLastMatchU32`
+/// and pushes never allocate after construction.
 namespace vcaqoe::core {
 
 class LookbackRing {
@@ -41,9 +43,9 @@ class LookbackRing {
   /// slots below the write cursor, then the wrapped tail).
   std::int64_t matchMostRecent(std::uint32_t sizeBytes,
                                std::uint32_t deltaMaxBytes) const {
-    const std::int64_t hit = scanReverse(0, next_, sizeBytes, deltaMaxBytes);
+    const std::int64_t hit = scanSpan(0, next_, sizeBytes, deltaMaxBytes);
     if (hit >= 0 || count_ < sizes_.size()) return hit;
-    return scanReverse(next_, sizes_.size(), sizeBytes, deltaMaxBytes);
+    return scanSpan(next_, sizes_.size(), sizeBytes, deltaMaxBytes);
   }
 
   std::size_t size() const { return count_; }
@@ -55,18 +57,16 @@ class LookbackRing {
   }
 
  private:
-  /// Reverse sweep over the contiguous slot range [lo, hi).
-  std::int64_t scanReverse(std::size_t lo, std::size_t hi,
-                           std::uint32_t sizeBytes,
-                           std::uint32_t deltaMaxBytes) const {
-    const std::uint32_t* sizes = sizes_.data();
-    for (std::size_t i = hi; i-- > lo;) {
-      const std::uint32_t prev = sizes[i];
-      const std::uint32_t diff = prev > sizeBytes ? prev - sizeBytes
-                                                  : sizeBytes - prev;
-      if (diff <= deltaMaxBytes) return static_cast<std::int64_t>(frameIds_[i]);
-    }
-    return -1;
+  /// Most-recent match over the contiguous slot range [lo, hi): a forward
+  /// span handed to the SIMD kernel (which resolves the *last* matching
+  /// index), replacing the old backward `i-- > lo` per-element walk.
+  std::int64_t scanSpan(std::size_t lo, std::size_t hi,
+                        std::uint32_t sizeBytes,
+                        std::uint32_t deltaMaxBytes) const {
+    const std::ptrdiff_t at = common::simd::findLastMatchU32(
+        sizes_.data() + lo, hi - lo, sizeBytes, deltaMaxBytes);
+    if (at < 0) return -1;
+    return static_cast<std::int64_t>(frameIds_[lo + static_cast<std::size_t>(at)]);
   }
 
   std::vector<std::uint32_t> sizes_;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 #include "rtp/rtp.hpp"
 
@@ -43,19 +44,15 @@ std::vector<double> flowStatistics(
   const double seconds = common::nsToSeconds(windowNs);
   const std::size_t n = videoSizeBytes.size();
 
-  double totalBytes = 0.0;
-  std::vector<double> sizes;
-  sizes.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    totalBytes += videoSizeBytes[i];
-    sizes.push_back(static_cast<double>(videoSizeBytes[i]));
-  }
-  std::vector<double> iats;
-  iats.reserve(n);
-  for (std::size_t i = 1; i < n; ++i) {
-    iats.push_back(
-        common::nsToMillis(videoArrivalNs[i] - videoArrivalNs[i - 1]));
-  }
+  // Columnar kernels over the contiguous WindowColumns arrays: widen the
+  // uint32 sizes once (exact), sum bytes over the widened copy (integer
+  // values, so the fixed-association SIMD sum is exact too), and convert
+  // the interarrival deltas in one vector pass.
+  std::vector<double> sizes(n);
+  common::simd::u32ToF64(videoSizeBytes.data(), n, sizes.data());
+  const double totalBytes = common::simd::sumF64(sizes.data(), n);
+  std::vector<double> iats(n > 1 ? n - 1 : 0);
+  common::simd::iatMillisF64(videoArrivalNs.data(), n, iats.data());
 
   std::vector<double> out;
   out.reserve(12);

@@ -63,9 +63,15 @@ std::shared_ptr<const InferenceBackend> ModelRegistry::lookupOrLoad(
     // crash mid-write leaving a truncated .fforest beside a good .forest).
     const auto probeStem = [&](const std::string& stem,
                                const std::string& name) {
+      // The opt-in quantized layout is applied before the backend adopts
+      // the forest; a forest that cannot quantize (feature index past
+      // int16) is a load failure like any other malformed model.
       try {
         if (auto flat = ml::tryLoadFlattenedForestFile(
                 stem + ml::kFlatForestFileExtension)) {
+          if (options_.quantizeModels && !flat->quantized()) {
+            flat->applyLayout({.quantizeThresholds = true});
+          }
           loaded = std::make_shared<ForestBackend>(std::move(*flat), target,
                                                    name, rowWidth);
           loads_.fetch_add(1, std::memory_order_relaxed);
@@ -77,8 +83,12 @@ std::shared_ptr<const InferenceBackend> ModelRegistry::lookupOrLoad(
         try {
           if (auto forest =
                   ml::tryLoadForestFile(stem + ml::kForestFileExtension)) {
-            loaded = std::make_shared<ForestBackend>(*forest, target, name,
-                                                     rowWidth);
+            ml::FlattenedForest flat(*forest);
+            if (options_.quantizeModels) {
+              flat.applyLayout({.quantizeThresholds = true});
+            }
+            loaded = std::make_shared<ForestBackend>(std::move(flat), target,
+                                                     name, rowWidth);
             loads_.fetch_add(1, std::memory_order_relaxed);
           }
         } catch (const std::exception&) {

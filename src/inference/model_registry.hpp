@@ -55,6 +55,13 @@ struct ModelRegistryOptions {
   /// (predict nothing); a `HeuristicBackend` here degrades missing models
   /// to Algorithm-1 estimates instead.
   std::shared_ptr<const InferenceBackend> fallback;
+  /// Opt-in (never on by default): apply the quantized FlattenedForest
+  /// layout — float32 thresholds, int16 split-feature indices — to every
+  /// lazily loaded model. Predictions then carry the documented quantization
+  /// tolerance (see ml::FlattenedForest::LayoutOptions) in exchange for a
+  /// smaller, faster arena. Models whose files carry the `layout quantized`
+  /// marker are quantized regardless of this flag.
+  bool quantizeModels = false;
 };
 
 class ModelRegistry {

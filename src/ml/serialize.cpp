@@ -217,6 +217,10 @@ void saveFlattenedForest(const FlattenedForest& forest, std::ostream& out) {
       << (forest.task() == TreeTask::kRegression ? "regression"
                                                  : "classification")
       << '\n';
+  // The quantized variant keeps the full-precision payload (thresholds are
+  // written as doubles either way); the marker only records that eval
+  // should re-quantize after load.
+  if (forest.quantized()) out << "layout quantized\n";
   out << std::setprecision(17);
   out << "features " << forest.featureCount() << '\n';
 
@@ -264,8 +268,22 @@ FlattenedForest loadFlattenedForest(std::istream& in) {
     malformed("unknown task '" + taskName + "'");
   }
 
+  // Optional `layout quantized` marker (written by saveFlattenedForest for
+  // a forest whose quantized layout was applied); anything else here must
+  // be the features line.
+  bool quantizedLayout = false;
+  if (!(in >> key)) malformed("missing features");
+  if (key == "layout") {
+    std::string layoutName;
+    if (!(in >> layoutName)) malformed("truncated layout");
+    if (layoutName != "quantized") {
+      malformed("unknown layout '" + layoutName + "'");
+    }
+    quantizedLayout = true;
+    if (!(in >> key)) malformed("missing features");
+  }
   std::size_t featureCount = 0;
-  if (!(in >> key >> featureCount) || key != "features") {
+  if (!(in >> featureCount) || key != "features") {
     malformed("missing features");
   }
   checkDeclaredCount(featureCount, "feature");
@@ -307,10 +325,15 @@ FlattenedForest loadFlattenedForest(std::istream& in) {
   rejectTrailingPayload(in);
 
   try {
-    return FlattenedForest::fromParts(
+    FlattenedForest flat = FlattenedForest::fromParts(
         task, featureCount, std::move(roots), std::move(feature),
         std::move(threshold), std::move(left), std::move(right),
         std::move(leafValue));
+    // Re-deriving the int16/float32 arrays can itself reject the file (a
+    // split feature index past int16), which is a malformed model, not a
+    // programming error.
+    if (quantizedLayout) flat.applyLayout({.quantizeThresholds = true});
+    return flat;
   } catch (const std::invalid_argument& e) {
     malformed(e.what());
   }

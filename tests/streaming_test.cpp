@@ -266,6 +266,34 @@ TEST(LookbackRing, ClearForgetsEntriesButKeepsCapacity) {
   EXPECT_EQ(ring.matchMostRecent(307, 0), -1);  // fell off
 }
 
+TEST(LookbackRing, CapacityEdgesMatchADequeModelAcrossTheVectorWidths) {
+  // Regression for the forward-span rewrite of the old backward `i-- > lo`
+  // scan: capacities straddling the 8/16-wide SIMD sweep (and the wrap
+  // boundary inside each) must agree with a naive newest-first model at
+  // every push, including the push that lands exactly on the capacity edge.
+  for (const std::size_t capacity : {1u, 2u, 7u, 8u, 9u, 15u, 16u, 17u}) {
+    LookbackRing ring(capacity);
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> model;  // oldest first
+    std::uint32_t seed = 12345;
+    for (std::uint64_t id = 0; id < 2 * capacity + 3; ++id) {
+      seed = seed * 1664525 + 1013904223;  // deterministic LCG sizes
+      const std::uint32_t size = 900 + seed % 300;
+      const std::uint32_t probe = 900 + (seed >> 16) % 300;
+      std::int64_t expected = -1;
+      for (const auto& [s, fid] : model) {  // later entries overwrite: newest wins
+        const std::uint32_t diff = s > probe ? s - probe : probe - s;
+        if (diff <= 30) expected = static_cast<std::int64_t>(fid);
+      }
+      EXPECT_EQ(ring.matchMostRecent(probe, 30), expected)
+          << "capacity=" << capacity << " push=" << id;
+      ring.push(size, id);
+      model.emplace_back(size, id);
+      if (model.size() > capacity) model.erase(model.begin());
+    }
+    EXPECT_EQ(ring.size(), capacity);
+  }
+}
+
 TEST(LookbackRing, CapacityOneSeesOnlyThePreviousPacket) {
   LookbackRing ring(1);
   ring.push(1000, 4);
