@@ -20,6 +20,15 @@
 // the scale-out curve at a fixed flow count. Scenario rows carry a
 // feature_set field ("ipudp" / "rtp") in the persisted JSON.
 //
+// A `skewed_flows` scenario replays a Zipf-sized flow population with one
+// deliberate elephant (flow 0 carries ~40% of all packets) through static
+// hash placement, least-loaded admission, and least-loaded + migration,
+// all digest-checked against the sequential reference. The migrating run's
+// per-shard load vector (dispatched/processed/backlog/resident/EWMA) and
+// completed-migration count are persisted alongside the throughput columns,
+// and the uniform 64-flow row gains an `eng_least_loaded_pkts_per_s` column
+// so the uniform-traffic cost of adaptive admission stays visible.
+//
 // With `--json-out DIR` (or VCAQOE_BENCH_JSON_DIR) the whole run — every
 // scenario's pkts/s, the model micro rows/s, the worker sweep, and p50/p99
 // per-window dispatch latency — is persisted as BENCH_engine_throughput.json
@@ -94,6 +103,35 @@ struct Scenario {
   std::vector<netflow::FlowKey> keys;
   std::vector<std::pair<std::uint32_t, netflow::Packet>> stream;
 };
+
+/// Zipf-sized flow population with one deliberate elephant: flow 0 carries
+/// ~40% of the packet budget, the rest is split 1/(rank+1) across the mice.
+/// This is the load shape that defeats static hash placement — whichever
+/// shard draws flow 0 runs hot while its siblings idle.
+Scenario makeSkewedScenario(int flows, int totalPackets) {
+  Scenario scenario;
+  const int elephant = std::max(totalPackets * 2 / 5, 128);
+  double harmonic = 0.0;
+  for (int f = 1; f < flows; ++f) harmonic += 1.0 / (1.0 + f);
+  const double miceBudget = static_cast<double>(totalPackets - elephant);
+  for (int f = 0; f < flows; ++f) {
+    const auto flow = static_cast<std::uint32_t>(f);
+    scenario.keys.push_back(engine::syntheticFlowKey(flow));
+    const int perFlow =
+        f == 0 ? elephant
+               : std::max(static_cast<int>(miceBudget / (1.0 + f) / harmonic),
+                          64);
+    const auto seed = 7000 + static_cast<std::uint64_t>(f);
+    const auto startNs = static_cast<common::TimeNs>(flow) * 41'000;
+    const auto trace = engine::syntheticFlowTrace(seed, perFlow, startNs);
+    for (const auto& packet : trace) scenario.stream.emplace_back(flow, packet);
+  }
+  std::stable_sort(scenario.stream.begin(), scenario.stream.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.arrivalNs < b.second.arrivalNs;
+                   });
+  return scenario;
+}
 
 Scenario makeScenario(int flows, int totalPackets, bool rtpHeads = false) {
   Scenario scenario;
@@ -192,7 +230,10 @@ RunResult runEngine(const Scenario& scenario,
                     const core::StreamingOptions& streaming, int workers,
                     std::shared_ptr<inference::ModelRegistry> registry,
                     std::size_t inferenceBatch = 1, bool pinWorkers = false,
-                    bench::WindowLatencyProbe* probe = nullptr) {
+                    bench::WindowLatencyProbe* probe = nullptr,
+                    engine::Placement placement = engine::Placement::kHash,
+                    bool migrateFlows = false,
+                    engine::EngineStats* statsOut = nullptr) {
   const auto start = std::chrono::steady_clock::now();
   engine::EngineOptions options;
   options.streaming = streaming;
@@ -201,6 +242,9 @@ RunResult runEngine(const Scenario& scenario,
   options.registry = std::move(registry);
   options.targets = {inference::QoeTarget::kFrameRate};
   options.inferenceBatch = inferenceBatch;
+  options.placement = placement;
+  options.migrateFlows = migrateFlows;
+  options.expectedFlows = scenario.keys.size();
   // Deadline scaled to the batch size so the size knob binds rather than
   // the dispatch-boundary flush capping the effective batch.
   options.inferenceFlushNs = engine::scaledInferenceFlushNs(inferenceBatch);
@@ -227,7 +271,26 @@ RunResult runEngine(const Scenario& scenario,
   result.pps = static_cast<double>(scenario.stream.size()) /
                secondsSince(start);
   for (const auto& r : rest) result.digest.add(r.flow, r.output);
+  if (statsOut) *statsOut = eng.stats();
   return result;
+}
+
+/// Per-shard load vector of a finished run, as persisted JSON: one object
+/// per shard, in shard order.
+common::JsonValue loadJson(const engine::EngineStats& stats) {
+  auto loads = common::JsonValue::array();
+  for (const auto& shard : stats.shardLoads) {
+    auto entry = common::JsonValue::object();
+    entry.set("dispatched", static_cast<std::int64_t>(shard.packetsDispatched));
+    entry.set("processed", static_cast<std::int64_t>(shard.packetsProcessed));
+    entry.set("backlog", static_cast<std::int64_t>(shard.backlog));
+    entry.set("resident_flows", static_cast<std::int64_t>(shard.residentFlows));
+    entry.set("ewma_batch_ns", shard.ewmaBatchNs);
+    entry.set("migrations_in", static_cast<std::int64_t>(shard.migrationsIn));
+    entry.set("migrations_out", static_cast<std::int64_t>(shard.migrationsOut));
+    loads.push(std::move(entry));
+  }
+  return loads;
 }
 
 common::JsonValue throughputJson(
@@ -485,10 +548,21 @@ int main(int argc, char** argv) {
                                    makeFlatRegistry());
     const auto engBatch = runEngine(scenario, streaming, workers,
                                     makeFlatRegistry(), batch);
+    // Uniform-traffic cost of adaptive admission: on an even load the
+    // least-loaded policy must stay within noise of the hash default. Only
+    // the sweep-size row carries the column (it is the one the trajectory
+    // tracks).
+    RunResult engLeast;
+    if (flows == 64) {
+      engLeast = runEngine(scenario, streaming, workers, nullptr,
+                           /*inferenceBatch=*/1, /*pinWorkers=*/false,
+                           /*probe=*/nullptr, engine::Placement::kLeastLoaded);
+    }
     const bool identical =
         seq.digest == eng.digest && seqModel.digest == engTree.digest &&
         seqModel.digest == engFlat.digest &&
         seqModel.digest == engBatch.digest &&
+        (flows != 64 || seq.digest == engLeast.digest) &&
         seqModel.digest.outputs == seq.digest.outputs &&
         seqModel.digest.hash != seq.digest.hash;  // model actually predicted
     allIdentical = allIdentical && identical;
@@ -506,13 +580,71 @@ int main(int argc, char** argv) {
     row.set("feature_set",
             std::string(features::toString(features::FeatureSet::kIpUdp)));
     row.set("packets", static_cast<std::int64_t>(scenario.stream.size()));
-    row.set("throughput",
-            throughputJson({{"seq_pkts_per_s", seq.pps},
-                            {"eng_pkts_per_s", eng.pps},
-                            {"eng_tree_model_pkts_per_s", engTree.pps},
-                            {"eng_flat_model_pkts_per_s", engFlat.pps},
-                            {"eng_batch_model_pkts_per_s", engBatch.pps}}));
+    auto throughput =
+        throughputJson({{"seq_pkts_per_s", seq.pps},
+                        {"eng_pkts_per_s", eng.pps},
+                        {"eng_tree_model_pkts_per_s", engTree.pps},
+                        {"eng_flat_model_pkts_per_s", engFlat.pps},
+                        {"eng_batch_model_pkts_per_s", engBatch.pps}});
+    if (flows == 64) {
+      throughput.set("eng_least_loaded_pkts_per_s", engLeast.pps);
+    }
+    row.set("throughput", std::move(throughput));
     row.set("latency_ms", probe.toJson());
+    row.set("identical", identical);
+  }
+
+  // ---- skewed_flows: the elephant scenario. Static hash placement pins
+  // ~40% of the stream to one shard; least-loaded admission balances the
+  // mice around it; migration moves the elephant itself once the imbalance
+  // trigger fires. All three arms are digest-checked against the sequential
+  // reference — adaptivity must not cost a single output bit.
+  {
+    const int skewFlows = 32;
+    const auto scenario = makeSkewedScenario(skewFlows, totalPackets);
+    const auto seq = runSequential(scenario, streaming, nullptr);
+    const auto engHash = runEngine(scenario, streaming, workers, nullptr);
+    const auto engLeast = runEngine(
+        scenario, streaming, workers, nullptr, /*inferenceBatch=*/1,
+        /*pinWorkers=*/false, /*probe=*/nullptr,
+        engine::Placement::kLeastLoaded);
+    engine::EngineStats migrateStats;
+    const auto engMigrate = runEngine(
+        scenario, streaming, workers, nullptr, /*inferenceBatch=*/1,
+        /*pinWorkers=*/false, /*probe=*/nullptr,
+        engine::Placement::kLeastLoaded, /*migrateFlows=*/true,
+        &migrateStats);
+    const bool identical = seq.digest == engHash.digest &&
+                           seq.digest == engLeast.digest &&
+                           seq.digest == engMigrate.digest;
+    allIdentical = allIdentical && identical;
+    std::printf(
+        "\nskewed flows — %d flows, flow 0 carries ~40%% of %zu packets\n",
+        skewFlows, scenario.stream.size());
+    std::printf(
+        "  seq %.0f pkts/s | hash %.0f | least-loaded %.0f (%.2fx vs hash) | "
+        "migrate %.0f (%.2fx vs hash, %llu migrations) | identical: %s\n",
+        seq.pps, engHash.pps, engLeast.pps, engLeast.pps / engHash.pps,
+        engMigrate.pps, engMigrate.pps / engHash.pps,
+        static_cast<unsigned long long>(migrateStats.migrations),
+        identical ? "yes" : "NO");
+
+    auto& row = report.addScenario("skewed_flows");
+    row.set("flows", skewFlows);
+    row.set("feature_set",
+            std::string(features::toString(features::FeatureSet::kIpUdp)));
+    row.set("packets", static_cast<std::int64_t>(scenario.stream.size()));
+    row.set("throughput",
+            throughputJson(
+                {{"seq_pkts_per_s", seq.pps},
+                 {"eng_hash_pkts_per_s", engHash.pps},
+                 {"eng_least_loaded_pkts_per_s", engLeast.pps},
+                 {"eng_migrate_pkts_per_s", engMigrate.pps}}));
+    // Load vector of the migrating run: this is the arm whose balance the
+    // scenario exists to measure.
+    row.set("load", loadJson(migrateStats));
+    row.set("migrations",
+            static_cast<std::int64_t>(migrateStats.migrations));
     row.set("identical", identical);
   }
 

@@ -20,6 +20,7 @@
 #include "common/simd.hpp"
 #include "common/stats.hpp"
 #include "core/evaluation.hpp"
+#include "engine/flow_table.hpp"
 #include "engine/synthetic.hpp"
 #include "ml/flattened_forest.hpp"
 #include "core/frame_heuristic.hpp"
@@ -233,6 +234,65 @@ void BM_PredictBatchBlocked(benchmark::State& state) {
   runPredictBatch(state, ml::FlattenedForest::BatchTraversal::kBlocked);
 }
 BENCHMARK(BM_PredictBatchBlocked)->Arg(8)->Arg(64);
+
+// --- Dispatcher demux: hashing every packet's 5-tuple through
+// FlowTable::intern vs fronting the table with the 64-slot direct-mapped
+// FlowDemuxCache the engine dispatcher uses. The stream is bursty (packet
+// trains per flow, like real media traffic), which is exactly the locality
+// the last-flow cache converts into a slot compare instead of a hash-map
+// probe.
+
+std::vector<netflow::FlowKey> burstyKeyStream(std::size_t flows,
+                                              std::size_t burst,
+                                              std::size_t total) {
+  std::vector<netflow::FlowKey> keys;
+  keys.reserve(total);
+  std::mt19937 rng(45);
+  while (keys.size() < total) {
+    const auto flow = static_cast<std::uint32_t>(rng() % flows);
+    for (std::size_t b = 0; b < burst && keys.size() < total; ++b) {
+      keys.push_back(engine::syntheticFlowKey(flow));
+    }
+  }
+  return keys;
+}
+
+void BM_FlowDemuxIntern(benchmark::State& state) {
+  const auto keys =
+      burstyKeyStream(static_cast<std::size_t>(state.range(0)), 24, 65'536);
+  for (auto _ : state) {
+    engine::FlowTable table;
+    std::uint64_t acc = 0;
+    for (const auto& key : keys) acc += table.intern(key);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_FlowDemuxIntern)->Arg(16)->Arg(256);
+
+void BM_FlowDemuxCached(benchmark::State& state) {
+  const auto keys =
+      burstyKeyStream(static_cast<std::size_t>(state.range(0)), 24, 65'536);
+  for (auto _ : state) {
+    engine::FlowTable table;
+    engine::FlowDemuxCache cache;
+    std::uint64_t acc = 0;
+    for (const auto& key : keys) {
+      if (const auto cached = cache.lookup(key)) {
+        acc += *cached;
+        continue;
+      }
+      const auto id = table.intern(key);
+      cache.remember(key, id);
+      acc += id;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_FlowDemuxCached)->Arg(16)->Arg(256);
 
 void BM_RtpHeaderParse(benchmark::State& state) {
   const auto& trace = sampleSession().packets;

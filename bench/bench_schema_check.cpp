@@ -13,8 +13,11 @@
 // flow-table row declares its feature_set ("ipudp" or "rtp") with both
 // families present in the document (the kRtp hot path is benchmarked, not
 // just the seed kIpUdp one), that config.simd names the dispatch arm the
-// kernels ran on (scalar/sse2/avx2/neon), and that a kernel_micro scenario
-// carries both columns of the three SIMD kernel comparisons.
+// kernels ran on (scalar/sse2/avx2/neon), that a kernel_micro scenario
+// carries both columns of the three SIMD kernel comparisons, and that a
+// skewed_flows scenario persists the placement-policy comparison (hash vs
+// least-loaded vs migrating columns), a non-empty per-shard "load" array
+// with the full load vector per shard, and a numeric "migrations" count.
 //
 // Exit code 0 only when every file validates; failures are printed with the
 // file and the violated rule. CI runs this on the bench-smoke artifacts so
@@ -132,6 +135,72 @@ struct Checker {
       checkWorkerSweep(doc);
       checkFeatureSets(doc);
       checkSimd(doc);
+      checkSkewedFlows(doc);
+    }
+  }
+
+  /// Engine-bench load-adaptivity contract: the document carries the
+  /// skewed_flows (elephant) scenario with all three placement-policy
+  /// columns digest-verified, the migrating run's per-shard load vector,
+  /// and its completed-migration count.
+  void checkSkewedFlows(const JsonValue& doc) {
+    const auto* scenarios = doc.find("scenarios");
+    if (!scenarios || !scenarios->isArray()) return;  // reported already
+    const JsonValue* skewed = nullptr;
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < scenarios->size(); ++i) {
+      const auto& row = scenarios->at(i);
+      if (!row.isObject()) continue;
+      if (const auto* name = row.find("name");
+          name && name->isString() && name->asString() == "skewed_flows") {
+        skewed = &row;
+        at = i;
+      }
+    }
+    if (!skewed) {
+      fail("scenarios: no \"skewed_flows\" row (placement-policy comparison "
+           "missing)");
+      return;
+    }
+    const std::string where = "scenarios[" + std::to_string(at) + "]";
+    if (const auto* throughput = skewed->find("throughput");
+        throughput && throughput->isObject()) {
+      for (const char* key :
+           {"seq_pkts_per_s", "eng_hash_pkts_per_s",
+            "eng_least_loaded_pkts_per_s", "eng_migrate_pkts_per_s"}) {
+        requireMember(*throughput, key, &JsonValue::isNumber, "a number",
+                      where + ".throughput");
+      }
+    }
+    if (const auto* identical = requireMember(
+            *skewed, "identical", &JsonValue::isBool, "a bool", where)) {
+      if (!identical->asBool()) {
+        fail(where + ": identical=false (digest mismatch persisted)");
+      }
+    }
+    requireMember(*skewed, "migrations", &JsonValue::isNumber, "a number",
+                  where);
+    const auto* load = requireMember(*skewed, "load", &JsonValue::isArray,
+                                     "an array", where);
+    if (!load) return;
+    if (load->size() == 0) {
+      fail(where + ".load: empty array (no per-shard load vector)");
+      return;
+    }
+    for (std::size_t i = 0; i < load->size(); ++i) {
+      const auto& shard = load->at(i);
+      const std::string shardWhere =
+          where + ".load[" + std::to_string(i) + "]";
+      if (!shard.isObject()) {
+        fail(shardWhere + ": not an object");
+        continue;
+      }
+      for (const char* key :
+           {"dispatched", "processed", "backlog", "resident_flows",
+            "ewma_batch_ns", "migrations_in", "migrations_out"}) {
+        requireMember(shard, key, &JsonValue::isNumber, "a number",
+                      shardWhere);
+      }
     }
   }
 

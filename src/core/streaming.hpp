@@ -114,6 +114,14 @@ class StreamingEstimator {
   /// flow admission (the engine does) instead of swapping it mid-flight.
   void attachBackend(BackendPtr backend);
 
+  /// Rebinds the emission callback. Unlike `attachBackend`, this is legal at
+  /// any point in the stream: the callback is a delivery channel, not an
+  /// input to the computation, so swapping it cannot change what any window
+  /// contains — only where it lands. The engine uses this when a flow
+  /// migrates between shards (the old callback referenced the old shard's
+  /// ring/batcher). Throws std::invalid_argument on a null callback.
+  void rebindCallback(Callback callback);
+
   /// The attached backend; null when none.
   const inference::InferenceBackend* backend() const { return backend_.get(); }
 

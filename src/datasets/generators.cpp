@@ -5,6 +5,7 @@
 #include <cmath>
 #include <thread>
 
+#include "common/load.hpp"
 #include "rxstats/ground_truth.hpp"
 #include "simcall/call_simulator.hpp"
 
@@ -57,8 +58,7 @@ std::vector<core::LabeledSession> generateLabDataset(
   }
 
   sessions.resize(jobs.size());
-  const unsigned hw = std::thread::hardware_concurrency();
-  const std::size_t threads = std::max(1u, hw ? hw : 4u);
+  const std::size_t threads = common::hardwareThreadsOr(1);
   std::vector<std::thread> pool;
   std::atomic<std::size_t> next{0};
   for (std::size_t t = 0; t < threads; ++t) {
@@ -127,8 +127,7 @@ std::vector<core::LabeledSession> generateRealWorldDataset(
   }
 
   std::vector<core::LabeledSession> sessions(jobs.size());
-  const unsigned hw = std::thread::hardware_concurrency();
-  const std::size_t threads = std::max(1u, hw ? hw : 4u);
+  const std::size_t threads = common::hardwareThreadsOr(1);
   std::vector<std::thread> pool;
   std::atomic<std::size_t> next{0};
   for (std::size_t t = 0; t < threads; ++t) {
@@ -150,8 +149,7 @@ std::vector<core::WindowRecord> recordsForSessions(
     const std::vector<core::LabeledSession>& sessions,
     const core::RecordBuilderOptions& options) {
   std::vector<std::vector<core::WindowRecord>> perSession(sessions.size());
-  const unsigned hw = std::thread::hardware_concurrency();
-  const std::size_t threads = std::max(1u, hw ? hw : 4u);
+  const std::size_t threads = common::hardwareThreadsOr(1);
   std::vector<std::thread> pool;
   std::atomic<std::size_t> next{0};
   for (std::size_t t = 0; t < threads; ++t) {

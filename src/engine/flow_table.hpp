@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -30,6 +31,19 @@ using FlowKeyHash = netflow::FlowKeyHash;
 
 class FlowTable {
  public:
+  /// The hash map runs at half the default load factor: the per-packet
+  /// demux lookup is the dispatcher's hottest probe, and shorter chains
+  /// buy more than the extra bucket memory costs at engine scale.
+  FlowTable() { ids_.max_load_factor(0.5F); }
+
+  /// Pre-sizes both the hash map (buckets for `expectedFlows` at the
+  /// tuned load factor) and the id→key sidecar, so a monitor that knows
+  /// its concurrency target never rehashes on the packet path.
+  void reserve(std::size_t expectedFlows) {
+    ids_.reserve(expectedFlows);
+    keys_.reserve(expectedFlows);
+  }
+
   /// Returns the id of `key`, assigning the next dense id on first sight
   /// (or on first sight after an erase — evicted generations stay retired).
   FlowId intern(const netflow::FlowKey& key);
@@ -58,6 +72,61 @@ class FlowTable {
  private:
   std::unordered_map<netflow::FlowKey, FlowId, FlowKeyHash> ids_;
   std::vector<netflow::FlowKey> keys_;
+};
+
+/// Direct-mapped last-flow cache in front of `FlowTable::intern`.
+///
+/// Interleaved capture streams are bursty per flow — a video sender emits
+/// packet trains, so consecutive packets usually repeat one of a handful of
+/// recent 5-tuples. A tiny direct-mapped array (slot = key hash mod
+/// `kSlots`) turns that burstiness into an O(1) compare instead of an
+/// unordered_map probe. Strictly a dispatcher-side accelerator: on a miss
+/// the caller falls back to `intern` and refills the slot; `forget` must be
+/// called when an id is erased (eviction) so a retired generation can never
+/// be served. Single-threaded by design, like the dispatcher itself.
+class FlowDemuxCache {
+ public:
+  static constexpr std::size_t kSlots = 64;  // power of two (mask indexing)
+
+  /// The cached live id of `key`, or nullopt on miss/collision.
+  std::optional<FlowId> lookup(const netflow::FlowKey& key) {
+    ++lookups_;
+    const Entry& entry = slots_[slotOf(key)];
+    if (entry.valid && entry.key == key) {
+      ++hits_;
+      return entry.id;
+    }
+    return std::nullopt;
+  }
+
+  /// Installs `key` → `id`, displacing whatever shared the slot.
+  void remember(const netflow::FlowKey& key, FlowId id) {
+    slots_[slotOf(key)] = Entry{key, id, true};
+  }
+
+  /// Invalidates `key`'s slot (no-op if a colliding key displaced it).
+  void forget(const netflow::FlowKey& key) {
+    Entry& entry = slots_[slotOf(key)];
+    if (entry.valid && entry.key == key) entry.valid = false;
+  }
+
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t hits() const { return hits_; }
+
+ private:
+  struct Entry {
+    netflow::FlowKey key;
+    FlowId id = 0;
+    bool valid = false;
+  };
+
+  static std::size_t slotOf(const netflow::FlowKey& key) {
+    return FlowKeyHash{}(key) & (kSlots - 1);
+  }
+
+  std::array<Entry, kSlots> slots_{};
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
 };
 
 }  // namespace vcaqoe::engine

@@ -1,6 +1,8 @@
 #include "engine/multi_flow_engine.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <stdexcept>
 
 #if defined(__linux__)
@@ -18,6 +20,8 @@ namespace {
 void pinThreadRoundRobin([[maybe_unused]] std::thread& thread,
                          [[maybe_unused]] std::size_t index) {
 #if defined(__linux__)
+  // Deliberately not hardwareThreadsOr: when the CPU count is unknowable,
+  // pinning every worker to CPU 0 would be worse than not pinning at all.
   const unsigned cpus = std::thread::hardware_concurrency();
   if (cpus == 0) return;
   cpu_set_t set;
@@ -27,7 +31,18 @@ void pinThreadRoundRobin([[maybe_unused]] std::thread& thread,
 #endif
 }
 
+/// How many dispatch batches between migration scans: the imbalance scan
+/// walks the live-flow list, so it must not run per packet. Low enough to
+/// react within a few batches, high enough to amortize the walk.
+constexpr std::uint64_t kMigrateScanEveryBatches = 4;
+
 }  // namespace
+
+std::optional<Placement> placementFromString(std::string_view text) {
+  if (text == "hash") return Placement::kHash;
+  if (text == "least-loaded") return Placement::kLeastLoaded;
+  return std::nullopt;
+}
 
 MultiFlowEngine::MultiFlowEngine(EngineOptions options)
     : options_(std::move(options)),
@@ -39,10 +54,10 @@ MultiFlowEngine::MultiFlowEngine(EngineOptions options)
   }
   int workers = options_.numWorkers;
   if (workers <= 0) {
-    workers = static_cast<int>(std::thread::hardware_concurrency());
-    if (workers <= 0) workers = 1;
+    workers = static_cast<int>(common::hardwareThreadsOr(1));
   }
   if (options_.dispatchBatch == 0) options_.dispatchBatch = 1;
+  if (options_.expectedFlows > 0) flowTable_.reserve(options_.expectedFlows);
 
   shards_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -91,7 +106,16 @@ void MultiFlowEngine::onPacket(const netflow::FlowKey& key,
   if (finished_) {
     throw std::logic_error("MultiFlowEngine: onPacket after finish");
   }
-  const FlowId flow = flowTable_.intern(key);
+  maybeCompleteMigration();
+  FlowId flow;
+  if (const auto cached = demuxCache_.lookup(key)) {
+    // Bursty interleaves make this the common case: one array compare
+    // instead of the flow-table hash probe.
+    flow = *cached;
+  } else {
+    flow = flowTable_.intern(key);
+    demuxCache_.remember(key, flow);
+  }
   core::StreamingEstimator::BackendPtr admissionBackend;
   features::FeatureSet admissionSet = options_.streaming.featureSet;
   const bool admitted = flow >= flowStats_.size();
@@ -112,6 +136,9 @@ void MultiFlowEngine::onPacket(const netflow::FlowKey& key,
     lruPrev_.push_back(kNoFlow);
     lruNext_.push_back(kNoFlow);
     lruLinkTail(flow);
+    const std::size_t placed = placeNewFlow(flow);
+    shardOf_.push_back(static_cast<std::uint32_t>(placed));
+    ++shards_[placed]->residentFlows;
   } else {
     lruUnlink(flow);
     lruLinkTail(flow);
@@ -120,17 +147,36 @@ void MultiFlowEngine::onPacket(const netflow::FlowKey& key,
   ++stats.packets;
   stats.bytes += packet.sizeBytes;
   stats.lastArrivalNs = packet.arrivalNs;
-
-  // Static shard assignment: a flow lives on one shard for its whole life,
-  // so per-flow packet order survives the fan-out. (A re-interned generation
-  // may land on a different shard; its id is fresh, so no state aliases.)
-  Shard& shard = *shards_[flow % shards_.size()];
-  shard.pending.push_back(Item{flow, /*evict=*/false, /*kick=*/false, packet,
-                               std::move(admissionBackend), admissionSet});
   ++packetsIngested_;
   if (packet.arrivalNs > clock_) clock_ = packet.arrivalNs;
   if (options_.idleTimeoutNs > 0) evictIdleFlows();
-  if (shard.pending.size() >= options_.dispatchBatch) flushPending(shard);
+
+  if (migration_ && migration_->flow == flow) {
+    // The flow is mid-handover: park the packet so its stream has a clean
+    // cut — everything before the kMigrateOut runs on the source shard,
+    // everything parked here replays on the target right after the
+    // estimator lands there.
+    migration_->parked.push_back(packet);
+    return;
+  }
+
+  // A flow lives on exactly one shard at a time (`shardOf_`), so per-flow
+  // packet order survives the fan-out under any placement policy. (A
+  // re-interned generation may land on a different shard; its id is fresh,
+  // so no state aliases.)
+  Shard& shard = *shards_[shardOf_[flow]];
+  Item item;
+  item.flow = flow;
+  item.packet = packet;
+  item.backend = std::move(admissionBackend);
+  item.featureSet = admissionSet;
+  shard.pending.push_back(std::move(item));
+  ++shard.packetsDispatched;
+  if (shard.pending.size() >= options_.dispatchBatch) {
+    flushPending(shard);
+    // Dispatch-batch boundary: the migration safe point.
+    maybeStartMigration();
+  }
 }
 
 core::StreamingEstimator::BackendPtr MultiFlowEngine::resolveBackend(
@@ -152,6 +198,142 @@ core::StreamingEstimator::BackendPtr MultiFlowEngine::resolveBackend(
   stats.vca = std::move(vca);
   stats.backend = backend;
   return backend;
+}
+
+std::uint64_t MultiFlowEngine::shardBacklog(const Shard& shard) const {
+  const std::uint64_t processed =
+      shard.packetsProcessed.load(std::memory_order_relaxed);
+  // The worker's counter trails the dispatcher's, so this never wraps; the
+  // guard is belt-and-braces against a torn read on exotic platforms.
+  return shard.packetsDispatched > processed
+             ? shard.packetsDispatched - processed
+             : 0;
+}
+
+std::size_t MultiFlowEngine::placeNewFlow(FlowId flow) const {
+  if (options_.placement == Placement::kHash || shards_.size() == 1) {
+    return flow % shards_.size();
+  }
+  // Least-loaded: backlog dominates under load; resident flows break ties
+  // between idle shards so a quiet start still spreads round-robin-ish.
+  std::size_t best = 0;
+  std::uint64_t bestScore = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::uint64_t score =
+        shardBacklog(*shards_[i]) + shards_[i]->residentFlows;
+    if (score < bestScore) {
+      bestScore = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void MultiFlowEngine::maybeStartMigration() {
+  if (!options_.migrateFlows || migration_ || shards_.size() < 2) return;
+  if (batchesDispatched_ - lastMigrateScanBatch_ < kMigrateScanEveryBatches) {
+    return;
+  }
+  lastMigrateScanBatch_ = batchesDispatched_;
+  std::size_t maxShard = 0;
+  std::size_t minShard = 0;
+  std::uint64_t maxBacklog = 0;
+  std::uint64_t minBacklog = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::uint64_t backlog = shardBacklog(*shards_[i]);
+    if (backlog > maxBacklog) {
+      maxBacklog = backlog;
+      maxShard = i;
+    }
+    if (backlog < minBacklog) {
+      minBacklog = backlog;
+      minShard = i;
+    }
+  }
+  if (maxShard == minShard) return;
+  // Trigger policy: enough work queued for the move to matter at all, and
+  // the configured skew ratio exceeded (min+1 so an idle shard divides).
+  if (maxBacklog < options_.dispatchBatch) return;
+  if (static_cast<double>(maxBacklog) <
+      options_.migrateImbalance * static_cast<double>(minBacklog + 1)) {
+    return;
+  }
+  if (shards_[maxShard]->residentFlows < 2) {
+    // Moving a shard's only flow just relocates the hotspot.
+    return;
+  }
+  // Victim: the heaviest live flow on the overloaded shard. The LRU chain
+  // links exactly the live flows, so the walk is bounded by concurrency,
+  // and the scan-throttle above keeps it off the per-packet path.
+  FlowId victim = kNoFlow;
+  std::uint64_t victimPackets = 0;
+  for (FlowId f = lruHead_; f != kNoFlow; f = lruNext_[f]) {
+    if (shardOf_[f] != maxShard) continue;
+    if (flowStats_[f].packets > victimPackets) {
+      victim = f;
+      victimPackets = flowStats_[f].packets;
+    }
+  }
+  if (victim == kNoFlow) return;
+
+  auto ticket = std::make_shared<MigrationTicket>();
+  PendingMigration migration;
+  migration.flow = victim;
+  migration.from = maxShard;
+  migration.to = minShard;
+  migration.ticket = ticket;
+  migration_ = std::move(migration);
+
+  // The quiesce request rides the source FIFO behind every packet of the
+  // flow dispatched so far; flush immediately so the worker reaches it
+  // without waiting for the pending buffer to fill.
+  Shard& src = *shards_[maxShard];
+  Item item;
+  item.flow = victim;
+  item.kind = Item::Kind::kMigrateOut;
+  item.ticket = std::move(ticket);
+  src.pending.push_back(std::move(item));
+  flushPending(src);
+}
+
+void MultiFlowEngine::maybeCompleteMigration() {
+  if (!migration_ ||
+      !migration_->ticket->ready.load(std::memory_order_acquire)) {
+    return;
+  }
+  Shard& src = *shards_[migration_->from];
+  Shard& dst = *shards_[migration_->to];
+  const FlowId flow = migration_->flow;
+  // Every window the flow emitted on the source sits in its ring now (the
+  // worker flushed the batcher before publishing the ticket). Stash the
+  // ring so the next poll()/finish() delivers these ahead of anything the
+  // target emits — per-flow order survives the shard switch.
+  drainShard(src, stash_);
+
+  Item install;
+  install.flow = flow;
+  install.kind = Item::Kind::kMigrateIn;
+  install.ticket = migration_->ticket;
+  install.backend = flowStats_[flow].backend;
+  install.featureSet = flowStats_[flow].featureSet;
+  dst.pending.push_back(std::move(install));
+  // Replay the packets parked during the handover, in arrival order,
+  // behind the install item; subsequent packets route here directly.
+  for (const auto& packet : migration_->parked) {
+    Item item;
+    item.flow = flow;
+    item.packet = packet;
+    dst.pending.push_back(std::move(item));
+    ++dst.packetsDispatched;
+  }
+  shardOf_[flow] = static_cast<std::uint32_t>(migration_->to);
+  --src.residentFlows;
+  ++dst.residentFlows;
+  ++src.migrationsOut;
+  ++dst.migrationsIn;
+  ++migrationsDone_;
+  migration_.reset();
+  if (dst.pending.size() >= options_.dispatchBatch) flushPending(dst);
 }
 
 void MultiFlowEngine::lruLinkTail(FlowId flow) {
@@ -188,6 +370,12 @@ void MultiFlowEngine::evictIdleFlows() {
   while (lruHead_ != kNoFlow &&
          flowStats_[lruHead_].lastArrivalNs + options_.idleTimeoutNs <=
              clock_) {
+    if (migration_ && migration_->flow == lruHead_) {
+      // Mid-handover: its estimator is in flight between shards, so there
+      // is nowhere to send an evict item yet. The next sweep (migrations
+      // resolve within a few batches) reclaims it.
+      break;
+    }
     evictFlow(lruHead_);
   }
 }
@@ -196,13 +384,18 @@ void MultiFlowEngine::evictFlow(FlowId flow) {
   lruUnlink(flow);
   flowStats_[flow].evicted = true;
   ++flowsEvicted_;
+  // The demux cache must never serve a retired generation.
+  demuxCache_.forget(flowTable_.keyOf(flow));
   flowTable_.erase(flow);
   // The control item rides the same FIFO as the flow's packets, so the
   // worker finalizes the estimator only after every dispatched packet of
   // this generation has been processed.
-  Shard& shard = *shards_[flow % shards_.size()];
-  shard.pending.push_back(
-      Item{flow, /*evict=*/true, /*kick=*/false, netflow::Packet{}, nullptr});
+  Shard& shard = *shards_[shardOf_[flow]];
+  --shard.residentFlows;
+  Item item;
+  item.flow = flow;
+  item.kind = Item::Kind::kEvict;
+  shard.pending.push_back(std::move(item));
   if (shard.pending.size() >= options_.dispatchBatch) flushPending(shard);
 }
 
@@ -210,6 +403,7 @@ void MultiFlowEngine::pump(common::TimeNs nowNs) {
   if (finished_) {
     throw std::logic_error("MultiFlowEngine: pump after finish");
   }
+  maybeCompleteMigration();
   if (nowNs > clock_) clock_ = nowNs;
   if (options_.idleTimeoutNs > 0) evictIdleFlows();
   netflow::Packet kick;
@@ -218,8 +412,11 @@ void MultiFlowEngine::pump(common::TimeNs nowNs) {
     // The kick rides the same FIFO as packets, so the worker observes it —
     // and runs the batcher deadline check — only after everything
     // dispatched before the pump.
-    shard->pending.push_back(
-        Item{kNoFlow, /*evict=*/false, /*kick=*/true, kick, nullptr});
+    Item item;
+    item.flow = kNoFlow;
+    item.kind = Item::Kind::kKick;
+    item.packet = kick;
+    shard->pending.push_back(std::move(item));
     flushPending(*shard);
   }
 }
@@ -277,27 +474,78 @@ void MultiFlowEngine::workerLoop(Shard& shard) {
 
 void MultiFlowEngine::processBatch(Shard& shard,
                                    const std::vector<Item>& batch) {
+  const auto wallStart = std::chrono::steady_clock::now();
+  std::uint64_t packetItems = 0;
   bool evicted = false;
   for (const Item& item : batch) {
-    if (item.kick) {
-      // Pump control item: advance the shard's stream clock so the
-      // batcher's deadline check below sees the pumped time.
-      if (item.packet.arrivalNs > shard.streamClock) {
-        shard.streamClock = item.packet.arrivalNs;
+    switch (item.kind) {
+      case Item::Kind::kKick:
+        // Pump control item: advance the shard's stream clock so the
+        // batcher's deadline check below sees the pumped time.
+        if (item.packet.arrivalNs > shard.streamClock) {
+          shard.streamClock = item.packet.arrivalNs;
+        }
+        continue;
+      case Item::Kind::kEvict: {
+        const auto evictee = shard.estimators.find(item.flow);
+        if (evictee != shard.estimators.end()) {
+          // Finalize-on-evict: the flow's trailing windows are emitted
+          // through the normal result path before the state is dropped.
+          evictee->second.finish();
+          shard.estimators.erase(evictee);
+          evicted = true;
+        }
+        continue;
       }
-      continue;
-    }
-    if (item.evict) {
-      const auto evictee = shard.estimators.find(item.flow);
-      if (evictee != shard.estimators.end()) {
-        // Finalize-on-evict: the flow's trailing windows are emitted
-        // through the normal result path before the state is dropped.
-        evictee->second.finish();
-        shard.estimators.erase(evictee);
-        evicted = true;
+      case Item::Kind::kMigrateOut: {
+        // Quiesce: the FIFO guarantees every dispatched packet of the flow
+        // was processed above/before this item. Flush the batcher so every
+        // window the flow emitted here reaches the ring, hand the estimator
+        // over, publish. The dispatcher picks the ticket up at its next
+        // safe point.
+        if (shard.batcher) shard.batcher->flush();
+        auto node = shard.estimators.extract(item.flow);
+        if (node.empty()) {
+          throw std::logic_error(
+              "MultiFlowEngine: migrate-out for a flow with no estimator");
+        }
+        item.ticket->estimator.emplace(std::move(node.mapped()));
+        item.ticket->ready.store(true, std::memory_order_release);
+        continue;
       }
-      continue;
+      case Item::Kind::kMigrateIn: {
+        // Install: `ready` was acquire-checked by the dispatcher before it
+        // routed this item, so the estimator is here, fully quiesced.
+        if (!item.ticket->estimator.has_value()) {
+          throw std::logic_error(
+              "MultiFlowEngine: migrate-in with an empty ticket");
+        }
+        core::StreamingEstimator estimator =
+            std::move(*item.ticket->estimator);
+        item.ticket->estimator.reset();
+        const FlowId flow = item.flow;
+        // Rebind the emission callback to THIS shard — the old one
+        // referenced the source shard's ring/batcher. Same capture shapes
+        // as estimator creation below.
+        if (shard.batcher) {
+          estimator.rebindCallback(
+              [&shard, flow, backend = item.backend](
+                  const core::StreamingOutput& out) {
+                shard.batcher->add(flow, out, backend, shard.streamClock);
+              });
+        } else {
+          estimator.rebindCallback(
+              [this, &shard, flow](const core::StreamingOutput& out) {
+                pushResult(shard, EngineResult{flow, out});
+              });
+        }
+        shard.estimators.try_emplace(flow, std::move(estimator));
+        continue;
+      }
+      case Item::Kind::kPacket:
+        break;
     }
+    ++packetItems;
     if (item.packet.arrivalNs > shard.streamClock) {
       shard.streamClock = item.packet.arrivalNs;
     }
@@ -349,6 +597,19 @@ void MultiFlowEngine::processBatch(Shard& shard,
       shard.batcher->onClock(shard.streamClock);
     }
   }
+  // Publish this batch's load sample (relaxed: the dispatcher's placement
+  // heuristics tolerate stale values; only tear-freedom matters).
+  if (packetItems > 0) {
+    shard.packetsProcessed.fetch_add(packetItems, std::memory_order_relaxed);
+  }
+  const double batchNs =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - wallStart)
+                              .count());
+  shard.batchEwma.update(batchNs);
+  shard.batchEwmaNsBits.store(std::bit_cast<std::uint64_t>(
+                                  shard.batchEwma.value()),
+                              std::memory_order_relaxed);
 }
 
 void MultiFlowEngine::pushResult(Shard& shard, EngineResult result) {
@@ -360,30 +621,53 @@ void MultiFlowEngine::pushResult(Shard& shard, EngineResult result) {
 }
 
 std::size_t MultiFlowEngine::poll(std::vector<EngineResult>& out) {
+  if (!finished_) maybeCompleteMigration();
   const std::size_t before = out.size();
+  // Results stashed at a migration handover go first: they are the
+  // migrated flow's source-side windows, which must precede anything its
+  // new shard emits.
+  for (auto& result : stash_) out.push_back(std::move(result));
+  stash_.clear();
   drainInto(out);
   const std::size_t drained = out.size() - before;
   resultsMerged_ += drained;
   return drained;
 }
 
-void MultiFlowEngine::drainInto(std::vector<EngineResult>& out) {
-  for (auto& shard : shards_) {
-    while (auto result = shard->results->tryPop()) {
-      ++flowStats_[result->flow].windowsEmitted;
-      if (flowStats_[result->flow].featureSet == features::FeatureSet::kRtp) {
-        ++windowsRtp_;
-      } else {
-        ++windowsIpUdp_;
-      }
-      out.push_back(std::move(*result));
+void MultiFlowEngine::drainShard(Shard& shard,
+                                 std::vector<EngineResult>& out) {
+  while (auto result = shard.results->tryPop()) {
+    ++flowStats_[result->flow].windowsEmitted;
+    if (flowStats_[result->flow].featureSet == features::FeatureSet::kRtp) {
+      ++windowsRtp_;
+    } else {
+      ++windowsIpUdp_;
     }
+    out.push_back(std::move(*result));
   }
+}
+
+void MultiFlowEngine::drainInto(std::vector<EngineResult>& out) {
+  for (auto& shard : shards_) drainShard(*shard, out);
 }
 
 std::vector<EngineResult> MultiFlowEngine::finish() {
   if (finished_) return {};
   finished_ = true;
+
+  // Resolve an in-flight migration first: the parked packets must reach
+  // the target shard before the pools wind down. Keep draining while we
+  // wait — the source worker may be parked on a full result ring.
+  std::vector<EngineResult> merged;
+  while (migration_) {
+    maybeCompleteMigration();
+    if (migration_) {
+      drainInto(merged);
+      std::this_thread::yield();
+    }
+  }
+  for (auto& result : stash_) merged.push_back(std::move(result));
+  stash_.clear();
 
   for (auto& shard : shards_) {
     flushPending(*shard);
@@ -396,7 +680,6 @@ std::vector<EngineResult> MultiFlowEngine::finish() {
 
   // Keep draining while the pool winds down: a worker blocked on a full
   // result ring can only exit once we make room.
-  std::vector<EngineResult> merged;
   while (runningWorkers_.load(std::memory_order_acquire) > 0) {
     drainInto(merged);
     std::this_thread::yield();
@@ -407,8 +690,9 @@ std::vector<EngineResult> MultiFlowEngine::finish() {
   drainInto(merged);
   throwIfWorkerFailed();
 
-  // Deterministic merge: bucket by flow (per-flow order is already correct,
-  // single shard per flow), then concatenate in flow-id order.
+  // Deterministic merge: bucket by flow (per-flow order is already correct
+  // — one shard at a time per flow, and migration stashes preserved it),
+  // then concatenate in flow-id order.
   std::vector<std::vector<EngineResult>> byFlow(flowTable_.size());
   for (auto& result : merged) {
     byFlow[result.flow].push_back(std::move(result));
@@ -447,6 +731,24 @@ EngineStats MultiFlowEngine::stats() const {
     stats.inferenceBatches += shard->batcher->inferenceBatches();
   }
   if (options_.registry) stats.registry = options_.registry->stats();
+  stats.shardLoads.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardLoadStats load;
+    load.packetsDispatched = shard->packetsDispatched;
+    load.packetsProcessed =
+        shard->packetsProcessed.load(std::memory_order_relaxed);
+    load.backlog = shardBacklog(*shard);
+    load.residentFlows = shard->residentFlows;
+    load.ewmaBatchNs =
+        std::bit_cast<double>(shard->batchEwmaNsBits.load(
+            std::memory_order_relaxed));
+    load.migrationsIn = shard->migrationsIn;
+    load.migrationsOut = shard->migrationsOut;
+    stats.shardLoads.push_back(load);
+  }
+  stats.migrations = migrationsDone_;
+  stats.demuxCacheLookups = demuxCache_.lookups();
+  stats.demuxCacheHits = demuxCache_.hits();
   return stats;
 }
 

@@ -7,11 +7,13 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/load.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/streaming.hpp"
 #include "engine/flow_table.hpp"
@@ -25,9 +27,15 @@
 /// §7 of the paper asks for network-scale deployment of the streaming
 /// methods. `MultiFlowEngine` is that step: it takes the interleaved packet
 /// stream of many concurrent VCA sessions, demultiplexes it by 5-tuple with a
-/// `FlowTable`, and shards the flows across a fixed pool of worker threads.
-/// Each shard owns one `core::StreamingEstimator` per flow and an SPSC
-/// result ring; the caller thread merges the rings into one result stream.
+/// `FlowTable` (fronted by a direct-mapped last-flow cache), and shards the
+/// flows across a fixed pool of worker threads. Each shard owns one
+/// `core::StreamingEstimator` per flow and an SPSC result ring; the caller
+/// thread merges the rings into one result stream. Placement is
+/// load-adaptive on request (`EngineOptions::placement`, `migrateFlows`):
+/// the dispatcher samples per-shard load counters lock-free, admits new
+/// flows to the least-loaded shard, and migrates a resident flow off an
+/// overloaded shard at dispatch-batch boundaries — all without changing any
+/// flow's output.
 /// Flows may run different feature sets side by side
 /// (`EngineOptions::featureSetResolver`); each flow's set is fixed at
 /// admission for its whole generation.
@@ -59,6 +67,27 @@ inline constexpr bool kWorkerPinningSupported = true;
 #else
 inline constexpr bool kWorkerPinningSupported = false;
 #endif
+
+/// How the dispatcher picks a shard for a newly admitted flow. Placement is
+/// pure routing: the determinism contract is per-flow, so any policy (and
+/// any migration afterwards) yields bit-identical per-flow output — only
+/// which worker runs the flow changes. Covered by the placement legs of the
+/// determinism suites.
+enum class Placement {
+  /// Static `flow % shards` — the seed behavior and the default.
+  kHash,
+  /// Least-loaded shard by the live load score (backlog + resident flows),
+  /// sampled lock-free from the per-shard counters.
+  kLeastLoaded,
+};
+
+constexpr std::string_view toString(Placement placement) {
+  return placement == Placement::kLeastLoaded ? "least-loaded" : "hash";
+}
+
+/// Parses the CLI spelling ("hash" | "least-loaded"); nullopt on anything
+/// else so callers can reject unknown values loudly.
+std::optional<Placement> placementFromString(std::string_view text);
 
 struct EngineOptions {
   /// Per-flow streaming estimator configuration (window size, feature set,
@@ -113,6 +142,28 @@ struct EngineOptions {
   /// flush at every dispatch-batch boundary (lowest latency). Ignored
   /// without batching.
   common::DurationNs inferenceFlushNs = 0;
+  /// Shard selection for newly admitted flows. `kLeastLoaded` reads the
+  /// per-shard load counters (lock-free) and admits to the least-loaded
+  /// shard, so a burst of new sessions spreads by actual load instead of id
+  /// arithmetic. Per-flow output is bit-identical either way.
+  Placement placement = Placement::kHash;
+  /// Rebalance live flows: when the dispatcher observes backlog imbalance
+  /// beyond `migrateImbalance` at a dispatch-batch boundary, it migrates
+  /// one resident flow from the most- to the least-loaded shard through a
+  /// quiesce-and-handover protocol that preserves per-flow order (and
+  /// therefore bit-identical output — see "Migration safe points" in the
+  /// README). Off by default: a uniform workload never needs it, and the
+  /// elephant-flow case it exists for is opt-in observable via
+  /// `EngineStats::migrations`.
+  bool migrateFlows = false;
+  /// Migration trigger: the max shard backlog must exceed this multiple of
+  /// the min backlog (plus one, so an idle shard doesn't divide by zero)
+  /// before a migration is considered. Values <= 1 effectively migrate on
+  /// any imbalance; the default demands a 4x skew.
+  double migrateImbalance = 4.0;
+  /// Expected concurrent flows, used to pre-size the `FlowTable` (buckets
+  /// and id sidecars) so steady ingest never rehashes. 0 = no pre-sizing.
+  std::size_t expectedFlows = 0;
 };
 
 /// Flush deadline that lets a batch of `batch` windows actually fill: a
@@ -161,6 +212,25 @@ struct FlowStats {
   }
 };
 
+/// One shard's load vector, sampled by the dispatcher from the counters the
+/// worker publishes (lock-free: the worker-side counters are relaxed
+/// atomics, the dispatcher-side ones are dispatcher-confined).
+struct ShardLoadStats {
+  /// Packets the dispatcher has queued to this shard (pending + batched).
+  std::uint64_t packetsDispatched = 0;
+  /// Packets the shard's worker has finished processing.
+  std::uint64_t packetsProcessed = 0;
+  /// `packetsDispatched - packetsProcessed` at sampling time.
+  std::uint64_t backlog = 0;
+  /// Live flows currently placed on this shard.
+  std::size_t residentFlows = 0;
+  /// EWMA of per-dispatch-batch wall-clock processing time on the worker.
+  double ewmaBatchNs = 0.0;
+  /// Flows this shard received / gave up through migration.
+  std::uint64_t migrationsIn = 0;
+  std::uint64_t migrationsOut = 0;
+};
+
 /// Counters for observability / benches.
 struct EngineStats {
   std::uint64_t packetsIngested = 0;
@@ -182,6 +252,14 @@ struct EngineStats {
   std::uint64_t windowsRtp = 0;
   /// Model-registry resolution counters (all zero without a registry).
   inference::RegistryStats registry;
+  /// Per-shard load vector (one entry per worker, in shard order).
+  std::vector<ShardLoadStats> shardLoads;
+  /// Completed flow migrations (== sum of shard migrationsIn).
+  std::uint64_t migrations = 0;
+  /// Dispatcher demux cache: per-packet 5-tuple lookups served by the
+  /// direct-mapped last-flow cache vs falling through to `FlowTable`.
+  std::uint64_t demuxCacheLookups = 0;
+  std::uint64_t demuxCacheHits = 0;
 };
 
 class MultiFlowEngine {
@@ -225,27 +303,58 @@ class MultiFlowEngine {
   int numWorkers() const { return static_cast<int>(shards_.size()); }
   EngineStats stats() const;
 
+  /// The shard currently hosting `flow` (id must be < flows().size()).
+  /// Placement-policy observability: with `Placement::kHash` and no
+  /// migration this is exactly `flow % numWorkers()` for a flow's whole
+  /// life; under kLeastLoaded/migration it reflects the live assignment.
+  std::size_t shardOf(FlowId flow) const { return shardOf_[flow]; }
+
   /// Accounting for every flow generation ever seen, indexed by `FlowId`.
   /// `windowsEmitted` counts results as they are drained (poll/finish).
   const std::vector<FlowStats>& flowStats() const { return flowStats_; }
 
  private:
+  /// One migrating flow's handover cell, shared between the source worker,
+  /// the dispatcher, and the target worker. The source moves the quiesced
+  /// estimator in and release-stores `ready`; the dispatcher acquire-loads
+  /// `ready` before routing the cell onward; the target takes the estimator
+  /// out. Each side touches `estimator` strictly on its own side of the
+  /// `ready` edge (then the batch-queue mutex), so the cell needs no lock.
+  struct MigrationTicket {
+    std::atomic<bool> ready{false};
+    std::optional<core::StreamingEstimator> estimator;
+  };
+
   struct Item {
+    enum class Kind : std::uint8_t {
+      kPacket,
+      /// Finalize and drop the flow's estimator (idle eviction).
+      kEvict,
+      /// Advance the shard's stream clock to `packet.arrivalNs` (the pump's
+      /// `nowNs` rides the packet field) so the batcher deadline check that
+      /// follows the batch sees the pumped time.
+      kKick,
+      /// Quiesce `flow` on this (source) shard: flush the batcher, extract
+      /// the estimator into `ticket`, publish `ready`.
+      kMigrateOut,
+      /// Install `flow` on this (target) shard: take the estimator from
+      /// `ticket`, rebind its emission callback to this shard.
+      kMigrateIn,
+    };
+
     FlowId flow = 0;
-    /// Control item: finalize and drop the flow's estimator (idle eviction).
-    bool evict = false;
-    /// Control item: advance the shard's stream clock to `packet.arrivalNs`
-    /// (the pump's `nowNs` rides the packet field) so the batcher deadline
-    /// check that follows the batch sees the pumped time.
-    bool kick = false;
+    Kind kind = Kind::kPacket;
     netflow::Packet packet;
-    /// Set only on a flow generation's first packet: the backend the
+    /// Set only on a flow generation's first packet (the backend the
     /// dispatcher resolved at admission, attached when the worker creates
-    /// the estimator. A returning (re-interned) flow re-resolves.
+    /// the estimator; a returning re-interned flow re-resolves) and on
+    /// kMigrateIn (re-captured into the target shard's batcher callback).
     core::StreamingEstimator::BackendPtr backend;
     /// Meaningful on the admission packet only (the item that creates the
     /// estimator): the flow's resolved feature set.
     features::FeatureSet featureSet = features::FeatureSet::kIpUdp;
+    /// Set on kMigrateOut / kMigrateIn only.
+    std::shared_ptr<MigrationTicket> ticket;
   };
 
   /// Thread-ownership map (enforced by `-Wthread-safety` on the guarded
@@ -283,6 +392,22 @@ class MultiFlowEngine {
     // driving the batcher's deadline flush.
     common::TimeNs streamClock = std::numeric_limits<common::TimeNs>::min();
 
+    // --- Load accounting ---------------------------------------------
+    // Worker-published, dispatcher-sampled (relaxed atomics: the values
+    // steer placement heuristics, never correctness, so no ordering is
+    // needed beyond the counters being tear-free).
+    std::atomic<std::uint64_t> packetsProcessed{0};
+    /// EWMA of per-dispatch-batch processing wall time, published as the
+    /// double's bit pattern (worker bit_casts in, readers bit_cast out).
+    std::atomic<std::uint64_t> batchEwmaNsBits{0};
+    // Worker-confined smoother behind `batchEwmaNsBits`.
+    common::LoadEwma batchEwma{0.2};
+    // Dispatcher-confined counters.
+    std::uint64_t packetsDispatched = 0;
+    std::size_t residentFlows = 0;
+    std::uint64_t migrationsIn = 0;
+    std::uint64_t migrationsOut = 0;
+
     std::string error;  // first exception message seen by the worker
     std::thread thread;
   };
@@ -298,6 +423,7 @@ class MultiFlowEngine {
   void processBatch(Shard& shard, const std::vector<Item>& batch);
   void pushResult(Shard& shard, EngineResult result);
   void flushPending(Shard& shard);
+  void drainShard(Shard& shard, std::vector<EngineResult>& out);
   void drainInto(std::vector<EngineResult>& out);
   void throwIfWorkerFailed() const;
 
@@ -307,10 +433,32 @@ class MultiFlowEngine {
   void evictIdleFlows();
   void evictFlow(FlowId flow);
 
+  // Load-adaptive placement (dispatcher side only).
+  std::uint64_t shardBacklog(const Shard& shard) const;
+  std::size_t placeNewFlow(FlowId flow) const;
+  void maybeStartMigration();
+  void maybeCompleteMigration();
+
+  /// One in-flight migration, dispatcher-owned. While set, packets of the
+  /// migrating flow are parked here (in arrival order) instead of being
+  /// routed, so the flow's stream has a clean cut: everything before the
+  /// kMigrateOut runs on the source, everything after the handover on the
+  /// target, nothing in between.
+  struct PendingMigration {
+    FlowId flow = kNoFlow;
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::shared_ptr<MigrationTicket> ticket;
+    std::vector<netflow::Packet> parked;
+  };
+
   EngineOptions options_;
   /// VCA verdicts for registry keys at flow admission (default resolver).
   core::MediaClassifier classifier_;
   FlowTable flowTable_;
+  /// Dispatcher-side direct-mapped 5-tuple → id cache in front of
+  /// `flowTable_.intern` (invalidated on eviction).
+  FlowDemuxCache demuxCache_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int> runningWorkers_{0};
   bool finished_ = false;
@@ -331,6 +479,20 @@ class MultiFlowEngine {
   FlowId lruHead_ = kNoFlow;
   FlowId lruTail_ = kNoFlow;
   common::TimeNs clock_ = std::numeric_limits<common::TimeNs>::min();
+
+  /// Live flow → shard assignment, indexed by FlowId (the `shardOf`
+  /// indirection that replaced the hardcoded modulo). Entries of evicted
+  /// generations are stale but never read — a fresh generation appends.
+  std::vector<std::uint32_t> shardOf_;
+  std::optional<PendingMigration> migration_;
+  /// Results pulled off a migration source's ring at handover, delivered
+  /// ahead of everything else by the next poll()/finish() so the migrated
+  /// flow's source-side windows precede its target-side ones.
+  std::vector<EngineResult> stash_;
+  std::uint64_t migrationsDone_ = 0;
+  /// Batch count at the last migration scan, throttling the O(live flows)
+  /// victim search to at most once per few dispatch batches.
+  std::uint64_t lastMigrateScanBatch_ = 0;
 };
 
 }  // namespace vcaqoe::engine

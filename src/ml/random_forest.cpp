@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/load.hpp"
+
 namespace vcaqoe::ml {
 
 void RandomForest::fit(const Dataset& data, TreeTask task,
@@ -38,10 +40,9 @@ void RandomForest::fit(const Dataset& data, TreeTask task,
     s = static_cast<std::uint64_t>(seeder.engine()());
   }
 
-  const unsigned hw = std::thread::hardware_concurrency();
-  const int threads = options.threads > 0
-                          ? options.threads
-                          : static_cast<int>(hw > 0 ? hw : 4);
+  const int threads =
+      options.threads > 0 ? options.threads
+                          : static_cast<int>(common::hardwareThreadsOr(1));
 
   auto trainRange = [&](int from, int to) {
     for (int t = from; t < to; ++t) {

@@ -3,10 +3,13 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json_writer.hpp"
+#include "common/load.hpp"
 #include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -509,6 +512,50 @@ TEST(JsonWriter, ParseErrorsCarryByteOffsets) {
   std::string error;
   EXPECT_FALSE(JsonValue::parse("[1, 2, xyz]", &error).has_value());
   EXPECT_NE(error.find("at byte 7"), std::string::npos) << error;
+}
+
+TEST(Load, HardwareThreadsOrGuardsTheZeroCase) {
+  // The standard allows hardware_concurrency() == 0 ("not computable").
+  // On a platform that does report, the helper must pass the value
+  // through untouched; either way the result is never below 1 when the
+  // fallback is 1 — the contract every pool-sizing call site relies on.
+  const unsigned reported = std::thread::hardware_concurrency();
+  const unsigned resolved = hardwareThreadsOr(1);
+  EXPECT_GE(resolved, 1u);
+  if (reported > 0) {
+    EXPECT_EQ(resolved, reported);
+  } else {
+    EXPECT_EQ(resolved, 1u);
+  }
+  // The fallback is what surfaces when the platform reports nothing.
+  EXPECT_EQ(hardwareThreadsOr(7), reported > 0 ? reported : 7u);
+}
+
+TEST(Load, EwmaSeedsOnFirstSampleThenSmooths) {
+  LoadEwma ewma(0.5);
+  EXPECT_FALSE(ewma.seeded());
+  EXPECT_EQ(ewma.value(), 0.0);
+  ewma.update(100.0);  // first sample seeds, no blend with the zero init
+  EXPECT_TRUE(ewma.seeded());
+  EXPECT_EQ(ewma.value(), 100.0);
+  ewma.update(200.0);
+  EXPECT_EQ(ewma.value(), 150.0);  // 0.5*200 + 0.5*100
+  ewma.update(150.0);
+  EXPECT_EQ(ewma.value(), 150.0);  // steady input is a fixed point
+}
+
+TEST(Load, EwmaConvergesTowardAConstantStream) {
+  LoadEwma ewma(0.2);
+  ewma.update(1000.0);
+  for (int i = 0; i < 100; ++i) ewma.update(10.0);
+  EXPECT_NEAR(ewma.value(), 10.0, 1e-6);
+}
+
+TEST(Load, EwmaRejectsOutOfRangeAlpha) {
+  EXPECT_THROW(LoadEwma(0.0), std::invalid_argument);
+  EXPECT_THROW(LoadEwma(-0.1), std::invalid_argument);
+  EXPECT_THROW(LoadEwma(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(LoadEwma(1.0));  // alpha=1: tracks the last sample
 }
 
 }  // namespace

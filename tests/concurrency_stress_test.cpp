@@ -344,6 +344,89 @@ TEST(EngineStress, PumpedBackpressuredFeedMatchesSingleWorker) {
   }
 }
 
+/// Migrate-under-fire: adaptive placement AND live flow migration with
+/// tiny backpressured rings, cross-flow batching, pump/poll churn, and a
+/// one-elephant skew that keeps the imbalance trigger firing — the whole
+/// handover protocol (quiesce ticket, parked packets, stash drain,
+/// estimator rebind on the target worker) runs many times under TSan.
+/// Output must still match the single-worker run exactly.
+TEST(EngineStress, MigrationUnderBackpressureMatchesSingleWorker) {
+  constexpr int kFlows = 10;
+  std::vector<netflow::FlowKey> keys;
+  std::vector<std::pair<std::uint32_t, netflow::Packet>> stream;
+  for (int f = 0; f < kFlows; ++f) {
+    keys.push_back(syntheticFlowKey(static_cast<std::uint32_t>(f)));
+    // Flow 0 is the elephant (10x the packets of every mouse).
+    const int packets = f == 0 ? 3000 : 300;
+    for (const auto& packet :
+         syntheticFlowTrace(23u + static_cast<std::uint64_t>(f), packets,
+                            /*startNs=*/f * 53'000)) {
+      stream.emplace_back(static_cast<std::uint32_t>(f), packet);
+    }
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.arrivalNs < b.second.arrivalNs;
+                   });
+
+  std::uint64_t shardedMigrations = 0;
+  const auto run = [&](int workers) {
+    auto registry = std::make_shared<inference::ModelRegistry>();
+    registry->registerBackend(
+        "synthetic", inference::QoeTarget::kFrameRate,
+        std::make_shared<inference::ForestBackend>(
+            syntheticForest(2, 2, 27.0), inference::QoeTarget::kFrameRate,
+            "stress"));
+
+    EngineOptions options;
+    options.numWorkers = workers;
+    options.dispatchBatch = 4;
+    options.resultRingCapacity = 0;  // clamps to 2: constant backpressure
+    options.registry = registry;
+    options.vcaResolver = [](const netflow::FlowKey&) {
+      return std::string("synthetic");
+    };
+    options.placement = Placement::kLeastLoaded;
+    options.migrateFlows = true;
+    options.migrateImbalance = 1.0;  // migrate on any imbalance
+    options.inferenceBatch = 4;
+    options.inferenceFlushNs = scaledInferenceFlushNs(4);
+
+    MultiFlowEngine engine(options);
+    std::vector<EngineResult> results;
+    std::size_t fed = 0;
+    for (const auto& [flow, packet] : stream) {
+      engine.onPacket(keys[flow], packet);
+      ++fed;
+      if (fed % 89 == 0) engine.pump(packet.arrivalNs);
+      if (fed % 173 == 0) engine.poll(results);
+    }
+    for (auto& result : engine.finish()) results.push_back(std::move(result));
+    if (workers > 1) shardedMigrations = engine.stats().migrations;
+
+    std::stable_sort(results.begin(), results.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.flow != b.flow) return a.flow < b.flow;
+                       return a.output.window < b.output.window;
+                     });
+    return results;
+  };
+
+  const auto sequential = run(1);
+  const auto sharded = run(4);
+  // The point of the test: the migration path really ran.
+  EXPECT_GT(shardedMigrations, 0u);
+  ASSERT_GT(sequential.size(), 0u);
+  ASSERT_EQ(sharded.size(), sequential.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    ASSERT_EQ(sharded[i].flow, sequential[i].flow);
+    ASSERT_EQ(sharded[i].output.window, sequential[i].output.window);
+    ASSERT_EQ(sharded[i].output.features, sequential[i].output.features);
+    ASSERT_TRUE(sharded[i].output.predictions ==
+                sequential[i].output.predictions);
+  }
+}
+
 TEST(EngineStress, ImmediateFinishWhileWorkersBlockedOnFullRings) {
   // No poll() at all during the feed: every worker ends up parked on a
   // full 2-slot ring, and finish() must unblock them by draining while the

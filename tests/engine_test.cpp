@@ -728,5 +728,302 @@ TEST(MultiFlowEngine, StatsCountPacketsFlowsAndResults) {
   EXPECT_GT(stats.batchesDispatched, 0u);
 }
 
+// --- Load-adaptive sharding -----------------------------------------------
+
+/// `FlowKeyHash` feeds both the flow table's buckets and the kHash shard
+/// modulo; random 5-tuples must land near-uniformly over small shard
+/// counts or one worker inherits a biased share of every deployment.
+TEST(FlowKeyHash, DistributesRandomTuplesNearUniformlyOverShards) {
+  constexpr int kTuples = 8192;
+  common::Rng rng(2026);
+  std::vector<std::size_t> hashes;
+  hashes.reserve(kTuples);
+  FlowKeyHash hash;
+  for (int i = 0; i < kTuples; ++i) {
+    netflow::FlowKey key;
+    key.srcIp = static_cast<std::uint32_t>(rng.engine()());
+    key.dstIp = static_cast<std::uint32_t>(rng.engine()());
+    key.srcPort = static_cast<std::uint16_t>(rng.engine()());
+    key.dstPort = static_cast<std::uint16_t>(rng.engine()());
+    hashes.push_back(hash(key));
+  }
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    std::vector<int> buckets(shards, 0);
+    for (const auto h : hashes) ++buckets[h % shards];
+    const double expected = static_cast<double>(kTuples) / shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_GT(buckets[s], expected * 0.75)
+          << "shards=" << shards << " bucket=" << s;
+      EXPECT_LT(buckets[s], expected * 1.25)
+          << "shards=" << shards << " bucket=" << s;
+    }
+  }
+}
+
+TEST(FlowDemuxCache, ServesLiveIdsAndForgetsEvicted) {
+  FlowDemuxCache cache;
+  const auto a = makeKey(1);
+  const auto b = makeKey(2);
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  cache.remember(a, 7);
+  cache.remember(b, 9);
+  EXPECT_EQ(cache.lookup(a), std::optional<FlowId>(7u));
+  EXPECT_EQ(cache.lookup(b), std::optional<FlowId>(9u));
+  // Eviction invalidates; a later generation re-installs under a new id.
+  cache.forget(a);
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  cache.remember(a, 12);
+  EXPECT_EQ(cache.lookup(a), std::optional<FlowId>(12u));
+  EXPECT_EQ(cache.lookups(), 5u);
+  EXPECT_EQ(cache.hits(), 3u);
+}
+
+TEST(FlowDemuxCache, DirectMappedCollisionDisplacesNotCorrupts) {
+  // Find two keys sharing a slot; the second displaces the first, and a
+  // forget() of the displaced key must not clobber the resident one.
+  FlowDemuxCache cache;
+  FlowKeyHash hash;
+  const auto a = makeKey(0);
+  netflow::FlowKey colliding;
+  bool found = false;
+  for (std::uint32_t i = 1; i < 100'000; ++i) {
+    colliding = makeKey(i);
+    if ((hash(colliding) % FlowDemuxCache::kSlots) ==
+        (hash(a) % FlowDemuxCache::kSlots)) {
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  cache.remember(a, 1);
+  cache.remember(colliding, 2);
+  EXPECT_FALSE(cache.lookup(a).has_value());  // displaced
+  EXPECT_EQ(cache.lookup(colliding), std::optional<FlowId>(2u));
+  cache.forget(a);  // displaced long ago: must be a no-op
+  EXPECT_EQ(cache.lookup(colliding), std::optional<FlowId>(2u));
+}
+
+/// kHash is the seed behavior and the default: the one-liner contract
+/// (shard = id mod workers, for the flow's whole life) regression-tested
+/// on its own, independent of the adaptive machinery.
+TEST(MultiFlowEngine, HashPlacementKeepsModuloContract) {
+  const auto in = makeInterleaved(13, 200);
+  EngineOptions options;
+  options.numWorkers = 4;
+  MultiFlowEngine engine(options);
+  for (const auto& [flow, packet] : in.stream) {
+    engine.onPacket(in.keys[flow], packet);
+  }
+  (void)engine.finish();
+  ASSERT_EQ(engine.flows().size(), 13u);
+  for (FlowId id = 0; id < 13; ++id) {
+    EXPECT_EQ(engine.shardOf(id), id % 4u) << "flow " << id;
+  }
+  EXPECT_EQ(engine.stats().migrations, 0u);
+}
+
+TEST(MultiFlowEngine, PlacementStringsRoundTripAndRejectUnknown) {
+  EXPECT_EQ(placementFromString("hash"), Placement::kHash);
+  EXPECT_EQ(placementFromString("least-loaded"), Placement::kLeastLoaded);
+  EXPECT_FALSE(placementFromString("bogus").has_value());
+  EXPECT_EQ(toString(Placement::kHash), "hash");
+  EXPECT_EQ(toString(Placement::kLeastLoaded), "least-loaded");
+}
+
+/// One elephant among mice: flow 0 carries most of the packets, the shape
+/// that makes static hashing pin a shard and is the reason migration
+/// exists.
+Interleaved makeSkewedInterleaved(int flows, int elephantPackets,
+                                  int mousePackets) {
+  Interleaved in;
+  for (int f = 0; f < flows; ++f) {
+    in.keys.push_back(makeKey(static_cast<std::uint32_t>(f)));
+    in.perFlow.push_back(syntheticFlowTrace(
+        31 + static_cast<std::uint64_t>(f),
+        f == 0 ? elephantPackets : mousePackets, /*startNs=*/f * 23'000));
+  }
+  for (int f = 0; f < flows; ++f) {
+    for (const auto& packet : in.perFlow[static_cast<std::size_t>(f)]) {
+      in.stream.emplace_back(static_cast<std::uint32_t>(f), packet);
+    }
+  }
+  std::stable_sort(in.stream.begin(), in.stream.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.arrivalNs < b.second.arrivalNs;
+                   });
+  return in;
+}
+
+class EnginePlacementDeterminism
+    : public ::testing::TestWithParam<std::tuple<int, Placement, bool>> {};
+
+/// The adaptive-sharding leg of the determinism contract: placement policy
+/// and live migration may change WHERE a flow runs, never WHAT it emits.
+/// Every cell of workers x placement x migration must be bit-identical to
+/// the sequential per-flow reference on a skewed (one-elephant) stream fed
+/// with a poll cadence, so migrations can actually occur mid-run.
+TEST_P(EnginePlacementDeterminism, SkewedStreamBitIdenticalToSequential) {
+  const int workers = std::get<0>(GetParam());
+  const Placement placement = std::get<1>(GetParam());
+  const bool migrate = std::get<2>(GetParam());
+  const int flows = 9;
+  const auto in = makeSkewedInterleaved(flows, 2600, 260);
+
+  core::StreamingOptions streaming;
+  const auto want = sequentialReference(in, streaming);
+
+  EngineOptions options;
+  options.streaming = streaming;
+  options.numWorkers = workers;
+  options.dispatchBatch = 16;
+  options.placement = placement;
+  options.migrateFlows = migrate;
+  options.migrateImbalance = 1.5;  // aggressive: let imbalance trigger early
+  MultiFlowEngine engine(options);
+  std::vector<EngineResult> polled;
+  std::size_t fed = 0;
+  for (const auto& [flow, packet] : in.stream) {
+    engine.onPacket(in.keys[flow], packet);
+    if (++fed % 113 == 0) engine.poll(polled);
+  }
+  for (auto& result : engine.finish()) polled.push_back(std::move(result));
+
+  std::vector<FlowId> idOfKey(static_cast<std::size_t>(flows));
+  for (int f = 0; f < flows; ++f) {
+    const auto id = engine.flows().find(in.keys[static_cast<std::size_t>(f)]);
+    ASSERT_TRUE(id.has_value());
+    idOfKey[static_cast<std::size_t>(f)] = *id;
+  }
+  std::vector<std::vector<core::StreamingOutput>> byFlow(
+      static_cast<std::size_t>(flows));
+  for (auto& result : polled) {
+    byFlow[result.flow].push_back(std::move(result.output));
+  }
+  for (int f = 0; f < flows; ++f) {
+    const auto& gotFlow = byFlow[idOfKey[static_cast<std::size_t>(f)]];
+    const auto& wantFlow = want[static_cast<std::size_t>(f)];
+    ASSERT_EQ(gotFlow.size(), wantFlow.size()) << "flow " << f;
+    for (std::size_t w = 0; w < wantFlow.size(); ++w) {
+      expectSameOutput(gotFlow[w], wantFlow[w]);
+    }
+  }
+  // Load accounting closes: every ingested packet was dispatched to some
+  // shard and processed there by the time finish() returned.
+  const auto stats = engine.stats();
+  ASSERT_EQ(stats.shardLoads.size(), static_cast<std::size_t>(workers));
+  std::uint64_t dispatched = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t migrationsIn = 0;
+  for (const auto& load : stats.shardLoads) {
+    dispatched += load.packetsDispatched;
+    processed += load.packetsProcessed;
+    migrationsIn += load.migrationsIn;
+    EXPECT_EQ(load.backlog, 0u);
+  }
+  EXPECT_EQ(dispatched, stats.packetsIngested);
+  EXPECT_EQ(processed, stats.packetsIngested);
+  EXPECT_EQ(migrationsIn, stats.migrations);
+  if (!migrate) {
+    EXPECT_EQ(stats.migrations, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlacementMatrix, EnginePlacementDeterminism,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(Placement::kHash,
+                                         Placement::kLeastLoaded),
+                       ::testing::Bool()));
+
+/// Forces a migration and proves the whole protocol end to end: tiny
+/// result rings park the elephant's worker (backlog builds), the
+/// imbalance trigger fires, packets arriving mid-handover are parked and
+/// replayed, and the flow ends up on a different shard — with output still
+/// bit-identical to the sequential reference.
+TEST(MultiFlowEngine, ForcedMigrationMovesElephantAndPreservesOutput) {
+  const int flows = 4;  // with 2 workers and kHash: flows {0,2} share shard 0
+  const auto in = makeSkewedInterleaved(flows, 4000, 150);
+  core::StreamingOptions streaming;
+  const auto want = sequentialReference(in, streaming);
+
+  EngineOptions options;
+  options.streaming = streaming;
+  options.numWorkers = 2;
+  options.dispatchBatch = 8;
+  options.resultRingCapacity = 0;  // clamps to 2: the elephant's worker parks
+  options.migrateFlows = true;
+  options.migrateImbalance = 1.0;
+  MultiFlowEngine engine(options);
+  // No poll during the feed: the source worker stays parked on its full
+  // ring, so the handover resolves under maximum backlog (mostly inside
+  // finish(), with a pile of parked packets to replay).
+  for (const auto& [flow, packet] : in.stream) {
+    engine.onPacket(in.keys[flow], packet);
+  }
+  const auto got = engine.finish();
+
+  const auto stats = engine.stats();
+  EXPECT_GE(stats.migrations, 1u);
+  const auto elephant = engine.flows().find(in.keys[0]);
+  ASSERT_TRUE(elephant.has_value());
+  // kHash placed the elephant on shard id%2; at least one migration moved
+  // some flow, and the per-shard counters agree with the total.
+  std::uint64_t migrationsIn = 0;
+  std::uint64_t migrationsOut = 0;
+  for (const auto& load : stats.shardLoads) {
+    migrationsIn += load.migrationsIn;
+    migrationsOut += load.migrationsOut;
+    EXPECT_GT(load.ewmaBatchNs, 0.0);
+  }
+  EXPECT_EQ(migrationsIn, stats.migrations);
+  EXPECT_EQ(migrationsOut, stats.migrations);
+
+  std::vector<FlowId> idOfKey(static_cast<std::size_t>(flows));
+  for (int f = 0; f < flows; ++f) {
+    const auto id = engine.flows().find(in.keys[static_cast<std::size_t>(f)]);
+    ASSERT_TRUE(id.has_value());
+    idOfKey[static_cast<std::size_t>(f)] = *id;
+  }
+  std::vector<std::vector<core::StreamingOutput>> byFlow(
+      static_cast<std::size_t>(flows));
+  for (const auto& result : got) byFlow[result.flow].push_back(result.output);
+  for (int f = 0; f < flows; ++f) {
+    const auto& gotFlow = byFlow[idOfKey[static_cast<std::size_t>(f)]];
+    const auto& wantFlow = want[static_cast<std::size_t>(f)];
+    ASSERT_EQ(gotFlow.size(), wantFlow.size()) << "flow " << f;
+    for (std::size_t w = 0; w < wantFlow.size(); ++w) {
+      expectSameOutput(gotFlow[w], wantFlow[w]);
+    }
+  }
+}
+
+/// The dispatcher-side demux cache is accounted and actually hit on bursty
+/// interleaves, and an evicted generation is never served stale.
+TEST(MultiFlowEngine, DemuxCacheCountsHitsAndSurvivesEviction) {
+  EngineOptions options;
+  options.numWorkers = 2;
+  options.idleTimeoutNs = 500 * common::kNanosPerMilli;
+  MultiFlowEngine engine(options);
+  const auto key = makeKey(3);
+  // Burst, long gap (evicts), burst again: the second generation must get
+  // a fresh id through the cache-miss path.
+  for (const auto& packet : steadyTrace(0, 200)) engine.onPacket(key, packet);
+  const auto firstGen = engine.flows().find(key);
+  ASSERT_TRUE(firstGen.has_value());
+  engine.pump(10 * common::kNanosPerSecond);
+  EXPECT_FALSE(engine.flows().find(key).has_value());
+  for (const auto& packet : steadyTrace(11 * common::kNanosPerSecond, 50)) {
+    engine.onPacket(key, packet);
+  }
+  const auto secondGen = engine.flows().find(key);
+  ASSERT_TRUE(secondGen.has_value());
+  EXPECT_NE(*secondGen, *firstGen);
+  (void)engine.finish();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.demuxCacheLookups, stats.packetsIngested);
+  // All but the two admission packets hit the single-flow cache line.
+  EXPECT_EQ(stats.demuxCacheHits, stats.packetsIngested - 2);
+}
+
 }  // namespace
 }  // namespace vcaqoe::engine
